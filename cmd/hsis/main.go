@@ -1,0 +1,485 @@
+// hsis is the interactive verification shell — the Go counterpart of
+// the HSIS front end (paper Figure 1): it reads a design (Verilog or
+// BLIF-MV), reads properties and fairness constraints (PIF), runs the
+// CTL model checker and the language containment checker, simulates
+// interactively, and prints bug reports with error traces.
+//
+// Commands (one per line; also usable as a batch script on stdin):
+//
+//	read_verilog <file.v> [top]     load a Verilog design
+//	read_blif_mv <file.mv>          load a BLIF-MV design
+//	read_pif <file.pif>             load properties and fairness
+//	read_builtin <name>             load a bundled Table-1 design
+//	print_stats                     design + BDD statistics
+//	compute_reach                   reachable-state count
+//	check_ctl [name]                model-check CTL properties
+//	lang_contain [name]             language containment checks
+//	check_all                       run every property
+//	explain_ctl <name>              unfold a failing CTL property (§6.2)
+//	check_refine <spec.v> <top> <i=s>...   refinement vs an abstraction
+//	quant_schedule                  print the early-quantification plan
+//	write_blif_mv <file> / write_dot <file>
+//	bisim_classes                   bisimulation equivalence classes
+//	sim_init / sim_step [n] / sim_step_with <expr> / sim_states [max] / sim_back
+//	quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hsis/internal/bdd"
+	"hsis/internal/bisim"
+	"hsis/internal/blifmv"
+	"hsis/internal/core"
+	"hsis/internal/ctl"
+	"hsis/internal/debug"
+	"hsis/internal/designs"
+	"hsis/internal/network"
+	"hsis/internal/quant"
+	"hsis/internal/refine"
+	"hsis/internal/sim"
+	"hsis/internal/verilog"
+)
+
+type shell struct {
+	w   *core.Workspace
+	sim *sim.Simulator
+	out *bufio.Writer
+}
+
+func main() {
+	sh := &shell{out: bufio.NewWriter(os.Stdout)}
+	defer sh.out.Flush()
+	sc := bufio.NewScanner(os.Stdin)
+	interactive := isTerminal()
+	if interactive {
+		fmt.Fprintln(sh.out, "HSIS — BDD-based formal verification shell (type 'help')")
+	}
+	for {
+		if interactive {
+			fmt.Fprint(sh.out, "hsis> ")
+		}
+		sh.out.Flush()
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func (sh *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprintln(sh.out, "commands: read_verilog read_blif_mv read_pif read_builtin print_stats compute_reach check_ctl lang_contain check_all explain_ctl check_refine quant_schedule write_blif_mv write_dot bisim_classes sim_init sim_step sim_step_with sim_states sim_back quit")
+		return nil
+	case "read_verilog":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: read_verilog <file.v> [top]")
+		}
+		top := ""
+		if len(args) > 1 {
+			top = args[1]
+		} else {
+			top = strings.TrimSuffix(baseName(args[0]), ".v")
+		}
+		w, err := core.LoadVerilogFile(args[0], top, core.Options{})
+		if err != nil {
+			return err
+		}
+		sh.w = w
+		sh.sim = nil
+		fmt.Fprintf(sh.out, "loaded %s: %d latches, %d lines Verilog, %d lines BLIF-MV (read %v)\n",
+			top, len(w.Net.Latches()), w.VerilogLines, w.BlifmvLines, w.ReadTime)
+		return nil
+	case "read_blif_mv":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: read_blif_mv <file.mv>")
+		}
+		w, err := core.LoadBlifMVFile(args[0], core.Options{})
+		if err != nil {
+			return err
+		}
+		sh.w = w
+		sh.sim = nil
+		fmt.Fprintf(sh.out, "loaded %s: %d latches (read %v)\n", w.Name, len(w.Net.Latches()), w.ReadTime)
+		return nil
+	case "read_builtin":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: read_builtin <%s>", strings.Join(designs.Names(), "|"))
+		}
+		d, err := designs.Get(args[0])
+		if err != nil {
+			return err
+		}
+		w, err := core.LoadVerilogString(d.Verilog, d.Name+".v", d.Top, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := w.AddPIFString(d.PIF, d.Name+".pif"); err != nil {
+			return err
+		}
+		sh.w = w
+		sh.sim = nil
+		fmt.Fprintf(sh.out, "loaded builtin %s: %d latches, %d LC + %d CTL properties\n",
+			d.Name, len(w.Net.Latches()), len(w.Automata), len(w.CTLProps))
+		return nil
+	case "read_pif":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: read_pif <file.pif>")
+		}
+		if err := sh.w.AddPIFFile(args[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "properties: %d LC, %d CTL; %s\n",
+			len(sh.w.Automata), len(sh.w.CTLProps), sh.w.FC)
+		return nil
+	case "print_stats":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		n := sh.w.Net
+		fmt.Fprintf(sh.out, "design %s: %d latches, %d state bits, %d tables, %d BDD nodes in manager\n",
+			sh.w.Name, len(n.Latches()), len(n.PSBits()), len(n.Conjuncts()), n.Manager().Size())
+		fmt.Fprintf(sh.out, "transition relation: %d BDD nodes\n", n.Manager().NodeCount(n.T))
+		fmt.Fprintln(sh.out, n.Manager().Stats())
+		fmt.Fprintln(sh.out, n.Model().FindNondeterminism())
+		return nil
+	case "compute_reach":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "# reached states: %.0f\n", sh.w.ReachableStates())
+		return nil
+	case "check_ctl":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		for _, p := range sh.w.CTLProps {
+			if len(args) > 0 && p.Name != args[0] {
+				continue
+			}
+			sh.report(sh.w.CheckCTL(p))
+		}
+		return nil
+	case "lang_contain":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		for _, a := range sh.w.Automata {
+			if len(args) > 0 && a.Name != args[0] {
+				continue
+			}
+			sh.report(sh.w.CheckLC(a))
+		}
+		return nil
+	case "check_all":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		for _, r := range sh.w.VerifyAll() {
+			sh.report(r)
+		}
+		return nil
+	case "explain_ctl":
+		// the model checker debugger (paper §6.2): unfold a failing
+		// formula step by step
+		if err := sh.need(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: explain_ctl <property-name>")
+		}
+		for _, p := range sh.w.CTLProps {
+			if p.Name != args[0] {
+				continue
+			}
+			checker := ctl.NewForNetwork(sh.w.Net, sh.w.FC)
+			v, err := checker.Check(p.Formula)
+			if err != nil {
+				return err
+			}
+			if v.Pass {
+				fmt.Fprintf(sh.out, "%s passes — nothing to explain\n", p.Name)
+				return nil
+			}
+			start, ok := sh.w.Net.PickState(v.FailingInit)
+			if !ok {
+				return fmt.Errorf("no failing initial state")
+			}
+			stepper := debug.NewStepper(checker, nil)
+			stepper.Describe = func(st debug.State) string { return sh.w.DescribeState(st) }
+			rep, err := stepper.ExplainFailure(p.Formula, debug.State(start))
+			if err != nil {
+				return err
+			}
+			for _, line := range rep.Lines {
+				fmt.Fprintln(sh.out, " ", line)
+			}
+			return nil
+		}
+		return fmt.Errorf("no CTL property named %q", args[0])
+	case "sim_step_with":
+		// constrained stepping: pin inputs or intermediate signals with
+		// a propositional expression, e.g. sim_step_with go=1
+		if sh.sim == nil {
+			return fmt.Errorf("run sim_init first")
+		}
+		if len(args) == 0 {
+			return fmt.Errorf("usage: sim_step_with <propositional expression>")
+		}
+		f, err := ctl.Parse(strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		if !ctl.IsPropositional(f) {
+			return fmt.Errorf("constraint must be propositional")
+		}
+		// resolve atoms directly against variables (inputs and
+		// intermediates included), not state labels
+		n := sh.w.Net
+		constraint, err := ctl.EvalProp(n.Manager(), f, func(name, value string) (bdd.Ref, error) {
+			v := n.VarByName(name)
+			if v == nil {
+				return bdd.False, fmt.Errorf("unknown variable %q", name)
+			}
+			idx := n.Model().Var(name).ValueIndex(value)
+			if idx < 0 {
+				return bdd.False, fmt.Errorf("%q is not a value of %s", value, name)
+			}
+			return v.Eq(idx), nil
+		})
+		if err != nil {
+			return err
+		}
+		sh.sim.StepWith(constraint)
+		fmt.Fprintf(sh.out, "after step %d: %.0f states\n", sh.sim.Steps(), sh.sim.Count())
+		return nil
+	case "check_refine":
+		// hierarchical verification: does the loaded design refine the
+		// given abstract specification over the observation pairs?
+		if err := sh.need(); err != nil {
+			return err
+		}
+		if len(args) < 3 {
+			return fmt.Errorf("usage: check_refine <spec.v> <specTop> <implVar=specVar>...")
+		}
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		sf, err := verilog.Parse(string(data), args[0])
+		if err != nil {
+			return err
+		}
+		specDesign, err := verilog.Compile([]*verilog.SourceFile{sf}, args[1])
+		if err != nil {
+			return err
+		}
+		specFlat, err := blifmv.Flatten(specDesign)
+		if err != nil {
+			return err
+		}
+		var obs [][2]string
+		for _, pair := range args[2:] {
+			eq := strings.IndexByte(pair, '=')
+			if eq <= 0 {
+				return fmt.Errorf("bad observation pair %q (want implVar=specVar)", pair)
+			}
+			obs = append(obs, [2]string{pair[:eq], pair[eq+1:]})
+		}
+		res, err := refine.Check(sh.w.Net.Model(), specFlat, obs, network.Options{})
+		if err != nil {
+			return err
+		}
+		if res.Holds {
+			fmt.Fprintf(sh.out, "REFINES: %s is a refinement of %s (%d iterations)\n",
+				sh.w.Name, args[1], res.Iterations)
+		} else {
+			fmt.Fprintf(sh.out, "FAILS: unmatched implementation initial state: %v\n", res.Unmatched)
+		}
+		return nil
+	case "quant_schedule":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		n := sh.w.Net
+		sched := quant.Plan(n.Conjuncts(), n.NonStateBits(), n.Heuristic())
+		fmt.Fprint(sh.out, sched)
+		return nil
+	case "write_blif_mv":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: write_blif_mv <file.mv>")
+		}
+		f, err := os.Create(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := blifmv.WriteModel(f, sh.w.Net.Model()); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "wrote flat model to %s\n", args[0])
+		return nil
+	case "write_dot":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: write_dot <file.dot>")
+		}
+		f, err := os.Create(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n := sh.w.Net
+		names := make([]string, n.Manager().NumVars())
+		for _, v := range n.Space().Vars() {
+			for i, b := range v.Bits() {
+				names[b] = fmt.Sprintf("%s[%d]", v.Name(), i)
+			}
+		}
+		roots := map[string]bdd.Ref{"T": n.T, "Init": n.Init}
+		if err := n.Manager().WriteDot(f, names, roots); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "wrote BDD dump to %s\n", args[0])
+		return nil
+	case "bisim_classes":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		n := sh.w.Net
+		// observe every latch value — classical machine equivalence
+		var obs []bdd.Ref
+		for _, l := range n.Latches() {
+			for v := 0; v < l.PS.Card(); v++ {
+				obs = append(obs, l.PS.Eq(v))
+			}
+		}
+		rel := bisim.Compute(n, obs)
+		domain := bdd.True
+		for _, l := range n.Latches() {
+			domain = n.Manager().And(domain, l.PS.Domain())
+		}
+		fmt.Fprintf(sh.out, "bisimulation: %d classes over %d valid states (%d refinement iterations)\n",
+			rel.NumClasses(domain), int(n.Manager().SatCount(domain, len(n.PSBits()))), rel.Iterations)
+		return nil
+	case "sim_init":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		sh.sim = sim.New(sh.w.Net)
+		fmt.Fprintf(sh.out, "simulator at initial states (%.0f states)\n", sh.sim.Count())
+		return nil
+	case "sim_step":
+		if sh.sim == nil {
+			return fmt.Errorf("run sim_init first")
+		}
+		n := 1
+		if len(args) > 0 {
+			var err error
+			if n, err = strconv.Atoi(args[0]); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < n; i++ {
+			sh.sim.Step()
+		}
+		fmt.Fprintf(sh.out, "after step %d: %.0f states\n", sh.sim.Steps(), sh.sim.Count())
+		return nil
+	case "sim_states":
+		if sh.sim == nil {
+			return fmt.Errorf("run sim_init first")
+		}
+		max := 10
+		if len(args) > 0 {
+			var err error
+			if max, err = strconv.Atoi(args[0]); err != nil {
+				return err
+			}
+		}
+		for _, st := range sh.sim.States(max) {
+			var parts []string
+			for _, l := range sh.w.Net.Latches() {
+				parts = append(parts, fmt.Sprintf("%s=%s", l.Src.Output, st[l.Src.Output]))
+			}
+			fmt.Fprintln(sh.out, " ", strings.Join(parts, " "))
+		}
+		return nil
+	case "sim_back":
+		if sh.sim == nil {
+			return fmt.Errorf("run sim_init first")
+		}
+		if !sh.sim.Back() {
+			return fmt.Errorf("already at the initial states")
+		}
+		fmt.Fprintf(sh.out, "after step %d: %.0f states\n", sh.sim.Steps(), sh.sim.Count())
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (sh *shell) need() error {
+	if sh.w == nil {
+		return fmt.Errorf("no design loaded (read_verilog / read_blif_mv / read_builtin)")
+	}
+	return nil
+}
+
+func (sh *shell) report(r *core.PropertyResult) {
+	status := "PASS"
+	if r.Err != nil {
+		status = "ERROR"
+	} else if !r.Pass {
+		status = "FAIL"
+	}
+	extra := ""
+	if r.UsedInvariantPath {
+		extra = " [invariant fast path]"
+	}
+	if r.EarlyDetected {
+		extra += " [early failure detection]"
+	}
+	fmt.Fprintf(sh.out, "%-5s %-20s (%s) %v%s\n", status, r.Name, r.Kind, r.Time, extra)
+	if r.Err != nil {
+		fmt.Fprintln(sh.out, "      ", r.Err)
+	}
+	if !r.Pass && r.Err == nil {
+		fmt.Fprint(sh.out, sh.w.BugReport(r))
+	}
+}
+
+func baseName(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

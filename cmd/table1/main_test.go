@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"hsis/internal/core"
+	"hsis/internal/quant"
+)
+
+func TestMeasurePingpong(t *testing.T) {
+	r, err := measure("pingpong", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.States < 3 || r.States > 6 {
+		t.Fatalf("states = %v", r.States)
+	}
+	if r.LCProps != 6 || r.CTLProps != 6 {
+		t.Fatalf("props = %d lc, %d ctl; Table 1 wants 6+6", r.LCProps, r.CTLProps)
+	}
+	if len(r.Failed) != 0 {
+		t.Fatalf("unexpected failures: %v", r.Failed)
+	}
+	if r.VerilogLines == 0 || r.BlifmvLines == 0 || r.ReadTime == 0 {
+		t.Fatalf("metrics missing: %+v", r)
+	}
+}
+
+func TestMeasurePhilosExpectedFailures(t *testing.T) {
+	r, err := measure("philos", core.Options{Heuristic: quant.Linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Failed) != 2 {
+		t.Fatalf("philos should have exactly the two known failures, got %v", r.Failed)
+	}
+}
+
+func TestMeasureUnknownDesign(t *testing.T) {
+	if _, err := measure("zz", core.Options{}); err == nil {
+		t.Fatal("unknown design should error")
+	}
+}

@@ -1,0 +1,68 @@
+// vl2mv compiles the supported Verilog subset into BLIF-MV, mirroring
+// the vl2mv tool shipped with HSIS (paper §3, §7: "They were then
+// translated into BLIF-MV using the vl2mv tool supplied with HSIS").
+//
+// Usage:
+//
+//	vl2mv [-top module] [-o out.mv] input.v [more.v ...]
+//
+// Without -top the first module of the first file is the root. Without
+// -o the output goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/verilog"
+)
+
+func main() {
+	top := flag.String("top", "", "top-level module (default: first module)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+	if err := run(*top, *out, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vl2mv:", err)
+		os.Exit(1)
+	}
+}
+
+// run compiles the given Verilog files and writes BLIF-MV to outPath (or
+// stdout when empty).
+func run(top, outPath string, paths []string, stdout io.Writer) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: vl2mv [-top module] [-o out.mv] input.v ...")
+	}
+	var files []*verilog.SourceFile
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sf, err := verilog.Parse(string(data), path)
+		if err != nil {
+			return err
+		}
+		files = append(files, sf)
+	}
+	if top == "" {
+		top = files[0].Modules[0].Name
+	}
+	design, err := verilog.Compile(files, top)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return blifmv.Write(w, design)
+}

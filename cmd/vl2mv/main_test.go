@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hsis/internal/blifmv"
+)
+
+const toggleSrc = `
+module toggle(clk, q);
+  input clk;
+  output q;
+  reg q;
+  initial q = 0;
+  always @(posedge clk) q <= !q;
+endmodule
+`
+
+func TestRunToStdout(t *testing.T) {
+	dir := t.TempDir()
+	vf := filepath.Join(dir, "toggle.v")
+	if err := os.WriteFile(vf, []byte(toggleSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run("", "", []string{vf}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, ".model toggle") || !strings.Contains(out, ".latch") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// the output must re-parse as valid BLIF-MV
+	d, err := blifmv.ParseString(out, "out.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunToFileAndExplicitTop(t *testing.T) {
+	dir := t.TempDir()
+	vf := filepath.Join(dir, "two.v")
+	src := toggleSrc + `
+module other(clk, p);
+  input clk;
+  output p;
+  reg p;
+  initial p = 1;
+  always @(posedge clk) p <= p;
+endmodule
+`
+	if err := os.WriteFile(vf, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.mv")
+	if err := run("other", out, []string{vf}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := blifmv.ParseString(string(data), "out.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "other" {
+		t.Fatalf("root = %q, want other", d.Root)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", nil, nil); err == nil {
+		t.Fatal("no input files should error")
+	}
+	if err := run("", "", []string{"/nonexistent.v"}, nil); err == nil {
+		t.Fatal("missing file should error")
+	}
+	dir := t.TempDir()
+	vf := filepath.Join(dir, "bad.v")
+	os.WriteFile(vf, []byte("module broken"), 0o644)
+	if err := run("", "", []string{vf}, nil); err == nil {
+		t.Fatal("parse error should surface")
+	}
+	good := filepath.Join(dir, "good.v")
+	os.WriteFile(good, []byte(toggleSrc), 0o644)
+	if err := run("zz", "", []string{good}, nil); err == nil {
+		t.Fatal("unknown top should error")
+	}
+}

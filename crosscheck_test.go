@@ -1,0 +1,434 @@
+package hsis
+
+// Cross-validation of the symbolic engine against a brute-force explicit
+// interpreter: random small BLIF-MV models are executed both ways and
+// the transition relations, reachable sets, and CTL fixpoints must
+// agree exactly. This is the repository's deepest correctness test — it
+// exercises parser, network compilation, early quantification, image
+// computation and the CTL evaluator against an independent semantics.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/ctl"
+	"hsis/internal/network"
+	"hsis/internal/reach"
+)
+
+// explicitModel interprets a flat BLIF-MV model by enumeration.
+type explicitModel struct {
+	m        *blifmv.Model
+	varNames []string // all variables, deterministic order
+	cards    []int
+	index    map[string]int
+	latchOut []int // variable indices of latch outputs, model order
+	latchIn  []int
+	inits    [][]int
+}
+
+func newExplicit(m *blifmv.Model) *explicitModel {
+	e := &explicitModel{m: m, index: map[string]int{}}
+	add := func(n string) {
+		if _, ok := e.index[n]; ok {
+			return
+		}
+		e.index[n] = len(e.varNames)
+		e.varNames = append(e.varNames, n)
+		e.cards = append(e.cards, m.Var(n).Card)
+	}
+	for _, n := range m.VarDecl {
+		add(n)
+	}
+	for _, t := range m.Tables {
+		for _, c := range t.Inputs {
+			add(c)
+		}
+		for _, c := range t.Outputs {
+			add(c)
+		}
+	}
+	for _, l := range m.Latches {
+		add(l.Input)
+		add(l.Output)
+		e.latchOut = append(e.latchOut, e.index[l.Output])
+		e.latchIn = append(e.latchIn, e.index[l.Input])
+		e.inits = append(e.inits, l.Init)
+	}
+	return e
+}
+
+// rowMatches checks one table row against a full assignment.
+func (e *explicitModel) rowMatches(t *blifmv.Table, r blifmv.Row, asg []int) bool {
+	for i, vs := range r.In {
+		if !vs.Contains(asg[e.index[t.Inputs[i]]]) {
+			return false
+		}
+	}
+	for j, o := range r.Out {
+		v := asg[e.index[t.Outputs[j]]]
+		if o.EqInput >= 0 {
+			if v != asg[e.index[t.Inputs[o.EqInput]]] {
+				return false
+			}
+		} else if !o.Set.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// consistent checks whether a full assignment satisfies every table.
+func (e *explicitModel) consistent(asg []int) bool {
+	for _, t := range e.m.Tables {
+		matched := false
+		inCovered := false
+		for _, r := range t.Rows {
+			inOK := true
+			for i, vs := range r.In {
+				if !vs.Contains(asg[e.index[t.Inputs[i]]]) {
+					inOK = false
+					break
+				}
+			}
+			if !inOK {
+				continue
+			}
+			inCovered = true
+			if e.rowMatches(t, r, asg) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			if t.Default != nil && !inCovered {
+				ok := true
+				for j, vs := range t.Default {
+					if !vs.Contains(asg[e.index[t.Outputs[j]]]) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			} else {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stateKey encodes the latch-output values of an assignment.
+func (e *explicitModel) stateKey(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// successors enumerates the next-state tuples of one state tuple by
+// brute force over all variable assignments.
+func (e *explicitModel) successors(state []int) map[string][]int {
+	out := map[string][]int{}
+	asg := make([]int, len(e.varNames))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(e.varNames) {
+			if !e.consistent(asg) {
+				return
+			}
+			next := make([]int, len(e.latchIn))
+			for k, vi := range e.latchIn {
+				next[k] = asg[vi]
+			}
+			out[e.stateKey(next)] = next
+			return
+		}
+		// latch outputs are pinned to the current state
+		for k, vi := range e.latchOut {
+			if vi == i {
+				asg[i] = state[k]
+				walk(i + 1)
+				return
+			}
+		}
+		for v := 0; v < e.cards[i]; v++ {
+			asg[i] = v
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// explicitGraph builds the full reachable transition graph.
+func (e *explicitModel) graph() (states map[string][]int, edges map[string]map[string]bool) {
+	states = map[string][]int{}
+	edges = map[string]map[string]bool{}
+	var frontier [][]int
+	var enumInit func(i int, cur []int)
+	enumInit = func(i int, cur []int) {
+		if i == len(e.inits) {
+			st := append([]int(nil), cur...)
+			k := e.stateKey(st)
+			if _, ok := states[k]; !ok {
+				states[k] = st
+				frontier = append(frontier, st)
+			}
+			return
+		}
+		for _, v := range e.inits[i] {
+			enumInit(i+1, append(cur, v))
+		}
+	}
+	enumInit(0, nil)
+	for len(frontier) > 0 {
+		st := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		k := e.stateKey(st)
+		if edges[k] == nil {
+			edges[k] = map[string]bool{}
+		}
+		for nk, next := range e.successors(st) {
+			edges[k][nk] = true
+			if _, ok := states[nk]; !ok {
+				states[nk] = next
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	return states, edges
+}
+
+// randomModel generates a small well-formed flat model.
+func randomModel(rng *rand.Rand) string {
+	nLatch := 2 + rng.Intn(2)
+	var sb strings.Builder
+	sb.WriteString(".model rnd\n")
+	cards := make([]int, nLatch)
+	for i := range cards {
+		cards[i] = 2 + rng.Intn(2) // card 2 or 3
+		fmt.Fprintf(&sb, ".mv q%d,d%d %d\n", i, i, cards[i])
+	}
+	// one free input
+	sb.WriteString(".mv in 2\n.table in\n-\n")
+	// each latch input driven by a table over (in, some latch outputs)
+	for i := 0; i < nLatch; i++ {
+		src := rng.Intn(nLatch)
+		fmt.Fprintf(&sb, ".table in q%d d%d\n", src, i)
+		// rows: for each (in, qsrc) pair, a random (possibly nondet) output set
+		for a := 0; a < 2; a++ {
+			for b := 0; b < cards[src]; b++ {
+				k := 1 + rng.Intn(2) // 1 or 2 permitted values
+				seen := map[int]bool{}
+				var vals []string
+				for len(seen) < k {
+					v := rng.Intn(cards[i])
+					if !seen[v] {
+						seen[v] = true
+						vals = append(vals, fmt.Sprint(v))
+					}
+				}
+				entry := vals[0]
+				if len(vals) > 1 {
+					entry = "{" + strings.Join(vals, ",") + "}"
+				}
+				fmt.Fprintf(&sb, "%d %d %s\n", a, b, entry)
+			}
+		}
+		fmt.Fprintf(&sb, ".latch d%d q%d\n.reset q%d\n%d\n", i, i, i, rng.Intn(cards[i]))
+	}
+	sb.WriteString(".end\n")
+	return sb.String()
+}
+
+func symbolicStateSet(t *testing.T, n *network.Network, e *explicitModel, keys map[string]bool) bdd.Ref {
+	t.Helper()
+	m := n.Manager()
+	set := bdd.False
+	for k := range keys {
+		vals := strings.Split(k, ",")
+		cube := bdd.True
+		for i, l := range n.Latches() {
+			var v int
+			fmt.Sscan(vals[i], &v)
+			cube = m.And(cube, l.PS.Eq(v))
+		}
+		set = m.Or(set, cube)
+	}
+	return set
+}
+
+func TestCrossCheckSymbolicVsExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 25; trial++ {
+		src := randomModel(rng)
+		d, err := blifmv.ParseString(src, "rnd.mv")
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		flatM, err := blifmv.Flatten(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		n, err := network.Build(flatM, network.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		e := newExplicit(flatM)
+		states, edges := e.graph()
+
+		// 1. reachable sets agree
+		res := reach.Forward(n, reach.Options{})
+		if got, want := n.NumStates(res.Reached), float64(len(states)); got != want {
+			t.Fatalf("trial %d: symbolic reach %v, explicit %v\n%s", trial, got, want, src)
+		}
+		keys := map[string]bool{}
+		for k := range states {
+			keys[k] = true
+		}
+		if symbolicStateSet(t, n, e, keys) != res.Reached {
+			t.Fatalf("trial %d: reachable sets differ as sets", trial)
+		}
+
+		// 2. per-state images agree
+		m := n.Manager()
+		for k, st := range states {
+			cur := bdd.True
+			for i, l := range n.Latches() {
+				cur = m.And(cur, l.PS.Eq(st[i]))
+			}
+			img := reach.Image(n, cur)
+			want := symbolicStateSet(t, n, e, edges[k])
+			if img != want {
+				t.Fatalf("trial %d: image of %s differs", trial, k)
+			}
+		}
+
+		// 3. CTL fixpoints agree with explicit graph algorithms
+		checker := ctl.NewForNetwork(n, nil)
+		atomVar := n.Latches()[0].Src.Output
+		atom := fmt.Sprintf("%s=0", atomVar)
+		for _, formula := range []string{
+			"EX " + atom, "EF " + atom, "EG " + atom, "AF " + atom,
+		} {
+			sat, err := checker.Sat(ctl.MustParse(formula))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKeys := explicitCTL(e, states, edges, formula, atomVar)
+			want := symbolicStateSet(t, n, e, wantKeys)
+			// compare on reachable states only
+			if m.And(sat, res.Reached) != m.And(want, res.Reached) {
+				t.Fatalf("trial %d: %s differs from explicit\n%s", trial, formula, src)
+			}
+		}
+	}
+}
+
+// explicitCTL evaluates the four fixpoints on the explicit graph.
+func explicitCTL(e *explicitModel, states map[string][]int, edges map[string]map[string]bool, formula, atomVar string) map[string]bool {
+	atomIdx := -1
+	for i, l := range e.latchOut {
+		_ = l
+		if e.m.Latches[i].Output == atomVar {
+			atomIdx = i
+		}
+	}
+	p := map[string]bool{}
+	for k, st := range states {
+		p[k] = st[atomIdx] == 0
+	}
+	out := map[string]bool{}
+	switch {
+	case strings.HasPrefix(formula, "EX "):
+		for k := range states {
+			for nk := range edges[k] {
+				if p[nk] {
+					out[k] = true
+				}
+			}
+		}
+	case strings.HasPrefix(formula, "EF "):
+		// backward least fixpoint
+		for k := range states {
+			if p[k] {
+				out[k] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for k := range states {
+				if out[k] {
+					continue
+				}
+				for nk := range edges[k] {
+					if out[nk] {
+						out[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	case strings.HasPrefix(formula, "EG "):
+		// greatest fixpoint within p
+		for k := range states {
+			if p[k] {
+				out[k] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for k := range out {
+				ok := false
+				for nk := range edges[k] {
+					if out[nk] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					delete(out, k)
+					changed = true
+				}
+			}
+		}
+	case strings.HasPrefix(formula, "AF "):
+		// AF p = !EG !p
+		notP := map[string]bool{}
+		for k := range states {
+			if !p[k] {
+				notP[k] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for k := range notP {
+				ok := false
+				for nk := range edges[k] {
+					if notP[nk] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					delete(notP, k)
+					changed = true
+				}
+			}
+		}
+		for k := range states {
+			if !notP[k] {
+				out[k] = true
+			}
+		}
+	}
+	return out
+}

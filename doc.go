@@ -1,0 +1,27 @@
+// Package hsis is a from-scratch Go reproduction of HSIS, the Berkeley
+// BDD-based environment for formal verification (Aziz et al., DAC 1994)
+// — the direct precursor of VIS. It provides:
+//
+//   - a ROBDD kernel with quantification, relational products, and
+//     don't-care minimization (internal/bdd, internal/mdd);
+//   - the BLIF-MV intermediate format with non-deterministic tables and
+//     multi-valued variables (internal/blifmv);
+//   - a vl2mv-style compiler from a synthesizable Verilog subset
+//     extended with $ND non-determinism and enumerated types
+//     (internal/verilog);
+//   - early-quantification scheduling and static variable ordering for
+//     interacting FSMs (internal/quant, internal/order);
+//   - fair CTL model checking and ω-regular language containment over
+//     one shared fair-cycle engine (internal/ctl, internal/lc,
+//     internal/emptiness, internal/fair);
+//   - the debugging environment: minimum-prefix error traces with
+//     heuristically minimized fair cycles, and interactive CTL
+//     counterexample unfolding (internal/debug);
+//   - a state-based simulator and bisimulation minimization
+//     (internal/sim, internal/bisim);
+//   - the re-modeled Table-1 benchmark suite (internal/designs) and
+//     command-line tools (cmd/hsis, cmd/vl2mv, cmd/table1).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured results.
+package hsis

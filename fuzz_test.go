@@ -1,0 +1,104 @@
+package hsis
+
+// Robustness tests: the four parsers must reject arbitrary mutations of
+// valid inputs with errors, never panics.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/ctl"
+	"hsis/internal/designs"
+	"hsis/internal/pif"
+	"hsis/internal/verilog"
+)
+
+// mutate produces a corrupted variant of the source text.
+func mutate(rng *rand.Rand, src string) string {
+	b := []byte(src)
+	if len(b) == 0 {
+		return "("
+	}
+	switch rng.Intn(5) {
+	case 0: // truncate
+		return string(b[:rng.Intn(len(b))])
+	case 1: // flip a byte to random printable
+		i := rng.Intn(len(b))
+		b[i] = byte(32 + rng.Intn(95))
+		return string(b)
+	case 2: // delete a span
+		i := rng.Intn(len(b))
+		j := i + rng.Intn(len(b)-i)
+		return string(b[:i]) + string(b[j:])
+	case 3: // duplicate a span
+		i := rng.Intn(len(b))
+		j := i + rng.Intn(len(b)-i)
+		return string(b[:j]) + string(b[i:])
+	default: // splice in noise
+		noise := []string{"{", "}", "->", ".table", "$ND(", "rabin", "==", "\\\n", "\x00"}
+		i := rng.Intn(len(b))
+		return string(b[:i]) + noise[rng.Intn(len(noise))] + string(b[i:])
+	}
+}
+
+func TestParsersNeverPanic(t *testing.T) {
+	d, err := designs.Get("dcnew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mv strings.Builder
+	// produce a valid BLIF-MV to mutate
+	design, err := verilog.CompileString(d.Verilog, "d.v", d.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blifmv.Write(&mv, design); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("verilog parser panicked on mutation %d: %v", i, r)
+				}
+			}()
+			src := mutate(rng, d.Verilog)
+			if sf, err := verilog.Parse(src, "m.v"); err == nil {
+				// a mutated file may still parse: compilation must also
+				// not panic
+				_, _ = verilog.Compile([]*verilog.SourceFile{sf}, sf.Modules[0].Name)
+			}
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("blifmv parser panicked on mutation %d: %v", i, r)
+				}
+			}()
+			src := mutate(rng, mv.String())
+			if dd, err := blifmv.ParseString(src, "m.mv"); err == nil {
+				_, _ = blifmv.Flatten(dd)
+			}
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("pif parser panicked on mutation %d: %v", i, r)
+				}
+			}()
+			_, _ = pif.ParseString(mutate(rng, d.PIF), "m.pif")
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ctl parser panicked on mutation %d: %v", i, r)
+				}
+			}()
+			_, _ = ctl.Parse(mutate(rng, "AG(req=1 -> AF (ack=1 + E(p U q=done)))"))
+		}()
+	}
+}

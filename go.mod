@@ -1,0 +1,3 @@
+module hsis
+
+go 1.22

@@ -1,0 +1,11 @@
+package hsis
+
+import (
+	"hsis/internal/blifmv"
+	"hsis/internal/verilog"
+)
+
+// verilogCompile is a bench-local shim over the Verilog front end.
+func verilogCompile(src, top string) (*blifmv.Design, error) {
+	return verilog.CompileString(src, top+".v", top)
+}

@@ -1,0 +1,209 @@
+package abstract
+
+import (
+	"strings"
+	"testing"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/ctl"
+	"hsis/internal/designs"
+	"hsis/internal/network"
+	"hsis/internal/reach"
+	"hsis/internal/verilog"
+)
+
+func flatten(t *testing.T, src string) *blifmv.Model {
+	t.Helper()
+	d, err := blifmv.ParseString(src, "test.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// two independent counters; only c is observed
+const twoCounters = `
+.model two
+.mv c,nc 4
+.mv d,nd 4
+.table c nc
+0 1
+1 2
+2 3
+3 0
+.table d nd
+0 {0,1}
+1 {1,2}
+2 {2,3}
+3 {3,0}
+.latch nc c
+.reset c
+0
+.latch nd d
+.reset d
+0
+.end
+`
+
+func TestCOIDropsIndependentLogic(t *testing.T) {
+	flat := flatten(t, twoCounters)
+	res, err := ConeOfInfluence(flat, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeptLatches != 1 || res.DroppedLatches != 1 {
+		t.Fatalf("latches: kept %d dropped %d", res.KeptLatches, res.DroppedLatches)
+	}
+	if res.Model.Vars["d"] != nil {
+		t.Fatal("d should be gone")
+	}
+	// verdicts preserved, state space smaller
+	nFull, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCOI, err := network.Build(res.Model, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := nFull.NumStates(reach.Forward(nFull, reach.Options{}).Reached)
+	small := nCOI.NumStates(reach.Forward(nCOI, reach.Options{}).Reached)
+	if full != 16 || small != 4 {
+		t.Fatalf("states: full %v, coi %v", full, small)
+	}
+	f := ctl.MustParse("AG(c=0 -> AX c=1)")
+	for _, n := range []*network.Network{nFull, nCOI} {
+		c := ctl.NewForNetwork(n, nil)
+		v, err := c.Check(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Pass {
+			t.Fatal("property should pass on both")
+		}
+	}
+}
+
+func TestCOIKeepsDependencies(t *testing.T) {
+	// c's next value depends on d: observing c must keep d.
+	const coupled = `
+.model coupled
+.table d c nc
+0 0 0
+0 1 1
+1 0 1
+1 1 0
+.table d nd
+0 1
+1 0
+.latch nc c
+.reset c
+0
+.latch nd d
+.reset d
+0
+.end
+`
+	flat := flatten(t, coupled)
+	res, err := ConeOfInfluence(flat, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeptLatches != 2 {
+		t.Fatalf("d influences c and must be kept; kept = %d", res.KeptLatches)
+	}
+}
+
+func TestCOIErrors(t *testing.T) {
+	flat := flatten(t, twoCounters)
+	if _, err := ConeOfInfluence(flat, []string{"zz"}); err == nil {
+		t.Fatal("unknown observed variable should error")
+	}
+	// observing only a free input yields no latches
+	const inputOnly = `
+.model io
+.inputs i
+.table i c nc
+- - 1
+.latch nc c
+.reset c
+0
+.end
+`
+	f2 := flatten(t, inputOnly)
+	if _, err := ConeOfInfluence(f2, []string{"i"}); err == nil ||
+		!strings.Contains(err.Error(), "no latches") {
+		t.Fatalf("want no-latches error, got %v", err)
+	}
+}
+
+// The headline use: mdlc2's channel-0 property needs none of channel 1.
+func TestCOIOnMdlc2(t *testing.T) {
+	d, err := designs.Get("mdlc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := verilog.CompileString(d.Verilog, "mdlc2.v", d.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fin0's cone: channel 0 plus the bus arbitration — which reads
+	// channel 1's TX state (want1), so t1 stays but channel 1's receiver
+	// and counters must go.
+	res, err := ConeOfInfluence(flat, ctl.Atoms(ctl.MustParse("AG(AF fin0=1)")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedLatches == 0 {
+		t.Fatal("COI should drop channel-1 latches unrelated to arbitration")
+	}
+	t.Logf("mdlc2 COI: kept %d latches, dropped %d", res.KeptLatches, res.DroppedLatches)
+	// verdict preserved
+	nCOI, err := network.Build(res.Model, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ctl.NewForNetwork(nCOI, nil)
+	// without fairness AF fails on both (retry loops) — compare verdicts
+	nFull, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFull := ctl.NewForNetwork(nFull, nil)
+	f := ctl.MustParse("AG(AF fin0=1)")
+	v1, err := c.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := cFull.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Pass != v2.Pass {
+		t.Fatalf("COI changed the verdict: %v vs %v", v1.Pass, v2.Pass)
+	}
+}
+
+func TestAttrsSurviveCOI(t *testing.T) {
+	flat := flatten(t, twoCounters)
+	flat.SetAttr("src", "c", "a.v:1")
+	flat.SetAttr("src", "d", "a.v:2")
+	res, err := ConeOfInfluence(flat, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.Attr("src", "c") != "a.v:1" {
+		t.Fatal("kept attr lost")
+	}
+	if res.Model.Attr("src", "d") != "" {
+		t.Fatal("dropped variable's attr retained")
+	}
+}

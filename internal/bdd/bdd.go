@@ -1,0 +1,303 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs), the symbolic kernel underneath every verification algorithm
+// in this repository.
+//
+// The design follows the classic shared-BDD architecture used by the
+// original HSIS (and by BuDDy/CUDD): a single Manager owns an arena of
+// nodes, a unique table guaranteeing canonicity, operation caches, and
+// reference counts for garbage collection. Node handles are small
+// integer Refs that are only meaningful together with their Manager.
+//
+// Variables are identified by stable integer IDs assigned at creation
+// time. Each variable sits at a level in the global order; levels can be
+// permuted with Manager.Reorder. All operations are deterministic.
+package bdd
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Ref is a handle to a BDD node inside a Manager. The zero value is the
+// constant false BDD; True is the constant true BDD. Refs are only valid
+// for the Manager that produced them.
+type Ref int32
+
+// Terminal nodes. They exist in every Manager at fixed indices.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// terminalLevel is the level assigned to the two terminal nodes. It
+// compares greater than any variable level.
+const terminalLevel = int32(1 << 30)
+
+type node struct {
+	level int32 // level in the variable order (not the variable ID)
+	low   Ref   // else-branch (variable = 0)
+	high  Ref   // then-branch (variable = 1)
+}
+
+// Manager owns a shared forest of BDD nodes. It is not safe for
+// concurrent use; verification algorithms in this repository are
+// single-threaded per Manager, matching the original C implementation.
+type Manager struct {
+	nodes []node
+	refs  []int32 // external reference counts, parallel to nodes
+
+	// unique table: open-addressing hash from (level,low,high) to index
+	table     []int32 // holds node indices + 1; 0 means empty
+	tableMask uint64
+
+	free []Ref // recycled node indices (dead after GC)
+
+	var2level []int32
+	level2var []int32
+
+	ite   []iteEntry
+	binop []binopEntry
+	quant []quantEntry
+	aex   []binopEntry // AndExists cache, epoch-keyed on qcube
+	qcube Ref          // cube bound to the current quantification cache epoch
+	qop   int
+	sat   map[Ref]float64
+
+	statApplyCalls, statApplyHits uint64
+	statITECalls, statITEHits     uint64
+	statQuantCalls, statQuantHits uint64
+
+	gcEnabled  bool
+	autoGCAt   int // node count that triggers an automatic GC on allocation
+	GCCount    int // number of garbage collections performed
+	lastLive   int
+	numVars    int
+	peakNodes  int
+	OnGC       func(live, dead int) // optional GC observer
+	growthSeed int
+}
+
+type iteEntry struct {
+	f, g, h, res Ref
+}
+
+type binopEntry struct {
+	op        int32
+	f, g, res Ref
+}
+
+type quantEntry struct {
+	f, res Ref
+}
+
+const (
+	opAnd = iota + 1
+	opOr
+	opXor
+	opDiff // f AND NOT g
+	opAndExists
+)
+
+const (
+	defaultTableSize = 1 << 14
+	iteCacheSize     = 1 << 15
+	binopCacheSize   = 1 << 16
+	quantCacheSize   = 1 << 14
+)
+
+// New creates a Manager with no variables. Variables are added with
+// NewVar or NewVars.
+func New() *Manager {
+	m := &Manager{
+		table:     make([]int32, defaultTableSize),
+		tableMask: defaultTableSize - 1,
+		ite:       make([]iteEntry, iteCacheSize),
+		binop:     make([]binopEntry, binopCacheSize),
+		quant:     make([]quantEntry, quantCacheSize),
+		aex:       make([]binopEntry, quantCacheSize),
+		gcEnabled: true,
+		autoGCAt:  1 << 20,
+	}
+	// Install the two terminals. Index 0 = False, 1 = True.
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel, low: False, high: False},
+		node{level: terminalLevel, low: True, high: True},
+	)
+	m.refs = append(m.refs, 1, 1) // terminals are permanently referenced
+	m.invalidateCaches()
+	return m
+}
+
+// NumVars returns the number of variables created in the manager.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the number of live plus dead nodes currently allocated,
+// including the two terminals.
+func (m *Manager) Size() int { return len(m.nodes) - len(m.free) }
+
+// PeakSize returns the largest node count observed since creation.
+func (m *Manager) PeakSize() int { return m.peakNodes }
+
+// NewVar appends a fresh variable at the bottom of the current order and
+// returns its projection function (the BDD "v").
+func (m *Manager) NewVar() Ref {
+	v := m.numVars
+	m.numVars++
+	m.var2level = append(m.var2level, int32(v))
+	m.level2var = append(m.level2var, int32(v))
+	return m.mk(int32(v), False, True)
+}
+
+// NewVars creates n fresh variables and returns their projection
+// functions in creation order.
+func (m *Manager) NewVars(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = m.NewVar()
+	}
+	return out
+}
+
+// Var returns the projection function of variable id v.
+func (m *Manager) Var(v int) Ref {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(m.var2level[v], False, True)
+}
+
+// NVar returns the negative literal of variable id v.
+func (m *Manager) NVar(v int) Ref {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+	return m.mk(m.var2level[v], True, False)
+}
+
+// Level returns the current level of variable id v in the order.
+func (m *Manager) Level(v int) int { return int(m.var2level[v]) }
+
+// VarAtLevel returns the variable id currently placed at the given level.
+func (m *Manager) VarAtLevel(l int) int { return int(m.level2var[l]) }
+
+// VarOf returns the variable id labelling the root node of f. It panics
+// if f is a terminal.
+func (m *Manager) VarOf(f Ref) int {
+	n := m.nodes[f]
+	if n.level == terminalLevel {
+		panic("bdd: VarOf on terminal")
+	}
+	return int(m.level2var[n.level])
+}
+
+// IsTerminal reports whether f is one of the two constants.
+func (m *Manager) IsTerminal(f Ref) bool { return f == False || f == True }
+
+// Low returns the else-cofactor of the root node of f.
+func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
+
+// High returns the then-cofactor of the root node of f.
+func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
+
+// mk returns the canonical node (level, low, high), applying the
+// reduction rules: equal children collapse, and structurally identical
+// nodes are shared through the unique table.
+func (m *Manager) mk(level int32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	h := hash3(uint64(level), uint64(low), uint64(high)) & m.tableMask
+	for {
+		idx := m.table[h]
+		if idx == 0 {
+			break
+		}
+		n := &m.nodes[idx-1]
+		if n.level == level && n.low == low && n.high == high {
+			return Ref(idx - 1)
+		}
+		h = (h + 1) & m.tableMask
+	}
+	// Not found: allocate.
+	var r Ref
+	if len(m.free) > 0 {
+		r = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.nodes[r] = node{level: level, low: low, high: high}
+		m.refs[r] = 0
+	} else {
+		r = Ref(len(m.nodes))
+		m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+		m.refs = append(m.refs, 0)
+	}
+	m.tableInsert(r)
+	if s := len(m.nodes); s > m.peakNodes {
+		m.peakNodes = s
+	}
+	if float64(m.Size()) > 0.7*float64(len(m.table)) {
+		m.growTable()
+	}
+	return r
+}
+
+func (m *Manager) tableInsert(r Ref) {
+	n := m.nodes[r]
+	h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.tableMask
+	for m.table[h] != 0 {
+		h = (h + 1) & m.tableMask
+	}
+	m.table[h] = int32(r) + 1
+}
+
+func (m *Manager) growTable() {
+	newSize := len(m.table) * 2
+	m.table = make([]int32, newSize)
+	m.tableMask = uint64(newSize - 1)
+	live := make([]bool, len(m.nodes))
+	for _, f := range m.free {
+		live[f] = true // mark recycled slots so we skip them
+	}
+	for i := 2; i < len(m.nodes); i++ {
+		if !live[i] {
+			m.tableInsert(Ref(i))
+		}
+	}
+}
+
+func hash3(a, b, c uint64) uint64 {
+	h := a*0x9e3779b97f4a7c15 ^ bits.RotateLeft64(b, 21)*0xbf58476d1ce4e5b9 ^ bits.RotateLeft64(c, 42)*0x94d049bb133111eb
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
+func (m *Manager) invalidateCaches() {
+	for i := range m.ite {
+		m.ite[i] = iteEntry{f: -1}
+	}
+	for i := range m.binop {
+		m.binop[i] = binopEntry{f: -1}
+	}
+	m.invalidateQuantCache()
+	m.sat = nil
+}
+
+func (m *Manager) invalidateQuantCache() {
+	for i := range m.quant {
+		m.quant[i] = quantEntry{f: -1}
+	}
+	for i := range m.aex {
+		m.aex[i] = binopEntry{f: -1}
+	}
+	m.qcube = -1
+	m.qop = 0
+}
+
+// check panics if f is not a plausible handle for this manager. It is
+// used at public API boundaries.
+func (m *Manager) check(f Ref) {
+	if f < 0 || int(f) >= len(m.nodes) {
+		panic(fmt.Sprintf("bdd: invalid ref %d (manager has %d nodes)", f, len(m.nodes)))
+	}
+}

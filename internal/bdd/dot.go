@@ -1,0 +1,65 @@
+package bdd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDot emits a Graphviz rendering of the BDDs rooted at the given
+// functions, with variables labelled by the names slice (indexed by
+// variable ID; missing names fall back to "v<i>"). It is a debugging
+// aid, mirroring the original tool's BDD dump facility.
+func (m *Manager) WriteDot(w io.Writer, names []string, roots map[string]Ref) error {
+	nodes := make(map[Ref]bool)
+	var keys []string
+	for k, f := range roots {
+		m.check(f)
+		m.countRec(f, nodes)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintln(w, "digraph bdd {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, `  node0 [label="0", shape=box];`)
+	fmt.Fprintln(w, `  node1 [label="1", shape=box];`)
+	ordered := make([]Ref, 0, len(nodes))
+	for f := range nodes {
+		if !m.IsTerminal(f) {
+			ordered = append(ordered, f)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, f := range ordered {
+		n := m.nodes[f]
+		v := int(m.level2var[n.level])
+		name := fmt.Sprintf("v%d", v)
+		if v < len(names) && names[v] != "" {
+			name = names[v]
+		}
+		fmt.Fprintf(w, "  node%d [label=%q];\n", f, name)
+		fmt.Fprintf(w, "  node%d -> node%d [style=dashed];\n", f, n.low)
+		fmt.Fprintf(w, "  node%d -> node%d;\n", f, n.high)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(w, "  root_%s [label=%q, shape=plaintext];\n", sanitize(k), k)
+		fmt.Fprintf(w, "  root_%s -> node%d;\n", sanitize(k), roots[k])
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,48 @@
+package bdd_test
+
+import (
+	"fmt"
+
+	"hsis/internal/bdd"
+)
+
+// Build the majority function of three variables and count its models.
+func Example() {
+	m := bdd.New()
+	a, b, c := m.NewVar(), m.NewVar(), m.NewVar()
+	maj := m.OrN(m.And(a, b), m.And(a, c), m.And(b, c))
+	fmt.Println("satisfying assignments:", m.SatCount(maj, 3))
+	cube, ok := m.AnySat(maj)
+	fmt.Println("witness found:", ok, "with", len(cube), "literals")
+	// Output:
+	// satisfying assignments: 4
+	// witness found: true with 3 literals
+}
+
+// The relational product at the heart of image computation: next states
+// of {s=1} under the transition s' = ¬s, in one AndExists call.
+func ExampleManager_AndExists() {
+	m := bdd.New()
+	s := m.NewVar()  // present state
+	s2 := m.NewVar() // next state
+	trans := m.Equiv(s2, m.Not(s))
+	current := s // the set {s=1}
+	next := m.AndExists(trans, current, m.Cube([]int{0}))
+	fmt.Println("next == (s'=0):", next == m.Not(s2))
+	// Output:
+	// next == (s'=0): true
+}
+
+// Don't-care minimization: restrict a function to a care set.
+func ExampleManager_Restrict() {
+	m := bdd.New()
+	a, b := m.NewVar(), m.NewVar()
+	f := m.Xor(a, b)
+	care := a // only assignments with a=1 matter
+	g := m.Restrict(f, care)
+	fmt.Println("g == !b:", g == m.Not(b))
+	fmt.Println("agrees on care set:", m.And(f, care) == m.And(g, care))
+	// Output:
+	// g == !b: true
+	// agrees on care set: true
+}

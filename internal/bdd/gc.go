@@ -1,0 +1,88 @@
+package bdd
+
+// Reference counting and garbage collection. External code that must
+// keep a BDD alive across a GC point calls IncRef; the verification
+// algorithms call MaybeGC between fixpoint iterations. GC never runs
+// implicitly inside an operation, so plain Refs held in local variables
+// are stable for the duration of any sequence of operations that does
+// not call GC.
+
+// IncRef marks f as externally referenced and returns f for chaining.
+func (m *Manager) IncRef(f Ref) Ref {
+	m.check(f)
+	m.refs[f]++
+	return f
+}
+
+// DecRef releases one external reference to f.
+func (m *Manager) DecRef(f Ref) {
+	m.check(f)
+	if m.refs[f] <= 0 {
+		panic("bdd: DecRef without matching IncRef")
+	}
+	m.refs[f]--
+}
+
+// GC sweeps all nodes not reachable from externally referenced roots,
+// rebuilds the unique table, and clears the operation caches. All Refs
+// not protected (directly or transitively) by IncRef are invalidated.
+func (m *Manager) GC() {
+	live := make([]bool, len(m.nodes))
+	live[False], live[True] = true, true
+	for i, rc := range m.refs {
+		if rc > 0 {
+			m.markLive(Ref(i), live)
+		}
+	}
+	// Sweep into the free list and rebuild the unique table.
+	m.free = m.free[:0]
+	for i := range m.table {
+		m.table[i] = 0
+	}
+	dead := 0
+	for i := 2; i < len(m.nodes); i++ {
+		if live[i] {
+			m.tableInsert(Ref(i))
+		} else {
+			m.free = append(m.free, Ref(i))
+			dead++
+		}
+	}
+	m.invalidateCaches()
+	m.GCCount++
+	m.lastLive = len(m.nodes) - dead
+	if m.OnGC != nil {
+		m.OnGC(m.lastLive, dead)
+	}
+}
+
+func (m *Manager) markLive(f Ref, live []bool) {
+	for !live[f] {
+		live[f] = true
+		n := m.nodes[f]
+		m.markLive(n.low, live)
+		f = n.high
+	}
+}
+
+// MaybeGC runs a collection if the node count has crossed the adaptive
+// threshold. It returns true if a collection ran.
+func (m *Manager) MaybeGC() bool {
+	if !m.gcEnabled || m.Size() < m.autoGCAt {
+		return false
+	}
+	before := m.Size()
+	m.GC()
+	freed := before - m.lastLive
+	if freed < before/4 {
+		// Collection was not productive; defer the next one.
+		m.autoGCAt *= 2
+	}
+	return true
+}
+
+// SetGCThreshold sets the node count at which MaybeGC collects.
+func (m *Manager) SetGCThreshold(n int) { m.autoGCAt = n }
+
+// DisableGC turns MaybeGC into a no-op (explicit GC still works).
+func (m *Manager) DisableGC() { m.gcEnabled = false }

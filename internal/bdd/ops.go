@@ -1,0 +1,232 @@
+package bdd
+
+// Boolean connectives. All operations are implemented on top of either
+// the binary-operator recursion (with a shared cache) or the ternary ITE
+// recursion. Results are canonical by construction.
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) Ref {
+	m.check(f)
+	return m.iteRec(f, False, True)
+}
+
+// And returns f AND g.
+func (m *Manager) And(f, g Ref) Ref {
+	m.check(f)
+	m.check(g)
+	return m.applyRec(opAnd, f, g)
+}
+
+// Or returns f OR g.
+func (m *Manager) Or(f, g Ref) Ref {
+	m.check(f)
+	m.check(g)
+	return m.applyRec(opOr, f, g)
+}
+
+// Xor returns f XOR g.
+func (m *Manager) Xor(f, g Ref) Ref {
+	m.check(f)
+	m.check(g)
+	return m.applyRec(opXor, f, g)
+}
+
+// Diff returns f AND NOT g.
+func (m *Manager) Diff(f, g Ref) Ref {
+	m.check(f)
+	m.check(g)
+	return m.applyRec(opDiff, f, g)
+}
+
+// Implies returns NOT f OR g.
+func (m *Manager) Implies(f, g Ref) Ref {
+	return m.Or(m.Not(f), g)
+}
+
+// Equiv returns the biconditional f XNOR g.
+func (m *Manager) Equiv(f, g Ref) Ref {
+	return m.Not(m.Xor(f, g))
+}
+
+// ITE returns if-then-else(f, g, h) = f·g + f'·h.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	m.check(f)
+	m.check(g)
+	m.check(h)
+	return m.iteRec(f, g, h)
+}
+
+// AndN folds And over its arguments; AndN() is True.
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// OrN folds Or over its arguments; OrN() is False.
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// Leq reports whether f implies g (f ≤ g pointwise).
+func (m *Manager) Leq(f, g Ref) bool {
+	return m.Diff(f, g) == False
+}
+
+func (m *Manager) applyRec(op int32, f, g Ref) Ref {
+	// Terminal cases per operator.
+	switch op {
+	case opAnd:
+		if f == g {
+			return f
+		}
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+		if f > g {
+			f, g = g, f
+		}
+	case opOr:
+		if f == g {
+			return f
+		}
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f > g {
+			f, g = g, f
+		}
+	case opXor:
+		if f == g {
+			return False
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == True {
+			return m.iteRec(g, False, True)
+		}
+		if g == True {
+			return m.iteRec(f, False, True)
+		}
+		if f > g {
+			f, g = g, f
+		}
+	case opDiff:
+		if f == g || f == False || g == True {
+			return False
+		}
+		if g == False {
+			return f
+		}
+		if f == True {
+			return m.iteRec(g, False, True)
+		}
+	}
+	m.statApplyCalls++
+	slot := &m.binop[hash3(uint64(op), uint64(f), uint64(g))&(binopCacheSize-1)]
+	if slot.op == op && slot.f == f && slot.g == g {
+		m.statApplyHits++
+		return slot.res
+	}
+	nf, ng := m.nodes[f], m.nodes[g]
+	var level int32
+	var f0, f1, g0, g1 Ref
+	switch {
+	case nf.level == ng.level:
+		level, f0, f1, g0, g1 = nf.level, nf.low, nf.high, ng.low, ng.high
+	case nf.level < ng.level:
+		level, f0, f1, g0, g1 = nf.level, nf.low, nf.high, g, g
+	default:
+		level, f0, f1, g0, g1 = ng.level, f, f, ng.low, ng.high
+	}
+	low := m.applyRec(op, f0, g0)
+	high := m.applyRec(op, f1, g1)
+	r := m.mk(level, low, high)
+	*slot = binopEntry{op: op, f: f, g: g, res: r}
+	return r
+}
+
+func (m *Manager) iteRec(f, g, h Ref) Ref {
+	// Terminal and simplification cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	if g == f {
+		g = True
+	}
+	if h == f {
+		h = False
+	}
+	// Standard-triple normalization keeps the cache hit rate high.
+	if g == True && h != False {
+		// f + h: commutes
+		return m.applyRec(opOr, f, h)
+	}
+	if h == False && g != True {
+		return m.applyRec(opAnd, f, g)
+	}
+	m.statITECalls++
+	slot := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&(iteCacheSize-1)]
+	if slot.f == f && slot.g == g && slot.h == h {
+		m.statITEHits++
+		return slot.res
+	}
+	nf, ng, nh := m.nodes[f], m.nodes[g], m.nodes[h]
+	level := nf.level
+	if ng.level < level {
+		level = ng.level
+	}
+	if nh.level < level {
+		level = nh.level
+	}
+	f0, f1 := cofactor(nf, f, level)
+	g0, g1 := cofactor(ng, g, level)
+	h0, h1 := cofactor(nh, h, level)
+	low := m.iteRec(f0, g0, h0)
+	high := m.iteRec(f1, g1, h1)
+	r := m.mk(level, low, high)
+	*slot = iteEntry{f: f, g: g, h: h, res: r}
+	return r
+}
+
+func cofactor(n node, f Ref, level int32) (lo, hi Ref) {
+	if n.level == level {
+		return n.low, n.high
+	}
+	return f, f
+}

@@ -1,0 +1,232 @@
+package bdd
+
+// Quantification. Cubes are BDDs that are conjunctions of positive
+// literals; they name the set of variables to quantify. The
+// quantification caches are epoch-keyed on the cube so repeated image
+// computations with the same cube stay fast.
+
+// Cube builds the positive cube over the given variable IDs.
+func (m *Manager) Cube(vars []int) Ref {
+	// Build bottom-up in level order for linear-size intermediate results.
+	levels := make([]int32, 0, len(vars))
+	for _, v := range vars {
+		levels = append(levels, m.var2level[v])
+	}
+	sortInt32(levels)
+	r := True
+	for i := len(levels) - 1; i >= 0; i-- {
+		if i+1 < len(levels) && levels[i] == levels[i+1] {
+			continue // duplicate variable
+		}
+		r = m.mk(levels[i], False, r)
+	}
+	return r
+}
+
+// CubeVars decomposes a positive cube into the variable IDs it mentions.
+func (m *Manager) CubeVars(cube Ref) []int {
+	var out []int
+	for cube != True {
+		n := m.nodes[cube]
+		if n.level == terminalLevel {
+			panic("bdd: CubeVars on non-cube (reached False)")
+		}
+		if n.low != False {
+			panic("bdd: CubeVars on non-cube (negative or shared literal)")
+		}
+		out = append(out, int(m.level2var[n.level]))
+		cube = n.high
+	}
+	return out
+}
+
+const (
+	qopExists = 1
+	qopForall = 2
+)
+
+// Exists existentially quantifies the variables of cube out of f.
+func (m *Manager) Exists(f, cube Ref) Ref {
+	m.check(f)
+	m.check(cube)
+	if cube == True || m.IsTerminal(f) {
+		return f
+	}
+	m.primeQuantCache(cube, qopExists)
+	return m.existsRec(f, cube)
+}
+
+// ForAll universally quantifies the variables of cube out of f.
+func (m *Manager) ForAll(f, cube Ref) Ref {
+	m.check(f)
+	m.check(cube)
+	if cube == True || m.IsTerminal(f) {
+		return f
+	}
+	m.primeQuantCache(cube, qopForall)
+	return m.forallRec(f, cube)
+}
+
+// AndExists computes Exists(cube, f AND g) without building the full
+// conjunction — the core "relational product" used by image computation.
+func (m *Manager) AndExists(f, g, cube Ref) Ref {
+	m.check(f)
+	m.check(g)
+	m.check(cube)
+	if cube == True {
+		return m.And(f, g)
+	}
+	m.primeQuantCache(cube, qopExists)
+	return m.andExistsRec(f, g, cube)
+}
+
+func (m *Manager) primeQuantCache(cube Ref, op int) {
+	if m.qcube != cube || m.qop != op {
+		m.invalidateQuantCache()
+		m.qcube = cube
+		m.qop = op
+	}
+}
+
+func (m *Manager) existsRec(f, cube Ref) Ref {
+	if m.IsTerminal(f) {
+		return f
+	}
+	nf := m.nodes[f]
+	// Skip cube variables above f's top variable.
+	for cube != True && m.nodes[cube].level < nf.level {
+		cube = m.nodes[cube].high
+	}
+	if cube == True {
+		return f
+	}
+	m.statQuantCalls++
+	slot := &m.quant[hash3(uint64(f), uint64(cube), 0x5eed)&(quantCacheSize-1)]
+	if slot.f == f {
+		m.statQuantHits++
+		return slot.res
+	}
+	nc := m.nodes[cube]
+	var r Ref
+	if nf.level == nc.level {
+		low := m.existsRec(nf.low, nc.high)
+		if low == True {
+			r = True
+		} else {
+			high := m.existsRec(nf.high, nc.high)
+			r = m.applyRec(opOr, low, high)
+		}
+	} else {
+		low := m.existsRec(nf.low, cube)
+		high := m.existsRec(nf.high, cube)
+		r = m.mk(nf.level, low, high)
+	}
+	*slot = quantEntry{f: f, res: r}
+	return r
+}
+
+func (m *Manager) forallRec(f, cube Ref) Ref {
+	if m.IsTerminal(f) {
+		return f
+	}
+	nf := m.nodes[f]
+	for cube != True && m.nodes[cube].level < nf.level {
+		cube = m.nodes[cube].high
+	}
+	if cube == True {
+		return f
+	}
+	m.statQuantCalls++
+	slot := &m.quant[hash3(uint64(f), uint64(cube), 0xa11)&(quantCacheSize-1)]
+	if slot.f == f {
+		m.statQuantHits++
+		return slot.res
+	}
+	nc := m.nodes[cube]
+	var r Ref
+	if nf.level == nc.level {
+		low := m.forallRec(nf.low, nc.high)
+		if low == False {
+			r = False
+		} else {
+			high := m.forallRec(nf.high, nc.high)
+			r = m.applyRec(opAnd, low, high)
+		}
+	} else {
+		low := m.forallRec(nf.low, cube)
+		high := m.forallRec(nf.high, cube)
+		r = m.mk(nf.level, low, high)
+	}
+	*slot = quantEntry{f: f, res: r}
+	return r
+}
+
+func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
+	if f == False || g == False {
+		return False
+	}
+	if f == True && g == True {
+		return True
+	}
+	if f == True {
+		return m.existsRec(g, cube)
+	}
+	if g == True {
+		return m.existsRec(f, cube)
+	}
+	if f == g {
+		return m.existsRec(f, cube)
+	}
+	if f > g {
+		f, g = g, f
+	}
+	nf, ng := m.nodes[f], m.nodes[g]
+	top := nf.level
+	if ng.level < top {
+		top = ng.level
+	}
+	for cube != True && m.nodes[cube].level < top {
+		cube = m.nodes[cube].high
+	}
+	if cube == True {
+		return m.applyRec(opAnd, f, g)
+	}
+	m.statQuantCalls++
+	slot := &m.aex[hash3(uint64(opAndExists), uint64(f), uint64(g))&(quantCacheSize-1)]
+	if slot.op == opAndExists && slot.f == f && slot.g == g {
+		m.statQuantHits++
+		return slot.res
+	}
+	f0, f1 := cofactor(nf, f, top)
+	g0, g1 := cofactor(ng, g, top)
+	nc := m.nodes[cube]
+	var r Ref
+	if nc.level == top {
+		low := m.andExistsRec(f0, g0, nc.high)
+		if low == True {
+			r = True
+		} else {
+			high := m.andExistsRec(f1, g1, nc.high)
+			r = m.applyRec(opOr, low, high)
+		}
+	} else {
+		low := m.andExistsRec(f0, g0, cube)
+		high := m.andExistsRec(f1, g1, cube)
+		r = m.mk(top, low, high)
+	}
+	*slot = binopEntry{op: opAndExists, f: f, g: g, res: r}
+	return r
+}
+
+// ExistsAbstractAnd is an alias of AndExists with argument order matching
+// the image-computation literature: ∃cube. f ∧ g.
+func (m *Manager) ExistsAbstractAnd(cube, f, g Ref) Ref { return m.AndExists(f, g, cube) }
+
+func sortInt32(a []int32) {
+	// insertion sort; cubes are small
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

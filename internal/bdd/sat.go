@@ -1,0 +1,194 @@
+package bdd
+
+import "sort"
+
+// Satisfiability utilities: counting, witness extraction, support and
+// structural metrics.
+
+// SatCount returns the number of satisfying assignments of f over the
+// given number of variables (typically Manager.NumVars(), but callers
+// counting over a sub-space, e.g. state variables only, pass that
+// sub-space's size and must ensure f's support lies within it).
+func (m *Manager) SatCount(f Ref, nvars int) float64 {
+	m.check(f)
+	memo := make(map[Ref]float64)
+	// fraction of the full space satisfying f, times 2^nvars
+	frac := m.satFrac(f, memo)
+	total := frac
+	for i := 0; i < nvars; i++ {
+		total *= 2
+	}
+	return total
+}
+
+// satFrac returns the fraction of all assignments satisfying f.
+func (m *Manager) satFrac(f Ref, memo map[Ref]float64) float64 {
+	if f == False {
+		return 0
+	}
+	if f == True {
+		return 1
+	}
+	if v, ok := memo[f]; ok {
+		return v
+	}
+	n := m.nodes[f]
+	v := (m.satFrac(n.low, memo) + m.satFrac(n.high, memo)) / 2
+	memo[f] = v
+	return v
+}
+
+// Literal is one variable assignment in a satisfying cube.
+type Literal struct {
+	Var int  // variable ID
+	Val bool // assigned value
+}
+
+// AnySat returns one satisfying cube of f (assignments for the variables
+// on one true-path; unmentioned variables are don't cares). Returns nil
+// and false when f is unsatisfiable.
+func (m *Manager) AnySat(f Ref) ([]Literal, bool) {
+	m.check(f)
+	if f == False {
+		return nil, false
+	}
+	var out []Literal
+	for f != True {
+		n := m.nodes[f]
+		v := int(m.level2var[n.level])
+		if n.low != False {
+			out = append(out, Literal{Var: v, Val: false})
+			f = n.low
+		} else {
+			out = append(out, Literal{Var: v, Val: true})
+			f = n.high
+		}
+	}
+	return out, true
+}
+
+// AllSat invokes fn for every satisfying cube of f, where a cube is
+// presented as a full slice indexed by variable ID with values 0, 1, or
+// -1 (don't care). Iteration stops early if fn returns false.
+func (m *Manager) AllSat(f Ref, fn func(cube []int8) bool) {
+	m.check(f)
+	cube := make([]int8, m.numVars)
+	for i := range cube {
+		cube[i] = -1
+	}
+	m.allSatRec(f, cube, fn)
+}
+
+func (m *Manager) allSatRec(f Ref, cube []int8, fn func([]int8) bool) bool {
+	if f == False {
+		return true
+	}
+	if f == True {
+		return fn(cube)
+	}
+	n := m.nodes[f]
+	v := m.level2var[n.level]
+	cube[v] = 0
+	if !m.allSatRec(n.low, cube, fn) {
+		cube[v] = -1
+		return false
+	}
+	cube[v] = 1
+	if !m.allSatRec(n.high, cube, fn) {
+		cube[v] = -1
+		return false
+	}
+	cube[v] = -1
+	return true
+}
+
+// Eval evaluates f under a complete assignment indexed by variable ID.
+func (m *Manager) Eval(f Ref, assignment []bool) bool {
+	m.check(f)
+	for !m.IsTerminal(f) {
+		n := m.nodes[f]
+		if assignment[m.level2var[n.level]] {
+			f = n.high
+		} else {
+			f = n.low
+		}
+	}
+	return f == True
+}
+
+// Support returns the sorted variable IDs f depends on.
+func (m *Manager) Support(f Ref) []int {
+	m.check(f)
+	seen := make(map[Ref]bool)
+	vars := make(map[int]bool)
+	m.supportRec(f, seen, vars)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (m *Manager) supportRec(f Ref, seen map[Ref]bool, vars map[int]bool) {
+	if m.IsTerminal(f) || seen[f] {
+		return
+	}
+	seen[f] = true
+	n := m.nodes[f]
+	vars[int(m.level2var[n.level])] = true
+	m.supportRec(n.low, seen, vars)
+	m.supportRec(n.high, seen, vars)
+}
+
+// NodeCount returns the number of BDD nodes in f, including terminals
+// reachable from it.
+func (m *Manager) NodeCount(f Ref) int {
+	m.check(f)
+	seen := make(map[Ref]bool)
+	m.countRec(f, seen)
+	return len(seen)
+}
+
+// NodeCountMulti returns the number of distinct nodes in the shared
+// forest rooted at the given functions.
+func (m *Manager) NodeCountMulti(fs []Ref) int {
+	seen := make(map[Ref]bool)
+	for _, f := range fs {
+		m.check(f)
+		m.countRec(f, seen)
+	}
+	return len(seen)
+}
+
+func (m *Manager) countRec(f Ref, seen map[Ref]bool) {
+	if seen[f] {
+		return
+	}
+	seen[f] = true
+	if m.IsTerminal(f) {
+		return
+	}
+	n := m.nodes[f]
+	m.countRec(n.low, seen)
+	m.countRec(n.high, seen)
+}
+
+// PickCube returns a full minterm (one concrete satisfying assignment)
+// of f over the variables in vars, preferring value 0 for don't-care
+// positions. The result maps variable ID to value. Returns false when f
+// is unsatisfiable.
+func (m *Manager) PickCube(f Ref, vars []int) (map[int]bool, bool) {
+	lits, ok := m.AnySat(f)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[int]bool, len(vars))
+	for _, v := range vars {
+		out[v] = false
+	}
+	for _, l := range lits {
+		out[l.Var] = l.Val
+	}
+	return out, true
+}

@@ -1,0 +1,53 @@
+package bdd
+
+import "fmt"
+
+// Statistics reports operation and cache-effectiveness counters, the
+// numbers the original tool's BDD package printed for tuning.
+type Statistics struct {
+	ApplyCalls     uint64 // binary-operator recursions with a cache probe
+	ApplyHits      uint64
+	ITECalls       uint64
+	ITEHits        uint64
+	QuantCalls     uint64
+	QuantHits      uint64
+	GCs            int
+	LiveNodes      int
+	AllocatedNodes int
+	PeakNodes      int
+	Variables      int
+}
+
+func ratio(hits, calls uint64) float64 {
+	if calls == 0 {
+		return 0
+	}
+	return float64(hits) / float64(calls)
+}
+
+// String renders a one-line summary.
+func (s Statistics) String() string {
+	return fmt.Sprintf(
+		"bdd: %d vars, %d live / %d alloc nodes (peak %d), %d GCs; cache hits: apply %.0f%%, ite %.0f%%, quant %.0f%%",
+		s.Variables, s.LiveNodes, s.AllocatedNodes, s.PeakNodes, s.GCs,
+		100*ratio(s.ApplyHits, s.ApplyCalls),
+		100*ratio(s.ITEHits, s.ITECalls),
+		100*ratio(s.QuantHits, s.QuantCalls))
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Statistics {
+	return Statistics{
+		ApplyCalls:     m.statApplyCalls,
+		ApplyHits:      m.statApplyHits,
+		ITECalls:       m.statITECalls,
+		ITEHits:        m.statITEHits,
+		QuantCalls:     m.statQuantCalls,
+		QuantHits:      m.statQuantHits,
+		GCs:            m.GCCount,
+		LiveNodes:      m.Size(),
+		AllocatedNodes: len(m.nodes),
+		PeakNodes:      m.peakNodes,
+		Variables:      m.numVars,
+	}
+}

@@ -1,0 +1,111 @@
+package bdd
+
+// Substitution and permutation. These rebuild BDDs with memoized
+// recursion; they are used to shift between present-state and next-state
+// variable rails and to compose intermediate signal definitions into
+// transition relations.
+
+// Permute returns f with every variable v replaced by perm[v]. perm must
+// be a permutation over variable IDs; identity entries are allowed and
+// common. Variables beyond len(perm) — e.g. created after the
+// permutation was built — map to themselves, so cached permutations stay
+// valid as the manager grows.
+func (m *Manager) Permute(f Ref, perm []int) Ref {
+	m.check(f)
+	if len(perm) > m.numVars {
+		panic("bdd: Permute: permutation longer than variable count")
+	}
+	memo := make(map[Ref]Ref)
+	return m.permuteRec(f, perm, memo)
+}
+
+func (m *Manager) permuteRec(f Ref, perm []int, memo map[Ref]Ref) Ref {
+	if m.IsTerminal(f) {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	v := int(m.level2var[n.level])
+	low := m.permuteRec(n.low, perm, memo)
+	high := m.permuteRec(n.high, perm, memo)
+	target := v
+	if v < len(perm) {
+		target = perm[v]
+	}
+	r := m.iteRec(m.Var(target), high, low)
+	memo[f] = r
+	return r
+}
+
+// Compose substitutes g for variable v in f: f[v := g].
+func (m *Manager) Compose(f Ref, v int, g Ref) Ref {
+	m.check(f)
+	m.check(g)
+	if v < 0 || v >= m.numVars {
+		panic("bdd: Compose: variable out of range")
+	}
+	memo := make(map[Ref]Ref)
+	return m.composeRec(f, m.var2level[v], g, memo)
+}
+
+func (m *Manager) composeRec(f Ref, level int32, g Ref, memo map[Ref]Ref) Ref {
+	n := m.nodes[f]
+	if n.level > level {
+		// f does not depend on the substituted variable.
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	var r Ref
+	if n.level == level {
+		r = m.iteRec(g, n.high, n.low)
+	} else {
+		low := m.composeRec(n.low, level, g, memo)
+		high := m.composeRec(n.high, level, g, memo)
+		// The substituted function g may depend on variables above
+		// f's root, so rebuild with ITE on the root variable rather
+		// than mk.
+		r = m.iteRec(m.mk(n.level, False, True), high, low)
+	}
+	memo[f] = r
+	return r
+}
+
+// VectorCompose simultaneously substitutes subst[v] for each variable v
+// present in the map. Substitution is simultaneous, not sequential: the
+// replacement functions are interpreted over the original variables.
+func (m *Manager) VectorCompose(f Ref, subst map[int]Ref) Ref {
+	m.check(f)
+	if len(subst) == 0 {
+		return f
+	}
+	byLevel := make(map[int32]Ref, len(subst))
+	for v, g := range subst {
+		m.check(g)
+		byLevel[m.var2level[v]] = g
+	}
+	memo := make(map[Ref]Ref)
+	return m.vectorComposeRec(f, byLevel, memo)
+}
+
+func (m *Manager) vectorComposeRec(f Ref, byLevel map[int32]Ref, memo map[Ref]Ref) Ref {
+	if m.IsTerminal(f) {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	low := m.vectorComposeRec(n.low, byLevel, memo)
+	high := m.vectorComposeRec(n.high, byLevel, memo)
+	g, ok := byLevel[n.level]
+	if !ok {
+		g = m.mk(n.level, False, True)
+	}
+	r := m.iteRec(g, high, low)
+	memo[f] = r
+	return r
+}

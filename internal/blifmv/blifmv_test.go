@@ -1,0 +1,515 @@
+package blifmv
+
+import (
+	"strings"
+	"testing"
+)
+
+const counterSrc = `
+# two-bit gray counter with a nondeterministic pause input
+.model counter
+.outputs b0 b1
+.mv pause 2 no yes
+.table pause        # nondeterministic free input
+-
+.table pause b0 n0
+no 0 1
+no 1 0
+yes - =b0
+.table pause b0 b1 n1
+no 0 0 0
+no 0 1 1
+no 1 0 1
+no 1 1 0
+yes - 0 =b1
+yes - 1 =b1
+.latch n0 b0
+.reset b0
+0
+.latch n1 b1
+.reset b1
+0
+.end
+`
+
+func TestParseCounter(t *testing.T) {
+	d, err := ParseString(counterSrc, "counter.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root != "counter" {
+		t.Fatalf("root = %q", d.Root)
+	}
+	m := d.Models["counter"]
+	if len(m.Tables) != 3 || len(m.Latches) != 2 {
+		t.Fatalf("structure: %s", m)
+	}
+	if got := m.Vars["pause"]; got == nil || got.Card != 2 || got.Values[1] != "yes" {
+		t.Fatal("pause variable wrong")
+	}
+	// free table: zero inputs, one unconstrained row
+	free := m.Tables[0]
+	if len(free.Inputs) != 0 || len(free.Outputs) != 1 || !free.Rows[0].Out[0].Set.All {
+		t.Fatal("free input table wrong")
+	}
+	// equality output
+	eqRow := m.Tables[1].Rows[2]
+	if eqRow.Out[0].EqInput != 1 {
+		t.Fatalf("=b0 should reference input column 1, got %d", eqRow.Out[0].EqInput)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no model", ".inputs a\n", "before .model"},
+		{"bad mv", ".model m\n.mv x zero\n", "bad cardinality"},
+		{"row outside", ".model m\n0 1\n", "data row outside"},
+		{"bad width", ".model m\n.table a b\n0 0 0\n", "row width"},
+		{"unknown value", ".model m\n.mv x 3\n.table x y\n5 0\n", "not in domain"},
+		{"dup model", ".model m\n.end\n.model m\n.end\n", "duplicate model"},
+		{"bad eq", ".model m\n.table a b\n=c 1\n", "not allowed in input"},
+		{"unknown directive", ".model m\n.clock c\n", "unknown directive"},
+		{"reset no latch", ".model m\n.reset q\n", "no such latch"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src, c.name)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateCatchesDoubleDriver(t *testing.T) {
+	src := `
+.model m
+.table a x
+0 1
+1 0
+.table b x
+- 1
+.end
+`
+	d, err := ParseString(src, "dd.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "driven by both") {
+		t.Fatalf("want double-driver error, got %v", err)
+	}
+}
+
+func TestValidateLatchWithoutReset(t *testing.T) {
+	src := ".model m\n.table a n\n- 1\n.latch n q\n.end\n"
+	d, err := ParseString(src, "nr.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "no reset") {
+		t.Fatalf("want missing-reset error, got %v", err)
+	}
+}
+
+func TestNondeterministicReset(t *testing.T) {
+	src := `
+.model m
+.mv q,nq 3 idle busy done
+.table q nq
+idle busy
+busy done
+done idle
+.latch nq q
+.reset q
+{idle,busy}
+.end
+`
+	d, err := ParseString(src, "ndr.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Models["m"].Latches[0]
+	if len(l.Init) != 2 || l.Init[0] != 0 || l.Init[1] != 1 {
+		t.Fatalf("Init = %v, want [0 1]", l.Init)
+	}
+}
+
+func TestNegationEntry(t *testing.T) {
+	src := `
+.model m
+.mv x 4
+.table x y
+!2 0
+2 1
+.end
+`
+	d, err := ParseString(src, "neg.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := d.Models["m"].Tables[0].Rows[0]
+	if len(row.In[0].Vals) != 3 || row.In[0].Contains(2) {
+		t.Fatalf("!2 parsed as %v", row.In[0])
+	}
+}
+
+func TestLineContinuationAndComments(t *testing.T) {
+	src := ".model m # the model\n.table a \\\n b\n0 1 # row\n1 0\n.end\n"
+	d, err := ParseString(src, "cont.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := d.Models["m"].Tables[0]
+	if len(tab.Inputs) != 1 || tab.Inputs[0] != "a" || tab.Outputs[0] != "b" {
+		t.Fatalf("continuation parse wrong: %v -> %v", tab.Inputs, tab.Outputs)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	d, err := ParseString(counterSrc, "counter.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseString(sb.String(), "rt.mv")
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	m1, m2 := d.Models["counter"], d2.Models["counter"]
+	if len(m1.Tables) != len(m2.Tables) || len(m1.Latches) != len(m2.Latches) {
+		t.Fatal("round trip changed structure")
+	}
+	for i := range m1.Tables {
+		if len(m1.Tables[i].Rows) != len(m2.Tables[i].Rows) {
+			t.Fatalf("table %d row count changed", i)
+		}
+	}
+	if m2.Vars["pause"].Values[1] != "yes" {
+		t.Fatal("symbolic values lost in round trip")
+	}
+}
+
+const hierSrc = `
+.model top
+.mv w 2
+.subckt cell c1 i=w o=x
+.subckt cell c2 i=x o=w2
+.table w
+-
+.end
+
+.model cell
+.inputs i
+.outputs o
+.table i n
+0 1
+1 0
+.latch n o
+.reset o
+0
+.end
+`
+
+func TestFlatten(t *testing.T) {
+	d, err := ParseString(hierSrc, "hier.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Latches) != 2 {
+		t.Fatalf("latches = %d, want 2", len(flat.Latches))
+	}
+	// instance-qualified internal names, bound port names preserved
+	outs := map[string]bool{}
+	for _, l := range flat.Latches {
+		outs[l.Output] = true
+	}
+	if !outs["x"] || !outs["w2"] {
+		t.Fatalf("latch outputs = %v, want x and w2 (bound ports)", outs)
+	}
+	found := false
+	for _, tab := range flat.Tables {
+		for _, o := range tab.Outputs {
+			if o == "c1.n" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("internal variable c1.n not qualified")
+	}
+}
+
+func TestFlattenRejectsRecursion(t *testing.T) {
+	src := ".model a\n.subckt a self\n.end\n"
+	d, err := ParseString(src, "rec.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Flatten(d); err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("want recursion error, got %v", err)
+	}
+}
+
+func TestFlattenCardinalityConflict(t *testing.T) {
+	src := `
+.model top
+.mv w 3
+.subckt cell c1 o=w
+.table w z
+- 0
+.end
+.model cell
+.outputs o
+.mv o 2
+.table o
+-
+.end
+`
+	d, err := ParseString(src, "conf.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Flatten(d); err == nil || !strings.Contains(err.Error(), "cardinalities") {
+		t.Fatalf("want cardinality conflict, got %v", err)
+	}
+}
+
+func TestDefaultRow(t *testing.T) {
+	src := `
+.model m
+.mv x 4
+.table x y
+.default 0
+2 1
+.end
+`
+	d, err := ParseString(src, "def.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := d.Models["m"].Tables[0]
+	if tab.Default == nil || len(tab.Default) != 1 || tab.Default[0].Vals[0] != 0 {
+		t.Fatalf("default = %v", tab.Default)
+	}
+}
+
+func TestMultiOutputTable(t *testing.T) {
+	src := `
+.model m
+.table a -> x y
+0 0 1
+1 1 0
+.end
+`
+	d, err := ParseString(src, "mo.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := d.Models["m"].Tables[0]
+	if len(tab.Outputs) != 2 || tab.Outputs[1] != "y" {
+		t.Fatalf("outputs = %v", tab.Outputs)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttrParseWriteFlatten(t *testing.T) {
+	src := `
+.model top
+.attr src w top.v:3
+.mv w 2
+.subckt cell c1 o=w
+.end
+.model cell
+.outputs o
+.attr src o cell.v:7
+.table o
+-
+.end
+`
+	d, err := ParseString(src, "attr.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Models["top"].Attr("src", "w") != "top.v:3" {
+		t.Fatal("attr lost in parsing")
+	}
+	// write/reparse round trip
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseString(sb.String(), "rt.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Models["cell"].Attr("src", "o") != "cell.v:7" {
+		t.Fatalf("attr lost in writing:\n%s", sb.String())
+	}
+	// flattening renames bound ports and qualifies internals
+	flat, err := Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Attr("src", "w") != "top.v:3" {
+		t.Fatal("top-level attr lost in flatten")
+	}
+	// cell's o is bound to w: the attribute follows the binding
+	if flat.Attr("src", "w") == "" {
+		t.Fatal("bound attr missing")
+	}
+}
+
+func TestAttrErrors(t *testing.T) {
+	if _, err := ParseString(".model m\n.attr src w\n", "e.mv"); err == nil {
+		t.Fatal(".attr with too few args should fail")
+	}
+	m := &Model{Name: "x", Vars: map[string]*Variable{}}
+	if m.Attr("src", "nope") != "" {
+		t.Fatal("missing attr should be empty")
+	}
+}
+
+func TestSynthesizabilityAnalysis(t *testing.T) {
+	// deterministic gray counter core (strip the nondet pause input)
+	det := `
+.model det
+.table b0 n0
+0 1
+1 0
+.table b0 b1 n1
+0 0 0
+0 1 1
+1 0 1
+1 1 0
+.latch n0 b0
+.reset b0
+0
+.latch n1 b1
+.reset b1
+0
+.end
+`
+	d, err := ParseString(det, "det.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := d.Models["det"].FindNondeterminism()
+	if !nd.IsSynthesizable() {
+		t.Fatalf("deterministic model reported as %s", nd)
+	}
+
+	// the counter with the free pause input is NOT synthesizable
+	d2, err := ParseString(counterSrc, "c.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd2 := d2.Models["counter"].FindNondeterminism()
+	if nd2.IsSynthesizable() {
+		t.Fatal("free-choice table must block synthesis")
+	}
+	if len(nd2.Tables) == 0 {
+		t.Fatal("the pause table should be flagged")
+	}
+
+	// multi-reset latch
+	mr := `
+.model mr
+.table q nq
+0 1
+1 0
+.latch nq q
+.reset q
+{0,1}
+.end
+`
+	d3, err := ParseString(mr, "mr.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd3 := d3.Models["mr"].FindNondeterminism()
+	if nd3.IsSynthesizable() || len(nd3.MultiResetLatches) != 1 {
+		t.Fatalf("multi-reset latch not flagged: %s", nd3)
+	}
+
+	// incompletely specified function (missing row, no default)
+	inc := `
+.model inc
+.mv x 3
+.table x y
+0 1
+1 0
+.end
+`
+	d4, err := ParseString(inc, "inc.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd4 := d4.Models["inc"].FindNondeterminism()
+	if nd4.IsSynthesizable() {
+		t.Fatal("incompletely specified table must block synthesis")
+	}
+
+	// complete via .default: synthesizable
+	def := `
+.model def
+.mv x 3
+.table x y
+.default 0
+0 1
+.end
+`
+	d5, err := ParseString(def, "def.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd5 := d5.Models["def"].FindNondeterminism(); !nd5.IsSynthesizable() {
+		t.Fatalf("defaulted table should be a function: %s", nd5)
+	}
+
+	// '=' equality outputs are deterministic
+	eq := `
+.model eq
+.table a b
+- =a
+.end
+`
+	d6, err := ParseString(eq, "eq.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd6 := d6.Models["eq"].FindNondeterminism(); !nd6.IsSynthesizable() {
+		t.Fatalf("identity table should be a function: %s", nd6)
+	}
+}
+
+func TestGeneratedDesignsSynthesizability(t *testing.T) {
+	// all our designs use $ND: none is synthesizable, and the analysis
+	// must say so without panicking on real-sized tables
+	d, err := ParseString(counterSrc, "c.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := flat.FindNondeterminism()
+	if nd.IsSynthesizable() {
+		t.Fatal("flattened nondet design should be flagged")
+	}
+}

@@ -1,0 +1,115 @@
+package blifmv
+
+import "fmt"
+
+// Flatten inlines every subckt instantiation of the root model
+// recursively, producing a single flat model. Internal variables of an
+// instance named "i" become "i.<name>"; formal ports are replaced by the
+// actual variables bound at the instantiation site. The original design
+// is not modified.
+//
+// The paper's descriptions "are given hierarchically" (§4); the
+// verification engine operates on the flattened network.
+func Flatten(d *Design) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	root := d.Models[d.Root]
+	flat := &Model{
+		Name:    root.Name,
+		Inputs:  append([]string(nil), root.Inputs...),
+		Outputs: append([]string(nil), root.Outputs...),
+		Vars:    make(map[string]*Variable),
+	}
+	if err := inline(d, root, "", nil, flat, make([]string, 0, 8)); err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
+// inline copies model m into flat under instance prefix inst, with port
+// renaming bind (formal→actual in flat's namespace). stack detects
+// recursive instantiation.
+func inline(d *Design, m *Model, inst string, bind map[string]string, flat *Model, stack []string) error {
+	for _, s := range stack {
+		if s == m.Name {
+			return fmt.Errorf("blifmv: recursive instantiation of model %q", m.Name)
+		}
+	}
+	stack = append(stack, m.Name)
+
+	rename := func(name string) string {
+		if bind != nil {
+			if actual, ok := bind[name]; ok {
+				return actual
+			}
+		}
+		return qualify(inst, name)
+	}
+
+	// Copy variable declarations under the new names.
+	for _, n := range m.VarDecl {
+		v := m.Vars[n]
+		nn := rename(n)
+		if existing, ok := flat.Vars[nn]; ok {
+			if existing.Card != v.Card {
+				return fmt.Errorf("blifmv: variable %q bound across different cardinalities (%d vs %d)",
+					nn, existing.Card, v.Card)
+			}
+			continue
+		}
+		flat.Vars[nn] = &Variable{Name: nn, Card: v.Card, Values: append([]string(nil), v.Values...)}
+		flat.VarDecl = append(flat.VarDecl, nn)
+	}
+
+	for _, t := range m.Tables {
+		nt := &Table{
+			Inputs:  renameAll(t.Inputs, rename),
+			Outputs: renameAll(t.Outputs, rename),
+			Default: t.Default,
+			Rows:    t.Rows, // rows reference columns positionally; safe to share
+		}
+		flat.Tables = append(flat.Tables, nt)
+	}
+	for _, l := range m.Latches {
+		flat.Latches = append(flat.Latches, &Latch{
+			Input:  rename(l.Input),
+			Output: rename(l.Output),
+			Init:   append([]int(nil), l.Init...),
+		})
+	}
+	for ns, byVar := range m.Attrs {
+		for v, val := range byVar {
+			// outer annotations win over inner ones reaching the same
+			// variable through a port binding
+			if flat.Attr(ns, rename(v)) == "" {
+				flat.SetAttr(ns, rename(v), val)
+			}
+		}
+	}
+	for _, s := range m.Subckts {
+		child := d.Models[s.Model]
+		childBind := make(map[string]string, len(s.Bindings))
+		for formal, actual := range s.Bindings {
+			childBind[formal] = rename(actual)
+		}
+		// Unbound child ports become qualified internal variables.
+		for _, port := range append(append([]string(nil), child.Inputs...), child.Outputs...) {
+			if _, ok := childBind[port]; !ok {
+				childBind[port] = qualify(qualify(inst, s.Instance), port)
+			}
+		}
+		if err := inline(d, child, qualify(inst, s.Instance), childBind, flat, stack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renameAll(names []string, f func(string) string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = f(n)
+	}
+	return out
+}

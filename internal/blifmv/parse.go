@@ -1,0 +1,410 @@
+package blifmv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads one or more .model sections from r. The first model
+// becomes Design.Root unless a later caller overrides it. src names the
+// input for error messages.
+//
+// Supported directives: .model .inputs .outputs .mv .latch .reset
+// .table (alias .names) .default .subckt .end. Comments start with '#';
+// lines ending in '\' continue on the next line.
+//
+// Table row entries: a value name or index, '-' (any value), '{a,b,c}'
+// (an explicit set), or in output columns '=x' (equals input column x).
+func Parse(r io.Reader, src string) (*Design, error) {
+	p := &parser{
+		src:    src,
+		design: &Design{Models: make(map[string]*Model)},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			pending += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		line = pending + line
+		pending = ""
+		if line == "" {
+			continue
+		}
+		if err := p.line(line, lineNo); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", src, err)
+	}
+	if err := p.finishModel(); err != nil {
+		return nil, err
+	}
+	if len(p.design.Order) == 0 {
+		return nil, fmt.Errorf("%s: no .model found", src)
+	}
+	p.design.Root = p.design.Order[0]
+	return p.design, nil
+}
+
+// ParseString is Parse over a string source.
+func ParseString(s, src string) (*Design, error) {
+	return Parse(strings.NewReader(s), src)
+}
+
+type parser struct {
+	src    string
+	design *Design
+	model  *Model
+
+	curTable *Table
+	curReset *Latch // latch whose .reset rows are being read
+}
+
+func (p *parser) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", p.src, line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) line(line string, n int) error {
+	fields := strings.Fields(line)
+	if !strings.HasPrefix(fields[0], ".") {
+		// A data row for the current table or reset block.
+		switch {
+		case p.curTable != nil:
+			return p.tableRow(fields, n)
+		case p.curReset != nil:
+			return p.resetRow(fields, n)
+		default:
+			return p.errf(n, "data row outside .table/.reset: %q", line)
+		}
+	}
+	directive := fields[0]
+	args := fields[1:]
+	if directive != ".default" {
+		p.endRowBlock(directive)
+	}
+	switch directive {
+	case ".model":
+		if err := p.finishModel(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return p.errf(n, ".model wants one name")
+		}
+		if _, dup := p.design.Models[args[0]]; dup {
+			return p.errf(n, "duplicate model %q", args[0])
+		}
+		p.model = &Model{Name: args[0], Vars: make(map[string]*Variable)}
+		return nil
+	case ".end":
+		return p.finishModel()
+	}
+	if p.model == nil {
+		return p.errf(n, "%s before .model", directive)
+	}
+	switch directive {
+	case ".inputs":
+		p.model.Inputs = append(p.model.Inputs, args...)
+	case ".outputs":
+		p.model.Outputs = append(p.model.Outputs, args...)
+	case ".mv":
+		return p.mv(args, n)
+	case ".latch":
+		if len(args) != 2 {
+			return p.errf(n, ".latch wants <input> <output>")
+		}
+		p.model.Latches = append(p.model.Latches, &Latch{Input: args[0], Output: args[1]})
+	case ".reset", ".r":
+		if len(args) != 1 {
+			return p.errf(n, ".reset wants one latch output")
+		}
+		for _, l := range p.model.Latches {
+			if l.Output == args[0] {
+				p.curReset = l
+				return nil
+			}
+		}
+		return p.errf(n, ".reset %q: no such latch output", args[0])
+	case ".table", ".names":
+		return p.table(args, n)
+	case ".default":
+		return p.tableDefault(args, n)
+	case ".subckt":
+		return p.subckt(args, n)
+	case ".attr":
+		if len(args) < 3 {
+			return p.errf(n, ".attr wants <namespace> <var> <value>")
+		}
+		p.model.SetAttr(args[0], args[1], strings.Join(args[2:], " "))
+		return nil
+	default:
+		return p.errf(n, "unknown directive %s", directive)
+	}
+	return nil
+}
+
+// endRowBlock closes any open .table/.reset row block when a new
+// directive begins.
+func (p *parser) endRowBlock(directive string) {
+	p.curTable = nil
+	p.curReset = nil
+	_ = directive
+}
+
+func (p *parser) finishModel() error {
+	p.endRowBlock("")
+	if p.model == nil {
+		return nil
+	}
+	p.design.Models[p.model.Name] = p.model
+	p.design.Order = append(p.design.Order, p.model.Name)
+	p.model = nil
+	return nil
+}
+
+// .mv v1,v2 4 [names...]
+func (p *parser) mv(args []string, n int) error {
+	if len(args) < 2 {
+		return p.errf(n, ".mv wants <vars> <cardinality> [value names]")
+	}
+	names := strings.Split(args[0], ",")
+	card, err := strconv.Atoi(args[1])
+	if err != nil || card < 1 {
+		return p.errf(n, ".mv: bad cardinality %q", args[1])
+	}
+	values := args[2:]
+	if len(values) != 0 && len(values) != card {
+		return p.errf(n, ".mv: %d value names for cardinality %d", len(values), card)
+	}
+	if len(values) == 0 {
+		values = make([]string, card)
+		for i := range values {
+			values[i] = strconv.Itoa(i)
+		}
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if v, exists := p.model.Vars[name]; exists && (v.Card != card) {
+			return p.errf(n, ".mv: %q redeclared with different cardinality", name)
+		}
+		p.model.Vars[name] = &Variable{Name: name, Card: card, Values: append([]string(nil), values...)}
+		p.model.VarDecl = append(p.model.VarDecl, name)
+	}
+	return nil
+}
+
+// .table in1 in2 -> out1 out2   (or: .table in1 in2 out — single output)
+func (p *parser) table(args []string, n int) error {
+	if len(args) == 0 {
+		return p.errf(n, ".table wants at least one column")
+	}
+	t := &Table{}
+	arrow := -1
+	for i, a := range args {
+		if a == "->" {
+			arrow = i
+			break
+		}
+	}
+	if arrow >= 0 {
+		t.Inputs = append(t.Inputs, args[:arrow]...)
+		t.Outputs = append(t.Outputs, args[arrow+1:]...)
+		if len(t.Outputs) == 0 {
+			return p.errf(n, ".table: no outputs after ->")
+		}
+	} else {
+		t.Inputs = append(t.Inputs, args[:len(args)-1]...)
+		t.Outputs = []string{args[len(args)-1]}
+	}
+	p.model.Tables = append(p.model.Tables, t)
+	p.curTable = t
+	return nil
+}
+
+func (p *parser) tableDefault(args []string, n int) error {
+	t := p.curTable
+	if t == nil {
+		return p.errf(n, ".default outside a table")
+	}
+	if len(args) != len(t.Outputs) {
+		return p.errf(n, ".default wants %d entries", len(t.Outputs))
+	}
+	t.Default = make([]ValueSet, len(args))
+	for i, a := range args {
+		vs, eq, err := p.entry(a, p.model.Var(t.Outputs[i]), n)
+		if err != nil {
+			return err
+		}
+		if eq >= 0 {
+			return p.errf(n, ".default cannot use =")
+		}
+		t.Default[i] = vs
+	}
+	return nil
+}
+
+func (p *parser) tableRow(fields []string, n int) error {
+	t := p.curTable
+	if len(fields) != len(t.Inputs)+len(t.Outputs) {
+		return p.errf(n, "row width %d, want %d inputs + %d outputs",
+			len(fields), len(t.Inputs), len(t.Outputs))
+	}
+	var row Row
+	for i, name := range t.Inputs {
+		if strings.HasPrefix(fields[i], "=") {
+			return p.errf(n, "= not allowed in input column")
+		}
+		vs, _, err := p.entry(fields[i], p.model.Var(name), n)
+		if err != nil {
+			return err
+		}
+		row.In = append(row.In, vs)
+	}
+	for j, name := range t.Outputs {
+		f := fields[len(t.Inputs)+j]
+		if strings.HasPrefix(f, "=") {
+			ref := strings.TrimPrefix(f, "=")
+			idx := -1
+			for k, in := range t.Inputs {
+				if in == ref {
+					idx = k
+					break
+				}
+			}
+			if idx < 0 {
+				return p.errf(n, "=%s: no such input column", ref)
+			}
+			row.Out = append(row.Out, OutSpec{EqInput: idx})
+			continue
+		}
+		vs, _, err := p.entry(f, p.model.Var(name), n)
+		if err != nil {
+			return err
+		}
+		row.Out = append(row.Out, OutSpec{Set: vs, EqInput: -1})
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+func (p *parser) resetRow(fields []string, n int) error {
+	l := p.curReset
+	if len(fields) != 1 {
+		return p.errf(n, ".reset row wants one entry")
+	}
+	v := p.model.Var(l.Output)
+	vs, eq, err := p.entry(fields[0], v, n)
+	if err != nil {
+		return err
+	}
+	if eq >= 0 {
+		return p.errf(n, "= not allowed in .reset")
+	}
+	if vs.All {
+		for i := 0; i < v.Card; i++ {
+			l.Init = appendUnique(l.Init, i)
+		}
+		return nil
+	}
+	for _, val := range vs.Vals {
+		l.Init = appendUnique(l.Init, val)
+	}
+	return nil
+}
+
+func appendUnique(xs []int, x int) []int {
+	for _, e := range xs {
+		if e == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// entry parses one row entry against a variable's domain.
+func (p *parser) entry(s string, v *Variable, n int) (ValueSet, int, error) {
+	switch {
+	case s == "-":
+		return AnyValue(), -1, nil
+	case strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}"):
+		inner := strings.Trim(s, "{}")
+		var vals []int
+		for _, part := range strings.Split(inner, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			idx, err := p.valueIndex(part, v)
+			if err != nil {
+				return ValueSet{}, -1, p.errf(n, "%v", err)
+			}
+			vals = append(vals, idx)
+		}
+		if len(vals) == 0 {
+			return ValueSet{}, -1, p.errf(n, "empty value set %q", s)
+		}
+		return ValueSet{Vals: vals}, -1, nil
+	case strings.HasPrefix(s, "!"):
+		excl, err := p.valueIndex(s[1:], v)
+		if err != nil {
+			return ValueSet{}, -1, p.errf(n, "%v", err)
+		}
+		var vals []int
+		for i := 0; i < v.Card; i++ {
+			if i != excl {
+				vals = append(vals, i)
+			}
+		}
+		return ValueSet{Vals: vals}, -1, nil
+	default:
+		idx, err := p.valueIndex(s, v)
+		if err != nil {
+			return ValueSet{}, -1, p.errf(n, "%v", err)
+		}
+		return Singleton(idx), -1, nil
+	}
+}
+
+func (p *parser) valueIndex(s string, v *Variable) (int, error) {
+	if i := v.ValueIndex(s); i >= 0 {
+		return i, nil
+	}
+	// Fall back to a numeric index for variables with default naming.
+	if i, err := strconv.Atoi(s); err == nil && i >= 0 && i < v.Card {
+		return i, nil
+	}
+	return -1, fmt.Errorf("value %q not in domain of %s (card %d)", s, v.Name, v.Card)
+}
+
+// .subckt model inst formal=actual ...
+func (p *parser) subckt(args []string, n int) error {
+	if len(args) < 2 {
+		return p.errf(n, ".subckt wants <model> <instance> [bindings]")
+	}
+	s := &Subckt{Model: args[0], Instance: args[1], Bindings: make(map[string]string)}
+	for _, b := range args[2:] {
+		eq := strings.IndexByte(b, '=')
+		if eq <= 0 {
+			return p.errf(n, "bad binding %q", b)
+		}
+		s.Bindings[b[:eq]] = b[eq+1:]
+	}
+	p.model.Subckts = append(p.model.Subckts, s)
+	return nil
+}

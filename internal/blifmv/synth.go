@@ -1,0 +1,153 @@
+package blifmv
+
+import "fmt"
+
+// Nondeterminism locates the sources of non-determinism in a model.
+// Paper §4: "A BLIF-MV description with no non-determinism is
+// synthesizable" — the synthesis half of the HSIS flow accepts exactly
+// the models this reports empty for.
+type Nondeterminism struct {
+	// Tables lists indices of tables that permit more than one output
+	// for some input pattern (or none — an incompletely specified
+	// function is not synthesizable as-is either).
+	Tables []int
+	// MultiResetLatches lists latch outputs with more than one initial
+	// value.
+	MultiResetLatches []string
+	// FreeInputs lists primary inputs (free variables are
+	// environmental non-determinism; they do not block synthesis but
+	// are reported for completeness).
+	FreeInputs []string
+}
+
+// IsSynthesizable reports whether the model is deterministic hardware:
+// every table is a completely specified function and every latch has a
+// single reset value.
+func (n *Nondeterminism) IsSynthesizable() bool {
+	return len(n.Tables) == 0 && len(n.MultiResetLatches) == 0
+}
+
+// String summarizes the findings.
+func (n *Nondeterminism) String() string {
+	if n.IsSynthesizable() {
+		return "deterministic: synthesizable"
+	}
+	return fmt.Sprintf("non-deterministic: %d tables, %d multi-reset latches",
+		len(n.Tables), len(n.MultiResetLatches))
+}
+
+// FindNondeterminism analyzes a flat model. Table analysis enumerates
+// input patterns, so it is intended for the moderate table sizes the
+// front end produces.
+func (m *Model) FindNondeterminism() *Nondeterminism {
+	out := &Nondeterminism{}
+	for ti, t := range m.Tables {
+		if !m.tableIsFunction(t) {
+			out.Tables = append(out.Tables, ti)
+		}
+	}
+	for _, l := range m.Latches {
+		if len(l.Init) > 1 {
+			out.MultiResetLatches = append(out.MultiResetLatches, l.Output)
+		}
+	}
+	out.FreeInputs = append(out.FreeInputs, m.Inputs...)
+	return out
+}
+
+// tableIsFunction checks that every input pattern admits exactly one
+// output pattern.
+func (m *Model) tableIsFunction(t *Table) bool {
+	cards := make([]int, len(t.Inputs))
+	for i, in := range t.Inputs {
+		cards[i] = m.Var(in).Card
+	}
+	outCards := make([]int, len(t.Outputs))
+	for i, o := range t.Outputs {
+		outCards[i] = m.Var(o).Card
+	}
+	pattern := make([]int, len(t.Inputs))
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if i == len(pattern) {
+			return m.outputsForPattern(t, pattern, outCards) == 1
+		}
+		for v := 0; v < cards[i]; v++ {
+			pattern[i] = v
+			if !walk(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(0)
+}
+
+// outputsForPattern counts the distinct permitted output patterns for
+// one input pattern.
+func (m *Model) outputsForPattern(t *Table, pattern, outCards []int) int {
+	matched := false
+	count := 0
+	outs := make([]int, len(t.Outputs))
+	countRows := func(rows []Row) {
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(outs) {
+				for _, r := range rows {
+					ok := true
+					for c, o := range r.Out {
+						if o.EqInput >= 0 {
+							if outs[c] != pattern[o.EqInput] {
+								ok = false
+								break
+							}
+						} else if !o.Set.Contains(outs[c]) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						count++
+						return // each output pattern counted once
+					}
+				}
+			} else {
+				for v := 0; v < outCards[i]; v++ {
+					outs[i] = v
+					rec(i + 1)
+				}
+			}
+		}
+		rec(0)
+	}
+	var matchingRows []Row
+	for _, r := range t.Rows {
+		rowMatches := true
+		for c, vs := range r.In {
+			if !vs.Contains(pattern[c]) {
+				rowMatches = false
+				break
+			}
+		}
+		if rowMatches {
+			matched = true
+			matchingRows = append(matchingRows, r)
+		}
+	}
+	if !matched {
+		if t.Default == nil {
+			return 0
+		}
+		// default supplies the outputs
+		n := 1
+		for _, vs := range t.Default {
+			if vs.All {
+				return 2 // any-value default: non-deterministic unless card 1
+			}
+			n *= len(vs.Vals)
+		}
+		return n
+	}
+	countRows(matchingRows)
+	return count
+}

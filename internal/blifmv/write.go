@@ -1,0 +1,156 @@
+package blifmv
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write emits the design as BLIF-MV text, parseable by Parse. Models are
+// emitted in declaration order with the root first if it is not already.
+func Write(w io.Writer, d *Design) error {
+	order := d.Order
+	if len(order) > 0 && order[0] != d.Root {
+		reordered := []string{d.Root}
+		for _, n := range order {
+			if n != d.Root {
+				reordered = append(reordered, n)
+			}
+		}
+		order = reordered
+	}
+	for _, name := range order {
+		if err := WriteModel(w, d.Models[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteModel emits one .model section.
+func WriteModel(w io.Writer, m *Model) error {
+	bw := &errWriter{w: w}
+	bw.printf(".model %s\n", m.Name)
+	if len(m.Inputs) > 0 {
+		bw.printf(".inputs %s\n", strings.Join(m.Inputs, " "))
+	}
+	if len(m.Outputs) > 0 {
+		bw.printf(".outputs %s\n", strings.Join(m.Outputs, " "))
+	}
+	seen := make(map[string]bool)
+	for _, n := range m.VarDecl {
+		v := m.Vars[n]
+		if v == nil || seen[n] || (v.Card == 2 && v.Values[0] == "0" && v.Values[1] == "1") {
+			continue
+		}
+		seen[n] = true
+		bw.printf(".mv %s %d %s\n", v.Name, v.Card, strings.Join(v.Values, " "))
+	}
+	{
+		var nss []string
+		for ns := range m.Attrs {
+			nss = append(nss, ns)
+		}
+		sortStrings(nss)
+		for _, ns := range nss {
+			var vars []string
+			for v := range m.Attrs[ns] {
+				vars = append(vars, v)
+			}
+			sortStrings(vars)
+			for _, v := range vars {
+				bw.printf(".attr %s %s %s\n", ns, v, m.Attrs[ns][v])
+			}
+		}
+	}
+	for _, s := range m.Subckts {
+		var parts []string
+		for f, a := range s.Bindings {
+			parts = append(parts, f+"="+a)
+		}
+		sortStrings(parts)
+		bw.printf(".subckt %s %s %s\n", s.Model, s.Instance, strings.Join(parts, " "))
+	}
+	for _, l := range m.Latches {
+		bw.printf(".latch %s %s\n", l.Input, l.Output)
+		bw.printf(".reset %s\n", l.Output)
+		v := m.Vars[l.Output]
+		for _, iv := range l.Init {
+			bw.printf("%s\n", valueName(v, iv))
+		}
+	}
+	for _, t := range m.Tables {
+		cols := strings.Join(t.Inputs, " ")
+		if len(t.Outputs) == 1 && len(t.Inputs) > 0 {
+			bw.printf(".table %s %s\n", cols, t.Outputs[0])
+		} else if len(t.Inputs) == 0 {
+			bw.printf(".table %s\n", strings.Join(t.Outputs, " "))
+		} else {
+			bw.printf(".table %s -> %s\n", cols, strings.Join(t.Outputs, " "))
+		}
+		if t.Default != nil {
+			var parts []string
+			for i, vs := range t.Default {
+				parts = append(parts, setString(vs, m.Vars[t.Outputs[i]]))
+			}
+			bw.printf(".default %s\n", strings.Join(parts, " "))
+		}
+		for _, r := range t.Rows {
+			var parts []string
+			for i, vs := range r.In {
+				parts = append(parts, setString(vs, m.Vars[t.Inputs[i]]))
+			}
+			for i, o := range r.Out {
+				if o.EqInput >= 0 {
+					parts = append(parts, "="+t.Inputs[o.EqInput])
+				} else {
+					parts = append(parts, setString(o.Set, m.Vars[t.Outputs[i]]))
+				}
+			}
+			bw.printf("%s\n", strings.Join(parts, " "))
+		}
+	}
+	bw.printf(".end\n")
+	return bw.err
+}
+
+func valueName(v *Variable, i int) string {
+	if v != nil {
+		return v.ValueName(i)
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+func setString(vs ValueSet, v *Variable) string {
+	if vs.All {
+		return "-"
+	}
+	if len(vs.Vals) == 1 {
+		return valueName(v, vs.Vals[0])
+	}
+	parts := make([]string, len(vs.Vals))
+	for i, val := range vs.Vals {
+		parts[i] = valueName(v, val)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

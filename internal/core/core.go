@@ -1,0 +1,446 @@
+// Package core is the top-level façade of the HSIS reproduction: it
+// wires the Verilog front end, the BLIF-MV compiler, the CTL model
+// checker, the language containment engine, and the debugger into the
+// verification flow of the paper's Figure 1 (HDL → BLIF-MV + PIF →
+// design verification → bug report → debugger).
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hsis/internal/abstract"
+	"hsis/internal/blifmv"
+	"hsis/internal/ctl"
+	"hsis/internal/debug"
+	"hsis/internal/fair"
+	"hsis/internal/lc"
+	"hsis/internal/network"
+	"hsis/internal/pif"
+	"hsis/internal/quant"
+	"hsis/internal/reach"
+	"hsis/internal/sys"
+)
+
+// Options tunes the verification flow.
+type Options struct {
+	// Heuristic selects the early-quantification scheduler.
+	Heuristic quant.Heuristic
+	// NaiveQuantification disables early quantification (Ablation A).
+	NaiveQuantification bool
+	// AppendedOrder uses the naive declaration-order variable order
+	// instead of the interacting-FSM static order (Ablation E).
+	AppendedOrder bool
+	// EarlySteps enables early failure detection with the given depth
+	// for language containment checks.
+	EarlySteps int
+	// DisableInvariantFastPath forces the general CTL route even for
+	// AG(propositional) formulas (Ablation B).
+	DisableInvariantFastPath bool
+	// ConeOfInfluence abstracts each property to the logic that can
+	// influence its atoms (plus the fairness constraints' support)
+	// before checking — the automatic abstraction of paper §8 item 2.
+	ConeOfInfluence bool
+}
+
+// Workspace is a loaded design together with its properties.
+type Workspace struct {
+	Name string
+	Net  *network.Network
+	// FC is the design-level fairness (from PIF fairness blocks).
+	FC *fair.Constraints
+
+	CTLProps []pif.CTLProp
+	Automata []*pif.AutSpec
+
+	// fairSpecs keeps the syntactic fairness constraints so abstracted
+	// (cone-of-influence) networks can recompile them.
+	fairSpecs []pif.FairSpec
+	// coneCache reuses reduced workspaces across properties with the
+	// same observation support.
+	coneCache map[string]*Workspace
+
+	// Source metrics for Table 1.
+	VerilogLines int
+	BlifmvLines  int
+	ReadTime     time.Duration // parse BLIF-MV + build transition relation
+
+	opts Options
+}
+
+// LoadVerilogString compiles Verilog source text into a workspace.
+func LoadVerilogString(src, file, top string, opts Options) (*Workspace, error) {
+	design, err := verilogToBlifmv(src, file, top)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	if err := blifmv.Write(&sb, design); err != nil {
+		return nil, err
+	}
+	w, err := LoadBlifMVString(sb.String(), file+".mv", opts)
+	if err != nil {
+		return nil, err
+	}
+	w.Name = top
+	w.VerilogLines = countLines(src)
+	return w, nil
+}
+
+// LoadVerilogFile compiles a .v file into a workspace.
+func LoadVerilogFile(path, top string, opts Options) (*Workspace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadVerilogString(string(data), path, top, opts)
+}
+
+// LoadBlifMVString parses BLIF-MV text, flattens it and compiles the
+// symbolic network, timing the read+build phase as the paper's
+// "time read blif mv" column does.
+func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
+	start := time.Now()
+	design, err := blifmv.ParseString(src, file)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := blifmv.Flatten(design)
+	if err != nil {
+		return nil, err
+	}
+	nopts := network.Options{
+		Heuristic:           opts.Heuristic,
+		NaiveQuantification: opts.NaiveQuantification,
+		// With per-property cone-of-influence abstraction the full
+		// product transition relation may never be needed; build it
+		// lazily (EnsureT) only when a property cannot be reduced.
+		SkipMonolithic: opts.ConeOfInfluence,
+	}
+	if opts.AppendedOrder {
+		nopts.Order = appendedOrder(flat)
+	}
+	net, err := network.Build(flat, nopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Workspace{
+		Name:        design.Root,
+		Net:         net,
+		FC:          &fair.Constraints{},
+		BlifmvLines: countLines(src),
+		ReadTime:    time.Since(start),
+		opts:        opts,
+	}, nil
+}
+
+// LoadBlifMVFile loads a .mv file.
+func LoadBlifMVFile(path string, opts Options) (*Workspace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadBlifMVString(string(data), path, opts)
+}
+
+// AddPIFString parses a PIF property file into the workspace: CTL
+// properties, property automata, and design fairness constraints.
+func (w *Workspace) AddPIFString(src, file string) error {
+	f, err := pif.ParseString(src, file)
+	if err != nil {
+		return err
+	}
+	fc, err := lc.CompileFairness(w.Net, f.Fairness)
+	if err != nil {
+		return err
+	}
+	w.FC = fair.Merge(w.FC, fc)
+	w.fairSpecs = append(w.fairSpecs, f.Fairness...)
+	w.CTLProps = append(w.CTLProps, f.CTL...)
+	w.Automata = append(w.Automata, f.Automata...)
+	return nil
+}
+
+// fairSupport lists the variables the fairness constraints observe.
+func (w *Workspace) fairSupport() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(f ctl.Formula) {
+		if f == nil {
+			return
+		}
+		for _, v := range ctl.Atoms(f) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for _, s := range w.fairSpecs {
+		add(s.Expr)
+		add(s.To)
+	}
+	return out
+}
+
+// coneWorkspace builds (or reuses) a reduced workspace observing the
+// given variables plus the fairness constraints' support.
+func (w *Workspace) coneWorkspace(observed []string) (*Workspace, *abstract.Result, error) {
+	obs := append(append([]string(nil), observed...), w.fairSupport()...)
+	res, err := abstract.ConeOfInfluence(w.Net.Model(), obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := coneKey(res.Model)
+	if cached, ok := w.coneCache[key]; ok {
+		return cached, res, nil
+	}
+	nopts := network.Options{
+		Heuristic:           w.opts.Heuristic,
+		NaiveQuantification: w.opts.NaiveQuantification,
+	}
+	net, err := network.Build(res.Model, nopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	fc, err := lc.CompileFairness(net, w.fairSpecs)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub := &Workspace{
+		Name:      w.Name + "+coi",
+		Net:       net,
+		FC:        fc,
+		fairSpecs: w.fairSpecs,
+		opts:      w.opts,
+	}
+	sub.opts.ConeOfInfluence = false // no recursive reduction
+	if w.coneCache == nil {
+		w.coneCache = map[string]*Workspace{}
+	}
+	w.coneCache[key] = sub
+	return sub, res, nil
+}
+
+// coneKey identifies a reduced model by its kept latch outputs.
+func coneKey(m *blifmv.Model) string {
+	var parts []string
+	for _, l := range m.Latches {
+		parts = append(parts, l.Output)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// AddPIFFile loads a .pif file.
+func (w *Workspace) AddPIFFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return w.AddPIFString(string(data), path)
+}
+
+// Kind labels a property's verification paradigm.
+type Kind string
+
+// Property kinds.
+const (
+	KindCTL Kind = "ctl"
+	KindLC  Kind = "lc"
+)
+
+// PropertyResult is one verified property.
+type PropertyResult struct {
+	Name string
+	Kind Kind
+	Pass bool
+	Time time.Duration
+	// Formula is set for CTL properties.
+	Formula ctl.Formula
+	// Trace is the error trace for failing LC (and AG-style CTL)
+	// properties, when one could be built.
+	Trace *debug.Trace
+	// TraceSystem is the system the trace lives in (the product for LC).
+	TraceSystem sys.System
+	// UsedInvariantPath / EarlyDetected mirror the engine diagnostics.
+	UsedInvariantPath bool
+	EarlyDetected     bool
+	// ConeDropped counts latches removed by cone-of-influence
+	// abstraction before this check (0 when COI was off or vacuous).
+	ConeDropped int
+	Err         error
+}
+
+// ReachableStates computes (and caches via the checker) the reachable
+// state count — the paper's "# reached states" column.
+func (w *Workspace) ReachableStates() float64 {
+	w.Net.EnsureT()
+	res := reach.Forward(w.Net, reach.Options{})
+	return w.Net.NumStates(res.Reached)
+}
+
+// CheckCTL verifies one CTL property.
+func (w *Workspace) CheckCTL(p pif.CTLProp) *PropertyResult {
+	start := time.Now()
+	if w.opts.ConeOfInfluence {
+		sub, res, err := w.coneWorkspace(ctl.Atoms(p.Formula))
+		if err == nil && res.DroppedLatches > 0 {
+			out := sub.CheckCTL(p)
+			out.Time = time.Since(start)
+			out.ConeDropped = res.DroppedLatches
+			return out
+		}
+		// reduction unavailable or vacuous: fall through to the full model
+	}
+	w.Net.EnsureT()
+	checker := ctl.NewForNetwork(w.Net, w.FC)
+	out := &PropertyResult{Name: p.Name, Kind: KindCTL, Formula: p.Formula}
+	f := p.Formula
+	if w.opts.DisableInvariantFastPath {
+		if inv, ok := ctl.AsInvariance(f); ok {
+			// re-associate so the checker misses the AG(prop) pattern
+			f = ctl.Not{F: ctl.EF{F: ctl.Not{F: inv}}}
+		}
+	}
+	v, err := checker.Check(f)
+	out.Time = time.Since(start)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Pass = v.Pass
+	out.UsedInvariantPath = v.UsedInvariantPath
+	return out
+}
+
+// CheckLC verifies one automaton property by language containment.
+func (w *Workspace) CheckLC(spec *pif.AutSpec) *PropertyResult {
+	start := time.Now()
+	if w.opts.ConeOfInfluence {
+		var observed []string
+		seen := map[string]bool{}
+		for _, e := range spec.Edges {
+			for _, v := range ctl.Atoms(e.Guard) {
+				if !seen[v] {
+					seen[v] = true
+					observed = append(observed, v)
+				}
+			}
+		}
+		sub, res, err := w.coneWorkspace(observed)
+		if err == nil && res.DroppedLatches > 0 {
+			out := sub.CheckLC(spec)
+			out.Time = time.Since(start)
+			out.ConeDropped = res.DroppedLatches
+			return out
+		}
+	}
+	out := &PropertyResult{Name: spec.Name, Kind: KindLC}
+	w.Net.EnsureT()
+	a, err := lc.Compile(w.Net, spec)
+	if err != nil {
+		out.Err = err
+		out.Time = time.Since(start)
+		return out
+	}
+	p := lc.NewProduct(w.Net, a)
+	res := lc.Check(p, w.FC, lc.Options{EarlySteps: w.opts.EarlySteps})
+	out.Pass = res.Pass
+	out.EarlyDetected = res.EarlyDetected
+	if !res.Pass {
+		tr, terr := debug.FindErrorTrace(p, res.Constraints, res.FairHull)
+		if terr == nil {
+			out.Trace = tr
+			out.TraceSystem = p
+		}
+	}
+	out.Time = time.Since(start)
+	return out
+}
+
+// VerifyAll checks every property in the workspace: automata by
+// language containment, formulas by CTL model checking.
+func (w *Workspace) VerifyAll() []*PropertyResult {
+	var out []*PropertyResult
+	for _, a := range w.Automata {
+		out = append(out, w.CheckLC(a))
+	}
+	for _, p := range w.CTLProps {
+		out = append(out, w.CheckCTL(p))
+	}
+	return out
+}
+
+// DescribeProductState renders one product-trace state with design
+// latch values and the automaton state name.
+func DescribeProductState(p *lc.Product, st debug.State) string {
+	asg := p.N.DecodeState(map[int]bool(st))
+	var parts []string
+	for _, l := range p.N.Latches() {
+		parts = append(parts, fmt.Sprintf("%s=%s", l.Src.Output, asg[l.Src.Output]))
+	}
+	parts = append(parts, fmt.Sprintf("[%s:%s]", p.A.Name, p.A.States[p.APS.ValueFromMap(st)]))
+	return strings.Join(parts, " ")
+}
+
+// DescribeState renders a design-level state.
+func (w *Workspace) DescribeState(st debug.State) string {
+	asg := w.Net.DecodeState(map[int]bool(st))
+	var parts []string
+	for _, l := range w.Net.Latches() {
+		parts = append(parts, fmt.Sprintf("%s=%s", l.Src.Output, asg[l.Src.Output]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// SourceOf maps a design variable back to its HDL source location
+// ("file:line"), when the front end annotated it (paper §8 item 7:
+// source-level debugging). Empty when unknown.
+func (w *Workspace) SourceOf(variable string) string {
+	return w.Net.Model().Attr("src", variable)
+}
+
+// BugReport renders a failing result as the textual bug report the
+// debugger consumes (Figure 1's "bug report" artifact). When the design
+// came from Verilog, the report maps each latch back to the source line
+// that assigns it.
+func (w *Workspace) BugReport(r *PropertyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "property %s (%s): FAIL\n", r.Name, r.Kind)
+	if r.Err != nil {
+		fmt.Fprintf(&sb, "  error: %v\n", r.Err)
+		return sb.String()
+	}
+	if r.Trace != nil {
+		describe := w.DescribeState
+		if p, ok := r.TraceSystem.(*lc.Product); ok {
+			describe = func(st debug.State) string { return DescribeProductState(p, st) }
+		}
+		sb.WriteString(debug.FormatTrace(r.Trace, describe))
+		srcLines := false
+		for _, l := range w.Net.Latches() {
+			if loc := w.SourceOf(l.Src.Output); loc != "" {
+				if !srcLines {
+					sb.WriteString("  source locations:\n")
+					srcLines = true
+				}
+				fmt.Fprintf(&sb, "    %s assigned at %s\n", l.Src.Output, loc)
+			}
+		}
+	}
+	return sb.String()
+}
+
+func verilogToBlifmv(src, file, top string) (*blifmv.Design, error) {
+	return verilogCompile(src, file, top)
+}
+
+func countLines(s string) int {
+	n := strings.Count(s, "\n")
+	if len(s) > 0 && !strings.HasSuffix(s, "\n") {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hsis/internal/designs"
+	"hsis/internal/quant"
+)
+
+func loadDesign(t *testing.T, name string, opts Options) *Workspace {
+	t.Helper()
+	d, err := designs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadVerilogString(d.Verilog, name+".v", d.Top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPIFString(d.PIF, name+".pif"); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPingpongAllPropertiesPass(t *testing.T) {
+	w := loadDesign(t, "pingpong", Options{})
+	if got := w.ReachableStates(); got < 3 || got > 6 {
+		t.Fatalf("pingpong reached %v states, expected a handful", got)
+	}
+	if len(w.Automata) != 6 || len(w.CTLProps) != 6 {
+		t.Fatalf("pingpong: %d LC, %d CTL props; Table 1 wants 6 and 6",
+			len(w.Automata), len(w.CTLProps))
+	}
+	for _, r := range w.VerifyAll() {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if !r.Pass {
+			t.Errorf("pingpong property %s (%s) failed unexpectedly", r.Name, r.Kind)
+		}
+	}
+}
+
+func TestPhilosMutexPassesLivenessFails(t *testing.T) {
+	w := loadDesign(t, "philos", Options{})
+	if len(w.Automata) != 2 || len(w.CTLProps) != 2 {
+		t.Fatalf("philos: %d LC, %d CTL props; Table 1 wants 2 and 2",
+			len(w.Automata), len(w.CTLProps))
+	}
+	results := w.VerifyAll()
+	byName := map[string]*PropertyResult{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		byName[r.Name] = r
+	}
+	if !byName["eat_mutex"].Pass || !byName["mutex"].Pass {
+		t.Error("mutual exclusion must hold")
+	}
+	if byName["eat_live"].Pass {
+		t.Error("liveness must fail: the symmetric protocol deadlocks")
+	}
+	if byName["progress"].Pass {
+		t.Error("CTL progress must fail: the symmetric protocol deadlocks")
+	}
+	// failing LC property carries a verified error trace and bug report
+	r := byName["eat_live"]
+	if r.Trace == nil {
+		t.Fatal("failing LC property must produce an error trace")
+	}
+	report := w.BugReport(r)
+	if !strings.Contains(report, "FAIL") || !strings.Contains(report, "cycle") {
+		t.Fatalf("bug report:\n%s", report)
+	}
+	// the deadlock shows both philosophers holding their left forks
+	if !strings.Contains(report, "HASL") {
+		t.Fatalf("expected the deadlock (HASL) in the trace:\n%s", report)
+	}
+}
+
+func TestOptionsVariants(t *testing.T) {
+	// The same verdicts under every engine configuration.
+	for _, opts := range []Options{
+		{},
+		{Heuristic: quant.Linear},
+		{NaiveQuantification: true},
+		{AppendedOrder: true},
+		{EarlySteps: 4},
+		{DisableInvariantFastPath: true},
+	} {
+		w := loadDesign(t, "pingpong", opts)
+		for _, r := range w.VerifyAll() {
+			if r.Err != nil || !r.Pass {
+				t.Fatalf("opts %+v: property %s failed (%v)", opts, r.Name, r.Err)
+			}
+		}
+	}
+}
+
+func TestInvariantFastPathFlag(t *testing.T) {
+	w := loadDesign(t, "pingpong", Options{})
+	var mutex *PropertyResult
+	for _, p := range w.CTLProps {
+		if p.Name == "mutex" {
+			mutex = w.CheckCTL(p)
+		}
+	}
+	if mutex == nil || !mutex.UsedInvariantPath {
+		t.Fatal("AG(prop) should use the invariance fast path without fairness")
+	}
+	w2 := loadDesign(t, "pingpong", Options{DisableInvariantFastPath: true})
+	for _, p := range w2.CTLProps {
+		if p.Name == "mutex" {
+			r := w2.CheckCTL(p)
+			if r.UsedInvariantPath {
+				t.Fatal("fast path should be disabled")
+			}
+			if !r.Pass {
+				t.Fatal("verdict must not change")
+			}
+		}
+	}
+}
+
+func TestLineCounts(t *testing.T) {
+	w := loadDesign(t, "pingpong", Options{})
+	if w.VerilogLines == 0 || w.BlifmvLines == 0 {
+		t.Fatal("source metrics missing")
+	}
+	if w.BlifmvLines < w.VerilogLines {
+		t.Log("note: BLIF-MV smaller than Verilog (unusual but possible)")
+	}
+}
+
+func TestDesignCatalog(t *testing.T) {
+	names := designs.Names()
+	if len(names) != 6 {
+		t.Fatalf("catalog has %d designs, want 6", len(names))
+	}
+	if _, err := designs.Get("nope"); err == nil {
+		t.Fatal("unknown design should error")
+	}
+}
+
+func TestConeOfInfluenceOption(t *testing.T) {
+	// mdlc2's channel-0 property ignores most of channel 1 — COI must
+	// drop latches and preserve every verdict.
+	full := loadDesign(t, "mdlc2", Options{})
+	coi := loadDesign(t, "mdlc2", Options{ConeOfInfluence: true})
+	rf := full.VerifyAll()
+	rc := coi.VerifyAll()
+	if len(rf) != len(rc) {
+		t.Fatal("result count mismatch")
+	}
+	droppedSomewhere := false
+	for i := range rf {
+		if rf[i].Err != nil || rc[i].Err != nil {
+			t.Fatalf("errors: %v / %v", rf[i].Err, rc[i].Err)
+		}
+		if rf[i].Pass != rc[i].Pass {
+			t.Fatalf("%s: COI changed verdict %v -> %v", rf[i].Name, rf[i].Pass, rc[i].Pass)
+		}
+		if rc[i].ConeDropped > 0 {
+			droppedSomewhere = true
+		}
+	}
+	if !droppedSomewhere {
+		t.Fatal("COI never reduced anything on mdlc2")
+	}
+}
+
+func TestConeOfInfluenceAllDesignsVerdictsStable(t *testing.T) {
+	for _, name := range designs.Names() {
+		full := loadDesign(t, name, Options{})
+		coi := loadDesign(t, name, Options{ConeOfInfluence: true})
+		rf := full.VerifyAll()
+		rc := coi.VerifyAll()
+		for i := range rf {
+			if rf[i].Err != nil || rc[i].Err != nil {
+				t.Fatalf("%s/%s: %v / %v", name, rf[i].Name, rf[i].Err, rc[i].Err)
+			}
+			if rf[i].Pass != rc[i].Pass {
+				t.Fatalf("%s/%s: COI changed the verdict", name, rf[i].Name)
+			}
+		}
+	}
+}
+
+func TestVerificationSurvivesGC(t *testing.T) {
+	// The GC contract: the network's protected roots (T, Init) survive a
+	// collection, and verification after a GC produces identical
+	// verdicts. (Checkers are per-property, so nothing else needs to be
+	// protected between properties.)
+	w := loadDesign(t, "philos", Options{})
+	before := map[string]bool{}
+	for _, r := range w.VerifyAll() {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		before[r.Name] = r.Pass
+	}
+	m := w.Net.Manager()
+	sizeBefore := m.Size()
+	m.GC()
+	if m.GCCount != 1 {
+		t.Fatal("GC did not run")
+	}
+	if m.Size() >= sizeBefore {
+		t.Log("GC reclaimed nothing (all nodes reachable from T/Init)")
+	}
+	for _, r := range w.VerifyAll() {
+		if r.Err != nil {
+			t.Fatalf("after GC: %v", r.Err)
+		}
+		if before[r.Name] != r.Pass {
+			t.Fatalf("after GC: %s verdict changed", r.Name)
+		}
+	}
+}

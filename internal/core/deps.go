@@ -1,0 +1,18 @@
+package core
+
+import (
+	"hsis/internal/blifmv"
+	"hsis/internal/order"
+	"hsis/internal/verilog"
+)
+
+// verilogCompile keeps the Verilog dependency in one seam so tests can
+// exercise the façade with either front end.
+func verilogCompile(src, file, top string) (*blifmv.Design, error) {
+	return verilog.CompileString(src, file, top)
+}
+
+// appendedOrder is the deliberately poor variable order for Ablation E.
+func appendedOrder(flat *blifmv.Model) []string {
+	return order.Appended(flat)
+}

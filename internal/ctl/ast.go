@@ -1,0 +1,229 @@
+// Package ctl implements fair CTL model checking (paper §5.2): parsing
+// of CTL formulas in the HSIS/SMV style, evaluation over a symbolic
+// transition system under fairness constraints, and the invariance fast
+// path the paper describes ("CTL model checking is more efficient for
+// invariance properties, since we have optimized the model checker with
+// respect to these properties").
+package ctl
+
+import "fmt"
+
+// Formula is a CTL formula AST node.
+type Formula interface {
+	String() string
+}
+
+// TrueF is the constant true formula.
+type TrueF struct{}
+
+// FalseF is the constant false formula.
+type FalseF struct{}
+
+// Atom is a comparison of a design variable with a value: v=a or v!=a.
+// A bare identifier parses as v=1.
+type Atom struct {
+	Var   string
+	Value string
+	Neq   bool
+}
+
+// Not is logical negation.
+type Not struct{ F Formula }
+
+// And is logical conjunction.
+type And struct{ L, R Formula }
+
+// Or is logical disjunction.
+type Or struct{ L, R Formula }
+
+// Implies is logical implication.
+type Implies struct{ L, R Formula }
+
+// Iff is logical biconditional.
+type Iff struct{ L, R Formula }
+
+// EX asserts some fair successor satisfies F.
+type EX struct{ F Formula }
+
+// EF asserts some fair path reaches F.
+type EF struct{ F Formula }
+
+// EG asserts some fair path satisfies F globally.
+type EG struct{ F Formula }
+
+// EU asserts some fair path satisfies L until R.
+type EU struct{ L, R Formula }
+
+// AX asserts every fair successor satisfies F.
+type AX struct{ F Formula }
+
+// AF asserts every fair path reaches F.
+type AF struct{ F Formula }
+
+// AG asserts every fair path satisfies F globally.
+type AG struct{ F Formula }
+
+// AU asserts every fair path satisfies L until R.
+type AU struct{ L, R Formula }
+
+func (TrueF) String() string  { return "TRUE" }
+func (FalseF) String() string { return "FALSE" }
+
+func (a Atom) String() string {
+	op := "="
+	if a.Neq {
+		op = "!="
+	}
+	return a.Var + op + a.Value
+}
+
+func (f Not) String() string     { return "!" + paren(f.F) }
+func (f And) String() string     { return paren(f.L) + " * " + paren(f.R) }
+func (f Or) String() string      { return paren(f.L) + " + " + paren(f.R) }
+func (f Implies) String() string { return paren(f.L) + " -> " + paren(f.R) }
+func (f Iff) String() string     { return paren(f.L) + " <-> " + paren(f.R) }
+func (f EX) String() string      { return "EX " + paren(f.F) }
+func (f EF) String() string      { return "EF " + paren(f.F) }
+func (f EG) String() string      { return "EG " + paren(f.F) }
+func (f AX) String() string      { return "AX " + paren(f.F) }
+func (f AF) String() string      { return "AF " + paren(f.F) }
+func (f AG) String() string      { return "AG " + paren(f.F) }
+func (f EU) String() string      { return fmt.Sprintf("E(%s U %s)", f.L, f.R) }
+func (f AU) String() string      { return fmt.Sprintf("A(%s U %s)", f.L, f.R) }
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case Atom, TrueF, FalseF, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// IsPropositional reports whether f contains no temporal operator.
+func IsPropositional(f Formula) bool {
+	switch t := f.(type) {
+	case TrueF, FalseF, Atom:
+		return true
+	case Not:
+		return IsPropositional(t.F)
+	case And:
+		return IsPropositional(t.L) && IsPropositional(t.R)
+	case Or:
+		return IsPropositional(t.L) && IsPropositional(t.R)
+	case Implies:
+		return IsPropositional(t.L) && IsPropositional(t.R)
+	case Iff:
+		return IsPropositional(t.L) && IsPropositional(t.R)
+	default:
+		return false
+	}
+}
+
+// AsInvariance matches the AG(p) pattern with propositional p — the
+// shape handled by the optimized invariance path.
+func AsInvariance(f Formula) (Formula, bool) {
+	ag, ok := f.(AG)
+	if !ok {
+		return nil, false
+	}
+	if !IsPropositional(ag.F) {
+		return nil, false
+	}
+	return ag.F, true
+}
+
+// Atoms collects the distinct variable names referenced by a formula, in
+// first-appearance order — the observation support used by
+// cone-of-influence abstraction.
+func Atoms(f Formula) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch t := f.(type) {
+		case Atom:
+			if !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+		case Not:
+			walk(t.F)
+		case And:
+			walk(t.L)
+			walk(t.R)
+		case Or:
+			walk(t.L)
+			walk(t.R)
+		case Implies:
+			walk(t.L)
+			walk(t.R)
+		case Iff:
+			walk(t.L)
+			walk(t.R)
+		case EX:
+			walk(t.F)
+		case EF:
+			walk(t.F)
+		case EG:
+			walk(t.F)
+		case AX:
+			walk(t.F)
+		case AF:
+			walk(t.F)
+		case AG:
+			walk(t.F)
+		case EU:
+			walk(t.L)
+			walk(t.R)
+		case AU:
+			walk(t.L)
+			walk(t.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// IsExistential reports whether the formula contains any existential
+// path quantifier with positive polarity (such properties are not
+// preserved by refinement, paper §2).
+func IsExistential(f Formula) bool {
+	return existential(f, true)
+}
+
+func existential(f Formula, pos bool) bool {
+	switch t := f.(type) {
+	case TrueF, FalseF, Atom:
+		return false
+	case Not:
+		return existential(t.F, !pos)
+	case And:
+		return existential(t.L, pos) || existential(t.R, pos)
+	case Or:
+		return existential(t.L, pos) || existential(t.R, pos)
+	case Implies:
+		return existential(t.L, !pos) || existential(t.R, pos)
+	case Iff:
+		return existential(t.L, pos) || existential(t.R, pos) ||
+			existential(t.L, !pos) || existential(t.R, !pos)
+	case EX:
+		return pos || existential(t.F, pos)
+	case EF:
+		return pos || existential(t.F, pos)
+	case EG:
+		return pos || existential(t.F, pos)
+	case EU:
+		return pos || existential(t.L, pos) || existential(t.R, pos)
+	case AX:
+		return !pos || existential(t.F, pos)
+	case AF:
+		return !pos || existential(t.F, pos)
+	case AG:
+		return !pos || existential(t.F, pos)
+	case AU:
+		return !pos || existential(t.L, pos) || existential(t.R, pos)
+	default:
+		return true
+	}
+}

@@ -1,0 +1,41 @@
+package ctl_test
+
+import (
+	"fmt"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/ctl"
+	"hsis/internal/network"
+)
+
+// Model-check a request/grant property on a two-state machine.
+func Example() {
+	src := `
+.model toggle
+.table s n
+0 1
+1 0
+.latch n s
+.reset s
+0
+.end
+`
+	d, _ := blifmv.ParseString(src, "toggle.mv")
+	flat, _ := blifmv.Flatten(d)
+	net, _ := network.Build(flat, network.Options{})
+
+	checker := ctl.NewForNetwork(net, nil)
+	for _, prop := range []string{
+		"AG(s=0 -> AX s=1)",
+		"AG AF s=1",
+		"AG s=0",
+	} {
+		f := ctl.MustParse(prop)
+		v, _ := checker.Check(f)
+		fmt.Printf("%-20s pass=%v\n", prop, v.Pass)
+	}
+	// Output:
+	// AG(s=0 -> AX s=1)    pass=true
+	// AG AF s=1            pass=true
+	// AG s=0               pass=false
+}

@@ -1,0 +1,340 @@
+package ctl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads one CTL formula in the HSIS/SMV style:
+//
+//	AG(out1=0 + out2=0)
+//	AG(req=1 -> AF ack=1)
+//	E(p=1 U q=done)
+//	!EF bad
+//
+// Operators by loosening precedence: <->, ->, + (or |), * (or &), !,
+// temporal unaries (AG AF AX EG EF EX), A(... U ...), E(... U ...).
+// A bare identifier abbreviates ident=1. Identifiers may contain
+// letters, digits, '_', '.', '$'.
+func Parse(s string) (Formula, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &fparser{toks: toks, src: s}
+	f, err := p.iff()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("ctl: trailing input at %q", p.toks[p.pos].text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; for tests and tables.
+func MustParse(s string) Formula {
+	f, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind int
+
+const (
+	tIdent tokenKind = iota
+	tLParen
+	tRParen
+	tNot
+	tAnd
+	tOr
+	tImplies
+	tIff
+	tEq
+	tNeq
+)
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tRParen, ")"})
+			i++
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{tNeq, "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{tNot, "!"})
+				i++
+			}
+		case c == '*' || c == '&':
+			toks = append(toks, token{tAnd, string(c)})
+			i++
+			if c == '&' && i < len(s) && s[i] == '&' {
+				i++
+			}
+		case c == '+' || c == '|':
+			toks = append(toks, token{tOr, string(c)})
+			i++
+			if c == '|' && i < len(s) && s[i] == '|' {
+				i++
+			}
+		case c == '-':
+			if i+1 < len(s) && s[i+1] == '>' {
+				toks = append(toks, token{tImplies, "->"})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("ctl: stray '-' at offset %d", i)
+			}
+		case c == '<':
+			if strings.HasPrefix(s[i:], "<->") {
+				toks = append(toks, token{tIff, "<->"})
+				i += 3
+			} else {
+				return nil, fmt.Errorf("ctl: stray '<' at offset %d", i)
+			}
+		case c == '=':
+			toks = append(toks, token{tEq, "="})
+			i++
+		case isIdentChar(c):
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tIdent, s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("ctl: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.' || c == '$'
+}
+
+type fparser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *fparser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *fparser) accept(k tokenKind) bool {
+	if t, ok := p.peek(); ok && t.kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *fparser) acceptIdent(text string) bool {
+	if t, ok := p.peek(); ok && t.kind == tIdent && t.text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *fparser) expect(k tokenKind, what string) error {
+	if p.accept(k) {
+		return nil
+	}
+	t, ok := p.peek()
+	if !ok {
+		return fmt.Errorf("ctl: expected %s at end of %q", what, p.src)
+	}
+	return fmt.Errorf("ctl: expected %s, found %q", what, t.text)
+}
+
+func (p *fparser) iff() (Formula, error) {
+	l, err := p.implies()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tIff) {
+		r, err := p.implies()
+		if err != nil {
+			return nil, err
+		}
+		l = Iff{l, r}
+	}
+	return l, nil
+}
+
+func (p *fparser) implies() (Formula, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tImplies) {
+		r, err := p.implies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies{l, r}, nil
+	}
+	return l, nil
+}
+
+func (p *fparser) or() (Formula, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tOr) {
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *fparser) and() (Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tAnd) {
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func (p *fparser) unary() (Formula, error) {
+	if p.accept(tNot) {
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	}
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("ctl: unexpected end of formula %q", p.src)
+	}
+	if t.kind == tIdent {
+		switch t.text {
+		case "AG", "AF", "AX", "EG", "EF", "EX":
+			p.pos++
+			f, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "AG":
+				return AG{f}, nil
+			case "AF":
+				return AF{f}, nil
+			case "AX":
+				return AX{f}, nil
+			case "EG":
+				return EG{f}, nil
+			case "EF":
+				return EF{f}, nil
+			default:
+				return EX{f}, nil
+			}
+		case "A", "E":
+			// A(f U g) / E(f U g)
+			p.pos++
+			if err := p.expect(tLParen, "'(' after "+t.text); err != nil {
+				return nil, err
+			}
+			l, err := p.iff()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptIdent("U") {
+				return nil, fmt.Errorf("ctl: expected U inside %s(...)", t.text)
+			}
+			r, err := p.iff()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tRParen, "')'"); err != nil {
+				return nil, err
+			}
+			if t.text == "A" {
+				return AU{l, r}, nil
+			}
+			return EU{l, r}, nil
+		}
+	}
+	return p.atom()
+}
+
+func (p *fparser) atom() (Formula, error) {
+	if p.accept(tLParen) {
+		f, err := p.iff()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	t, ok := p.peek()
+	if !ok || t.kind != tIdent {
+		if ok {
+			return nil, fmt.Errorf("ctl: expected atom, found %q", t.text)
+		}
+		return nil, fmt.Errorf("ctl: expected atom at end of %q", p.src)
+	}
+	p.pos++
+	switch t.text {
+	case "TRUE", "true", "1":
+		return TrueF{}, nil
+	case "FALSE", "false", "0":
+		return FalseF{}, nil
+	}
+	if p.accept(tEq) {
+		v, ok := p.peek()
+		if !ok || v.kind != tIdent {
+			return nil, fmt.Errorf("ctl: expected value after %s=", t.text)
+		}
+		p.pos++
+		return Atom{Var: t.text, Value: v.text}, nil
+	}
+	if p.accept(tNeq) {
+		v, ok := p.peek()
+		if !ok || v.kind != tIdent {
+			return nil, fmt.Errorf("ctl: expected value after %s!=", t.text)
+		}
+		p.pos++
+		return Atom{Var: t.text, Value: v.text, Neq: true}, nil
+	}
+	// bare identifier: ident=1
+	return Atom{Var: t.text, Value: "1"}, nil
+}

@@ -1,0 +1,155 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"AG(out1=0 + out2=0)", "AG (out1=0 + out2=0)"},
+		{"AG(req=1 -> AF ack=1)", "AG (req=1 -> (AF ack=1))"},
+		{"E(p=1 U q=done)", "E(p=1 U q=done)"},
+		{"A(p U q)", "E..."}, // checked structurally below
+		{"!EF bad", "!(EF bad=1)"},
+		{"x != busy", "x!=busy"},
+		{"TRUE * FALSE", "TRUE * FALSE"},
+		{"a <-> b", "a=1 <-> b=1"},
+		{"EX EG p=2", "EX (EG p=2)"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		// re-parse the printed form; must be accepted
+		if _, err := Parse(f.String()); err != nil {
+			t.Errorf("reparse of %q → %q failed: %v", c.in, f.String(), err)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	f := MustParse("AG(a=1 -> AF b=1)")
+	ag, ok := f.(AG)
+	if !ok {
+		t.Fatalf("top is %T, want AG", f)
+	}
+	imp, ok := ag.F.(Implies)
+	if !ok {
+		t.Fatalf("inside AG is %T, want Implies", ag.F)
+	}
+	if _, ok := imp.R.(AF); !ok {
+		t.Fatalf("consequent is %T, want AF", imp.R)
+	}
+
+	u := MustParse("A(x U y=v2)").(AU)
+	if u.L.(Atom).Var != "x" || u.R.(Atom).Value != "v2" {
+		t.Fatal("AU operands wrong")
+	}
+
+	// precedence: + binds looser than *
+	g := MustParse("a + b * c").(Or)
+	if _, ok := g.R.(And); !ok {
+		t.Fatal("* should bind tighter than +")
+	}
+	// -> is right associative
+	h := MustParse("a -> b -> c").(Implies)
+	if _, ok := h.R.(Implies); !ok {
+		t.Fatal("-> should be right associative")
+	}
+}
+
+func TestParseIdentifiersWithDots(t *testing.T) {
+	f := MustParse("c1.state=busy")
+	a := f.(Atom)
+	if a.Var != "c1.state" || a.Value != "busy" {
+		t.Fatalf("atom = %+v", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "AG", "(a", "a U b", "E(a b)", "a =", "a !=", "a ->", "<- a",
+		"a @ b", "E(a U b", "a) b",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestIsPropositionalAndInvariance(t *testing.T) {
+	if !IsPropositional(MustParse("a=1 * (b=0 + !c)")) {
+		t.Fatal("boolean combo should be propositional")
+	}
+	if IsPropositional(MustParse("EF a")) {
+		t.Fatal("EF is temporal")
+	}
+	if _, ok := AsInvariance(MustParse("AG(a + b)")); !ok {
+		t.Fatal("AG(prop) is an invariance")
+	}
+	if _, ok := AsInvariance(MustParse("AG(AF a)")); ok {
+		t.Fatal("AG(AF) is not an invariance")
+	}
+	if _, ok := AsInvariance(MustParse("EF a")); ok {
+		t.Fatal("EF is not an invariance")
+	}
+}
+
+func TestIsExistential(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"AG(a -> AF b)", false},
+		{"EF a", true},
+		{"!EF a", false},     // negated existential is universal
+		{"AG(!EX a)", false}, // still no positive existential
+		{"AG(EF a)", true},   // mixed: contains positive EF
+		{"!AG a", true},      // ¬AG = EF¬
+	}
+	for _, c := range cases {
+		if got := IsExistential(MustParse(c.src)); got != c.want {
+			t.Errorf("IsExistential(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	srcs := []string{
+		"AG (out1=0 + out2=0)",
+		"E(p=1 U q=done)",
+		"A(p=1 U q=1)",
+		"AX (a=1 * b=1)",
+	}
+	for _, s := range srcs {
+		f := MustParse(s)
+		g := MustParse(f.String())
+		if f.String() != g.String() {
+			t.Errorf("String not stable: %q vs %q", f.String(), g.String())
+		}
+	}
+	if !strings.Contains(MustParse("a != b").String(), "!=") {
+		t.Fatal("Neq lost in printing")
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	f := MustParse("AG(req=1 -> AF (ack=1 + A(req=0 U done=1))) * E(x U y) <-> !EX z")
+	got := Atoms(f)
+	want := []string{"req", "ack", "done", "x", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Atoms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Atoms = %v, want %v", got, want)
+		}
+	}
+	if len(Atoms(TrueF{})) != 0 {
+		t.Fatal("constants have no atoms")
+	}
+}

@@ -1,0 +1,57 @@
+package ctl
+
+import (
+	"fmt"
+
+	"hsis/internal/bdd"
+)
+
+// EvalProp evaluates a propositional formula (no temporal operators)
+// into a BDD using the given atom resolver. It is used for automaton
+// guards and fairness-constraint expressions in PIF files.
+func EvalProp(m *bdd.Manager, f Formula, label func(name, value string) (bdd.Ref, error)) (bdd.Ref, error) {
+	switch t := f.(type) {
+	case TrueF:
+		return bdd.True, nil
+	case FalseF:
+		return bdd.False, nil
+	case Atom:
+		set, err := label(t.Var, t.Value)
+		if err != nil {
+			return bdd.False, err
+		}
+		if t.Neq {
+			return m.Not(set), nil
+		}
+		return set, nil
+	case Not:
+		s, err := EvalProp(m, t.F, label)
+		if err != nil {
+			return bdd.False, err
+		}
+		return m.Not(s), nil
+	case And:
+		return evalBin(m, t.L, t.R, label, m.And)
+	case Or:
+		return evalBin(m, t.L, t.R, label, m.Or)
+	case Implies:
+		return evalBin(m, t.L, t.R, label, m.Implies)
+	case Iff:
+		return evalBin(m, t.L, t.R, label, m.Equiv)
+	default:
+		return bdd.False, fmt.Errorf("ctl: %s is not propositional", f)
+	}
+}
+
+func evalBin(m *bdd.Manager, l, r Formula, label func(string, string) (bdd.Ref, error),
+	op func(bdd.Ref, bdd.Ref) bdd.Ref) (bdd.Ref, error) {
+	ls, err := EvalProp(m, l, label)
+	if err != nil {
+		return bdd.False, err
+	}
+	rs, err := EvalProp(m, r, label)
+	if err != nil {
+		return bdd.False, err
+	}
+	return op(ls, rs), nil
+}

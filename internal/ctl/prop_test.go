@@ -1,0 +1,62 @@
+package ctl
+
+import (
+	"testing"
+
+	"hsis/internal/bdd"
+)
+
+func TestEvalProp(t *testing.T) {
+	m := bdd.New()
+	a, b := m.NewVar(), m.NewVar()
+	label := func(name, value string) (bdd.Ref, error) {
+		switch name {
+		case "a":
+			if value == "1" {
+				return a, nil
+			}
+			return m.Not(a), nil
+		case "b":
+			if value == "1" {
+				return b, nil
+			}
+			return m.Not(b), nil
+		}
+		return bdd.False, errUnknown(name)
+	}
+	cases := []struct {
+		src  string
+		want bdd.Ref
+	}{
+		{"a * b", m.And(a, b)},
+		{"a + !b", m.Or(a, m.Not(b))},
+		{"a -> b", m.Implies(a, b)},
+		{"a <-> b", m.Equiv(a, b)},
+		{"a != 1", m.Not(a)},
+		{"TRUE", bdd.True},
+		{"FALSE", bdd.False},
+	}
+	for _, c := range cases {
+		got, err := EvalProp(m, MustParse(c.src), label)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("EvalProp(%q) wrong", c.src)
+		}
+	}
+	// temporal formulas are rejected
+	if _, err := EvalProp(m, MustParse("EF a"), label); err == nil {
+		t.Fatal("temporal formula should error")
+	}
+	// label errors propagate through every connective
+	for _, src := range []string{"zz", "!zz", "a * zz", "zz * a", "zz -> a"} {
+		if _, err := EvalProp(m, MustParse(src), label); err == nil {
+			t.Fatalf("%s: unknown atom should error", src)
+		}
+	}
+}
+
+type errUnknown string
+
+func (e errUnknown) Error() string { return "unknown variable " + string(e) }

@@ -1,0 +1,525 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/ctl"
+	"hsis/internal/emptiness"
+	"hsis/internal/fair"
+	"hsis/internal/lc"
+	"hsis/internal/network"
+	"hsis/internal/pif"
+	"hsis/internal/sys"
+)
+
+func compile(t *testing.T, src string) *network.Network {
+	t.Helper()
+	d, err := blifmv.ParseString(src, "test.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// branch: 0→1, 1→{0,2}, 2→2
+const branch = `
+.model branch
+.mv s,n 3
+.table s n
+0 1
+1 {0,2}
+2 2
+.latch n s
+.reset s
+0
+.end
+`
+
+// chain: 0→1→2→3→4→2 (loop excludes 0,1)
+const chain = `
+.model chain
+.mv s,n 5
+.table s n
+0 1
+1 2
+2 3
+3 4
+4 2
+.latch n s
+.reset s
+0
+.end
+`
+
+func TestErrorTraceUnconstrained(t *testing.T) {
+	n := compile(t, chain)
+	s := sys.FromNetwork(n)
+	reached, hull, _ := emptiness.Check(s, nil)
+	_ = reached
+	tr, err := FindErrorTrace(s, nil, hull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrace(s, nil, tr); err != nil {
+		t.Fatal(err)
+	}
+	// the fair hull is the loop {2,3,4}; minimum prefix is 0,1,2
+	if len(tr.Prefix) != 3 {
+		t.Fatalf("prefix length = %d, want 3 (minimum)", len(tr.Prefix))
+	}
+	if len(tr.Cycle) != 3 {
+		t.Fatalf("cycle length = %d, want 3", len(tr.Cycle))
+	}
+}
+
+func TestErrorTraceWithBuchi(t *testing.T) {
+	n := compile(t, branch)
+	s := sys.FromNetwork(n)
+	sv := n.VarByName("s")
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("gf0", sv.Eq(0))
+	_, hull, _ := emptiness.Check(s, fc)
+	tr, err := FindErrorTrace(s, fc, hull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrace(s, fc, tr); err != nil {
+		t.Fatal(err)
+	}
+	// the only fair cycle is 0↔1
+	if len(tr.Cycle) != 2 {
+		t.Fatalf("cycle length = %d, want 2", len(tr.Cycle))
+	}
+}
+
+func TestErrorTraceDescendsToDeepRegion(t *testing.T) {
+	// fair cycle requires visiting 2 infinitely; entry at 0 — the
+	// constructor must descend past the 0↔1 SCC into {2}.
+	n := compile(t, branch)
+	s := sys.FromNetwork(n)
+	sv := n.VarByName("s")
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("gf2", sv.Eq(2))
+	_, hull, _ := emptiness.Check(s, fc)
+	tr, err := FindErrorTrace(s, fc, hull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrace(s, fc, tr); err != nil {
+		t.Fatal(err)
+	}
+	// cycle must be the self-loop at 2
+	if len(tr.Cycle) != 1 {
+		t.Fatalf("cycle = %d states, want the self-loop", len(tr.Cycle))
+	}
+}
+
+func TestErrorTraceEdgeConstraint(t *testing.T) {
+	n := compile(t, branch)
+	s := sys.FromNetwork(n)
+	m := n.Manager()
+	sv := n.VarByName("s")
+	fc := &fair.Constraints{}
+	fc.AddPositiveFairEdges("e10", m.And(sv.Eq(1), n.SwapRails(sv.Eq(0))))
+	_, hull, _ := emptiness.Check(s, fc)
+	tr, err := FindErrorTrace(s, fc, hull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrace(s, fc, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorTraceStreett(t *testing.T) {
+	n := compile(t, branch)
+	s := sys.FromNetwork(n)
+	sv := n.VarByName("s")
+	fc := &fair.Constraints{}
+	// GF(1) → GF(0): satisfied by both the 0↔1 cycle and the {2} loop.
+	fc.AddStreett("p", sv.Eq(1), sv.Eq(0))
+	_, hull, _ := emptiness.Check(s, fc)
+	tr, err := FindErrorTrace(s, fc, hull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrace(s, fc, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCProductTrace(t *testing.T) {
+	// Full pipeline: failing language containment produces a verified
+	// error trace over the product.
+	const mutexBad = `
+.model mutexBad
+.table t g1
+0 1
+1 0
+.table t g2
+0 1
+1 1
+.table t nt
+0 1
+1 0
+.latch nt t
+.reset t
+0
+.end
+`
+	n := compile(t, mutexBad)
+	f, err := pif.ParseString(`
+automaton never_both {
+  states A B
+  init A
+  edge A A !(g1=1 * g2=1)
+  edge A B g1=1 * g2=1
+  edge B B TRUE
+  rabin avoid { B } recur { A }
+}
+`, "p.pif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := lc.Compile(n, f.Automata[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := lc.NewProduct(n, a)
+	res := lc.Check(p, nil, lc.Options{})
+	if res.Pass {
+		t.Fatal("expected failure")
+	}
+	tr, err := FindErrorTrace(p, res.Constraints, res.FairHull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrace(p, res.Constraints, tr); err != nil {
+		t.Fatal(err)
+	}
+	// The violation is visible immediately (t=0 grants both): the trace
+	// must enter automaton state B within the cycle or prefix.
+	sawB := false
+	for _, st := range append(append([]State{}, tr.Prefix...), tr.Cycle...) {
+		if p.APS.ValueFromMap(st) == 1 {
+			sawB = true
+		}
+	}
+	if !sawB {
+		t.Fatal("trace never enters the rejecting automaton state")
+	}
+}
+
+func TestVerifyTraceRejectsBrokenTraces(t *testing.T) {
+	n := compile(t, chain)
+	s := sys.FromNetwork(n)
+	_, hull, _ := emptiness.Check(s, nil)
+	tr, err := FindErrorTrace(s, nil, hull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// corrupt the cycle: replace it with a non-adjacent pair
+	bad := &Trace{Prefix: tr.Prefix, Cycle: []State{tr.Cycle[0], tr.Prefix[0]}}
+	if err := VerifyTrace(s, nil, bad); err == nil {
+		t.Fatal("corrupted trace must fail verification")
+	}
+	// missing prefix
+	if err := VerifyTrace(s, nil, &Trace{Cycle: tr.Cycle}); err == nil {
+		t.Fatal("empty prefix must fail verification")
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	n := compile(t, chain)
+	s := sys.FromNetwork(n)
+	_, hull, _ := emptiness.Check(s, nil)
+	tr, _ := FindErrorTrace(s, nil, hull)
+	out := FormatTrace(tr, func(st State) string {
+		return n.DecodeState(map[int]bool(st))["s"]
+	})
+	if !strings.Contains(out, "cycle") || !strings.Contains(out, "step  0") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestStepperAGFailure(t *testing.T) {
+	n := compile(t, chain)
+	c := ctl.NewForNetwork(n, nil)
+	f := ctl.MustParse("AG s!=3")
+	v, err := c.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("expected failure")
+	}
+	st, ok := pickState(c.S, c.S.Init())
+	if !ok {
+		t.Fatal("no initial state")
+	}
+	stepper := NewStepper(c, nil)
+	stepper.Describe = func(s State) string { return n.DecodeState(map[int]bool(s))["s"] }
+	rep, err := stepper.ExplainFailure(f, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(text, "violation reached in 3 steps") {
+		t.Fatalf("report:\n%s", text)
+	}
+}
+
+func TestStepperDisjunctChoice(t *testing.T) {
+	n := compile(t, chain)
+	c := ctl.NewForNetwork(n, nil)
+	// both disjuncts false at init (s=0): s=3 + s=4
+	f := ctl.MustParse("s=3 + s=4")
+	st, _ := pickState(c.S, c.S.Init())
+	chosen := -1
+	nav := FuncNavigator{
+		Disjunct: func(parent ctl.Formula, opts []ctl.Formula) int {
+			chosen = len(opts)
+			return 1 // certify the second disjunct
+		},
+	}
+	rep, err := NewStepper(c, nav).ExplainFailure(f, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != 2 {
+		t.Fatalf("navigator saw %d options, want 2", chosen)
+	}
+	text := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(text, "certifying s=4 false") {
+		t.Fatalf("report:\n%s", text)
+	}
+}
+
+func TestStepperAFFailureShowsLasso(t *testing.T) {
+	n := compile(t, branch)
+	c := ctl.NewForNetwork(n, nil)
+	// AF s=0 fails at init: path 0→1→2→2→... avoids returning to 0
+	f := ctl.MustParse("AF s=2") // fails: the 0↔1 cycle avoids 2 forever
+	v, err := c.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("expected AF failure")
+	}
+	st, _ := pickState(c.S, v.FailingInit)
+	rep, err := NewStepper(c, nil).ExplainFailure(f, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(text, "avoids the target forever") {
+		t.Fatalf("report:\n%s", text)
+	}
+}
+
+func TestStepperEXAndWitness(t *testing.T) {
+	n := compile(t, branch)
+	c := ctl.NewForNetwork(n, nil)
+	st, _ := pickState(c.S, c.S.Init()) // s=0
+	// EX s=2 is false at 0 (only successor is 1)
+	rep, err := NewStepper(c, nil).ExplainFailure(ctl.MustParse("EX s=2"), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "every successor violates") {
+		t.Fatalf("report: %v", rep.Lines)
+	}
+	// EF s=2 is true at 0: witness path
+	rep, err = NewStepper(c, nil).ExplainWitness(ctl.MustParse("EF s=2"), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "target reached in 2 steps") {
+		t.Fatalf("report: %v", rep.Lines)
+	}
+	// EG TRUE witness shows a fair cycle
+	rep, err = NewStepper(c, nil).ExplainWitness(ctl.MustParse("EG TRUE"), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "fair cycle") {
+		t.Fatalf("report: %v", rep.Lines)
+	}
+}
+
+func TestStepperImplication(t *testing.T) {
+	n := compile(t, branch)
+	c := ctl.NewForNetwork(n, nil)
+	st, _ := pickState(c.S, c.S.Init())
+	rep, err := NewStepper(c, nil).ExplainFailure(ctl.MustParse("s=0 -> s=1"), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(text, "antecedent holds") {
+		t.Fatalf("report:\n%s", text)
+	}
+}
+
+func TestStepperMismatchedExpectation(t *testing.T) {
+	n := compile(t, branch)
+	c := ctl.NewForNetwork(n, nil)
+	st, _ := pickState(c.S, c.S.Init())
+	// s=0 is TRUE at init; explaining it as a failure must error.
+	if _, err := NewStepper(c, nil).ExplainFailure(ctl.MustParse("s=0"), st); err == nil {
+		t.Fatal("expected internal mismatch error")
+	}
+	_ = bdd.True
+}
+
+func TestStepperEUWitnessPathValid(t *testing.T) {
+	n := compile(t, chain)
+	c := ctl.NewForNetwork(n, nil)
+	st, _ := pickState(c.S, c.S.Init()) // s=0
+	// E(s!=4 U s=3): path 0,1,2,3 with all-but-last satisfying s!=4
+	rep, err := NewStepper(c, nil).ExplainWitness(ctl.MustParse("E(s!=4 U s=3)"), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(text, "witness path of 3 steps") {
+		t.Fatalf("report:\n%s", text)
+	}
+}
+
+func TestStepperAFStemShown(t *testing.T) {
+	// Under the fairness constraint GF(s=2), the only fair way to avoid
+	// s=0 from state 1 is the path 1→2 followed by the self-loop at 2:
+	// the lasso has a nonempty stem.
+	n := compile(t, branch)
+	sv := n.VarByName("s")
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("gf2", sv.Eq(2))
+	c := ctl.NewForNetwork(n, fc)
+	f := ctl.MustParse("AF s=0")
+	sat, err := c.Sat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Manager().And(sv.Eq(1), sat) != bdd.False {
+		t.Fatal("AF s=0 should fail at state 1 under GF(2)")
+	}
+	at, _ := pickState(c.S, sv.Eq(1))
+	rep, err := NewStepper(c, nil).ExplainFailure(f, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(text, "stem") || !strings.Contains(text, "loop") {
+		t.Fatalf("lasso should show stem and loop:\n%s", text)
+	}
+}
+
+func TestStepperAXFailureAndOrWitness(t *testing.T) {
+	n := compile(t, branch)
+	c := ctl.NewForNetwork(n, nil)
+	// AX s=0 fails at 1 (successors {0,2}: 2 violates)
+	sv := n.VarByName("s")
+	at, _ := pickState(c.S, sv.Eq(1))
+	rep, err := NewStepper(c, nil).ExplainFailure(ctl.MustParse("AX s=0"), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "violates the operand") {
+		t.Fatalf("report: %v", rep.Lines)
+	}
+	// OR witness: pickTrue path
+	rep, err = NewStepper(c, nil).ExplainWitness(ctl.MustParse("s=1 + s=2"), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "holds via s=1") {
+		t.Fatalf("report: %v", rep.Lines)
+	}
+	// EX witness with navigator choice
+	rep, err = NewStepper(c, AutoNavigator{}).ExplainWitness(ctl.MustParse("EX s=2"), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "witness successor") {
+		t.Fatalf("report: %v", rep.Lines)
+	}
+	// AND both-conjuncts-hold narration
+	rep, err = NewStepper(c, nil).ExplainWitness(ctl.MustParse("s=1 * s!=2"), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "both conjuncts hold") {
+		t.Fatalf("report: %v", rep.Lines)
+	}
+}
+
+func TestStepperMiscFormulas(t *testing.T) {
+	n := compile(t, branch)
+	c := ctl.NewForNetwork(n, nil)
+	sv := n.VarByName("s")
+	at0, _ := pickState(c.S, sv.Eq(0))
+	st := NewStepper(c, nil)
+	// passing AG / AX / AF narration
+	for _, src := range []string{"AG s!=9999$bogus"} {
+		_ = src // placeholder: AG of parse-invalid var would error at Sat
+	}
+	cases := []struct {
+		src     string
+		witness bool
+		want    string
+	}{
+		{"AG TRUE", true, "no reachable violation"},
+		{"AX s=1", true, "holds on every successor"},
+		{"AF s=0", true, "every fair path"},
+		{"EF (s=2 * s=1)", false, "ever reaches the target"},
+		{"EG s=0", false, "eventually leaves the invariant"},
+		{"!(s=1)", true, "unfolding the negation"},
+		{"s=0 -> s=0", true, "holds"},
+		{"E(s=0 U s=1)", true, "witness path"},
+		{"A(s=0 U s=1)", true, "holds"},
+		{"s=0 <-> s=0", true, "sides"},
+	}
+	for _, cse := range cases {
+		var rep *Report
+		var err error
+		if cse.witness {
+			rep, err = st.ExplainWitness(ctl.MustParse(cse.src), at0)
+		} else {
+			rep, err = st.ExplainFailure(ctl.MustParse(cse.src), at0)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", cse.src, err)
+		}
+		if !strings.Contains(strings.Join(rep.Lines, "\n"), cse.want) {
+			t.Errorf("%s: report %v missing %q", cse.src, rep.Lines, cse.want)
+		}
+	}
+	// EG s=9 is unsatisfiable at 0... use AU failure narration
+	rep, err := st.ExplainFailure(ctl.MustParse("A(s=0 U s=2)"), at0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(rep.Lines, "\n"), "violates the until") {
+		t.Fatalf("AU failure: %v", rep.Lines)
+	}
+}
+
+func TestTraceLen(t *testing.T) {
+	tr := &Trace{Prefix: make([]State, 2), Cycle: make([]State, 3)}
+	if tr.Len() != 5 {
+		t.Fatal("Len wrong")
+	}
+}

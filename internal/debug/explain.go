@@ -1,0 +1,479 @@
+package debug
+
+import (
+	"fmt"
+
+	"hsis/internal/bdd"
+	"hsis/internal/ctl"
+	"hsis/internal/emptiness"
+	"hsis/internal/sys"
+)
+
+// Navigator supplies the interactive choices of the model-checker
+// debugger (paper §6.2): when a disjunction is false the user picks
+// which disjunct to certify false, and when a formula asserts the
+// existence of paths the user picks which successor to pursue.
+type Navigator interface {
+	// ChooseDisjunct picks among false sub-formulas to certify.
+	ChooseDisjunct(parent ctl.Formula, options []ctl.Formula) int
+	// ChooseSuccessor picks the next state to pursue.
+	ChooseSuccessor(candidates []State) int
+}
+
+// AutoNavigator always takes the first option — the non-interactive
+// (batch) behavior.
+type AutoNavigator struct{}
+
+// ChooseDisjunct picks the first option.
+func (AutoNavigator) ChooseDisjunct(ctl.Formula, []ctl.Formula) int { return 0 }
+
+// ChooseSuccessor picks the first candidate.
+func (AutoNavigator) ChooseSuccessor([]State) int { return 0 }
+
+// FuncNavigator adapts two functions to Navigator.
+type FuncNavigator struct {
+	Disjunct  func(parent ctl.Formula, options []ctl.Formula) int
+	Successor func(candidates []State) int
+}
+
+// ChooseDisjunct calls the Disjunct function (or picks 0).
+func (f FuncNavigator) ChooseDisjunct(p ctl.Formula, o []ctl.Formula) int {
+	if f.Disjunct == nil {
+		return 0
+	}
+	return f.Disjunct(p, o)
+}
+
+// ChooseSuccessor calls the Successor function (or picks 0).
+func (f FuncNavigator) ChooseSuccessor(c []State) int {
+	if f.Successor == nil {
+		return 0
+	}
+	return f.Successor(c)
+}
+
+// Stepper unfolds a failed CTL formula one operator at a time, asking
+// the Navigator at each choice point. Describe renders states for the
+// report (defaults to raw bit dumps).
+type Stepper struct {
+	C        *ctl.Checker
+	Nav      Navigator
+	Describe func(State) string
+
+	maxEnum int // cap on successor enumeration
+}
+
+// NewStepper builds a stepper with the given navigator (nil = batch).
+func NewStepper(c *ctl.Checker, nav Navigator) *Stepper {
+	if nav == nil {
+		nav = AutoNavigator{}
+	}
+	return &Stepper{C: c, Nav: nav, Describe: describeBits, maxEnum: 8}
+}
+
+func describeBits(st State) string {
+	out := ""
+	for _, b := range SortedBits(st) {
+		v := 0
+		if st[b] {
+			v = 1
+		}
+		out += fmt.Sprintf("b%d=%d ", b, v)
+	}
+	return out
+}
+
+// Report is the narrated explanation produced by a debugging session.
+type Report struct {
+	Lines []string
+}
+
+func (r *Report) addf(depth int, format string, args ...interface{}) {
+	pad := ""
+	for i := 0; i < depth; i++ {
+		pad += "  "
+	}
+	r.Lines = append(r.Lines, pad+fmt.Sprintf(format, args...))
+}
+
+// ExplainFailure explains why formula f is false at the given state
+// (typically a failing initial state from a Verdict).
+func (s *Stepper) ExplainFailure(f ctl.Formula, at State) (*Report, error) {
+	r := &Report{}
+	if err := s.explain(f, at, false, 0, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ExplainWitness explains why formula f is true at the given state.
+func (s *Stepper) ExplainWitness(f ctl.Formula, at State) (*Report, error) {
+	r := &Report{}
+	if err := s.explain(f, at, true, 0, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// explain narrates why f has truth value `want` at state `at`.
+func (s *Stepper) explain(f ctl.Formula, at State, want bool, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	sat, err := s.C.Sat(f)
+	if err != nil {
+		return err
+	}
+	holds := m.And(stateEq(s.C.S, at), sat) != bdd.False
+	if holds != want {
+		return fmt.Errorf("debug: internal: %s is %v at state, expected %v", f, holds, want)
+	}
+	verdict := "holds"
+	if !want {
+		verdict = "fails"
+	}
+	switch t := f.(type) {
+	case ctl.TrueF, ctl.FalseF, ctl.Atom:
+		r.addf(depth, "%s %s at %s", f, verdict, s.Describe(at))
+		return nil
+	case ctl.Not:
+		r.addf(depth, "%s %s: unfolding the negation", f, verdict)
+		return s.explain(t.F, at, !want, depth+1, r)
+	case ctl.And:
+		if want {
+			r.addf(depth, "%s holds: both conjuncts hold", f)
+			if err := s.explain(t.L, at, true, depth+1, r); err != nil {
+				return err
+			}
+			return s.explain(t.R, at, true, depth+1, r)
+		}
+		return s.pickFalse(f, []ctl.Formula{t.L, t.R}, at, depth, r)
+	case ctl.Or:
+		if !want {
+			r.addf(depth, "%s fails: both disjuncts fail; choose one to certify", f)
+			return s.pickFalse(f, []ctl.Formula{t.L, t.R}, at, depth, r)
+		}
+		return s.pickTrue(f, []ctl.Formula{t.L, t.R}, at, depth, r)
+	case ctl.Implies:
+		if want {
+			r.addf(depth, "%s holds", f)
+			return nil
+		}
+		r.addf(depth, "%s fails: the antecedent holds and the consequent fails", f)
+		if err := s.explain(t.L, at, true, depth+1, r); err != nil {
+			return err
+		}
+		return s.explain(t.R, at, false, depth+1, r)
+	case ctl.Iff:
+		r.addf(depth, "%s %s (sides differ)", f, verdict)
+		return nil
+	case ctl.AG:
+		if want {
+			r.addf(depth, "%s holds: no reachable violation", f)
+			return nil
+		}
+		return s.explainAGFailure(t, at, depth, r)
+	case ctl.AX:
+		if want {
+			r.addf(depth, "%s holds on every successor", f)
+			return nil
+		}
+		return s.explainAXFailure(t, at, depth, r)
+	case ctl.AF:
+		if want {
+			r.addf(depth, "%s holds: every fair path reaches it", f)
+			return nil
+		}
+		return s.explainAFFailure(t.F, at, depth, r)
+	case ctl.AU:
+		if want {
+			r.addf(depth, "%s holds", f)
+			return nil
+		}
+		r.addf(depth, "%s fails: some fair path violates the until", f)
+		return nil
+	case ctl.EX:
+		if want {
+			return s.explainEXWitness(t, at, depth, r)
+		}
+		return s.explainEXFailure(t, at, depth, r)
+	case ctl.EF:
+		if want {
+			return s.explainEFWitness(t.F, at, depth, r)
+		}
+		r.addf(depth, "%s fails: no fair path from %s ever reaches the target", f, s.Describe(at))
+		return nil
+	case ctl.EG:
+		if want {
+			return s.explainEGWitness(t.F, at, depth, r)
+		}
+		r.addf(depth, "%s fails: every fair path eventually leaves the invariant", f)
+		return nil
+	case ctl.EU:
+		if want {
+			return s.explainEUWitness(t, at, depth, r)
+		}
+		r.addf(depth, "%s fails", f)
+		return nil
+	default:
+		r.addf(depth, "%s %s", f, verdict)
+		return nil
+	}
+}
+
+// pickFalse lets the navigator choose among false sub-formulas —
+// "if a formula is boolean combination of sub-formulas, say h = f + g,
+// and say h is false, then the user can be given the choice of choosing
+// which formula he wants certified false" (paper §6.2).
+func (s *Stepper) pickFalse(parent ctl.Formula, subs []ctl.Formula, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	var falseSubs []ctl.Formula
+	for _, sub := range subs {
+		sat, err := s.C.Sat(sub)
+		if err != nil {
+			return err
+		}
+		if m.And(stateEq(s.C.S, at), sat) == bdd.False {
+			falseSubs = append(falseSubs, sub)
+		}
+	}
+	if len(falseSubs) == 0 {
+		return fmt.Errorf("debug: internal: no false sub-formula under %s", parent)
+	}
+	idx := 0
+	if len(falseSubs) > 1 {
+		idx = s.Nav.ChooseDisjunct(parent, falseSubs)
+		if idx < 0 || idx >= len(falseSubs) {
+			idx = 0
+		}
+	}
+	r.addf(depth+1, "certifying %s false", falseSubs[idx])
+	return s.explain(falseSubs[idx], at, false, depth+1, r)
+}
+
+func (s *Stepper) pickTrue(parent ctl.Formula, subs []ctl.Formula, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	for _, sub := range subs {
+		sat, err := s.C.Sat(sub)
+		if err != nil {
+			return err
+		}
+		if m.And(stateEq(s.C.S, at), sat) != bdd.False {
+			r.addf(depth, "%s holds via %s", parent, sub)
+			return s.explain(sub, at, true, depth+1, r)
+		}
+	}
+	return fmt.Errorf("debug: internal: no true sub-formula under %s", parent)
+}
+
+// explainAGFailure finds the heuristically shortest path to a violating
+// state and recurses there.
+func (s *Stepper) explainAGFailure(f ctl.AG, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	good, err := s.C.Sat(f.F)
+	if err != nil {
+		return err
+	}
+	path, err := shortestPath(s.C.S, bdd.True, stateEq(s.C.S, at), m.Not(good))
+	if err != nil {
+		return fmt.Errorf("debug: AG reported false but no violation reachable: %w", err)
+	}
+	r.addf(depth, "%s fails: violation reached in %d steps", f, len(path)-1)
+	for i, st := range path {
+		r.addf(depth+1, "step %d: %s", i, s.Describe(st))
+	}
+	return s.explain(f.F, path[len(path)-1], false, depth+1, r)
+}
+
+func (s *Stepper) explainAXFailure(f ctl.AX, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	good, err := s.C.Sat(f.F)
+	if err != nil {
+		return err
+	}
+	bad := m.Diff(s.C.S.Post(stateEq(s.C.S, at)), good)
+	cands := enumerate(s.C.S, bad, s.maxEnum)
+	if len(cands) == 0 {
+		return fmt.Errorf("debug: AX reported false but no bad successor")
+	}
+	idx := clampIndex(s.Nav.ChooseSuccessor(cands), len(cands))
+	r.addf(depth, "%s fails: successor %s violates the operand", f, s.Describe(cands[idx]))
+	return s.explain(f.F, cands[idx], false, depth+1, r)
+}
+
+// explainAFFailure exhibits a fair lasso avoiding the target: a stem
+// from the state into a fair cycle, all inside ¬target.
+func (s *Stepper) explainAFFailure(inner ctl.Formula, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	good, err := s.C.Sat(inner)
+	if err != nil {
+		return err
+	}
+	// AF p false at s ⟺ s ∈ EG_fair ¬p. Build the hull and a lasso.
+	hull := hullWithin(s.C, m.Not(good))
+	if m.And(stateEq(s.C.S, at), hull) == bdd.False {
+		return fmt.Errorf("debug: AF reported false but state not in EG hull")
+	}
+	stem, cyc, err := s.lassoFrom(hull, at)
+	if err != nil {
+		return err
+	}
+	r.addf(depth, "AF %s fails: a fair path avoids the target forever", inner)
+	for i, st := range stem {
+		r.addf(depth+1, "stem %d: %s", i, s.Describe(st))
+	}
+	for i, st := range cyc {
+		r.addf(depth+1, "loop %d: %s", i, s.Describe(st))
+	}
+	return nil
+}
+
+// lassoFrom builds a stem + fair cycle anchored at the given state
+// inside the hull. The stem is empty when the cycle starts at the state
+// itself.
+func (s *Stepper) lassoFrom(hull bdd.Ref, at State) (stem, cyc []State, err error) {
+	sys2 := &initOverride{System: s.C.S, init: stateEq(s.C.S, at)}
+	cyc, err = buildFairCycle(sys2, s.C.FC, hull, at)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !sameState(at, cyc[0], s.C.S.StateBits()) {
+		stem, err = shortestPath(s.C.S, hull, stateEq(s.C.S, at), stateEq(s.C.S, cyc[0]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("debug: cannot connect state to cycle: %w", err)
+		}
+		stem = stem[:len(stem)-1] // the cycle start is printed with the loop
+	}
+	return stem, cyc, nil
+}
+
+func (s *Stepper) explainEXFailure(f ctl.EX, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	succ := s.C.S.Post(stateEq(s.C.S, at))
+	cands := enumerate(s.C.S, succ, s.maxEnum)
+	r.addf(depth, "%s fails: every successor violates the operand; pick one to pursue", f)
+	if len(cands) == 0 {
+		r.addf(depth+1, "(state has no successors)")
+		return nil
+	}
+	idx := clampIndex(s.Nav.ChooseSuccessor(cands), len(cands))
+	r.addf(depth+1, "pursuing successor %s", s.Describe(cands[idx]))
+	_ = m
+	return s.explain(f.F, cands[idx], false, depth+1, r)
+}
+
+func (s *Stepper) explainEXWitness(f ctl.EX, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	good, err := s.C.Sat(f.F)
+	if err != nil {
+		return err
+	}
+	wit := m.AndN(s.C.S.Post(stateEq(s.C.S, at)), good, s.C.Fair())
+	cands := enumerate(s.C.S, wit, s.maxEnum)
+	if len(cands) == 0 {
+		return fmt.Errorf("debug: EX reported true but no witness successor")
+	}
+	idx := clampIndex(s.Nav.ChooseSuccessor(cands), len(cands))
+	r.addf(depth, "%s holds: witness successor %s", f, s.Describe(cands[idx]))
+	return s.explain(f.F, cands[idx], true, depth+1, r)
+}
+
+func (s *Stepper) explainEFWitness(inner ctl.Formula, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	good, err := s.C.Sat(inner)
+	if err != nil {
+		return err
+	}
+	target := m.And(good, s.C.Fair())
+	path, err := shortestPath(s.C.S, bdd.True, stateEq(s.C.S, at), target)
+	if err != nil {
+		return fmt.Errorf("debug: EF reported true but no witness path: %w", err)
+	}
+	r.addf(depth, "EF %s holds: target reached in %d steps", inner, len(path)-1)
+	for i, st := range path {
+		r.addf(depth+1, "step %d: %s", i, s.Describe(st))
+	}
+	return nil
+}
+
+// explainEUWitness produces a genuine until-witness: a path whose every
+// state but the last satisfies the left operand, ending in a fair state
+// satisfying the right operand.
+func (s *Stepper) explainEUWitness(f ctl.EU, at State, depth int, r *Report) error {
+	m := s.C.S.Manager()
+	p, err := s.C.Sat(f.L)
+	if err != nil {
+		return err
+	}
+	q, err := s.C.Sat(f.R)
+	if err != nil {
+		return err
+	}
+	target := m.And(q, s.C.Fair())
+	within := m.Or(p, target)
+	path, err := shortestPath(s.C.S, within, stateEq(s.C.S, at), target)
+	if err != nil {
+		return fmt.Errorf("debug: EU reported true but no witness path: %w", err)
+	}
+	r.addf(depth, "%s holds: witness path of %d steps", f, len(path)-1)
+	for i, st := range path {
+		r.addf(depth+1, "step %d: %s", i, s.Describe(st))
+	}
+	return nil
+}
+
+func (s *Stepper) explainEGWitness(inner ctl.Formula, at State, depth int, r *Report) error {
+	good, err := s.C.Sat(inner)
+	if err != nil {
+		return err
+	}
+	hull := hullWithin(s.C, good)
+	stem, cyc, err := s.lassoFrom(hull, at)
+	if err != nil {
+		return err
+	}
+	r.addf(depth, "EG %s holds: fair cycle inside the invariant", inner)
+	for i, st := range stem {
+		r.addf(depth+1, "stem %d: %s", i, s.Describe(st))
+	}
+	for i, st := range cyc {
+		r.addf(depth+1, "loop %d: %s", i, s.Describe(st))
+	}
+	return nil
+}
+
+// hullWithin computes the fair hull restricted to an invariant.
+func hullWithin(c *ctl.Checker, inv bdd.Ref) bdd.Ref {
+	m := c.S.Manager()
+	return emptiness.FairStates(c.S, c.FC, m.And(inv, c.Reached())).Fair
+}
+
+// enumerate lists up to max concrete states of a set.
+func enumerate(s sys.System, set bdd.Ref, max int) []State {
+	m := s.Manager()
+	var out []State
+	rest := set
+	for len(out) < max && rest != bdd.False {
+		st, ok := pickState(s, rest)
+		if !ok {
+			break
+		}
+		out = append(out, st)
+		rest = m.Diff(rest, stateEq(s, st))
+	}
+	return out
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 || i >= n {
+		return 0
+	}
+	return i
+}
+
+// initOverride wraps a system, replacing its initial states; used to
+// anchor cycle construction at a specific state.
+type initOverride struct {
+	sys.System
+	init bdd.Ref
+}
+
+func (o *initOverride) Init() bdd.Ref { return o.init }

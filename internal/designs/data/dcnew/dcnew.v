@@ -1,0 +1,99 @@
+// dcnew: a data-link controller — the alternating-bit protocol over
+// lossy single-slot channels. The sender tags frames with a sequence
+// bit and retransmits on timeout; the receiver delivers fresh frames,
+// re-acknowledges duplicates, and echoes the received sequence bit.
+// Frame and acknowledgment loss are nondeterministic coins.
+typedef enum { SIDLE, SSEND, SWAIT } sst_t;
+typedef enum { CEMPTY, C0, C1 } ch_t;
+
+module dcnew(clk, sst, sseq, rseq, fch, ach, deliver, rcv, arcv, rdata);
+  input clk;
+  output sst, sseq, rseq, fch, ach, deliver, rcv, arcv, rdata;
+  sst_t reg sst;
+  ch_t reg fch, ach;
+  reg sseq, rseq, deliver, rcv, arcv;
+  // message payload: chosen with each new message, carried in the
+  // frame, latched by the receiver on delivery
+  reg [1:0] sdata, fdata, rdata;
+
+  // environment coins
+  wire newmsg, timeout, fdrop, adrop;
+  wire [1:0] ndata;
+  assign newmsg = $ND(0, 1);
+  assign timeout = $ND(0, 1);
+  assign fdrop = $ND(0, 1);   // frame lost before the receiver sees it
+  assign adrop = $ND(0, 1);   // ack lost before the sender sees it
+  assign ndata = $ND(0, 1, 2, 3);
+
+  wire frame_here, frecv, fmatch, ack_here, arecvw, amatch;
+  assign frame_here = fch != CEMPTY;
+  assign frecv = frame_here && !fdrop;
+  assign fmatch = ((fch == C0) && !rseq) || ((fch == C1) && rseq);
+  assign ack_here = ach != CEMPTY;
+  assign arecvw = ack_here && !adrop;
+  assign amatch = ((ach == C0) && !sseq) || ((ach == C1) && sseq);
+
+  // sender
+  // the sender accepts a matching acknowledgment while retransmitting
+  // too — acks discarded during SSEND would allow retry livelock
+  wire acked;
+  assign acked = arecvw && amatch && (sst != SIDLE);
+
+  initial sst = SIDLE;
+  always @(posedge clk)
+    case (sst)
+      SIDLE: if (newmsg) sst <= SSEND;
+      SSEND: if (acked) sst <= SIDLE;
+             else if (fch == CEMPTY) sst <= SWAIT;
+      SWAIT: if (acked) sst <= SIDLE;
+             else if (timeout) sst <= SSEND;
+    endcase
+
+  initial sseq = 0;
+  always @(posedge clk)
+    if (acked) sseq <= !sseq;
+
+  // single-slot frame channel: filled by the sender, drained every
+  // cycle it is occupied (to the receiver, or into the void)
+  initial fch = CEMPTY;
+  always @(posedge clk)
+    if ((sst == SSEND) && (fch == CEMPTY)) fch <= sseq ? C1 : C0;
+    else if (frame_here) fch <= CEMPTY;
+
+  // receiver
+  initial rseq = 0;
+  always @(posedge clk)
+    if (frecv && fmatch) rseq <= !rseq;
+
+  initial deliver = 0;
+  always @(posedge clk)
+    deliver <= frecv && fmatch;
+
+  initial rcv = 0;
+  always @(posedge clk)
+    rcv <= frecv;
+
+  // ack channel: receiver echoes the received sequence bit; the slot
+  // drains every occupied cycle (to the sender, or lost)
+  initial ach = CEMPTY;
+  always @(posedge clk)
+    if (frecv) ach <= (fch == C0) ? C0 : C1;
+    else if (ack_here) ach <= CEMPTY;
+
+  initial arcv = 0;
+  always @(posedge clk)
+    arcv <= arecvw;
+
+  // payload path
+  initial sdata = 0;
+  always @(posedge clk)
+    if ((sst == SIDLE) && newmsg) sdata <= ndata;
+
+  initial fdata = 0;
+  always @(posedge clk)
+    if ((sst == SSEND) && (fch == CEMPTY)) fdata <= sdata;
+
+  initial rdata = 0;
+  always @(posedge clk)
+    if (frecv && fmatch) rdata <= fdata;
+endmodule

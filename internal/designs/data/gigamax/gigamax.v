@@ -1,0 +1,72 @@
+// Simplified Encore Gigamax cache consistency protocol (paper ref [20]):
+// two processors with one cache line each, a shared bus servicing one
+// request per cycle, an ownership-based write-invalidate protocol with
+// read-downgrade and idle-cycle eviction. Requests arrive
+// nondeterministically; bus arbitration is a nondeterministic coin.
+typedef enum { RNONE, RD, WR } req_t;
+typedef enum { CINV, CSHD, COWN } cache_t;
+
+module cpu(clk, newreq, served, req);
+  input clk;
+  input newreq;      // nondeterministically proposed request
+  input served;      // the bus serviced this cpu's request this cycle
+  output req;
+  req_t reg req;
+  req_t wire newreq;
+  initial req = RNONE;
+  always @(posedge clk)
+    case (req)
+      RNONE: req <= newreq;
+      default: if (served) req <= RNONE;
+    endcase
+endmodule
+
+module gigamax(clk, c0, c1, req0, req1);
+  input clk;
+  output c0, c1, req0, req1;
+  cache_t reg c0, c1;
+  req_t wire req0, req1;
+
+  // nondeterministic request generation
+  req_t wire nr0, nr1;
+  assign nr0 = $ND(RNONE, RD, WR);
+  assign nr1 = $ND(RNONE, RD, WR);
+
+  // bus arbitration
+  wire pending0, pending1, pick, serve0, serve1, idle;
+  assign pending0 = req0 != RNONE;
+  assign pending1 = req1 != RNONE;
+  assign pick = $ND(0, 1);
+  assign serve0 = pending0 && (!pending1 || pick);
+  assign serve1 = pending1 && (!pending0 || !pick);
+  assign idle = !pending0 && !pending1;
+
+  wire doRD0, doWR0, doRD1, doWR1;
+  assign doRD0 = serve0 && (req0 == RD);
+  assign doWR0 = serve0 && (req0 == WR);
+  assign doRD1 = serve1 && (req1 == RD);
+  assign doWR1 = serve1 && (req1 == WR);
+
+  // idle-cycle eviction (writeback): 0 = none, 1 = evict c0, 2 = evict c1
+  wire [1:0] ev;
+  assign ev = $ND(0, 1, 2);
+
+  cpu p0(clk, nr0, serve0, req0);
+  cpu p1(clk, nr1, serve1, req1);
+
+  initial c0 = CINV;
+  always @(posedge clk)
+    if (doWR0) c0 <= COWN;                       // write: take ownership
+    else if (doWR1) c0 <= CINV;                  // other writes: invalidate
+    else if (doRD0 && (c0 == CINV)) c0 <= CSHD;  // read miss: load shared
+    else if (doRD1 && (c0 == COWN)) c0 <= CSHD;  // other reads: downgrade
+    else if (idle && (ev == 1) && (c0 != CINV)) c0 <= CINV;
+
+  initial c1 = CINV;
+  always @(posedge clk)
+    if (doWR1) c1 <= COWN;
+    else if (doWR0) c1 <= CINV;
+    else if (doRD1 && (c1 == CINV)) c1 <= CSHD;
+    else if (doRD0 && (c1 == COWN)) c1 <= CSHD;
+    else if (idle && (ev == 2) && (c1 != CINV)) c1 <= CINV;
+endmodule

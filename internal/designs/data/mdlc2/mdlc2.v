@@ -1,0 +1,106 @@
+// 2mdlc: a two-channel message data-link controller. Each channel
+// fragments a variable-length message onto a shared bus, waits for an
+// acknowledgment, retries up to three times on NAK, and aborts after
+// the retry budget is exhausted. The receiver mirror tracks fragment
+// reception with a CRC check. Bus arbitration between the channels is
+// a nondeterministic coin; message arrival, message length, ACK/NAK and
+// CRC outcomes are nondeterministic.
+typedef enum { TIDLE, TLOAD, TSEND, TWACK, TRETRY, TDONE, TABORT } tx_t;
+typedef enum { RIDLE, RRECV, RDONE } rx_t;
+
+module mchan(clk, msg, grant, ackok, crcok, nlen, t, r, frag, retry, fin, gp);
+  input clk;
+  input msg;          // a new message arrives
+  input grant;        // the bus is granted to this channel this cycle
+  input ackok;        // the pending acknowledgment is positive
+  input crcok;        // the fragment's checksum is good at the receiver
+  input [1:0] nlen;   // nondeterministic message length
+  output t, r, frag, retry, fin, gp;
+  tx_t reg t;
+  rx_t reg r;
+  reg [1:0] frag, retry, len;
+  reg fin, gp;
+  wire lastfrag;
+  assign lastfrag = frag == len;
+
+  initial t = TIDLE;
+  always @(posedge clk)
+    case (t)
+      TIDLE:  if (msg) t <= TLOAD;
+      TLOAD:  t <= TSEND;
+      TSEND:  if (grant && lastfrag) t <= TWACK;
+      TWACK:  if (ackok) t <= TDONE;
+              else if (retry == 3) t <= TABORT;
+              else t <= TRETRY;
+      TRETRY: t <= TSEND;
+      TDONE:  t <= TIDLE;
+      TABORT: t <= TIDLE;
+    endcase
+
+  initial len = 0;
+  always @(posedge clk)
+    if ((t == TIDLE) && msg) len <= nlen;
+
+  initial frag = 0;
+  always @(posedge clk)
+    if (t == TLOAD) frag <= 0;
+    else if (t == TRETRY) frag <= 0;
+    else if ((t == TSEND) && grant && !lastfrag) frag <= frag + 1;
+
+  initial retry = 0;
+  always @(posedge clk)
+    if (t == TIDLE) retry <= 0;
+    else if ((t == TWACK) && !ackok && (retry != 3)) retry <= retry + 1;
+
+  // receiver mirror
+  initial r = RIDLE;
+  always @(posedge clk)
+    case (r)
+      RIDLE: if ((t == TSEND) && grant) r <= RRECV;
+      RRECV: if ((t == TSEND) && grant && lastfrag && crcok) r <= RDONE;
+             else if ((t == TWACK) && !ackok) r <= RIDLE;
+      RDONE: r <= RIDLE;
+    endcase
+
+  // fin pulses when a message terminates (delivered or aborted)
+  initial fin = 0;
+  always @(posedge clk)
+    fin <= ((t == TWACK) && ackok) || ((t == TWACK) && !ackok && (retry == 3));
+
+  // gp pulses when this channel actually used the bus
+  initial gp = 0;
+  always @(posedge clk)
+    gp <= (t == TSEND) && grant;
+endmodule
+
+module mdlc2(clk, t0, t1, r0, r1, fin0, fin1, gp0, gp1);
+  input clk;
+  output t0, t1, r0, r1, fin0, fin1, gp0, gp1;
+  tx_t wire t0, t1;
+  rx_t wire r0, r1;
+  wire fin0, fin1, gp0, gp1;
+  wire [1:0] frag0, frag1, retry0, retry1;
+
+  // environment coins
+  wire msg0, msg1, ack0, ack1, crc0, crc1, pick;
+  wire [1:0] nlen0, nlen1;
+  assign msg0 = $ND(0, 1);
+  assign msg1 = $ND(0, 1);
+  assign ack0 = $ND(0, 1);
+  assign ack1 = $ND(0, 1);
+  assign crc0 = $ND(0, 1);
+  assign crc1 = $ND(0, 1);
+  assign pick = $ND(0, 1);
+  assign nlen0 = $ND(0, 1, 2, 3);
+  assign nlen1 = $ND(0, 1, 2, 3);
+
+  // bus arbitration
+  wire want0, want1, grant0, grant1;
+  assign want0 = t0 == TSEND;
+  assign want1 = t1 == TSEND;
+  assign grant0 = want0 && (!want1 || pick);
+  assign grant1 = want1 && (!want0 || !pick);
+
+  mchan ch0(clk, msg0, grant0, ack0, crc0, nlen0, t0, r0, frag0, retry0, fin0, gp0);
+  mchan ch1(clk, msg1, grant1, ack1, crc1, nlen1, t1, r1, frag1, retry1, fin1, gp1);
+endmodule

@@ -1,0 +1,78 @@
+// Dining philosophers (2 philosophers, 2 forks) with nondeterministic
+// hunger, eating duration, and symmetric fork arbitration. The symmetric
+// protocol can deadlock (both philosophers holding their left fork),
+// which the liveness properties expose — the verification tool's error
+// trace exhibits the classic deadlock scenario.
+typedef enum { THINK, HUNGRY, HASL, EAT } phil_t;
+typedef enum { NONE, P0, P1 } owner_t;
+
+module phil(clk, grabL, grabR, hungry, leave, st);
+  input clk;
+  input grabL;      // granted the left fork this cycle
+  input grabR;      // granted the right fork this cycle
+  input hungry;     // nondeterministic appetite
+  input leave;      // nondeterministic end of meal
+  output st;
+  phil_t reg st;
+  initial st = THINK;
+  always @(posedge clk)
+    case (st)
+      THINK:  if (hungry) st <= HUNGRY;
+      HUNGRY: if (grabL) st <= HASL;
+      HASL:   if (grabR) st <= EAT;
+      EAT:    if (leave) st <= THINK;
+    endcase
+endmodule
+
+module philos(clk, p0, p1, f0, f1);
+  input clk;
+  output p0, p1, f0, f1;
+  phil_t wire p0, p1;
+  owner_t reg f0, f1;
+
+  // nondeterministic environment choices
+  wire hungry0, hungry1, done0, done1, coin0, coin1;
+  assign hungry0 = $ND(0, 1);
+  assign hungry1 = $ND(0, 1);
+  assign done0 = $ND(0, 1);
+  assign done1 = $ND(0, 1);
+  assign coin0 = $ND(0, 1);   // tie-break for fork 0
+  assign coin1 = $ND(0, 1);   // tie-break for fork 1
+
+  // who wants which fork this cycle
+  wire w0f0, w1f0, w0f1, w1f1;
+  assign w0f0 = (p0 == HUNGRY) && (f0 == NONE);   // p0's left fork
+  assign w1f0 = (p1 == HASL) && (f0 == NONE);     // p1's right fork
+  assign w1f1 = (p1 == HUNGRY) && (f1 == NONE);   // p1's left fork
+  assign w0f1 = (p0 == HASL) && (f1 == NONE);     // p0's right fork
+
+  // grants with nondeterministic tie-break
+  wire g0f0, g1f0, g0f1, g1f1;
+  assign g0f0 = w0f0 && (!w1f0 || coin0);
+  assign g1f0 = w1f0 && (!w0f0 || !coin0);
+  assign g1f1 = w1f1 && (!w0f1 || coin1);
+  assign g0f1 = w0f1 && (!w1f1 || !coin1);
+
+  // meals end when the eater's leave coin fires
+  wire leave0, leave1;
+  assign leave0 = (p0 == EAT) && done0;
+  assign leave1 = (p1 == EAT) && done1;
+
+  phil ph0(clk, g0f0, g0f1, hungry0, done0, p0);
+  phil ph1(clk, g1f1, g1f0, hungry1, done1, p1);
+
+  initial f0 = NONE;
+  initial f1 = NONE;
+  always @(posedge clk)
+    case (f0)
+      NONE: if (g0f0) f0 <= P0; else if (g1f0) f0 <= P1;
+      P0:   if (leave0) f0 <= NONE;
+      P1:   if (leave1) f0 <= NONE;
+    endcase
+  always @(posedge clk)
+    case (f1)
+      NONE: if (g1f1) f1 <= P1; else if (g0f1) f1 <= P0;
+      P1:   if (leave1) f1 <= NONE;
+      P0:   if (leave0) f1 <= NONE;
+    endcase
+endmodule

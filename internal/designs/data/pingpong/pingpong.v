@@ -1,0 +1,38 @@
+// ping pong: two players exchange a ball over a table.
+// A toy handshake example (paper Table 1, "ping pong", 3 reached
+// states): the ball is either in flight toward pong, in flight toward
+// ping, or on the table being served.
+typedef enum { SERVE, TOPONG, TOPING } ball_t;
+
+module player(clk, incoming, hit);
+  input clk;
+  input incoming;     // ball arriving at this player this cycle
+  output hit;         // player returns the ball next cycle
+  reg hit;
+  initial hit = 0;
+  always @(posedge clk)
+    if (incoming) hit <= 1;
+    else hit <= 0;
+endmodule
+
+module pingpong(clk, ball, ping_hit, pong_hit);
+  input clk;
+  output ball, ping_hit, pong_hit;
+  ball_t reg ball;
+  wire ping_hit, pong_hit;
+  wire to_ping, to_pong;
+
+  assign to_ping = ball == TOPING;
+  assign to_pong = ball == TOPONG;
+
+  player ping(clk, to_ping, ping_hit);
+  player pong(clk, to_pong, pong_hit);
+
+  initial ball = SERVE;
+  always @(posedge clk)
+    case (ball)
+      SERVE:  ball <= TOPONG;          // ping serves
+      TOPONG: ball <= TOPING;          // pong returns
+      TOPING: ball <= TOPONG;          // ping returns
+    endcase
+endmodule

@@ -1,0 +1,87 @@
+// Milner's distributed scheduler (paper ref [22]): a ring of sixteen
+// cycler cells schedules sixteen tasks in cyclic order. A cell holding
+// the token starts its task as soon as the previous run of the task has
+// finished, then passes the token to the next cell. Task durations are
+// nondeterministic. With 16 cells the reachable space is about
+// 16 * 2^16 ≈ 1M states — the largest design in the suite, as in the
+// paper's Table 1.
+module cell(clk, start_prev, done, start, busy);
+  input clk;
+  input start_prev;   // predecessor started: the token arrives
+  input done;         // nondeterministic task completion
+  output start, busy;
+  reg tok, busy;
+  wire start;
+  assign start = tok && !busy;
+  initial tok = 0;
+  always @(posedge clk)
+    if (start_prev) tok <= 1;
+    else if (start) tok <= 0;
+  initial busy = 0;
+  always @(posedge clk)
+    if (start) busy <= 1;
+    else if (done) busy <= 0;
+endmodule
+
+// cell0 boots with the token.
+module cell0(clk, start_prev, done, start, busy);
+  input clk;
+  input start_prev;
+  input done;
+  output start, busy;
+  reg tok, busy;
+  wire start;
+  assign start = tok && !busy;
+  initial tok = 1;
+  always @(posedge clk)
+    if (start_prev) tok <= 1;
+    else if (start) tok <= 0;
+  initial busy = 0;
+  always @(posedge clk)
+    if (start) busy <= 1;
+    else if (done) busy <= 0;
+endmodule
+
+module scheduler(clk,
+    s0, s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11, s12, s13, s14, s15,
+    b0, b1, b2, b3, b4, b5, b6, b7, b8, b9, b10, b11, b12, b13, b14, b15);
+  input clk;
+  output s0, s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11, s12, s13, s14, s15;
+  output b0, b1, b2, b3, b4, b5, b6, b7, b8, b9, b10, b11, b12, b13, b14, b15;
+  wire s0, s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11, s12, s13, s14, s15;
+  wire b0, b1, b2, b3, b4, b5, b6, b7, b8, b9, b10, b11, b12, b13, b14, b15;
+  wire d0, d1, d2, d3, d4, d5, d6, d7, d8, d9, d10, d11, d12, d13, d14, d15;
+  assign d0 = $ND(0, 1);
+  assign d1 = $ND(0, 1);
+  assign d2 = $ND(0, 1);
+  assign d3 = $ND(0, 1);
+  assign d4 = $ND(0, 1);
+  assign d5 = $ND(0, 1);
+  assign d6 = $ND(0, 1);
+  assign d7 = $ND(0, 1);
+  assign d8 = $ND(0, 1);
+  assign d9 = $ND(0, 1);
+  assign d10 = $ND(0, 1);
+  assign d11 = $ND(0, 1);
+  assign d12 = $ND(0, 1);
+  assign d13 = $ND(0, 1);
+  assign d14 = $ND(0, 1);
+  assign d15 = $ND(0, 1);
+
+  cell0 c0(clk, s15, d0, s0, b0);
+  cell  c1(clk, s0, d1, s1, b1);
+  cell  c2(clk, s1, d2, s2, b2);
+  cell  c3(clk, s2, d3, s3, b3);
+  cell  c4(clk, s3, d4, s4, b4);
+  cell  c5(clk, s4, d5, s5, b5);
+  cell  c6(clk, s5, d6, s6, b6);
+  cell  c7(clk, s6, d7, s7, b7);
+  cell  c8(clk, s7, d8, s8, b8);
+  cell  c9(clk, s8, d9, s9, b9);
+  cell  c10(clk, s9, d10, s10, b10);
+  cell  c11(clk, s10, d11, s11, b11);
+  cell  c12(clk, s11, d12, s12, b12);
+  cell  c13(clk, s12, d13, s13, b13);
+  cell  c14(clk, s13, d14, s14, b14);
+  cell  c15(clk, s14, d15, s15, b15);
+endmodule

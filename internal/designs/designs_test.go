@@ -1,0 +1,63 @@
+package designs
+
+import (
+	"testing"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/network"
+	"hsis/internal/reach"
+	"hsis/internal/verilog"
+)
+
+// expected verification outcomes per design; properties not listed are
+// expected to pass.
+var expectedFail = map[string]map[string]bool{
+	"philos": {"eat_live": true, "progress": true}, // symmetric protocol deadlocks
+}
+
+// expected Table-1 property counts.
+var wantCounts = map[string]struct{ lc, ctl int }{
+	"philos":    {2, 2},
+	"pingpong":  {6, 6},
+	"gigamax":   {1, 9},
+	"scheduler": {2, 1},
+	"dcnew":     {1, 7},
+	"mdlc2":     {1, 1},
+}
+
+func TestAllDesignsCompile(t *testing.T) {
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("expected 6 designs, got %d", len(all))
+	}
+	for _, d := range all {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			design, err := verilog.CompileString(d.Verilog, d.Name+".v", d.Top)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			flat, err := blifmv.Flatten(design)
+			if err != nil {
+				t.Fatalf("flatten: %v", err)
+			}
+			n, err := network.Build(flat, network.Options{})
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			res := reach.Forward(n, reach.Options{})
+			if !res.Converged {
+				t.Fatal("reachability did not converge")
+			}
+			states := n.NumStates(res.Reached)
+			if states < 2 {
+				t.Fatalf("suspicious reachable state count %v", states)
+			}
+			t.Logf("%s: %v reachable states in %d steps, %d latches",
+				d.Name, states, res.Steps, len(n.Latches()))
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package designs
+
+import (
+	"testing"
+
+	"hsis/internal/core"
+)
+
+// TestVerifyAllDesigns runs the complete verification flow — every LC
+// and CTL property of every Table-1 design — and checks the expected
+// verdicts and property counts.
+func TestVerifyAllDesigns(t *testing.T) {
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range all {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			w, err := core.LoadVerilogString(d.Verilog, d.Name+".v", d.Top, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.AddPIFString(d.PIF, d.Name+".pif"); err != nil {
+				t.Fatal(err)
+			}
+			want := wantCounts[d.Name]
+			if len(w.Automata) != want.lc || len(w.CTLProps) != want.ctl {
+				t.Fatalf("%s: %d LC + %d CTL props, Table 1 wants %d + %d",
+					d.Name, len(w.Automata), len(w.CTLProps), want.lc, want.ctl)
+			}
+			for _, r := range w.VerifyAll() {
+				if r.Err != nil {
+					t.Errorf("%s/%s: %v", d.Name, r.Name, r.Err)
+					continue
+				}
+				wantFail := expectedFail[d.Name][r.Name]
+				if r.Pass == wantFail {
+					t.Errorf("%s/%s (%s): pass=%v, want pass=%v",
+						d.Name, r.Name, r.Kind, r.Pass, !wantFail)
+				}
+				if !r.Pass && r.Kind == core.KindLC && r.Trace == nil {
+					t.Errorf("%s/%s: failing LC property without error trace", d.Name, r.Name)
+				}
+				t.Logf("%s/%s (%s): pass=%v in %v", d.Name, r.Name, r.Kind, r.Pass, r.Time)
+			}
+		})
+	}
+}

@@ -1,0 +1,338 @@
+package emptiness
+
+import (
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/fair"
+	"hsis/internal/network"
+	"hsis/internal/sys"
+)
+
+func compile(t *testing.T, src string) *sys.NetSystem {
+	t.Helper()
+	d, err := blifmv.ParseString(src, "test.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.FromNetwork(n)
+}
+
+// counter4: 0→1→2→3→0
+const counter4 = `
+.model counter4
+.mv s,n 4
+.table s n
+0 1
+1 2
+2 3
+3 0
+.latch n s
+.reset s
+0
+.end
+`
+
+// branch: 0→1, 1→{0,2}, 2→2 (absorbing self-loop)
+const branch = `
+.model branch
+.mv s,n 3
+.table s n
+0 1
+1 {0,2}
+2 2
+.latch n s
+.reset s
+0
+.end
+`
+
+// pause: 0→{0,1}, 1→0 (may stay at 0 forever)
+const pause = `
+.model pause
+.table s n
+0 {0,1}
+1 0
+.latch n s
+.reset s
+0
+.end
+`
+
+func TestEGUnfairnessFree(t *testing.T) {
+	s := compile(t, counter4)
+	sv := s.N.VarByName("s")
+	all := sv.Domain()
+	if got := EG(s, all); got != all {
+		t.Fatal("total system: every state has an infinite path")
+	}
+	// within z = {1,2}: no cycle, no infinite path
+	z := s.Manager().Or(sv.Eq(1), sv.Eq(2))
+	if EG(s, z) != bdd.False {
+		t.Fatal("no infinite path inside {1,2}")
+	}
+}
+
+func TestEU(t *testing.T) {
+	s := compile(t, counter4)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	// within everything, all states reach 2
+	got := EU(s, sv.Domain(), sv.Eq(2))
+	if got != sv.Domain() {
+		t.Fatal("every state reaches 2 in the cycle")
+	}
+	// within z = {0,1,2}: 3 excluded, 0,1,2 reach 2 via path inside z
+	z := m.Not(sv.Eq(3))
+	got = EU(s, z, sv.Eq(2))
+	want := m.AndN(z, sv.Domain())
+	if got != want {
+		t.Fatalf("EU inside restriction wrong")
+	}
+	// target outside z is unreachable
+	if EU(s, sv.Eq(0), sv.Eq(2)) != bdd.False {
+		t.Fatal("EU must intersect target with z")
+	}
+}
+
+func TestNoFairnessHullIsEG(t *testing.T) {
+	s := compile(t, branch)
+	sv := s.N.VarByName("s")
+	r := FairStates(s, nil, sv.Domain())
+	if r.Fair != sv.Domain() {
+		t.Fatal("unconstrained hull should be all states (total system)")
+	}
+}
+
+func TestBuchiPrunesNonRecurring(t *testing.T) {
+	s := compile(t, branch)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	// GF(s=0): state 2 is absorbing and never revisits 0
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("gf0", sv.Eq(0))
+	r := FairStates(s, fc, sv.Domain())
+	want := m.Or(sv.Eq(0), sv.Eq(1))
+	if r.Fair != want {
+		t.Fatalf("Büchi hull wrong")
+	}
+	// GF(s=2): only the self-loop at 2 qualifies... and states that can
+	// reach it stay fair-hull members only if they can revisit 2 — all
+	// of 0,1 can reach 2, and 2 loops, so the hull is everything.
+	fc2 := &fair.Constraints{}
+	fc2.AddPositiveStateSubset("gf2", sv.Eq(2))
+	r2 := FairStates(s, fc2, sv.Domain())
+	if r2.Fair != sv.Domain() {
+		t.Fatal("hull with reachable recurring set should keep feeders")
+	}
+}
+
+func TestNegativeSubsetExcludesStutter(t *testing.T) {
+	s := compile(t, pause)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	// Unconstrained: staying at 0 forever is an infinite path.
+	// With the negative constraint "may not stay in {0} forever",
+	// the fair hull is still {0,1} (the alternating cycle is fair),
+	// but EG restricted to {0} becomes empty.
+	fc := &fair.Constraints{}
+	fc.AddNegativeStateSubset(m, "no-stutter", sv.Eq(0))
+	r := FairStates(s, fc, sv.Domain())
+	if r.Fair != sv.Domain() {
+		t.Fatal("alternating cycle should remain fair")
+	}
+	rOnly0 := FairStates(s, fc, sv.Eq(0))
+	if rOnly0.Fair != bdd.False {
+		t.Fatal("staying in 0 forever must be excluded by the negative constraint")
+	}
+}
+
+func TestStreettPrunesUnfairSCC(t *testing.T) {
+	s := compile(t, branch)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	// GF(s=2) → GF(s=0): the self-loop at 2 visits L forever, never U.
+	fc := &fair.Constraints{}
+	fc.AddStreett("pair", sv.Eq(2), sv.Eq(0))
+	r := FairStates(s, fc, sv.Domain())
+	want := m.Or(sv.Eq(0), sv.Eq(1))
+	if r.Fair != want {
+		t.Fatal("Streett pruning failed to remove the unfair absorbing loop")
+	}
+}
+
+func TestStreettVacuouslyFair(t *testing.T) {
+	s := compile(t, counter4)
+	sv := s.N.VarByName("s")
+	// L never intersects the cycle (L = invalid region is empty) —
+	// constraint vacuous, hull unchanged.
+	fc := &fair.Constraints{}
+	fc.AddStreett("vacuous", bdd.False, sv.Eq(0))
+	r := FairStates(s, fc, sv.Domain())
+	if r.Fair != sv.Domain() {
+		t.Fatal("vacuous Streett pair pruned states")
+	}
+}
+
+func TestEdgeBuchi(t *testing.T) {
+	s := compile(t, branch)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	// fair edge: the transition 1→0. The absorbing state 2 can never
+	// take it again.
+	edge := m.And(sv.Eq(1), s.SwapRails(sv.Eq(0)))
+	fc := &fair.Constraints{}
+	fc.AddPositiveFairEdges("e10", edge)
+	r := FairStates(s, fc, sv.Domain())
+	want := m.Or(sv.Eq(0), sv.Eq(1))
+	if r.Fair != want {
+		t.Fatal("edge-Büchi hull wrong")
+	}
+}
+
+func TestEdgeStreett(t *testing.T) {
+	s := compile(t, branch)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	// GF(edge 2→2) → GF(edge 1→0): taking the self-loop forever is
+	// unfair; the 0↔1 cycle never takes 2→2 so it is fair.
+	loop22 := m.And(sv.Eq(2), s.SwapRails(sv.Eq(2)))
+	e10 := m.And(sv.Eq(1), s.SwapRails(sv.Eq(0)))
+	fc := &fair.Constraints{}
+	fc.AddEdgeStreett("pair", loop22, e10)
+	r := FairStates(s, fc, sv.Domain())
+	want := m.Or(sv.Eq(0), sv.Eq(1))
+	if r.Fair != want {
+		t.Fatal("edge-Streett hull wrong")
+	}
+}
+
+func TestCheckEndToEnd(t *testing.T) {
+	s := compile(t, branch)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	// no fairness: nonempty (system has infinite runs)
+	reached, hull, _ := Check(s, nil)
+	if reached != sv.Domain() {
+		t.Fatal("reached set wrong")
+	}
+	if hull == bdd.False {
+		t.Fatal("unconstrained language cannot be empty")
+	}
+	// impossible fairness: GF(False)
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("never", bdd.False)
+	_, hull, _ = Check(s, fc)
+	if hull != bdd.False {
+		t.Fatal("GF(False) must empty the language")
+	}
+	_ = m
+}
+
+func TestEarlyFairnessFailure(t *testing.T) {
+	s := compile(t, branch)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("gf2", sv.Eq(2))
+	// subset {2} alone already contains a fair cycle
+	if !EarlyFairnessFailure(s, fc, sv.Eq(2)) {
+		t.Fatal("fair self-loop should be detected in the subset")
+	}
+	// subset {0,1} contains a cycle but it never visits 2
+	if EarlyFairnessFailure(s, fc, m.Or(sv.Eq(0), sv.Eq(1))) {
+		t.Fatal("no fair cycle inside {0,1} under GF(2)")
+	}
+}
+
+func TestFairStatesIterationsReported(t *testing.T) {
+	s := compile(t, branch)
+	sv := s.N.VarByName("s")
+	fc := &fair.Constraints{}
+	fc.AddStreett("pair", sv.Eq(2), sv.Eq(0))
+	r := FairStates(s, fc, sv.Domain())
+	if r.Iterations < 2 {
+		t.Fatalf("expected at least 2 hull iterations, got %d", r.Iterations)
+	}
+}
+
+// Hull properties: the fair hull is contained in the unconstrained EG
+// hull, and adding constraints only shrinks it (monotonicity).
+func TestHullMonotonicity(t *testing.T) {
+	s := compile(t, branch)
+	sv := s.N.VarByName("s")
+	m := s.Manager()
+
+	unconstrained := FairStates(s, nil, sv.Domain()).Fair
+
+	fc1 := &fair.Constraints{}
+	fc1.AddPositiveStateSubset("gf0", sv.Eq(0))
+	h1 := FairStates(s, fc1, sv.Domain()).Fair
+
+	fc2 := fc1.Clone()
+	fc2.AddPositiveStateSubset("gf1", sv.Eq(1))
+	h2 := FairStates(s, fc2, sv.Domain()).Fair
+
+	if !m.Leq(h1, unconstrained) {
+		t.Fatal("constrained hull escaped the EG hull")
+	}
+	if !m.Leq(h2, h1) {
+		t.Fatal("more constraints must shrink the hull")
+	}
+}
+
+func TestHullRestrictionMonotone(t *testing.T) {
+	s := compile(t, counter4)
+	sv := s.N.VarByName("s")
+	m := s.Manager()
+	full := FairStates(s, nil, sv.Domain()).Fair
+	// restricting to {0,1} breaks the 4-cycle: no cycle remains
+	part := FairStates(s, nil, m.Or(sv.Eq(0), sv.Eq(1))).Fair
+	if part != bdd.False {
+		t.Fatal("no cycle exists inside {0,1}")
+	}
+	if !m.Leq(part, full) {
+		t.Fatal("restriction monotonicity violated")
+	}
+}
+
+// The hull must contain every genuine fair cycle (completeness witness).
+func TestHullContainsKnownFairCycle(t *testing.T) {
+	s := compile(t, branch)
+	sv := s.N.VarByName("s")
+	m := s.Manager()
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("gf0", sv.Eq(0))
+	fc.AddPositiveStateSubset("gf1", sv.Eq(1))
+	hull := FairStates(s, fc, sv.Domain()).Fair
+	cyc := m.Or(sv.Eq(0), sv.Eq(1)) // the 0↔1 cycle satisfies both
+	if !m.Leq(cyc, hull) {
+		t.Fatal("hull lost a genuine fair cycle")
+	}
+}
+
+func TestMixedConstraintKinds(t *testing.T) {
+	s := compile(t, branch)
+	sv := s.N.VarByName("s")
+	m := s.Manager()
+	// mix: Büchi state + edge Streett, satisfied only by the 0↔1 cycle
+	fc := &fair.Constraints{}
+	fc.AddPositiveStateSubset("gf1", sv.Eq(1))
+	fc.AddEdgeStreett("es",
+		m.And(sv.Eq(1), s.SwapRails(sv.Eq(2))), // if 1→2 taken infinitely...
+		bdd.False)                              // ...then impossible — forbids 1→2 recurring
+	hull := FairStates(s, fc, sv.Domain()).Fair
+	want := m.Or(sv.Eq(0), sv.Eq(1))
+	if hull != want {
+		t.Fatal("mixed constraints hull wrong")
+	}
+}

@@ -1,0 +1,118 @@
+// Package fair represents the fairness constraints of HSIS (paper §5.1
+// and ref [16]): the edge-Streett/edge-Rabin environment. Constraints
+// restrict which infinite behaviors of a non-deterministic design are
+// considered legal.
+//
+// The two user-facing categories from the paper map onto two internal
+// forms:
+//
+//   - Negative fairness constraints remove behaviors. A negative
+//     state-subset constraint "the run may not stay inside S forever" is
+//     the Büchi condition GF(¬S).
+//   - Positive fairness constraints keep only behaviors satisfying
+//     them. Positive fair edges ("some edge of E is taken infinitely
+//     often") are the edge-Büchi condition GF(E).
+//
+// Language containment against an edge-Rabin property automaton adds
+// Streett pairs: the complement of Rabin acceptance is a conjunction of
+// conditions GF(L) → GF(U), over states or edges.
+package fair
+
+import (
+	"fmt"
+
+	"hsis/internal/bdd"
+)
+
+// Buchi is the condition GF(Set): every legal run meets Set infinitely
+// often. When IsEdge is set, Set is an edge predicate over (PS, NS);
+// otherwise a state predicate over PS.
+type Buchi struct {
+	Name   string
+	Set    bdd.Ref
+	IsEdge bool
+}
+
+// Streett is the condition GF(L) → GF(U): a run that meets L infinitely
+// often must meet U infinitely often. LEdge/UEdge mark the respective
+// predicate as an edge predicate.
+type Streett struct {
+	Name         string
+	L, U         bdd.Ref
+	LEdge, UEdge bool
+}
+
+// Constraints is a conjunction of fairness conditions. The zero value
+// means "no fairness" — every infinite run is legal.
+type Constraints struct {
+	Buchi   []Buchi
+	Streett []Streett
+}
+
+// IsEmpty reports whether no constraint is present.
+func (c *Constraints) IsEmpty() bool {
+	return c == nil || (len(c.Buchi) == 0 && len(c.Streett) == 0)
+}
+
+// Clone returns a shallow copy that can be extended without mutating c.
+func (c *Constraints) Clone() *Constraints {
+	if c == nil {
+		return &Constraints{}
+	}
+	return &Constraints{
+		Buchi:   append([]Buchi(nil), c.Buchi...),
+		Streett: append([]Streett(nil), c.Streett...),
+	}
+}
+
+// Merge returns the conjunction of two constraint sets.
+func Merge(a, b *Constraints) *Constraints {
+	out := a.Clone()
+	if b != nil {
+		out.Buchi = append(out.Buchi, b.Buchi...)
+		out.Streett = append(out.Streett, b.Streett...)
+	}
+	return out
+}
+
+// AddNegativeStateSubset adds the negative constraint "runs staying in
+// set forever are excluded" (paper §5.1, first example), i.e. GF(¬set).
+func (c *Constraints) AddNegativeStateSubset(m *bdd.Manager, name string, set bdd.Ref) {
+	c.Buchi = append(c.Buchi, Buchi{Name: name, Set: m.Not(set)})
+}
+
+// AddPositiveStateSubset adds the Büchi constraint GF(set).
+func (c *Constraints) AddPositiveStateSubset(name string, set bdd.Ref) {
+	c.Buchi = append(c.Buchi, Buchi{Name: name, Set: set})
+}
+
+// AddPositiveFairEdges adds the edge-Büchi constraint "some edge of set
+// is taken infinitely often" (paper §5.1, second example).
+func (c *Constraints) AddPositiveFairEdges(name string, set bdd.Ref) {
+	c.Buchi = append(c.Buchi, Buchi{Name: name, Set: set, IsEdge: true})
+}
+
+// AddStreett adds the pair GF(L) → GF(U) over states.
+func (c *Constraints) AddStreett(name string, l, u bdd.Ref) {
+	c.Streett = append(c.Streett, Streett{Name: name, L: l, U: u})
+}
+
+// AddEdgeStreett adds the pair GF(L) → GF(U) over edges.
+func (c *Constraints) AddEdgeStreett(name string, l, u bdd.Ref) {
+	c.Streett = append(c.Streett, Streett{Name: name, L: l, U: u, LEdge: true, UEdge: true})
+}
+
+// String summarizes the constraint set.
+func (c *Constraints) String() string {
+	if c.IsEmpty() {
+		return "fair: none"
+	}
+	return fmt.Sprintf("fair: %d Büchi, %d Streett", len(c.Buchi), len(c.Streett))
+}
+
+// ComplementRabinPair converts one Rabin pair (FG¬L ∧ GF U accepted) of
+// a property automaton into the Streett condition its complement
+// imposes on the product machine: GF(U) → GF(L).
+func ComplementRabinPair(name string, l, u bdd.Ref, edges bool) Streett {
+	return Streett{Name: name, L: u, U: l, LEdge: edges, UEdge: edges}
+}

@@ -1,0 +1,99 @@
+package fair
+
+import (
+	"strings"
+	"testing"
+
+	"hsis/internal/bdd"
+)
+
+func TestEmptyAndClone(t *testing.T) {
+	var nilC *Constraints
+	if !nilC.IsEmpty() {
+		t.Fatal("nil constraints should be empty")
+	}
+	c := &Constraints{}
+	if !c.IsEmpty() {
+		t.Fatal("zero constraints should be empty")
+	}
+	c.AddPositiveStateSubset("x", bdd.True)
+	if c.IsEmpty() {
+		t.Fatal("non-empty after adding")
+	}
+	clone := c.Clone()
+	clone.AddPositiveStateSubset("y", bdd.False)
+	if len(c.Buchi) != 1 || len(clone.Buchi) != 2 {
+		t.Fatal("Clone must not share the slice")
+	}
+	if nilC.Clone() == nil {
+		t.Fatal("Clone of nil should be a fresh empty set")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	m := bdd.New()
+	a := &Constraints{}
+	a.AddNegativeStateSubset(m, "n", m.NewVar())
+	b := &Constraints{}
+	b.AddStreett("s", bdd.True, bdd.False)
+	b.AddPositiveFairEdges("e", bdd.True)
+	merged := Merge(a, b)
+	if len(merged.Buchi) != 2 || len(merged.Streett) != 1 {
+		t.Fatalf("merge wrong: %s", merged)
+	}
+	// merging with nil works both ways
+	if Merge(nil, b).String() != b.String() {
+		t.Fatal("Merge(nil, b) should equal b")
+	}
+	if Merge(a, nil).IsEmpty() {
+		t.Fatal("Merge(a, nil) should keep a")
+	}
+}
+
+func TestNegativeSubsetIsComplementBuchi(t *testing.T) {
+	m := bdd.New()
+	v := m.NewVar()
+	c := &Constraints{}
+	c.AddNegativeStateSubset(m, "neg", v)
+	if len(c.Buchi) != 1 || c.Buchi[0].Set != m.Not(v) {
+		t.Fatal("negative subset must become GF(complement)")
+	}
+	if c.Buchi[0].IsEdge {
+		t.Fatal("state constraint marked as edge")
+	}
+}
+
+func TestEdgeConstraints(t *testing.T) {
+	c := &Constraints{}
+	c.AddPositiveFairEdges("e", bdd.True)
+	if !c.Buchi[0].IsEdge {
+		t.Fatal("fair edges must be an edge predicate")
+	}
+	c.AddEdgeStreett("p", bdd.True, bdd.False)
+	if !c.Streett[0].LEdge || !c.Streett[0].UEdge {
+		t.Fatal("edge Streett must mark both sides")
+	}
+}
+
+func TestComplementRabinPair(t *testing.T) {
+	m := bdd.New()
+	l, u := m.NewVar(), m.NewVar()
+	// Rabin pair (L,U): accepted iff FG(!L) and GF(U).
+	// Complement: GF(U) -> GF(L): Streett with L'=U, U'=L.
+	s := ComplementRabinPair("p", l, u, true)
+	if s.L != u || s.U != l || !s.LEdge || !s.UEdge {
+		t.Fatalf("complement wrong: %+v", s)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := &Constraints{}
+	if c.String() != "fair: none" {
+		t.Fatal(c.String())
+	}
+	c.AddPositiveStateSubset("a", bdd.True)
+	c.AddStreett("b", bdd.True, bdd.True)
+	if !strings.Contains(c.String(), "1 Büchi") || !strings.Contains(c.String(), "1 Streett") {
+		t.Fatal(c.String())
+	}
+}

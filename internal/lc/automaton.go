@@ -1,0 +1,301 @@
+// Package lc implements verification by language containment (paper
+// §5.2): properties are deterministic edge-Rabin automata observing the
+// design's variables; the check L(system) ⊆ L(property) is translated
+// to a language emptiness check on the product of the system with the
+// property automaton carrying the complemented acceptance condition,
+// "and this fails if there is an accepting run in the automaton. A fair
+// state is one that is involved in some cycle satisfying all fairness
+// constraints, and thus a reachable fair state means a failing language
+// containment check."
+package lc
+
+import (
+	"fmt"
+
+	"hsis/internal/bdd"
+	"hsis/internal/ctl"
+	"hsis/internal/network"
+	"hsis/internal/pif"
+)
+
+// Automaton is a compiled property automaton: guards are BDDs over the
+// design's present-state labels, and acceptance is a set of Rabin pairs
+// over states and/or edges.
+type Automaton struct {
+	Name   string
+	States []string
+	Init   int
+	Edges  []Edge
+	Pairs  []Pair
+}
+
+// Edge is one compiled transition.
+type Edge struct {
+	From, To int
+	Guard    bdd.Ref
+	Label    string
+}
+
+// Pair is a compiled Rabin pair: a run is accepted iff for some pair it
+// visits the Avoid sets only finitely often and a Recur set infinitely
+// often.
+type Pair struct {
+	AvoidStates []int
+	RecurStates []int
+	AvoidEdges  []int // indices into Edges
+	RecurEdges  []int
+}
+
+// Compile resolves a syntactic automaton against a design: guard atoms
+// become present-state label sets of the network. It verifies that the
+// automaton is deterministic (paper §8 item 6: "currently, only
+// deterministic properties are allowed") and completes it with an
+// implicit rejecting trap state when some observation has no outgoing
+// transition.
+func Compile(n *network.Network, spec *pif.AutSpec) (*Automaton, error) {
+	a := &Automaton{Name: spec.Name, States: append([]string(nil), spec.States...)}
+	index := make(map[string]int, len(spec.States))
+	for i, s := range spec.States {
+		if _, dup := index[s]; dup {
+			return nil, fmt.Errorf("lc: automaton %s: duplicate state %q", spec.Name, s)
+		}
+		index[s] = i
+	}
+	initIdx, ok := index[spec.Init]
+	if !ok {
+		return nil, fmt.Errorf("lc: automaton %s: unknown init state %q", spec.Name, spec.Init)
+	}
+	a.Init = initIdx
+
+	m := n.Manager()
+	labels := make(map[string]bool)
+	for _, e := range spec.Edges {
+		from, ok := index[e.From]
+		if !ok {
+			return nil, fmt.Errorf("lc: automaton %s: unknown state %q", spec.Name, e.From)
+		}
+		to, ok := index[e.To]
+		if !ok {
+			return nil, fmt.Errorf("lc: automaton %s: unknown state %q", spec.Name, e.To)
+		}
+		guard, err := ctl.EvalProp(m, e.Guard, n.LabelEq)
+		if err != nil {
+			return nil, fmt.Errorf("lc: automaton %s: edge %s->%s: %w", spec.Name, e.From, e.To, err)
+		}
+		if e.Label != "" {
+			if labels[e.Label] {
+				return nil, fmt.Errorf("lc: automaton %s: duplicate edge label %q", spec.Name, e.Label)
+			}
+			labels[e.Label] = true
+		}
+		a.Edges = append(a.Edges, Edge{From: from, To: to, Guard: guard, Label: e.Label})
+	}
+
+	// Determinism: guards out of one state must be pairwise disjoint.
+	for i := 0; i < len(a.Edges); i++ {
+		for j := i + 1; j < len(a.Edges); j++ {
+			if a.Edges[i].From != a.Edges[j].From {
+				continue
+			}
+			if m.And(a.Edges[i].Guard, a.Edges[j].Guard) != bdd.False {
+				return nil, fmt.Errorf("lc: automaton %s is nondeterministic at state %s (edges %d and %d overlap); only deterministic properties are allowed",
+					spec.Name, a.States[a.Edges[i].From], i, j)
+			}
+		}
+	}
+
+	// Completion: add a rejecting trap for uncovered observations.
+	uncovered := make([]bdd.Ref, len(a.States))
+	needTrap := false
+	for s := range a.States {
+		cover := bdd.False
+		for _, e := range a.Edges {
+			if e.From == s {
+				cover = m.Or(cover, e.Guard)
+			}
+		}
+		uncovered[s] = m.Not(cover)
+		if uncovered[s] != bdd.False {
+			needTrap = true
+		}
+	}
+	if needTrap {
+		trap := len(a.States)
+		a.States = append(a.States, "_trap")
+		for s, u := range uncovered {
+			if u != bdd.False {
+				a.Edges = append(a.Edges, Edge{From: s, To: trap, Guard: u})
+			}
+		}
+		a.Edges = append(a.Edges, Edge{From: trap, To: trap, Guard: bdd.True})
+	}
+
+	// Acceptance pairs.
+	edgeByLabel := func(name string) (int, error) {
+		for i, e := range a.Edges {
+			if e.Label == name {
+				return i, nil
+			}
+		}
+		return -1, fmt.Errorf("lc: automaton %s: unknown edge label %q", spec.Name, name)
+	}
+	for _, ps := range spec.Pairs {
+		var pair Pair
+		for _, s := range ps.AvoidStates {
+			i, ok := index[s]
+			if !ok {
+				return nil, fmt.Errorf("lc: automaton %s: unknown state %q in rabin pair", spec.Name, s)
+			}
+			pair.AvoidStates = append(pair.AvoidStates, i)
+		}
+		for _, s := range ps.RecurStates {
+			i, ok := index[s]
+			if !ok {
+				return nil, fmt.Errorf("lc: automaton %s: unknown state %q in rabin pair", spec.Name, s)
+			}
+			pair.RecurStates = append(pair.RecurStates, i)
+		}
+		for _, l := range ps.AvoidEdges {
+			i, err := edgeByLabel(l)
+			if err != nil {
+				return nil, err
+			}
+			pair.AvoidEdges = append(pair.AvoidEdges, i)
+		}
+		for _, l := range ps.RecurEdges {
+			i, err := edgeByLabel(l)
+			if err != nil {
+				return nil, err
+			}
+			pair.RecurEdges = append(pair.RecurEdges, i)
+		}
+		a.Pairs = append(a.Pairs, pair)
+	}
+	if len(a.Pairs) == 0 {
+		return nil, fmt.Errorf("lc: automaton %s has no acceptance (rabin) pairs", spec.Name)
+	}
+	return a, nil
+}
+
+// DoomedStates returns the automaton states from which NO infinite run
+// can satisfy any Rabin pair — e.g. the absorbing reject state of an
+// invariance automaton. A product run that reaches a doomed state is
+// rejected regardless of its future, which powers the structural early
+// failure detection of paper §5.4: such errors are found "without doing
+// the complete fair path computations".
+//
+// The analysis is exact for state-based pairs (a pair is satisfiable
+// from q iff the subgraph reachable from q contains a cycle avoiding the
+// pair's Avoid states and touching a Recur state) and conservative for
+// pairs with edge components (assumed satisfiable).
+func (a *Automaton) DoomedStates(m *bdd.Manager) []int {
+	n := len(a.States)
+	adj := make([][]int, n)
+	for _, e := range a.Edges {
+		if e.Guard == bdd.False {
+			continue
+		}
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	reach := func(q int, blocked map[int]bool) map[int]bool {
+		seen := map[int]bool{}
+		var stack []int
+		if !blocked[q] {
+			stack = append(stack, q)
+			seen[q] = true
+		}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range adj[s] {
+				if !seen[t] && !blocked[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+		return seen
+	}
+	onCycle := func(within map[int]bool, s int) bool {
+		// s lies on a cycle inside `within` iff s can reach itself
+		seen := map[int]bool{}
+		var stack []int
+		for _, t := range adj[s] {
+			if within[t] && !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if u == s {
+				return true
+			}
+			for _, t := range adj[u] {
+				if within[t] && !seen[t] {
+					seen[t] = true
+					stack = append(stack, t)
+				}
+			}
+		}
+		return false
+	}
+	var doomed []int
+	for q := 0; q < n; q++ {
+		satisfiable := false
+		for _, pair := range a.Pairs {
+			if len(pair.AvoidEdges) > 0 || len(pair.RecurEdges) > 0 {
+				satisfiable = true // conservative
+				break
+			}
+			// the run may pass through Avoid states on the way to the
+			// cycle (they only need to occur finitely often), so reach
+			// unrestricted, then look for an Avoid-free cycle.
+			reachable := reach(q, nil)
+			within := map[int]bool{}
+			for s := range reachable {
+				within[s] = true
+			}
+			for _, l := range pair.AvoidStates {
+				delete(within, l)
+			}
+			for _, u := range pair.RecurStates {
+				if within[u] && onCycle(within, u) {
+					satisfiable = true
+					break
+				}
+			}
+			if satisfiable {
+				break
+			}
+		}
+		if !satisfiable {
+			doomed = append(doomed, q)
+		}
+	}
+	return doomed
+}
+
+// InvarianceAutomaton builds the Figure-2 style invariance automaton for
+// a propositional condition: state A loops while the condition holds,
+// any violation falls into an absorbing reject state, and acceptance is
+// "stay in A forever" (Rabin pair: avoid {B}, recur {A}).
+func InvarianceAutomaton(n *network.Network, name string, cond ctl.Formula) (*Automaton, error) {
+	guard, err := ctl.EvalProp(n.Manager(), cond, n.LabelEq)
+	if err != nil {
+		return nil, err
+	}
+	m := n.Manager()
+	return &Automaton{
+		Name:   name,
+		States: []string{"A", "B"},
+		Init:   0,
+		Edges: []Edge{
+			{From: 0, To: 0, Guard: guard},
+			{From: 0, To: 1, Guard: m.Not(guard)},
+			{From: 1, To: 1, Guard: bdd.True},
+		},
+		Pairs: []Pair{{AvoidStates: []int{1}, RecurStates: []int{0}}},
+	}, nil
+}

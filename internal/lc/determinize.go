@@ -1,0 +1,220 @@
+package lc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hsis/internal/bdd"
+	"hsis/internal/ctl"
+	"hsis/internal/network"
+	"hsis/internal/pif"
+)
+
+// DeterminizeSafety turns a *nondeterministic* safety automaton into an
+// equivalent deterministic one by subset construction, addressing paper
+// §8 item 6: "In some cases, it may be easier to specify properties
+// using non-deterministic automata (currently, only deterministic
+// properties are allowed). ... We are currently working on
+// determinization techniques."
+//
+// The automaton must be a safety automaton: exactly one Rabin pair with
+// no edge sets, whose Avoid states are absorbing and whose Recur states
+// are exactly the remaining ("good") states. Its language is then the
+// set of runs that can stay inside the good states forever, and the
+// subset construction is language-preserving (König's lemma: a word has
+// an infinite good run iff every prefix has a good run prefix iff the
+// tracked subset never empties).
+func DeterminizeSafety(n *network.Network, spec *pif.AutSpec) (*Automaton, error) {
+	index := make(map[string]int, len(spec.States))
+	for i, s := range spec.States {
+		if _, dup := index[s]; dup {
+			return nil, fmt.Errorf("lc: automaton %s: duplicate state %q", spec.Name, s)
+		}
+		index[s] = i
+	}
+	initIdx, ok := index[spec.Init]
+	if !ok {
+		return nil, fmt.Errorf("lc: automaton %s: unknown init state %q", spec.Name, spec.Init)
+	}
+
+	m := n.Manager()
+	type rawEdge struct {
+		from, to int
+		guard    bdd.Ref
+	}
+	var edges []rawEdge
+	for _, e := range spec.Edges {
+		from, ok := index[e.From]
+		if !ok {
+			return nil, fmt.Errorf("lc: automaton %s: unknown state %q", spec.Name, e.From)
+		}
+		to, ok := index[e.To]
+		if !ok {
+			return nil, fmt.Errorf("lc: automaton %s: unknown state %q", spec.Name, e.To)
+		}
+		guard, err := ctl.EvalProp(m, e.Guard, n.LabelEq)
+		if err != nil {
+			return nil, fmt.Errorf("lc: automaton %s: edge %s->%s: %w", spec.Name, e.From, e.To, err)
+		}
+		edges = append(edges, rawEdge{from, to, guard})
+	}
+
+	// Safety-shape validation.
+	if len(spec.Pairs) != 1 {
+		return nil, fmt.Errorf("lc: DeterminizeSafety wants exactly one rabin pair, got %d", len(spec.Pairs))
+	}
+	pair := spec.Pairs[0]
+	if len(pair.AvoidEdges) > 0 || len(pair.RecurEdges) > 0 {
+		return nil, fmt.Errorf("lc: DeterminizeSafety does not support edge acceptance")
+	}
+	bad := make(map[int]bool)
+	for _, s := range pair.AvoidStates {
+		i, ok := index[s]
+		if !ok {
+			return nil, fmt.Errorf("lc: automaton %s: unknown state %q in rabin pair", spec.Name, s)
+		}
+		bad[i] = true
+	}
+	good := make(map[int]bool)
+	for _, s := range pair.RecurStates {
+		i, ok := index[s]
+		if !ok {
+			return nil, fmt.Errorf("lc: automaton %s: unknown state %q in rabin pair", spec.Name, s)
+		}
+		if bad[i] {
+			return nil, fmt.Errorf("lc: automaton %s: state %q both avoided and recurring", spec.Name, s)
+		}
+		good[i] = true
+	}
+	if len(bad)+len(good) != len(spec.States) {
+		return nil, fmt.Errorf("lc: DeterminizeSafety wants avoid ∪ recur to cover all states")
+	}
+	for _, e := range edges {
+		if bad[e.from] && !bad[e.to] && e.guard != bdd.False {
+			return nil, fmt.Errorf("lc: automaton %s is not a safety automaton: avoid state %s can escape",
+				spec.Name, spec.States[e.from])
+		}
+	}
+
+	// Subset construction over the good states.
+	type subset []int // sorted good-state indices
+	key := func(s subset) string {
+		parts := make([]string, len(s))
+		for i, q := range s {
+			parts[i] = spec.States[q]
+		}
+		return strings.Join(parts, "+")
+	}
+	var start subset
+	if good[initIdx] {
+		start = subset{initIdx}
+	}
+	if start == nil {
+		return nil, fmt.Errorf("lc: automaton %s: initial state is rejecting — empty language", spec.Name)
+	}
+
+	out := &Automaton{Name: spec.Name + "_det"}
+	stateIdx := map[string]int{}
+	addState := func(s subset) int {
+		k := key(s)
+		if i, ok := stateIdx[k]; ok {
+			return i
+		}
+		i := len(out.States)
+		stateIdx[k] = i
+		out.States = append(out.States, k)
+		return i
+	}
+	out.Init = addState(start)
+	trap := -1
+	ensureTrap := func() int {
+		if trap < 0 {
+			trap = len(out.States)
+			out.States = append(out.States, "_trap")
+			out.Edges = append(out.Edges, Edge{From: trap, To: trap, Guard: bdd.True})
+		}
+		return trap
+	}
+
+	work := []subset{start}
+	seen := map[string]subset{key(start): start}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		from := addState(cur)
+		// outgoing raw edges from any member
+		var outs []rawEdge
+		for _, e := range edges {
+			for _, q := range cur {
+				if e.from == q && e.guard != bdd.False {
+					outs = append(outs, e)
+					break
+				}
+			}
+		}
+		// split the observation space into atoms of the guard algebra
+		regions := []bdd.Ref{bdd.True}
+		for _, e := range outs {
+			var next []bdd.Ref
+			for _, r := range regions {
+				if p := m.And(r, e.guard); p != bdd.False {
+					next = append(next, p)
+				}
+				if p := m.Diff(r, e.guard); p != bdd.False {
+					next = append(next, p)
+				}
+			}
+			regions = next
+		}
+		for _, r := range regions {
+			targetSet := map[int]bool{}
+			for _, e := range outs {
+				if !memberOf(cur, e.from) {
+					continue
+				}
+				if m.Diff(r, e.guard) == bdd.False && good[e.to] { // r ⊆ guard
+					targetSet[e.to] = true
+				}
+			}
+			if len(targetSet) == 0 {
+				out.Edges = append(out.Edges, Edge{From: from, To: ensureTrap(), Guard: r})
+				continue
+			}
+			var tgt subset
+			for q := range targetSet {
+				tgt = append(tgt, q)
+			}
+			sort.Ints(tgt)
+			k := key(tgt)
+			if _, known := seen[k]; !known {
+				seen[k] = tgt
+				work = append(work, tgt)
+			}
+			out.Edges = append(out.Edges, Edge{From: from, To: addState(tgt), Guard: r})
+		}
+	}
+
+	// Acceptance: stay out of the trap forever.
+	var recur []int
+	for i := range out.States {
+		if i != trap {
+			recur = append(recur, i)
+		}
+	}
+	p := Pair{RecurStates: recur}
+	if trap >= 0 {
+		p.AvoidStates = []int{trap}
+	}
+	out.Pairs = []Pair{p}
+	return out, nil
+}
+
+func memberOf(s []int, q int) bool {
+	for _, x := range s {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,221 @@
+package mdd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hsis/internal/bdd"
+)
+
+func newSpace() (*bdd.Manager, *Space) {
+	m := bdd.New()
+	return m, NewSpace(m)
+}
+
+func TestBitAllocation(t *testing.T) {
+	_, s := newSpace()
+	cases := []struct {
+		card, bits int
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}}
+	for _, c := range cases {
+		v := s.NewVar(varName(c.card), c.card)
+		if v.NumBits() != c.bits {
+			t.Errorf("card %d: %d bits, want %d", c.card, v.NumBits(), c.bits)
+		}
+	}
+}
+
+func varName(card int) string { return "v" + string(rune('a'+card)) }
+
+func TestEqPartitionsDomain(t *testing.T) {
+	m, s := newSpace()
+	v := s.NewVar("state", 5)
+	// The Eq BDDs for distinct values are disjoint and cover Domain.
+	union := bdd.False
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if m.And(v.Eq(i), v.Eq(j)) != bdd.False {
+				t.Errorf("Eq(%d) and Eq(%d) overlap", i, j)
+			}
+		}
+		union = m.Or(union, v.Eq(i))
+	}
+	if union != v.Domain() {
+		t.Error("union of Eq values != Domain")
+	}
+	// 5 of 8 codes valid
+	if got := m.SatCount(v.Domain(), v.NumBits()); got != 5 {
+		t.Errorf("Domain SatCount = %v, want 5", got)
+	}
+}
+
+func TestDomainPowerOfTwoIsTrue(t *testing.T) {
+	_, s := newSpace()
+	v := s.NewVar("x", 4)
+	if v.Domain() != bdd.True {
+		t.Error("power-of-two domain should be True")
+	}
+	u := s.NewVar("u", 1)
+	if u.Domain() != bdd.True || u.NumBits() != 0 {
+		t.Error("unit domain should be True with no bits")
+	}
+	if u.Eq(0) != bdd.True {
+		t.Error("cardinality-1 Eq(0) should be True")
+	}
+}
+
+func TestIn(t *testing.T) {
+	m, s := newSpace()
+	v := s.NewVar("x", 6)
+	f := v.In([]int{1, 3, 5})
+	for val := 0; val < 6; val++ {
+		inSet := val == 1 || val == 3 || val == 5
+		if got := m.And(f, v.Eq(val)) != bdd.False; got != inSet {
+			t.Errorf("In membership for %d = %v, want %v", val, got, inSet)
+		}
+	}
+}
+
+func TestEqVarAndPermutation(t *testing.T) {
+	m, s := newSpace()
+	p := s.NewVar("p", 3)
+	n := s.NewVar("n", 3)
+	eq := p.EqVar(n)
+	// every value pair (i,i) satisfies, (i,j≠i) does not
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			sat := m.AndN(eq, p.Eq(i), n.Eq(j)) != bdd.False
+			if sat != (i == j) {
+				t.Errorf("EqVar at (%d,%d) = %v", i, j, sat)
+			}
+		}
+	}
+	// Permutation swaps p and n in a BDD
+	perm := s.Permutation([]*Var{p}, []*Var{n})
+	f := p.Eq(2)
+	g := m.Permute(f, perm)
+	if g != n.Eq(2) {
+		t.Error("Permutation did not map p to n")
+	}
+	if m.Permute(g, perm) != f {
+		t.Error("Permutation is not an involution")
+	}
+}
+
+func TestValueDecode(t *testing.T) {
+	m, s := newSpace()
+	v := s.NewVar("x", 7)
+	for val := 0; val < 7; val++ {
+		lits, ok := m.AnySat(v.Eq(val))
+		if !ok {
+			t.Fatalf("Eq(%d) unsatisfiable", val)
+		}
+		asg := make([]bool, m.NumVars())
+		for _, l := range lits {
+			asg[l.Var] = l.Val
+		}
+		if got := v.Value(asg); got != val {
+			t.Errorf("Value round-trip: got %d, want %d", got, val)
+		}
+	}
+}
+
+func TestCubeOfQuantifiesWholeVariable(t *testing.T) {
+	m, s := newSpace()
+	x := s.NewVar("x", 4)
+	y := s.NewVar("y", 4)
+	f := m.And(x.Eq(2), y.Eq(1))
+	g := m.Exists(f, s.CubeOf([]*Var{x}))
+	if g != y.Eq(1) {
+		t.Error("quantifying x should leave y.Eq(1)")
+	}
+	if m.Exists(f, s.CubeOf([]*Var{x, y})) != bdd.True {
+		t.Error("quantifying everything should be True")
+	}
+}
+
+func TestByName(t *testing.T) {
+	_, s := newSpace()
+	v := s.NewVar("clk", 2)
+	if s.ByName("clk") != v {
+		t.Error("ByName lookup failed")
+	}
+	if s.ByName("nope") != nil {
+		t.Error("ByName should return nil for unknown")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name should panic")
+		}
+	}()
+	s.NewVar("clk", 2)
+}
+
+func TestInterleavedAllocation(t *testing.T) {
+	m, s := newSpace()
+	// Creating present/next pairs adjacently interleaves their bits —
+	// the static order for interacting FSMs (paper ref [1]).
+	p := s.NewVar("s", 4)
+	n := s.NewVar("s'", 4)
+	if m.Level(p.Bits()[0]) != 0 || m.Level(n.Bits()[0]) != 2 {
+		t.Error("bit levels not in creation order")
+	}
+	if len(s.Vars()) != 2 {
+		t.Error("Vars() length wrong")
+	}
+}
+
+func TestQuickEqInSemantics(t *testing.T) {
+	m, s := newSpace()
+	v := s.NewVar("x", 6)
+	w := s.NewVar("y", 6)
+	prop := func(raw []uint8) bool {
+		// interpret raw as a value subset of x's domain
+		var vals []int
+		for i := 0; i < v.Card(); i++ {
+			if i < len(raw) && raw[i]%2 == 1 {
+				vals = append(vals, i)
+			}
+		}
+		set := v.In(vals)
+		// membership must agree pointwise
+		for val := 0; val < v.Card(); val++ {
+			inSet := false
+			for _, x := range vals {
+				if x == val {
+					inSet = true
+				}
+			}
+			if (m.And(set, v.Eq(val)) != bdd.False) != inSet {
+				return false
+			}
+		}
+		// In(all) over the domain equals Domain
+		all := make([]int, v.Card())
+		for i := range all {
+			all[i] = i
+		}
+		if v.In(all) != v.Domain() {
+			return false
+		}
+		// EqVar symmetric
+		return v.EqVar(w) == w.EqVar(v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueFromMapIgnoresForeignBits(t *testing.T) {
+	m, s := newSpace()
+	v := s.NewVar("x", 4)
+	w := s.NewVar("y", 4)
+	_ = m
+	asg := map[int]bool{
+		v.Bits()[0]: true,
+		w.Bits()[0]: true, // foreign
+	}
+	if got := v.ValueFromMap(asg); got != 1 {
+		t.Fatalf("ValueFromMap = %d, want 1", got)
+	}
+}

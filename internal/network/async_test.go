@@ -1,0 +1,228 @@
+package network_test
+
+import (
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/network"
+	"hsis/internal/reach"
+)
+
+// two independent toggles
+const toggles = `
+.model toggles
+.table a na
+0 1
+1 0
+.table b nb
+0 1
+1 0
+.latch na a
+.reset a
+0
+.latch nb b
+.reset b
+0
+.end
+`
+
+func buildToggles(t *testing.T) *network.Network {
+	t.Helper()
+	d, err := blifmv.ParseString(toggles, "t.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestInterleavingSemantics(t *testing.T) {
+	n := buildToggles(t)
+	m := n.Manager()
+	a, b := n.VarByName("a"), n.VarByName("b")
+
+	// synchronous: (0,0) -> (1,1) only
+	img := reach.Image(n, m.And(a.Eq(0), b.Eq(0)))
+	if img != m.And(a.Eq(1), b.Eq(1)) {
+		t.Fatal("synchronous image wrong")
+	}
+
+	tAsync, err := n.BuildAsyncT(network.Interleaving(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetT(tAsync)
+	// interleaved: (0,0) -> (1,0) or (0,1); never (1,1) in one step
+	img = reach.Image(n, m.And(a.Eq(0), b.Eq(0)))
+	want := m.Or(m.And(a.Eq(1), b.Eq(0)), m.And(a.Eq(0), b.Eq(1)))
+	if img != want {
+		t.Fatal("interleaved image wrong")
+	}
+	// all four states reachable under interleaving
+	res := reach.Forward(n, reach.Options{})
+	if got := n.NumStates(res.Reached); got != 4 {
+		t.Fatalf("interleaved reach = %v, want 4", got)
+	}
+}
+
+func TestSynchronousTreeMatchesDefault(t *testing.T) {
+	n := buildToggles(t)
+	tSync := n.T
+	// an all-S tree must reproduce the synchronous relation
+	tAsync, err := n.BuildAsyncT(network.Sync(network.Leaf("a"), network.Leaf("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tAsync != tSync {
+		t.Fatal("all-synchronous tree should equal the synchronous T")
+	}
+}
+
+func TestMixedTree(t *testing.T) {
+	// three latches: a and b synchronous with each other, the pair
+	// asynchronous with c: each step updates {a,b} or {c}.
+	const three = `
+.model three
+.table a na
+0 1
+1 0
+.table b nb
+0 1
+1 0
+.table c nc
+0 1
+1 0
+.latch na a
+.reset a
+0
+.latch nb b
+.reset b
+0
+.latch nc c
+.reset c
+0
+.end
+`
+	d, _ := blifmv.ParseString(three, "3.mv")
+	flat, _ := blifmv.Flatten(d)
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.Manager()
+	a, b, c := n.VarByName("a"), n.VarByName("b"), n.VarByName("c")
+	tree := network.Async(network.Sync(network.Leaf("a"), network.Leaf("b")), network.Leaf("c"))
+	tAsync, err := n.BuildAsyncT(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetT(tAsync)
+	img := reach.Image(n, m.AndN(a.Eq(0), b.Eq(0), c.Eq(0)))
+	want := m.Or(
+		m.AndN(a.Eq(1), b.Eq(1), c.Eq(0)), // {a,b} updated
+		m.AndN(a.Eq(0), b.Eq(0), c.Eq(1)), // {c} updated
+	)
+	if img != want {
+		t.Fatal("mixed synchrony tree semantics wrong")
+	}
+}
+
+func TestSynchronyTreeErrors(t *testing.T) {
+	n := buildToggles(t)
+	cases := []*network.Synchrony{
+		network.Sync(network.Leaf("a")),                                       // missing b
+		network.Sync(network.Leaf("a"), network.Leaf("a"), network.Leaf("b")), // duplicate a
+		network.Sync(network.Leaf("a"), network.Leaf("zz")),                   // unknown latch
+		network.Sync(network.Leaf("a"), &network.Synchrony{}),                 // empty node
+	}
+	for i, tree := range cases {
+		if _, err := n.BuildAsyncT(tree); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestInterleavingWithSharedLatchInput(t *testing.T) {
+	const shared = `
+.model shared
+.table a b n
+0 0 0
+0 1 1
+1 0 1
+1 1 0
+.latch n a
+.reset a
+0
+.latch n b
+.reset b
+1
+.end
+`
+	d, _ := blifmv.ParseString(shared, "s.mv")
+	flat, _ := blifmv.Flatten(d)
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.Manager()
+	tAsync, err := n.BuildAsyncT(network.Interleaving(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetT(tAsync)
+	a, b := n.VarByName("a"), n.VarByName("b")
+	// from (0,1): n = xor = 1; updating a alone gives (1,1); updating b
+	// alone keeps (0,1)
+	img := reach.Image(n, m.And(a.Eq(0), b.Eq(1)))
+	want := m.Or(m.And(a.Eq(1), b.Eq(1)), m.And(a.Eq(0), b.Eq(1)))
+	if img != want {
+		t.Fatal("interleaving with shared latch input wrong")
+	}
+	_ = bdd.True
+}
+
+func TestEnsureT(t *testing.T) {
+	d, err := blifmv.ParseString(toggles, "t.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.Build(flat, network.Options{SkipMonolithic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.T != bdd.False {
+		t.Fatal("T should be unbuilt")
+	}
+	n.EnsureT()
+	if n.T == bdd.False {
+		t.Fatal("EnsureT did not build T")
+	}
+	tFirst := n.T
+	n.EnsureT() // idempotent
+	if n.T != tFirst {
+		t.Fatal("EnsureT not idempotent")
+	}
+	// matches an eagerly-built network
+	n2, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := n.Manager()
+	c1 := m1.SatCount(n.T, len(n.PSBits())+len(n.NSBits()))
+	c2 := n2.Manager().SatCount(n2.T, len(n2.PSBits())+len(n2.NSBits()))
+	if c1 != c2 {
+		t.Fatalf("lazy T differs: %v vs %v transitions", c1, c2)
+	}
+}

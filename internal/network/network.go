@@ -1,0 +1,442 @@
+// Package network implements the combinational/sequential (c/s)
+// concurrency model of BLIF-MV (paper §4): a flat model becomes a set of
+// MDD variables, one relation BDD per table, and a product transition
+// relation T(x, y) over present-state (x) and next-state (y) rails,
+// obtained by conjoining all relations and existentially quantifying the
+// non-state variables with an early-quantification schedule.
+//
+// The next-state rail reuses each latch's input variable where possible
+// (the latch transfers its input to its output at every clock tick);
+// when a latch input cannot serve as a next-state variable — it is
+// shared between latches, or is itself a latch output — an auxiliary
+// next-state variable plus an equality relation is introduced.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/mdd"
+	"hsis/internal/order"
+	"hsis/internal/quant"
+)
+
+// Options configures symbolic compilation.
+type Options struct {
+	// Heuristic selects the early-quantification scheduler.
+	Heuristic quant.Heuristic
+	// Order optionally fixes the MDD variable creation order (variable
+	// names of the flat model). Default: order.Compute.
+	Order []string
+	// SkipMonolithic leaves N.T unbuilt (False); reachability then uses
+	// the partitioned relation via Conjuncts (Ablation F).
+	SkipMonolithic bool
+	// NaiveQuantification disables early quantification and builds the
+	// full conjunction before quantifying (Ablation A baseline).
+	NaiveQuantification bool
+}
+
+// Latch pairs a source latch with its present/next-state variables.
+type Latch struct {
+	Src *blifmv.Latch
+	PS  *mdd.Var
+	NS  *mdd.Var
+	Aux bool // NS is an auxiliary variable tied to the latch input by an equality relation
+}
+
+// Network is the symbolic form of one flat model.
+type Network struct {
+	mgr   *bdd.Manager
+	space *mdd.Space
+	model *blifmv.Model
+
+	latches []*Latch
+	inputs  []*mdd.Var // primary inputs (free variables)
+
+	conjuncts []quant.Conjunct // table relations + auxiliary equalities
+	nonState  []int            // BDD variable IDs quantified out of T
+
+	psVars, nsVars []*mdd.Var
+	psBits, nsBits []int
+	perm           []int // BDD permutation swapping the PS and NS rails
+
+	// T is the product transition relation over PS ∪ NS (bdd.False when
+	// SkipMonolithic was set and EnsureT has not run). Init is the set
+	// of initial states over PS.
+	T    bdd.Ref
+	Init bdd.Ref
+
+	heur   quant.Heuristic
+	naive  bool
+	tBuilt bool
+}
+
+// Build compiles a flat model. The model must contain at least one latch
+// (a purely combinational description has no state to verify).
+func Build(flat *blifmv.Model, opts Options) (*Network, error) {
+	if len(flat.Latches) == 0 {
+		return nil, fmt.Errorf("network: model %q has no latches", flat.Name)
+	}
+	n := &Network{
+		mgr:   bdd.New(),
+		model: flat,
+		heur:  opts.Heuristic,
+	}
+	n.space = mdd.NewSpace(n.mgr)
+
+	names := opts.Order
+	if names == nil {
+		names = order.Compute(flat)
+	}
+
+	// Decide the next-state variable name for each latch.
+	latchByOutput := make(map[string]*blifmv.Latch, len(flat.Latches))
+	for _, l := range flat.Latches {
+		latchByOutput[l.Output] = l
+	}
+	nsName := make(map[*blifmv.Latch]string, len(flat.Latches))
+	nsAux := make(map[*blifmv.Latch]bool, len(flat.Latches))
+	claimed := make(map[string]bool)
+	for _, l := range flat.Latches {
+		usable := l.Input != l.Output && latchByOutput[l.Input] == nil && !claimed[l.Input]
+		if usable {
+			nsName[l] = l.Input
+			claimed[l.Input] = true
+		} else {
+			nsName[l] = l.Output + "$ns"
+			nsAux[l] = true
+		}
+	}
+
+	// Create MDD variables in order; a latch output is immediately
+	// followed by its next-state variable (interleaved rails, ref [1]).
+	makeVar := func(name string) *mdd.Var {
+		if v := n.space.ByName(name); v != nil {
+			return v
+		}
+		return n.space.NewVar(name, flat.Var(name).Card)
+	}
+	for _, name := range names {
+		if n.space.ByName(name) != nil {
+			continue
+		}
+		v := makeVar(name)
+		if l := latchByOutput[name]; l != nil {
+			ns := n.space.ByName(nsName[l])
+			if ns == nil {
+				card := v.Card()
+				ns = n.space.NewVar(nsName[l], card)
+			}
+			_ = ns
+		}
+	}
+	// Any variable missed by the ordering (defensive) and auxiliary NS
+	// variables for latches whose output was absent from names.
+	for _, l := range flat.Latches {
+		makeVar(l.Output)
+		if n.space.ByName(nsName[l]) == nil {
+			n.space.NewVar(nsName[l], n.space.ByName(l.Output).Card())
+		}
+	}
+	for vn := range flat.Vars {
+		makeVar(vn)
+	}
+
+	// Record rails.
+	for _, l := range flat.Latches {
+		ps := n.space.ByName(l.Output)
+		ns := n.space.ByName(nsName[l])
+		n.latches = append(n.latches, &Latch{Src: l, PS: ps, NS: ns, Aux: nsAux[l]})
+		n.psVars = append(n.psVars, ps)
+		n.nsVars = append(n.nsVars, ns)
+		n.psBits = append(n.psBits, ps.Bits()...)
+		n.nsBits = append(n.nsBits, ns.Bits()...)
+	}
+	for _, in := range flat.Inputs {
+		n.inputs = append(n.inputs, n.space.ByName(in))
+	}
+	n.perm = n.space.Permutation(n.psVars, n.nsVars)
+
+	// Non-state variables: everything not on the PS or NS rail.
+	rail := make(map[int]bool, len(n.psBits)+len(n.nsBits))
+	for _, b := range n.psBits {
+		rail[b] = true
+	}
+	for _, b := range n.nsBits {
+		rail[b] = true
+	}
+	for b := 0; b < n.mgr.NumVars(); b++ {
+		if !rail[b] {
+			n.nonState = append(n.nonState, b)
+		}
+	}
+
+	// Relation conjuncts.
+	for ti, t := range flat.Tables {
+		rel, sup, err := n.tableRel(t)
+		if err != nil {
+			return nil, fmt.Errorf("network: table %d of %s: %w", ti, flat.Name, err)
+		}
+		n.conjuncts = append(n.conjuncts, quant.Conjunct{F: rel, Support: sup})
+	}
+	for _, l := range n.latches {
+		if l.Aux {
+			in := n.space.ByName(l.Src.Input)
+			eq := l.NS.EqVar(in)
+			n.conjuncts = append(n.conjuncts, quant.Conjunct{
+				F:       eq,
+				Support: append(append([]int(nil), l.NS.Bits()...), in.Bits()...),
+			})
+		}
+		// Keep next states inside the variable's domain even when the
+		// latch input is an unconstrained primary input.
+		if dom := l.NS.Domain(); dom != bdd.True {
+			n.conjuncts = append(n.conjuncts, quant.Conjunct{F: dom, Support: l.NS.Bits()})
+		}
+	}
+
+	// Initial states.
+	n.Init = bdd.True
+	for _, l := range n.latches {
+		n.Init = n.mgr.And(n.Init, l.PS.In(l.Src.Init))
+	}
+
+	// Product transition relation.
+	n.naive = opts.NaiveQuantification
+	if opts.SkipMonolithic {
+		n.T = bdd.False
+	} else {
+		n.buildT()
+	}
+	n.mgr.IncRef(n.T)
+	n.mgr.IncRef(n.Init)
+	return n, nil
+}
+
+func (n *Network) buildT() {
+	if n.naive {
+		n.T = quant.Naive(n.mgr, n.conjuncts, n.nonState)
+	} else {
+		n.T = quant.AndExists(n.mgr, n.conjuncts, n.nonState, n.heur)
+	}
+	n.tBuilt = true
+}
+
+// EnsureT builds the monolithic product transition relation on demand
+// when the network was created with SkipMonolithic. It is idempotent.
+func (n *Network) EnsureT() {
+	if n.tBuilt {
+		return
+	}
+	n.mgr.DecRef(n.T)
+	n.buildT()
+	n.mgr.IncRef(n.T)
+}
+
+// tableRel builds the relation BDD of one table together with its
+// structural support.
+func (n *Network) tableRel(t *blifmv.Table) (bdd.Ref, []int, error) {
+	m := n.mgr
+	inVars := make([]*mdd.Var, len(t.Inputs))
+	for i, name := range t.Inputs {
+		inVars[i] = n.space.ByName(name)
+		if inVars[i] == nil {
+			return bdd.False, nil, fmt.Errorf("unknown input column %q", name)
+		}
+	}
+	outVars := make([]*mdd.Var, len(t.Outputs))
+	for i, name := range t.Outputs {
+		outVars[i] = n.space.ByName(name)
+		if outVars[i] == nil {
+			return bdd.False, nil, fmt.Errorf("unknown output column %q", name)
+		}
+	}
+	setBDD := func(vs blifmv.ValueSet, v *mdd.Var) bdd.Ref {
+		if vs.All {
+			return bdd.True
+		}
+		return v.In(vs.Vals)
+	}
+	rows := bdd.False
+	covered := bdd.False
+	for _, r := range t.Rows {
+		inConj := bdd.True
+		for i, vs := range r.In {
+			inConj = m.And(inConj, setBDD(vs, inVars[i]))
+		}
+		rowRel := inConj
+		for j, o := range r.Out {
+			if o.EqInput >= 0 {
+				rowRel = m.And(rowRel, outVars[j].EqVar(inVars[o.EqInput]))
+			} else {
+				rowRel = m.And(rowRel, setBDD(o.Set, outVars[j]))
+			}
+		}
+		rows = m.Or(rows, rowRel)
+		covered = m.Or(covered, inConj)
+	}
+	if t.Default != nil {
+		defConj := m.Not(covered)
+		for j, vs := range t.Default {
+			defConj = m.And(defConj, setBDD(vs, outVars[j]))
+		}
+		rows = m.Or(rows, defConj)
+	}
+	// Constrain every column to its valid domain; "-" means any *valid*
+	// value, and outputs never take invalid codes.
+	rel := rows
+	var sup []int
+	for _, v := range append(append([]*mdd.Var(nil), inVars...), outVars...) {
+		rel = m.And(rel, v.Domain())
+		sup = append(sup, v.Bits()...)
+	}
+	sort.Ints(sup)
+	sup = dedupInts(sup)
+	return rel, sup, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Manager returns the BDD manager owning all of the network's functions.
+func (n *Network) Manager() *bdd.Manager { return n.mgr }
+
+// Space returns the MDD variable space.
+func (n *Network) Space() *mdd.Space { return n.space }
+
+// Model returns the flat source model.
+func (n *Network) Model() *blifmv.Model { return n.model }
+
+// Latches returns the latch records in declaration order.
+func (n *Network) Latches() []*Latch { return n.latches }
+
+// Inputs returns the primary-input variables.
+func (n *Network) Inputs() []*mdd.Var { return n.inputs }
+
+// PSVars and NSVars return the state rails in latch order.
+func (n *Network) PSVars() []*mdd.Var { return n.psVars }
+
+// NSVars returns the next-state rail in latch order.
+func (n *Network) NSVars() []*mdd.Var { return n.nsVars }
+
+// PSBits returns the BDD variable IDs of the present-state rail.
+func (n *Network) PSBits() []int { return n.psBits }
+
+// NSBits returns the BDD variable IDs of the next-state rail.
+func (n *Network) NSBits() []int { return n.nsBits }
+
+// PSCube returns the quantification cube of the present-state rail.
+func (n *Network) PSCube() bdd.Ref { return n.mgr.Cube(n.psBits) }
+
+// NSCube returns the quantification cube of the next-state rail.
+func (n *Network) NSCube() bdd.Ref { return n.mgr.Cube(n.nsBits) }
+
+// SwapRails exchanges PS and NS variables in f (an involution).
+func (n *Network) SwapRails(f bdd.Ref) bdd.Ref { return n.mgr.Permute(f, n.perm) }
+
+// Conjuncts returns the partitioned transition relation: every table
+// relation and auxiliary equality, with structural supports. Callers
+// must not mutate the slice.
+func (n *Network) Conjuncts() []quant.Conjunct { return n.conjuncts }
+
+// NonStateBits returns the BDD variable IDs quantified out of T.
+func (n *Network) NonStateBits() []int { return n.nonState }
+
+// Heuristic returns the early-quantification heuristic in use.
+func (n *Network) Heuristic() quant.Heuristic { return n.heur }
+
+// VarByName resolves a model variable to its MDD variable, or nil.
+func (n *Network) VarByName(name string) *mdd.Var { return n.space.ByName(name) }
+
+// NumStates returns the number of states represented by a set over the
+// present-state rail.
+func (n *Network) NumStates(set bdd.Ref) float64 {
+	return n.mgr.SatCount(set, len(n.psBits))
+}
+
+// LabelEq returns the present-state label of the condition
+// <name> == <value>. For a state variable this is the plain equality;
+// for a combinational or input variable it is the set of states where
+// the network *can* produce that value in the current step (the
+// relations constrain the variable, inputs and other intermediates are
+// existentially quantified).
+func (n *Network) LabelEq(name, value string) (bdd.Ref, error) {
+	v := n.space.ByName(name)
+	if v == nil {
+		return bdd.False, fmt.Errorf("network: unknown variable %q", name)
+	}
+	mv := n.model.Var(name)
+	idx := mv.ValueIndex(value)
+	if idx < 0 {
+		return bdd.False, fmt.Errorf("network: %q is not a value of %s", value, name)
+	}
+	if n.isPSVar(v) {
+		return v.Eq(idx), nil
+	}
+	// quantify everything but the PS rail out of (relations ∧ v=idx)
+	conjs := append(append([]quant.Conjunct(nil), n.conjuncts...),
+		quant.Conjunct{F: v.Eq(idx), Support: v.Bits()})
+	var qvars []int
+	ps := make(map[int]bool, len(n.psBits))
+	for _, b := range n.psBits {
+		ps[b] = true
+	}
+	for b := 0; b < n.mgr.NumVars(); b++ {
+		if !ps[b] {
+			qvars = append(qvars, b)
+		}
+	}
+	return quant.AndExists(n.mgr, conjs, qvars, n.heur), nil
+}
+
+func (n *Network) isPSVar(v *mdd.Var) bool {
+	for _, p := range n.psVars {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// StateAssignment maps latch outputs to symbolic value names for one
+// concrete state; used by trace printing.
+type StateAssignment map[string]string
+
+// DecodeState extracts the latch values of one concrete state from a
+// full assignment over BDD variables.
+func (n *Network) DecodeState(assignment map[int]bool) StateAssignment {
+	out := make(StateAssignment, len(n.latches))
+	for _, l := range n.latches {
+		idx := l.PS.ValueFromMap(assignment)
+		out[l.Src.Output] = n.model.Var(l.Src.Output).ValueName(idx)
+	}
+	return out
+}
+
+// PickState returns one concrete state from a non-empty set over the PS
+// rail, as an assignment over the PS bits (unconstrained bits read 0).
+func (n *Network) PickState(set bdd.Ref) (map[int]bool, bool) {
+	return n.mgr.PickCube(set, n.psBits)
+}
+
+// StateEq returns the BDD of exactly the given concrete state.
+func (n *Network) StateEq(assignment map[int]bool) bdd.Ref {
+	r := bdd.True
+	for _, b := range n.psBits {
+		if assignment[b] {
+			r = n.mgr.And(r, n.mgr.Var(b))
+		} else {
+			r = n.mgr.And(r, n.mgr.NVar(b))
+		}
+	}
+	return r
+}

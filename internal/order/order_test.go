@@ -1,0 +1,124 @@
+package order
+
+import (
+	"testing"
+
+	"hsis/internal/blifmv"
+)
+
+func flat(t *testing.T, src string) *blifmv.Model {
+	t.Helper()
+	d, err := blifmv.ParseString(src, "test.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// Two independent counters plus one coupling table.
+const twoFSMs = `
+.model two
+.table a0 na0
+0 1
+1 0
+.latch na0 a0
+.reset a0
+0
+.table b0 nb0
+0 1
+1 0
+.latch nb0 b0
+.reset b0
+0
+.table a0 b0 x
+0 0 0
+- - 1
+.end
+`
+
+func TestComputeCoversEveryVariableOnce(t *testing.T) {
+	m := flat(t, twoFSMs)
+	names := Compute(m)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("variable %s listed twice", n)
+		}
+		seen[n] = true
+	}
+	for v := range m.Vars {
+		if !seen[v] {
+			t.Fatalf("variable %s missing from the order", v)
+		}
+	}
+}
+
+func TestLatchPairsAreAdjacent(t *testing.T) {
+	m := flat(t, twoFSMs)
+	names := Compute(m)
+	pos := map[string]int{}
+	for i, n := range names {
+		pos[n] = i
+	}
+	// each latch's input and output attract strongly: adjacent or nearly
+	for _, l := range m.Latches {
+		d := pos[l.Input] - pos[l.Output]
+		if d < 0 {
+			d = -d
+		}
+		if d > 2 {
+			t.Errorf("latch %s: input/output %d apart in the order", l.Output, d)
+		}
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	m := flat(t, twoFSMs)
+	a := Compute(m)
+	b := Compute(m)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order not deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAppendedCoversEverything(t *testing.T) {
+	m := flat(t, twoFSMs)
+	names := Appended(m)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("variable %s listed twice", n)
+		}
+		seen[n] = true
+	}
+	for v := range m.Vars {
+		if !seen[v] {
+			t.Fatalf("variable %s missing", v)
+		}
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := &blifmv.Model{Name: "empty", Vars: map[string]*blifmv.Variable{}}
+	if got := Compute(m); got != nil {
+		t.Fatalf("empty model should give nil order, got %v", got)
+	}
+}
+
+func TestSeedPrefersLatchOutputs(t *testing.T) {
+	m := flat(t, twoFSMs)
+	names := Compute(m)
+	latchOut := m.LatchOutputs()
+	if !latchOut[names[0]] {
+		t.Errorf("seed %q is not a latch output", names[0])
+	}
+}

@@ -1,0 +1,342 @@
+// Package pif implements the Property Intermediate Format (paper §1 and
+// Figure 1): the file the user writes to state desired properties. A PIF
+// file carries CTL formulas for the model checker, ω-automata (with
+// edge-Rabin acceptance) for the language containment checker, and
+// fairness constraints on the design.
+//
+// Grammar (line oriented; '#' comments):
+//
+//	ctl <name> <formula>
+//
+//	automaton <name> {
+//	  states A B C
+//	  init A
+//	  edge <from> <to> <guard>            # guard: propositional formula
+//	  edge <from> <to> <guard> : <label>  # labelled edge (for edge acceptance)
+//	  rabin avoid { B C } recur { A }     # state-Rabin pair
+//	  rabin avoid edges { e1 } recur edges { e2 }   # edge-Rabin pair
+//	}
+//
+//	fairness {
+//	  negative state <expr>        # runs may not stay in expr forever
+//	  positive state <expr>        # runs visit expr infinitely often
+//	  positive edge <expr> => <expr>   # edges from expr-states to expr-states
+//	}
+//
+// Acceptance semantics of a Rabin pair (avoid L, recur U): a run is
+// accepted iff it visits L only finitely often AND visits U infinitely
+// often; the whole automaton accepts iff some pair accepts.
+package pif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"hsis/internal/ctl"
+)
+
+// File is a parsed PIF file.
+type File struct {
+	CTL      []CTLProp
+	Automata []*AutSpec
+	Fairness []FairSpec
+}
+
+// CTLProp is one named CTL property.
+type CTLProp struct {
+	Name    string
+	Formula ctl.Formula
+}
+
+// AutSpec is a syntactic ω-automaton.
+type AutSpec struct {
+	Name   string
+	States []string
+	Init   string
+	Edges  []EdgeSpec
+	Pairs  []PairSpec
+}
+
+// EdgeSpec is one guarded transition.
+type EdgeSpec struct {
+	From, To string
+	Guard    ctl.Formula
+	Label    string // optional, for edge acceptance sets
+}
+
+// PairSpec is one Rabin pair: Avoid visited finitely often, Recur
+// infinitely often; each side lists state names or edge labels.
+type PairSpec struct {
+	AvoidStates, RecurStates []string
+	AvoidEdges, RecurEdges   []string
+}
+
+// FairKind distinguishes the fairness-constraint forms of paper §5.1.
+type FairKind int
+
+const (
+	// NegativeState excludes runs staying in the set forever.
+	NegativeState FairKind = iota
+	// PositiveState keeps only runs visiting the set infinitely often.
+	PositiveState
+	// PositiveEdge keeps only runs taking a matching edge infinitely often.
+	PositiveEdge
+)
+
+// FairSpec is one fairness constraint on the design.
+type FairSpec struct {
+	Kind FairKind
+	Expr ctl.Formula // state expression (NegativeState, PositiveState, PositiveEdge source)
+	To   ctl.Formula // PositiveEdge destination expression
+}
+
+// Parse reads a PIF file.
+func Parse(r io.Reader, src string) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var lines []string
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		lines = append(lines, strings.TrimSpace(line))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", src, err)
+	}
+	p := &parser{src: src, lines: lines}
+	for p.i = 0; p.i < len(p.lines); p.i++ {
+		line := p.lines[p.i]
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "ctl "):
+			rest := strings.TrimSpace(line[4:])
+			sp := strings.IndexAny(rest, " \t")
+			if sp < 0 {
+				return nil, p.errf("ctl wants <name> <formula>")
+			}
+			name := rest[:sp]
+			formula, err := ctl.Parse(rest[sp+1:])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			f.CTL = append(f.CTL, CTLProp{Name: name, Formula: formula})
+		case strings.HasPrefix(line, "automaton "):
+			a, err := p.automaton(line)
+			if err != nil {
+				return nil, err
+			}
+			f.Automata = append(f.Automata, a)
+		case strings.HasPrefix(line, "fairness"):
+			if err := p.fairness(line, f); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown PIF statement %q", line)
+		}
+	}
+	return f, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, src string) (*File, error) {
+	return Parse(strings.NewReader(s), src)
+}
+
+type parser struct {
+	src   string
+	lines []string
+	i     int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", p.src, p.i+1, fmt.Sprintf(format, args...))
+}
+
+// automaton parses from "automaton <name> {" to the closing "}".
+func (p *parser) automaton(first string) (*AutSpec, error) {
+	fields := strings.Fields(first)
+	if len(fields) < 2 {
+		return nil, p.errf("automaton wants a name")
+	}
+	a := &AutSpec{Name: fields[1]}
+	if len(fields) < 3 || fields[2] != "{" {
+		return nil, p.errf("automaton %s: missing '{'", a.Name)
+	}
+	for p.i++; p.i < len(p.lines); p.i++ {
+		line := p.lines[p.i]
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			if a.Init == "" {
+				return nil, p.errf("automaton %s: missing init", a.Name)
+			}
+			return a, nil
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "states":
+			a.States = append(a.States, fields[1:]...)
+		case "init":
+			if len(fields) != 2 {
+				return nil, p.errf("init wants one state")
+			}
+			a.Init = fields[1]
+		case "edge":
+			if len(fields) < 4 {
+				return nil, p.errf("edge wants <from> <to> <guard>")
+			}
+			rest := strings.TrimSpace(line[len("edge"):])
+			from, rest := cutField(rest)
+			to, guardSrc := cutField(rest)
+			label := ""
+			if c := strings.LastIndex(guardSrc, ":"); c >= 0 {
+				label = strings.TrimSpace(guardSrc[c+1:])
+				guardSrc = strings.TrimSpace(guardSrc[:c])
+			}
+			g, err := ctl.Parse(guardSrc)
+			if err != nil {
+				return nil, p.errf("edge guard: %v", err)
+			}
+			if !ctl.IsPropositional(g) {
+				return nil, p.errf("edge guard must be propositional: %q", guardSrc)
+			}
+			a.Edges = append(a.Edges, EdgeSpec{From: from, To: to, Guard: g, Label: label})
+		case "rabin":
+			pair, err := parseRabin(line)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			a.Pairs = append(a.Pairs, pair)
+		default:
+			return nil, p.errf("unknown automaton statement %q", fields[0])
+		}
+	}
+	return nil, p.errf("automaton %s: missing '}'", a.Name)
+}
+
+// parseRabin parses: rabin avoid [edges] { ... } recur [edges] { ... }
+func parseRabin(line string) (PairSpec, error) {
+	var pair PairSpec
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "rabin"))
+	for rest != "" {
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			break
+		}
+		side := fields[0]
+		if side != "avoid" && side != "recur" {
+			return pair, fmt.Errorf("rabin: expected avoid/recur, found %q", side)
+		}
+		rest = strings.TrimSpace(rest[len(side):])
+		edges := false
+		if strings.HasPrefix(rest, "edges") {
+			edges = true
+			rest = strings.TrimSpace(rest[len("edges"):])
+		}
+		if !strings.HasPrefix(rest, "{") {
+			return pair, fmt.Errorf("rabin: expected '{' after %s", side)
+		}
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return pair, fmt.Errorf("rabin: missing '}'")
+		}
+		names := strings.Fields(rest[1:close])
+		rest = strings.TrimSpace(rest[close+1:])
+		switch {
+		case side == "avoid" && edges:
+			pair.AvoidEdges = names
+		case side == "avoid":
+			pair.AvoidStates = names
+		case edges:
+			pair.RecurEdges = names
+		default:
+			pair.RecurStates = names
+		}
+	}
+	return pair, nil
+}
+
+// fairness parses a fairness { ... } block.
+func (p *parser) fairness(first string, f *File) error {
+	if !strings.Contains(first, "{") {
+		return p.errf("fairness: missing '{'")
+	}
+	for p.i++; p.i < len(p.lines); p.i++ {
+		line := p.lines[p.i]
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			return nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return p.errf("fairness entry wants <polarity> <kind> <expr>")
+		}
+		polarity, kind := fields[0], fields[1]
+		_, rest := cutField(line)
+		_, exprSrc := cutField(rest)
+		switch {
+		case polarity == "negative" && kind == "state":
+			g, err := p.prop(exprSrc)
+			if err != nil {
+				return err
+			}
+			f.Fairness = append(f.Fairness, FairSpec{Kind: NegativeState, Expr: g})
+		case polarity == "positive" && kind == "state":
+			g, err := p.prop(exprSrc)
+			if err != nil {
+				return err
+			}
+			f.Fairness = append(f.Fairness, FairSpec{Kind: PositiveState, Expr: g})
+		case polarity == "positive" && kind == "edge":
+			parts := strings.SplitN(exprSrc, "=>", 2)
+			if len(parts) != 2 {
+				return p.errf("positive edge wants <from-expr> => <to-expr>")
+			}
+			from, err := p.prop(parts[0])
+			if err != nil {
+				return err
+			}
+			to, err := p.prop(parts[1])
+			if err != nil {
+				return err
+			}
+			f.Fairness = append(f.Fairness, FairSpec{Kind: PositiveEdge, Expr: from, To: to})
+		default:
+			return p.errf("unknown fairness form %q %q", polarity, kind)
+		}
+	}
+	return p.errf("fairness: missing '}'")
+}
+
+// cutField splits off the first whitespace-delimited field.
+func cutField(s string) (field, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+func (p *parser) prop(src string) (ctl.Formula, error) {
+	g, err := ctl.Parse(strings.TrimSpace(src))
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	if !ctl.IsPropositional(g) {
+		return nil, p.errf("fairness expression must be propositional: %q", src)
+	}
+	return g, nil
+}

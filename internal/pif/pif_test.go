@@ -1,0 +1,120 @@
+package pif
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# properties for the arbiter
+ctl mutex AG(!(g1=1 * g2=1))
+ctl live AG(r1=1 -> AF g1=1)
+
+automaton never_both {
+  states A B
+  init A
+  edge A A !(g1=1 * g2=1)
+  edge A B g1=1 * g2=1
+  edge B B TRUE
+  rabin avoid { B } recur { A }
+}
+
+automaton infinitely_granted {
+  states A
+  init A
+  edge A A g1=1 : hit
+  edge A A g1!=1 : miss
+  rabin avoid {} recur edges { hit }
+}
+
+fairness {
+  negative state pause=1
+  positive state ready=1
+  positive edge req=1 => ack=1
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := ParseString(sample, "sample.pif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.CTL) != 2 || f.CTL[0].Name != "mutex" {
+		t.Fatalf("ctl props = %+v", f.CTL)
+	}
+	if got := f.CTL[1].Formula.String(); !strings.Contains(got, "AF") {
+		t.Fatalf("live formula = %s", got)
+	}
+	if len(f.Automata) != 2 {
+		t.Fatalf("automata = %d", len(f.Automata))
+	}
+	a := f.Automata[0]
+	if a.Name != "never_both" || a.Init != "A" || len(a.States) != 2 {
+		t.Fatalf("automaton header wrong: %+v", a)
+	}
+	if len(a.Edges) != 3 {
+		t.Fatalf("edges = %d", len(a.Edges))
+	}
+	if len(a.Pairs) != 1 || len(a.Pairs[0].AvoidStates) != 1 || a.Pairs[0].AvoidStates[0] != "B" {
+		t.Fatalf("pair = %+v", a.Pairs)
+	}
+	b := f.Automata[1]
+	if b.Edges[0].Label != "hit" || b.Edges[1].Label != "miss" {
+		t.Fatalf("edge labels = %+v", b.Edges)
+	}
+	if len(b.Pairs[0].RecurEdges) != 1 || b.Pairs[0].RecurEdges[0] != "hit" {
+		t.Fatalf("edge pair = %+v", b.Pairs)
+	}
+	if len(f.Fairness) != 3 {
+		t.Fatalf("fairness = %d", len(f.Fairness))
+	}
+	if f.Fairness[0].Kind != NegativeState || f.Fairness[1].Kind != PositiveState || f.Fairness[2].Kind != PositiveEdge {
+		t.Fatalf("fairness kinds wrong: %+v", f.Fairness)
+	}
+	if f.Fairness[2].To == nil {
+		t.Fatal("positive edge destination missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"bad stmt", "frobnicate x\n", "unknown PIF statement"},
+		{"ctl short", "ctl onlyname\n", "ctl wants"},
+		{"ctl bad formula", "ctl p AG(\n", "ctl"},
+		{"no init", "automaton a {\nstates A\nedge A A TRUE\nrabin recur { A }\n}\n", "missing init"},
+		{"no close", "automaton a {\nstates A\ninit A\n", "missing '}'"},
+		{"temporal guard", "automaton a {\nstates A\ninit A\nedge A A EF x\nrabin recur { A }\n}\n", "propositional"},
+		{"bad rabin", "automaton a {\nstates A\ninit A\nedge A A TRUE\nrabin frobnicate { A }\n}\n", "avoid/recur"},
+		{"bad fairness", "fairness {\nsideways state x=1\n}\n", "unknown fairness"},
+		{"edge no arrow", "fairness {\npositive edge x=1\n}\n", "=>"},
+		{"temporal fairness", "fairness {\nnegative state AF x\n}\n", "propositional"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src, c.name)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestGuardWithColonLabelSplit(t *testing.T) {
+	src := "automaton a {\nstates A\ninit A\nedge A A x=1 : lbl\nrabin recur edges { lbl }\n}\n"
+	f, err := ParseString(src, "lbl.pif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := f.Automata[0].Edges[0]
+	if e.Label != "lbl" || e.Guard.String() != "x=1" {
+		t.Fatalf("edge = %+v", e)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f, err := ParseString("# nothing here\n\n", "empty.pif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.CTL)+len(f.Automata)+len(f.Fairness) != 0 {
+		t.Fatal("empty file should parse to empty File")
+	}
+}

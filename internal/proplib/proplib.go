@@ -1,0 +1,187 @@
+// Package proplib is the library of commonly used properties the paper
+// plans in §8 item 8: "the elements of the library would be
+// parameterized so that they could be adapted to specific situations,
+// and they would be accessible through an interface that would not
+// require knowledge of CTL or ω-automata."
+//
+// Each template takes design variable/value names and produces either a
+// CTL property, a property automaton (PIF AutSpec), or both, ready for
+// the standard verification flow.
+package proplib
+
+import (
+	"fmt"
+	"strings"
+
+	"hsis/internal/ctl"
+	"hsis/internal/pif"
+)
+
+// Cond is one variable comparison, the atoms templates are built from.
+type Cond struct {
+	Var   string
+	Value string
+}
+
+func (c Cond) atom() ctl.Formula { return ctl.Atom{Var: c.Var, Value: c.Value} }
+
+func (c Cond) String() string { return c.Var + "=" + c.Value }
+
+// Mutex states that at most one of the conditions holds at any time.
+// It returns both formulations: the CTL invariant and the Figure-2
+// style invariance automaton.
+func Mutex(name string, conds ...Cond) (pif.CTLProp, *pif.AutSpec, error) {
+	if len(conds) < 2 {
+		return pif.CTLProp{}, nil, fmt.Errorf("proplib: Mutex needs at least two conditions")
+	}
+	var bad ctl.Formula
+	for i := 0; i < len(conds); i++ {
+		for j := i + 1; j < len(conds); j++ {
+			pair := ctl.And{L: conds[i].atom(), R: conds[j].atom()}
+			if bad == nil {
+				bad = pair
+			} else {
+				bad = ctl.Or{L: bad, R: pair}
+			}
+		}
+	}
+	good := ctl.Not{F: bad}
+	prop := pif.CTLProp{Name: name, Formula: ctl.AG{F: good}}
+	aut := invarianceSpec(name+"_aut", good)
+	return prop, aut, nil
+}
+
+// Invariant states that the condition holds in every reachable state.
+func Invariant(name string, cond string) (pif.CTLProp, *pif.AutSpec, error) {
+	f, err := ctl.Parse(cond)
+	if err != nil {
+		return pif.CTLProp{}, nil, err
+	}
+	if !ctl.IsPropositional(f) {
+		return pif.CTLProp{}, nil, fmt.Errorf("proplib: Invariant wants a propositional condition")
+	}
+	return pif.CTLProp{Name: name, Formula: ctl.AG{F: f}}, invarianceSpec(name+"_aut", f), nil
+}
+
+// Response states that every trigger is eventually followed by the
+// response (on every fair path): AG(trigger → AF response).
+func Response(name string, trigger, response Cond) pif.CTLProp {
+	return pif.CTLProp{Name: name, Formula: ctl.AG{F: ctl.Implies{
+		L: trigger.atom(),
+		R: ctl.AF{F: response.atom()},
+	}}}
+}
+
+// Recurrence states that the condition holds infinitely often, as an
+// edge-Rabin automaton (the shape used throughout the designs' PIFs).
+func Recurrence(name string, cond Cond) *pif.AutSpec {
+	return &pif.AutSpec{
+		Name:   name,
+		States: []string{"A"},
+		Init:   "A",
+		Edges: []pif.EdgeSpec{
+			{From: "A", To: "A", Guard: cond.atom(), Label: "hit"},
+			{From: "A", To: "A", Guard: ctl.Not{F: cond.atom()}, Label: "miss"},
+		},
+		Pairs: []pif.PairSpec{{RecurEdges: []string{"hit"}}},
+	}
+}
+
+// NeverAgain states that after the condition first becomes false it
+// never holds again (e.g. "the serve happens at most once").
+func NeverAgain(name string, cond Cond) *pif.AutSpec {
+	in := cond.atom()
+	out := ctl.Not{F: in}
+	return &pif.AutSpec{
+		Name:   name,
+		States: []string{"S", "P", "B"},
+		Init:   "S",
+		Edges: []pif.EdgeSpec{
+			{From: "S", To: "S", Guard: in},
+			{From: "S", To: "P", Guard: out},
+			{From: "P", To: "P", Guard: out},
+			{From: "P", To: "B", Guard: in},
+			{From: "B", To: "B", Guard: ctl.TrueF{}},
+		},
+		Pairs: []pif.PairSpec{{AvoidStates: []string{"B"}, RecurStates: []string{"S", "P"}}},
+	}
+}
+
+// FollowedImmediately states that whenever a holds, b holds at the next
+// step: AG(a → AX b).
+func FollowedImmediately(name string, a, b Cond) pif.CTLProp {
+	return pif.CTLProp{Name: name, Formula: ctl.AG{F: ctl.Implies{
+		L: a.atom(),
+		R: ctl.AX{F: b.atom()},
+	}}}
+}
+
+// Pulse states that the condition is never true on two consecutive
+// steps (one-cycle pulses), as an automaton.
+func Pulse(name string, cond Cond) *pif.AutSpec {
+	on := cond.atom()
+	off := ctl.Not{F: on}
+	return &pif.AutSpec{
+		Name:   name,
+		States: []string{"A", "H", "B"},
+		Init:   "A",
+		Edges: []pif.EdgeSpec{
+			{From: "A", To: "A", Guard: off},
+			{From: "A", To: "H", Guard: on},
+			{From: "H", To: "A", Guard: off},
+			{From: "H", To: "B", Guard: on},
+			{From: "B", To: "B", Guard: ctl.TrueF{}},
+		},
+		Pairs: []pif.PairSpec{{AvoidStates: []string{"B"}, RecurStates: []string{"A", "H"}}},
+	}
+}
+
+// Precedence states that the first occurrence of b is preceded by an a:
+// b may not hold until a has held (weak until, as a safety automaton).
+func Precedence(name string, a, b Cond) *pif.AutSpec {
+	aF := a.atom()
+	bF := b.atom()
+	notA := ctl.Not{F: aF}
+	return &pif.AutSpec{
+		Name:   name,
+		States: []string{"W", "OK", "B"},
+		Init:   "W",
+		Edges: []pif.EdgeSpec{
+			// waiting for a: seeing b first is the violation
+			{From: "W", To: "B", Guard: ctl.And{L: notA, R: bF}},
+			{From: "W", To: "W", Guard: ctl.And{L: notA, R: ctl.Not{F: bF}}},
+			{From: "W", To: "OK", Guard: aF},
+			{From: "OK", To: "OK", Guard: ctl.TrueF{}},
+			{From: "B", To: "B", Guard: ctl.TrueF{}},
+		},
+		Pairs: []pif.PairSpec{{AvoidStates: []string{"B"}, RecurStates: []string{"W", "OK"}}},
+	}
+}
+
+// invarianceSpec is the Figure-2 automaton for a propositional formula.
+func invarianceSpec(name string, good ctl.Formula) *pif.AutSpec {
+	return &pif.AutSpec{
+		Name:   name,
+		States: []string{"A", "B"},
+		Init:   "A",
+		Edges: []pif.EdgeSpec{
+			{From: "A", To: "A", Guard: good},
+			{From: "A", To: "B", Guard: ctl.Not{F: good}},
+			{From: "B", To: "B", Guard: ctl.TrueF{}},
+		},
+		Pairs: []pif.PairSpec{{AvoidStates: []string{"B"}, RecurStates: []string{"A"}}},
+	}
+}
+
+// Describe renders a template result for the catalog listing.
+func Describe(prop *pif.CTLProp, aut *pif.AutSpec) string {
+	var parts []string
+	if prop != nil {
+		parts = append(parts, fmt.Sprintf("ctl %s: %s", prop.Name, prop.Formula))
+	}
+	if aut != nil {
+		parts = append(parts, fmt.Sprintf("automaton %s: %d states, %d edges, %d pairs",
+			aut.Name, len(aut.States), len(aut.Edges), len(aut.Pairs)))
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,231 @@
+package quant
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hsis/internal/bdd"
+)
+
+// randomInstance builds a random conjunction-and-quantify instance that
+// resembles transition-relation construction: many small relations over
+// overlapping variable sets.
+func randomInstance(m *bdd.Manager, rng *rand.Rand, nvars, nconj int) ([]Conjunct, []int) {
+	vs := make([]bdd.Ref, nvars)
+	for i := range vs {
+		if m.NumVars() > i {
+			vs[i] = m.Var(i)
+		} else {
+			vs[i] = m.NewVar()
+		}
+	}
+	conjuncts := make([]Conjunct, nconj)
+	for i := range conjuncts {
+		k := 2 + rng.Intn(3)
+		seen := map[int]bool{}
+		f := bdd.False
+		var sup []int
+		for j := 0; j < k; j++ {
+			v := rng.Intn(nvars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			sup = append(sup, v)
+			lit := vs[v]
+			if rng.Intn(2) == 0 {
+				lit = m.Not(lit)
+			}
+			f = m.Or(f, lit)
+		}
+		if f == bdd.False {
+			f = bdd.True
+			sup = nil
+		}
+		conjuncts[i] = Conjunct{F: f, Support: sup}
+	}
+	var quantify []int
+	for v := 0; v < nvars; v++ {
+		if rng.Intn(2) == 0 {
+			quantify = append(quantify, v)
+		}
+	}
+	return conjuncts, quantify
+}
+
+func TestHeuristicsMatchNaive(t *testing.T) {
+	m := bdd.New()
+	rng := rand.New(rand.NewSource(314))
+	for trial := 0; trial < 60; trial++ {
+		conjuncts, quantify := randomInstance(m, rng, 10, 12)
+		want := Naive(m, conjuncts, quantify)
+		for _, h := range []Heuristic{MinWidth, Linear} {
+			got := AndExists(m, conjuncts, quantify, h)
+			if got != want {
+				t.Fatalf("trial %d: %v disagrees with naive", trial, h)
+			}
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	m := bdd.New()
+	if got := AndExists(m, nil, nil, MinWidth); got != bdd.True {
+		t.Fatal("empty conjunction should be True")
+	}
+	if got := AndExists(m, nil, nil, Linear); got != bdd.True {
+		t.Fatal("empty conjunction should be True (linear)")
+	}
+}
+
+func TestQuantifyAbsentVariable(t *testing.T) {
+	m := bdd.New()
+	a, b := m.NewVar(), m.NewVar()
+	cs := []Conjunct{{F: m.And(a, b), Support: []int{0, 1}}}
+	// variable 5 does not exist in any support (create it so Cube works)
+	m.NewVars(4)
+	got := AndExists(m, cs, []int{5}, MinWidth)
+	if got != m.And(a, b) {
+		t.Fatal("quantifying an absent variable must be a no-op")
+	}
+}
+
+func TestContradictionCollapses(t *testing.T) {
+	m := bdd.New()
+	a := m.NewVar()
+	cs := []Conjunct{
+		{F: a, Support: []int{0}},
+		{F: m.Not(a), Support: []int{0}},
+	}
+	for _, h := range []Heuristic{MinWidth, Linear} {
+		if got := AndExists(m, cs, nil, h); got != bdd.False {
+			t.Fatalf("%v: contradiction should be False", h)
+		}
+	}
+}
+
+// The paper's motivating scenario: a chain x0 -x1- x2 -x3- ... where all
+// intermediate variables are quantified. Early quantification keeps the
+// peak BDD linear in the chain length; the naive approach builds the
+// full conjunction first.
+func TestChainEliminationKeepsProductsSmall(t *testing.T) {
+	m := bdd.New()
+	const n = 24
+	vs := m.NewVars(n)
+	var cs []Conjunct
+	for i := 0; i+1 < n; i++ {
+		cs = append(cs, Conjunct{F: m.Equiv(vs[i], vs[i+1]), Support: []int{i, i + 1}})
+	}
+	var quantify []int
+	for i := 1; i < n-1; i++ {
+		quantify = append(quantify, i)
+	}
+	got := AndExists(m, cs, quantify, MinWidth)
+	want := m.Equiv(vs[0], vs[n-1])
+	if got != want {
+		t.Fatal("chain elimination wrong result")
+	}
+	got = AndExists(m, cs, quantify, Linear)
+	if got != want {
+		t.Fatal("chain elimination wrong result (linear)")
+	}
+}
+
+func TestSupportsOf(t *testing.T) {
+	m := bdd.New()
+	vs := m.NewVars(4)
+	fs := []bdd.Ref{m.And(vs[0], vs[2]), vs[3]}
+	cs := SupportsOf(m, fs)
+	if len(cs[0].Support) != 2 || cs[0].Support[0] != 0 || cs[0].Support[1] != 2 {
+		t.Fatalf("support[0] = %v", cs[0].Support)
+	}
+	if len(cs[1].Support) != 1 || cs[1].Support[0] != 3 {
+		t.Fatalf("support[1] = %v", cs[1].Support)
+	}
+}
+
+func TestHeuristicString(t *testing.T) {
+	if MinWidth.String() != "minwidth" || Linear.String() != "linear" {
+		t.Fatal("Heuristic.String wrong")
+	}
+	if Heuristic(99).String() != "unknown" {
+		t.Fatal("unknown heuristic string wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := bdd.New()
+	rng := rand.New(rand.NewSource(1))
+	conjuncts, quantify := randomInstance(m, rng, 12, 15)
+	a := AndExists(m, conjuncts, quantify, MinWidth)
+	b := AndExists(m, conjuncts, quantify, MinWidth)
+	if a != b {
+		t.Fatal("MinWidth schedule not deterministic")
+	}
+}
+
+func TestPlanExecuteMatchesAndExists(t *testing.T) {
+	m := bdd.New()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		conjuncts, quantify := randomInstance(m, rng, 10, 12)
+		want := Naive(m, conjuncts, quantify)
+		for _, h := range []Heuristic{MinWidth, Linear} {
+			sched := Plan(conjuncts, quantify, h)
+			got := Execute(m, conjuncts, sched)
+			if got != want {
+				t.Fatalf("trial %d: Execute(Plan(%v)) disagrees with naive", trial, h)
+			}
+		}
+	}
+}
+
+func TestPlanChainWidthLinearInLength(t *testing.T) {
+	// the chain instance from TestChainElimination: min-width schedules
+	// keep every intermediate width at 2 (one live variable pair).
+	const n = 24
+	conjuncts := make([]Conjunct, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		conjuncts = append(conjuncts, Conjunct{F: bdd.True, Support: []int{i, i + 1}})
+	}
+	var quantify []int
+	for i := 1; i < n-1; i++ {
+		quantify = append(quantify, i)
+	}
+	sched := Plan(conjuncts, quantify, MinWidth)
+	if sched.MaxWidth > 3 {
+		t.Fatalf("chain elimination width = %d, want ≤ 3", sched.MaxWidth)
+	}
+	// the plan consumes every conjunct exactly once
+	used := map[int]int{}
+	for _, st := range sched.Steps {
+		for _, i := range st.Inputs {
+			used[i]++
+		}
+	}
+	for _, i := range sched.Final.Inputs {
+		used[i]++
+	}
+	for i := range conjuncts {
+		if used[i] != 1 {
+			t.Fatalf("conjunct %d used %d times", i, used[i])
+		}
+	}
+}
+
+func TestPlanStringAndWidths(t *testing.T) {
+	conjuncts := []Conjunct{
+		{F: bdd.True, Support: []int{0, 1}},
+		{F: bdd.True, Support: []int{1, 2}},
+	}
+	sched := Plan(conjuncts, []int{1}, MinWidth)
+	s := sched.String()
+	if !strings.Contains(s, "max width 3") {
+		t.Fatalf("schedule: %s", s)
+	}
+	lin := Plan(conjuncts, []int{1}, Linear)
+	if lin.MaxWidth != 3 {
+		t.Fatalf("linear width = %d", lin.MaxWidth)
+	}
+}

@@ -1,0 +1,169 @@
+// Package reach implements symbolic image/preimage computation and
+// reachability over a compiled network, including the partitioned
+// transition relation variant (paper §8 item 4) and the bounded
+// "few reachability steps" primitive behind early failure detection
+// (paper §5.4).
+package reach
+
+import (
+	"hsis/internal/bdd"
+	"hsis/internal/network"
+	"hsis/internal/quant"
+)
+
+// Image computes the successors of the state set s (over the PS rail)
+// using the monolithic product transition relation.
+func Image(n *network.Network, s bdd.Ref) bdd.Ref {
+	m := n.Manager()
+	next := m.AndExists(n.T, s, n.PSCube())
+	return n.SwapRails(next)
+}
+
+// Preimage computes the predecessors of the state set s (over the PS
+// rail) using the monolithic product transition relation.
+func Preimage(n *network.Network, s bdd.Ref) bdd.Ref {
+	m := n.Manager()
+	return m.AndExists(n.T, n.SwapRails(s), n.NSCube())
+}
+
+// ImagePartitioned computes successors without ever forming the product
+// transition relation: the state set joins the per-table conjuncts and
+// one early-quantification pass eliminates present-state and non-state
+// variables together.
+func ImagePartitioned(n *network.Network, s bdd.Ref) bdd.Ref {
+	conjs := append(append([]quant.Conjunct(nil), n.Conjuncts()...),
+		quant.Conjunct{F: s, Support: n.PSBits()})
+	qvars := append(append([]int(nil), n.NonStateBits()...), n.PSBits()...)
+	next := quant.AndExists(n.Manager(), conjs, qvars, n.Heuristic())
+	return n.SwapRails(next)
+}
+
+// PreimagePartitioned is the partitioned counterpart of Preimage.
+func PreimagePartitioned(n *network.Network, s bdd.Ref) bdd.Ref {
+	conjs := append(append([]quant.Conjunct(nil), n.Conjuncts()...),
+		quant.Conjunct{F: n.SwapRails(s), Support: n.NSBits()})
+	qvars := append(append([]int(nil), n.NonStateBits()...), n.NSBits()...)
+	return quant.AndExists(n.Manager(), conjs, qvars, n.Heuristic())
+}
+
+// Options controls a reachability run.
+type Options struct {
+	// MaxSteps bounds the number of image computations (0 = unbounded).
+	// Early failure detection runs with a small bound (paper §5.4).
+	MaxSteps int
+	// Partitioned selects ImagePartitioned instead of the monolithic T.
+	Partitioned bool
+	// KeepRings records the frontier of every step for counterexample
+	// reconstruction ("onion rings").
+	KeepRings bool
+	// Stop, if non-nil, is evaluated after each step on the set reached
+	// so far; returning true ends the traversal early. This is the hook
+	// used by early failure detection: "if the property fails on a
+	// subset of reachable states, then it fails on the whole set".
+	Stop func(reached bdd.Ref) bool
+}
+
+// Result reports a reachability run.
+type Result struct {
+	// Reached is the fixed point (or the partial set if stopped early).
+	Reached bdd.Ref
+	// Steps is the number of image computations performed.
+	Steps int
+	// Converged is true when a fixed point was established.
+	Converged bool
+	// Stopped is true when Options.Stop ended the run.
+	Stopped bool
+	// Rings[i] holds the states first reached at step i (Rings[0] is the
+	// initial set); only populated with Options.KeepRings.
+	Rings []bdd.Ref
+}
+
+// Forward computes the reachable states from n.Init.
+func Forward(n *network.Network, opts Options) *Result {
+	return ForwardFrom(n, n.Init, opts)
+}
+
+// ForwardFrom computes the states reachable from the given set.
+func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
+	m := n.Manager()
+	img := func(s bdd.Ref) bdd.Ref {
+		if opts.Partitioned {
+			return ImagePartitioned(n, s)
+		}
+		return Image(n, s)
+	}
+	res := &Result{Reached: from}
+	frontier := from
+	if opts.KeepRings {
+		res.Rings = append(res.Rings, frontier)
+	}
+	if opts.Stop != nil && opts.Stop(res.Reached) {
+		res.Stopped = true
+		return res
+	}
+	for frontier != bdd.False {
+		if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
+			return res
+		}
+		next := img(frontier)
+		frontier = m.Diff(next, res.Reached)
+		if frontier == bdd.False {
+			res.Converged = true
+			return res
+		}
+		res.Reached = m.Or(res.Reached, frontier)
+		res.Steps++
+		if opts.KeepRings {
+			res.Rings = append(res.Rings, frontier)
+		}
+		if opts.Stop != nil && opts.Stop(res.Reached) {
+			res.Stopped = true
+			return res
+		}
+	}
+	res.Converged = true
+	return res
+}
+
+// Backward computes the states that can reach the given set (a least
+// fixed point of preimages), optionally restricted to a care set: states
+// outside care are never explored. care == bdd.True means no restriction.
+func Backward(n *network.Network, target, care bdd.Ref, partitioned bool) bdd.Ref {
+	m := n.Manager()
+	pre := func(s bdd.Ref) bdd.Ref {
+		if partitioned {
+			return PreimagePartitioned(n, s)
+		}
+		return Preimage(n, s)
+	}
+	reached := m.And(target, care)
+	frontier := reached
+	for frontier != bdd.False {
+		prev := m.And(pre(frontier), care)
+		frontier = m.Diff(prev, reached)
+		reached = m.Or(reached, frontier)
+	}
+	return reached
+}
+
+// EarlyFailure runs the bounded-depth property check of paper §5.4: take
+// a few reachability steps and test whether bad states are already
+// reachable. It returns the step at which a bad state first appears, or
+// -1 if none is seen within maxSteps.
+func EarlyFailure(n *network.Network, bad bdd.Ref, maxSteps int) int {
+	m := n.Manager()
+	step := -1
+	count := 0
+	ForwardFrom(n, n.Init, Options{
+		MaxSteps: maxSteps,
+		Stop: func(reached bdd.Ref) bool {
+			if m.And(reached, bad) != bdd.False {
+				step = count
+				return true
+			}
+			count++
+			return false
+		},
+	})
+	return step
+}

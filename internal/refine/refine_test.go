@@ -1,0 +1,195 @@
+package refine
+
+import (
+	"strings"
+	"testing"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/network"
+)
+
+func flat(t *testing.T, src string) *blifmv.Model {
+	t.Helper()
+	d, err := blifmv.ParseString(src, "test.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// abstract counter: may hold or advance (nondeterministic)
+const lazyCounter = `
+.model lazy
+.mv s,n 4
+.table s n
+0 {0,1}
+1 {1,2}
+2 {2,3}
+3 {3,0}
+.latch n s
+.reset s
+0
+.end
+`
+
+// refined counter: always advances (one behavior of lazy)
+const eagerCounter = `
+.model eager
+.mv s,n 4
+.table s n
+0 1
+1 2
+2 3
+3 0
+.latch n s
+.reset s
+0
+.end
+`
+
+// rogue counter: skips a value (a behavior lazy does not have)
+const skipCounter = `
+.model skip
+.mv s,n 4
+.table s n
+0 2
+2 0
+1 1
+3 3
+.latch n s
+.reset s
+0
+.end
+`
+
+func TestRefinementHolds(t *testing.T) {
+	res, err := Check(flat(t, eagerCounter), flat(t, lazyCounter),
+		[][2]string{{"s", "s"}}, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("the eager counter removes nondeterminism — it must refine the lazy one")
+	}
+	if res.Iterations < 1 {
+		t.Fatal("iterations not recorded")
+	}
+}
+
+func TestRefinementFailsOnNewBehavior(t *testing.T) {
+	// skipCounter jumps 0→2, which lazy cannot match step-for-step.
+	res, err := Check(flat(t, skipCounter), flat(t, lazyCounter),
+		[][2]string{{"s", "s"}}, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("skipping counter adds new behavior — refinement must fail")
+	}
+	if res.Unmatched == nil || res.Unmatched["s"] != "0" {
+		t.Fatalf("unmatched initial state = %v, want s=0", res.Unmatched)
+	}
+}
+
+func TestRefinementReverseFails(t *testing.T) {
+	// lazy has behaviors (holding) eager lacks: lazy does NOT refine eager.
+	res, err := Check(flat(t, lazyCounter), flat(t, eagerCounter),
+		[][2]string{{"s", "s"}}, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("abstraction does not refine its own refinement")
+	}
+}
+
+func TestRefinementReflexive(t *testing.T) {
+	res, err := Check(flat(t, lazyCounter), flat(t, lazyCounter),
+		[][2]string{{"s", "s"}}, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("every design refines itself")
+	}
+}
+
+func TestObservationErrors(t *testing.T) {
+	if _, err := Check(flat(t, eagerCounter), flat(t, lazyCounter),
+		[][2]string{{"zz", "s"}}, network.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "no variable") {
+		t.Fatalf("unknown impl variable should error, got %v", err)
+	}
+	if _, err := Check(flat(t, eagerCounter), flat(t, lazyCounter),
+		[][2]string{{"s", "zz"}}, network.Options{}); err == nil {
+		t.Fatal("unknown spec variable should error")
+	}
+	const binary = `
+.model b
+.table q nq
+0 1
+1 0
+.latch nq q
+.reset q
+0
+.end
+`
+	if _, err := Check(flat(t, binary), flat(t, lazyCounter),
+		[][2]string{{"q", "s"}}, network.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "cardinality") {
+		t.Fatalf("cardinality mismatch should error, got %v", err)
+	}
+}
+
+func TestCombinationalObservation(t *testing.T) {
+	// observe a combinational function of the state instead of the
+	// state itself: parity of the counters
+	const lazyPar = `
+.model lazyp
+.mv s,n 4
+.table s p
+0 0
+1 1
+2 0
+3 1
+.table s n
+0 {0,1}
+1 {1,2}
+2 {2,3}
+3 {3,0}
+.latch n s
+.reset s
+0
+.end
+`
+	const eagerPar = `
+.model eagerp
+.mv s,n 4
+.table s p
+0 0
+1 1
+2 0
+3 1
+.table s n
+0 1
+1 2
+2 3
+3 0
+.latch n s
+.reset s
+0
+.end
+`
+	res, err := Check(flat(t, eagerPar), flat(t, lazyPar),
+		[][2]string{{"p", "p"}}, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatal("parity refinement must hold")
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/network"
+)
+
+func compile(t *testing.T, src string) *network.Network {
+	t.Helper()
+	d, err := blifmv.ParseString(src, "test.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// controlled counter: input go decides between hold and count
+const controlled = `
+.model controlled
+.inputs go
+.mv s,ns 4
+.table go s ns
+0 - =s
+1 0 1
+1 1 2
+1 2 3
+1 3 0
+.latch ns s
+.reset s
+0
+.end
+`
+
+func TestStepAdvancesSet(t *testing.T) {
+	n := compile(t, controlled)
+	s := New(n)
+	sv := n.VarByName("s")
+	if s.Current() != sv.Eq(0) {
+		t.Fatal("should start at initial states")
+	}
+	s.Step() // free input: {hold, count} -> {0,1}
+	want := n.Manager().Or(sv.Eq(0), sv.Eq(1))
+	if s.Current() != want {
+		t.Fatal("one free step should reach {0,1}")
+	}
+	if s.Steps() != 1 || s.Count() != 2 {
+		t.Fatalf("steps=%d count=%v", s.Steps(), s.Count())
+	}
+}
+
+func TestStepWithInputConstraint(t *testing.T) {
+	n := compile(t, controlled)
+	s := New(n)
+	sv := n.VarByName("s")
+	gov := n.VarByName("go")
+	// drive go=1: deterministic counting
+	s.StepWith(gov.Eq(1))
+	if s.Current() != sv.Eq(1) {
+		t.Fatal("go=1 from 0 must reach exactly {1}")
+	}
+	s.StepWith(gov.Eq(0))
+	if s.Current() != sv.Eq(1) {
+		t.Fatal("go=0 must hold the state")
+	}
+}
+
+func TestFocusAndBack(t *testing.T) {
+	n := compile(t, controlled)
+	s := New(n)
+	sv := n.VarByName("s")
+	s.Step()
+	if err := s.Focus(sv.Eq(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != sv.Eq(1) {
+		t.Fatal("focus failed")
+	}
+	if err := s.Focus(sv.Eq(3)); err == nil {
+		t.Fatal("focusing on disjoint set must error")
+	}
+	if !s.Back() {
+		t.Fatal("Back should succeed")
+	}
+	want := n.Manager().Or(sv.Eq(0), sv.Eq(1))
+	if s.Current() != want {
+		t.Fatal("Back did not restore the previous set")
+	}
+	s.Back()
+	if s.Current() != sv.Eq(0) {
+		t.Fatal("Back to initial failed")
+	}
+	if s.Back() {
+		t.Fatal("Back past the beginning should fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := compile(t, controlled)
+	s := New(n)
+	s.Step()
+	s.Step()
+	s.Reset()
+	if s.Current() != n.Init || s.Steps() != 0 {
+		t.Fatal("Reset did not restore the session")
+	}
+}
+
+func TestStatesEnumeration(t *testing.T) {
+	n := compile(t, controlled)
+	s := New(n)
+	s.Step()
+	states := s.States(10)
+	if len(states) != 2 {
+		t.Fatalf("enumerated %d states, want 2", len(states))
+	}
+	seen := map[string]bool{}
+	for _, st := range states {
+		seen[st["s"]] = true
+	}
+	if !seen["0"] || !seen["1"] {
+		t.Fatalf("states = %v", states)
+	}
+	// cap respected
+	if got := s.States(1); len(got) != 1 {
+		t.Fatalf("cap ignored: %d", len(got))
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// state 1 has no row: dead end
+	src := `
+.model dead
+.mv s,ns 2
+.table s ns
+0 1
+.latch ns s
+.reset s
+0
+.end
+`
+	n := compile(t, src)
+	s := New(n)
+	if s.Deadlocked() != bdd.False {
+		t.Fatal("initial state can step")
+	}
+	s.Step()
+	if s.Deadlocked() == bdd.False {
+		t.Fatal("state 1 should be deadlocked")
+	}
+}
+
+func TestStepWithEnumConstraint(t *testing.T) {
+	src := `
+.model fsm
+.mv s,ns 3 A B C
+.mv cmd 2 go stop
+.table cmd
+-
+.table cmd s ns
+stop - =s
+go A B
+go B C
+go C A
+.latch ns s
+.reset s
+A
+.end
+`
+	n := compile(t, src)
+	s := New(n)
+	cmd := n.VarByName("cmd")
+	s.StepWith(cmd.Eq(0)) // go
+	sv := n.VarByName("s")
+	if s.Current() != sv.Eq(1) {
+		t.Fatal("go from A must reach exactly B")
+	}
+	s.StepWith(cmd.Eq(1)) // stop
+	if s.Current() != sv.Eq(1) {
+		t.Fatal("stop must hold")
+	}
+}

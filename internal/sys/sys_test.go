@@ -1,0 +1,115 @@
+package sys
+
+import (
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/network"
+)
+
+func compile(t *testing.T, src string) *NetSystem {
+	t.Helper()
+	d, err := blifmv.ParseString(src, "test.mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromNetwork(n)
+}
+
+// 0→1→2→3→0 with an extra chord 1→3
+const chord = `
+.model chord
+.mv s,n 4
+.table s n
+0 1
+1 {2,3}
+2 3
+3 0
+.latch n s
+.reset s
+0
+.end
+`
+
+func TestPostPreDuality(t *testing.T) {
+	s := compile(t, chord)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	post1 := s.Post(sv.Eq(1))
+	if post1 != m.Or(sv.Eq(2), sv.Eq(3)) {
+		t.Fatal("Post wrong")
+	}
+	pre3 := s.Pre(sv.Eq(3))
+	if pre3 != m.Or(sv.Eq(1), sv.Eq(2)) {
+		t.Fatal("Pre wrong")
+	}
+}
+
+func TestViaOperators(t *testing.T) {
+	s := compile(t, chord)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	chordEdge := m.And(sv.Eq(1), s.SwapRails(sv.Eq(3)))
+	// only the chord edge: successors of 1 via it = {3}
+	if s.PostVia(chordEdge, sv.Eq(1)) != sv.Eq(3) {
+		t.Fatal("PostVia wrong")
+	}
+	if s.PostVia(chordEdge, sv.Eq(2)) != bdd.False {
+		t.Fatal("PostVia must respect the edge restriction")
+	}
+	if s.PreVia(chordEdge, sv.Eq(3)) != sv.Eq(1) {
+		t.Fatal("PreVia wrong")
+	}
+	if s.PreVia(chordEdge, sv.Eq(0)) != bdd.False {
+		t.Fatal("PreVia must respect the edge restriction")
+	}
+}
+
+func TestEdgeSources(t *testing.T) {
+	s := compile(t, chord)
+	m := s.Manager()
+	sv := s.N.VarByName("s")
+	chordEdge := m.And(sv.Eq(1), s.SwapRails(sv.Eq(3)))
+	// within everything: {1}
+	if s.EdgeSources(chordEdge, sv.Domain()) != sv.Eq(1) {
+		t.Fatal("EdgeSources wrong")
+	}
+	// within z excluding 3: the chord leads outside z → no source
+	z := m.Diff(sv.Domain(), sv.Eq(3))
+	if s.EdgeSources(chordEdge, z) != bdd.False {
+		t.Fatal("EdgeSources must require the target inside z")
+	}
+}
+
+func TestReached(t *testing.T) {
+	s := compile(t, chord)
+	sv := s.N.VarByName("s")
+	if Reached(s) != sv.Domain() {
+		t.Fatal("all four states are reachable")
+	}
+}
+
+func TestInitAndStateBits(t *testing.T) {
+	s := compile(t, chord)
+	sv := s.N.VarByName("s")
+	if s.Init() != sv.Eq(0) {
+		t.Fatal("Init wrong")
+	}
+	if len(s.StateBits()) != 2 {
+		t.Fatalf("state bits = %d, want 2", len(s.StateBits()))
+	}
+	// SwapRails is an involution
+	f := sv.Eq(2)
+	if s.SwapRails(s.SwapRails(f)) != f {
+		t.Fatal("SwapRails not an involution")
+	}
+}

@@ -1,0 +1,179 @@
+package verilog
+
+// AST node types for the supported Verilog subset.
+
+// SourceFile is one parsed .v file.
+type SourceFile struct {
+	Typedefs []*Typedef
+	Modules  []*Module
+}
+
+// Typedef declares an enumerated type.
+type Typedef struct {
+	Name   string
+	Values []string
+	Line   int
+}
+
+// Module is one module declaration.
+type Module struct {
+	Name   string
+	File   string   // source file, for .attr src annotations
+	Ports  []string // port order from the header
+	Decls  []*Decl
+	Params []*Param
+	Items  []Item // assigns, always blocks, initials, instances
+	Line   int
+}
+
+// DeclKind distinguishes net declarations.
+type DeclKind int
+
+// Declaration kinds.
+const (
+	DeclInput DeclKind = iota
+	DeclOutput
+	DeclWire
+	DeclReg
+)
+
+// Decl declares one or more nets of a kind; Width is the bit width
+// (vectors collapse to a single multi-valued variable); Enum names an
+// enumerated type (overrides Width).
+type Decl struct {
+	Kind  DeclKind
+	Names []string
+	Width int    // ≥1
+	Enum  string // "" for plain nets
+	Line  int
+}
+
+// Param is a named compile-time constant.
+type Param struct {
+	Name  string
+	Value int
+	Line  int
+}
+
+// Item is a module body item.
+type Item interface{ item() }
+
+// Assign is a continuous assignment.
+type Assign struct {
+	LHS  string
+	RHS  Expr
+	Line int
+}
+
+// AlwaysFF is an always @(posedge clk) block of sequential statements.
+type AlwaysFF struct {
+	Clock string
+	Body  []Stmt
+	Line  int
+}
+
+// Initial sets a register's reset value (repeatable for nondeterministic
+// resets).
+type Initial struct {
+	LHS  string
+	RHS  Expr // must be a constant or enum literal
+	Line int
+}
+
+// Instance instantiates a child module.
+type Instance struct {
+	Module string
+	Name   string
+	// Conns maps formal port name to actual signal; for positional
+	// connections the parser resolves names later during codegen.
+	Conns      map[string]string
+	Positional []string
+	Line       int
+}
+
+func (*Assign) item()   {}
+func (*AlwaysFF) item() {}
+func (*Initial) item()  {}
+func (*Instance) item() {}
+
+// Stmt is a sequential statement inside an always block.
+type Stmt interface{ stmt() }
+
+// NonBlocking is r <= expr;
+type NonBlocking struct {
+	LHS  string
+	RHS  Expr
+	Line int
+}
+
+// If is if (cond) then-else.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// Case is case (expr) with value arms and an optional default.
+type Case struct {
+	Subject Expr
+	Arms    []CaseArm
+	Default []Stmt
+	Line    int
+}
+
+// CaseArm is one labeled arm; Labels are constant expressions.
+type CaseArm struct {
+	Labels []Expr
+	Body   []Stmt
+}
+
+func (*NonBlocking) stmt() {}
+func (*If) stmt()          {}
+func (*Case) stmt()        {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Ident references a net, parameter, or enum literal.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is a constant with an optional declared width.
+type Number struct {
+	Value int
+	Width int // 0 if unsized
+	Line  int
+}
+
+// Unary is !x or ~x (for one-bit nets they coincide).
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	C, T, F Expr
+}
+
+// ND is the non-determinism intrinsic $ND(a, b, ...).
+type ND struct {
+	Choices []Expr
+	Line    int
+}
+
+func (*Ident) expr()  {}
+func (*Number) expr() {}
+func (*Unary) expr()  {}
+func (*Binary) expr() {}
+func (*Cond) expr()   {}
+func (*ND) expr()     {}

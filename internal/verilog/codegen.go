@@ -1,0 +1,1121 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+
+	"hsis/internal/blifmv"
+)
+
+// Compile translates parsed Verilog into a BLIF-MV design with the given
+// top module. Like the original vl2mv, each operator becomes a small
+// table with a fresh intermediate variable (the paper notes that "in
+// compiling Verilog to BLIF-MV, many small tables and intermediate
+// variables are created" — early quantification then cleans them up).
+func Compile(files []*SourceFile, top string) (*blifmv.Design, error) {
+	c := &compiler{
+		typedefs: map[string]*Typedef{},
+		modules:  map[string]*Module{},
+		design:   &blifmv.Design{Models: map[string]*blifmv.Model{}},
+	}
+	for _, f := range files {
+		for _, td := range f.Typedefs {
+			if _, dup := c.typedefs[td.Name]; dup {
+				return nil, fmt.Errorf("verilog: duplicate typedef %s", td.Name)
+			}
+			c.typedefs[td.Name] = td
+		}
+		for _, m := range f.Modules {
+			if _, dup := c.modules[m.Name]; dup {
+				return nil, fmt.Errorf("verilog: duplicate module %s", m.Name)
+			}
+			c.modules[m.Name] = m
+		}
+	}
+	if _, ok := c.modules[top]; !ok {
+		return nil, fmt.Errorf("verilog: top module %q not found", top)
+	}
+	for _, f := range files {
+		for _, m := range f.Modules {
+			if err := c.compileModule(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.design.Root = top
+	if err := c.design.Validate(); err != nil {
+		return nil, fmt.Errorf("verilog: generated BLIF-MV invalid: %w", err)
+	}
+	return c.design, nil
+}
+
+// CompileString parses and compiles a single source string.
+func CompileString(src, file, top string) (*blifmv.Design, error) {
+	sf, err := Parse(src, file)
+	if err != nil {
+		return nil, err
+	}
+	return Compile([]*SourceFile{sf}, top)
+}
+
+type domain struct {
+	card   int
+	values []string // symbolic names; nil for numeric domains
+	enum   string   // typedef name, "" for numeric
+}
+
+func (d domain) sameAs(o domain) bool {
+	return d.card == o.card && d.enum == o.enum
+}
+
+var boolDomain = domain{card: 2}
+
+type netInfo struct {
+	dom     domain
+	isReg   bool
+	isIn    bool
+	isOut   bool
+	dirOnly bool // declared only as a bare 1-bit input/output so far
+	line    int
+}
+
+// dirOnly reports whether a declaration carries only direction
+// information (a bare, untyped 1-bit input/output).
+func dirOnly(d *Decl) bool {
+	return (d.Kind == DeclInput || d.Kind == DeclOutput) && d.Width == 1 && d.Enum == ""
+}
+
+func valueNames(dom domain) []string {
+	if dom.values != nil {
+		return append([]string(nil), dom.values...)
+	}
+	out := make([]string, dom.card)
+	for i := range out {
+		out[i] = strconv.Itoa(i)
+	}
+	return out
+}
+
+type compiler struct {
+	typedefs map[string]*Typedef
+	modules  map[string]*Module
+	design   *blifmv.Design
+}
+
+type modCtx struct {
+	c      *compiler
+	src    *Module
+	out    *blifmv.Model
+	nets   map[string]*netInfo
+	params map[string]int
+	clocks map[string]bool
+	tmpN   int
+	resets map[string][]int // reg -> initial values
+}
+
+func (c *compiler) compileModule(m *Module) error {
+	ctx := &modCtx{
+		c:      c,
+		src:    m,
+		out:    &blifmv.Model{Name: m.Name, Vars: map[string]*blifmv.Variable{}},
+		nets:   map[string]*netInfo{},
+		params: map[string]int{},
+		clocks: map[string]bool{},
+		resets: map[string][]int{},
+	}
+	for _, p := range m.Params {
+		ctx.params[p.Name] = p.Value
+	}
+	// Find clock names so they can be excluded from the data nets.
+	for _, it := range m.Items {
+		if a, ok := it.(*AlwaysFF); ok {
+			ctx.clocks[a.Clock] = true
+		}
+	}
+	if err := ctx.declareNets(); err != nil {
+		return err
+	}
+	if err := ctx.checkCombCycles(); err != nil {
+		return err
+	}
+	for _, it := range m.Items {
+		var err error
+		switch t := it.(type) {
+		case *Assign:
+			err = ctx.genAssign(t)
+		case *AlwaysFF:
+			err = ctx.genAlways(t)
+		case *Initial:
+			err = ctx.genInitial(t)
+		case *Instance:
+			err = ctx.genInstance(t)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := ctx.finishLatches(); err != nil {
+		return err
+	}
+	ctx.pruneUnusedInputs()
+	c.design.Models[m.Name] = ctx.out
+	c.design.Order = append(c.design.Order, m.Name)
+	return nil
+}
+
+func (x *modCtx) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("verilog: module %s line %d: %s", x.src.Name, line, fmt.Sprintf(format, args...))
+}
+
+func (x *modCtx) declareNets() error {
+	for _, d := range x.src.Decls {
+		dom, err := x.declDomain(d)
+		if err != nil {
+			return err
+		}
+		for _, name := range d.Names {
+			if x.clocks[name] {
+				continue // the global clock is implicit in BLIF-MV
+			}
+			if prev, dup := x.nets[name]; dup {
+				// input/output + wire/reg re-declaration merges kind.
+				// A bare one-bit input/output declaration ("output st;")
+				// carries only the direction when the net is separately
+				// typed ("state_t reg st;") — one side may upgrade the
+				// domain of the other.
+				switch {
+				case prev.dom.sameAs(dom):
+					// identical type: nothing to reconcile
+				case dirOnly(d):
+					dom = prev.dom // keep the richer existing type
+				case prev.dirOnly:
+					prev.dom = dom
+					v := x.out.Vars[name]
+					v.Card = dom.card
+					v.Values = valueNames(dom)
+				default:
+					return x.errf(d.Line, "net %s redeclared with a different type", name)
+				}
+				prev.isReg = prev.isReg || d.Kind == DeclReg
+				prev.isIn = prev.isIn || d.Kind == DeclInput
+				prev.isOut = prev.isOut || d.Kind == DeclOutput
+				prev.dirOnly = prev.dirOnly && dirOnly(d)
+				continue
+			}
+			ni := &netInfo{dom: dom, line: d.Line, dirOnly: dirOnly(d),
+				isReg: d.Kind == DeclReg, isIn: d.Kind == DeclInput, isOut: d.Kind == DeclOutput}
+			x.nets[name] = ni
+			x.declareVar(name, dom)
+		}
+	}
+	// ports must be declared
+	for _, p := range x.src.Ports {
+		if x.clocks[p] {
+			continue
+		}
+		ni, ok := x.nets[p]
+		if !ok {
+			return x.errf(x.src.Line, "port %s has no declaration", p)
+		}
+		if ni.isIn {
+			x.out.Inputs = append(x.out.Inputs, p)
+		}
+		if ni.isOut {
+			x.out.Outputs = append(x.out.Outputs, p)
+		}
+	}
+	return nil
+}
+
+func (x *modCtx) declDomain(d *Decl) (domain, error) {
+	if d.Enum != "" {
+		td, ok := x.c.typedefs[d.Enum]
+		if !ok {
+			return domain{}, x.errf(d.Line, "unknown type %s", d.Enum)
+		}
+		return domain{card: len(td.Values), values: td.Values, enum: td.Name}, nil
+	}
+	if d.Width < 1 || d.Width > 16 {
+		return domain{}, x.errf(d.Line, "unsupported width %d (1..16)", d.Width)
+	}
+	return domain{card: 1 << d.Width}, nil
+}
+
+// declareVar registers a variable in the output model.
+func (x *modCtx) declareVar(name string, dom domain) {
+	values := dom.values
+	if values == nil {
+		values = make([]string, dom.card)
+		for i := range values {
+			values[i] = strconv.Itoa(i)
+		}
+	}
+	x.out.Vars[name] = &blifmv.Variable{Name: name, Card: dom.card, Values: append([]string(nil), values...)}
+	x.out.VarDecl = append(x.out.VarDecl, name)
+}
+
+// fresh creates an intermediate variable.
+func (x *modCtx) fresh(dom domain) string {
+	x.tmpN++
+	name := fmt.Sprintf("_e%d", x.tmpN)
+	x.declareVar(name, dom)
+	return name
+}
+
+// operand is a compiled expression: a constant in some domain or a
+// variable name.
+type operand struct {
+	isConst bool
+	val     int
+	name    string
+	dom     domain
+	flex    bool // constant without a fixed domain yet
+}
+
+// domOf resolves an operand's effective domain against a required one,
+// adapting flexible constants.
+func (x *modCtx) adapt(o operand, want domain, line int) (operand, error) {
+	if o.flex {
+		if o.val < 0 || o.val >= want.card {
+			return o, x.errf(line, "constant %d out of range for cardinality %d", o.val, want.card)
+		}
+		o.dom = want
+		o.flex = false
+		return o, nil
+	}
+	if !o.dom.sameAs(want) {
+		return o, x.errf(line, "type mismatch: %s vs %s", domName(o.dom), domName(want))
+	}
+	return o, nil
+}
+
+func domName(d domain) string {
+	if d.enum != "" {
+		return d.enum
+	}
+	return fmt.Sprintf("int%d", d.card)
+}
+
+// genExpr compiles an expression into an operand.
+func (x *modCtx) genExpr(e Expr) (operand, error) {
+	switch t := e.(type) {
+	case *Number:
+		o := operand{isConst: true, val: t.Value, flex: true}
+		if t.Width > 0 {
+			o.dom = domain{card: 1 << t.Width}
+			o.flex = false
+			if t.Value >= o.dom.card {
+				return o, x.errf(t.Line, "constant %d exceeds width %d", t.Value, t.Width)
+			}
+		}
+		return o, nil
+	case *Ident:
+		if v, ok := x.params[t.Name]; ok {
+			return operand{isConst: true, val: v, flex: true}, nil
+		}
+		if ni, ok := x.nets[t.Name]; ok {
+			return operand{name: t.Name, dom: ni.dom}, nil
+		}
+		// enum literal?
+		for _, td := range x.c.typedefs {
+			for i, v := range td.Values {
+				if v == t.Name {
+					return operand{isConst: true, val: i,
+						dom: domain{card: len(td.Values), values: td.Values, enum: td.Name}}, nil
+				}
+			}
+		}
+		return operand{}, x.errf(t.Line, "unknown identifier %q", t.Name)
+	case *Unary:
+		return x.genUnary(t)
+	case *Binary:
+		return x.genBinary(t)
+	case *Cond:
+		return x.genCond(t, nil)
+	case *ND:
+		return x.genND(t, nil)
+	default:
+		return operand{}, fmt.Errorf("verilog: unknown expression node %T", e)
+	}
+}
+
+// materialize turns a constant operand into a table-driven variable (for
+// contexts that need a variable name).
+func (x *modCtx) materialize(o operand, line int) (string, domain, error) {
+	if !o.isConst {
+		return o.name, o.dom, nil
+	}
+	dom := o.dom
+	if o.flex {
+		// pick the smallest numeric domain containing the value
+		card := 2
+		for card <= o.val {
+			card *= 2
+		}
+		dom = domain{card: card}
+	}
+	name := x.fresh(dom)
+	x.out.Tables = append(x.out.Tables, &blifmv.Table{
+		Outputs: []string{name},
+		Rows:    []blifmv.Row{{Out: []blifmv.OutSpec{{Set: blifmv.Singleton(o.val), EqInput: -1}}}},
+	})
+	return name, dom, nil
+}
+
+func (x *modCtx) genUnary(t *Unary) (operand, error) {
+	o, err := x.genExpr(t.X)
+	if err != nil {
+		return o, err
+	}
+	if o.isConst {
+		card := 2
+		if !o.flex {
+			card = o.dom.card
+		}
+		return operand{isConst: true, val: (card - 1) - o.val, dom: o.dom, flex: o.flex}, nil
+	}
+	in, dom, _ := x.materialize(o, 0)
+	outDom := dom
+	if t.Op == "!" {
+		outDom = boolDomain
+	}
+	out := x.fresh(outDom)
+	tab := &blifmv.Table{Inputs: []string{in}, Outputs: []string{out}}
+	for v := 0; v < dom.card; v++ {
+		var res int
+		if t.Op == "!" {
+			if v == 0 {
+				res = 1
+			}
+		} else { // ~ bitwise complement
+			res = (dom.card - 1) - v
+		}
+		tab.Rows = append(tab.Rows, blifmv.Row{
+			In:  []blifmv.ValueSet{blifmv.Singleton(v)},
+			Out: []blifmv.OutSpec{{Set: blifmv.Singleton(res), EqInput: -1}},
+		})
+	}
+	x.out.Tables = append(x.out.Tables, tab)
+	return operand{name: out, dom: outDom}, nil
+}
+
+func (x *modCtx) genBinary(t *Binary) (operand, error) {
+	l, err := x.genExpr(t.L)
+	if err != nil {
+		return l, err
+	}
+	r, err := x.genExpr(t.R)
+	if err != nil {
+		return r, err
+	}
+	// constant folding
+	if l.isConst && r.isConst {
+		v, err := foldBinary(t.Op, l.val, r.val)
+		if err != nil {
+			return l, err
+		}
+		switch t.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return operand{isConst: true, val: v, dom: boolDomain}, nil
+		}
+		return operand{isConst: true, val: v, flex: l.flex && r.flex, dom: pickDom(l, r)}, nil
+	}
+	// unify domains: adapt constants to the variable side
+	switch {
+	case l.isConst && l.flex:
+		if l2, err := x.adapt(l, r.dom, 0); err == nil {
+			l = l2
+		} else {
+			return l, err
+		}
+	case r.isConst && r.flex:
+		if r2, err := x.adapt(r, l.dom, 0); err == nil {
+			r = r2
+		} else {
+			return r, err
+		}
+	}
+	if !l.dom.sameAs(r.dom) {
+		return l, fmt.Errorf("verilog: module %s: operands of %q have different types (%s vs %s)",
+			x.src.Name, t.Op, domName(l.dom), domName(r.dom))
+	}
+	dom := l.dom
+	ln, _, _ := x.materialize(l, 0)
+	rn, _, _ := x.materialize(r, 0)
+
+	var outDom domain
+	switch t.Op {
+	case "==", "!=", "<", "<=", ">", ">=", "&&", "||", "&", "|", "^":
+		outDom = boolDomain
+		if t.Op == "&" || t.Op == "|" || t.Op == "^" {
+			outDom = dom // bitwise on equal widths
+		}
+	case "+", "-":
+		if dom.enum != "" {
+			return l, fmt.Errorf("verilog: module %s: arithmetic on enum type %s", x.src.Name, dom.enum)
+		}
+		outDom = dom
+	default:
+		return l, fmt.Errorf("verilog: unsupported operator %q", t.Op)
+	}
+	out := x.fresh(outDom)
+	tab := &blifmv.Table{Inputs: []string{ln, rn}, Outputs: []string{out}}
+
+	// Compact encodings for the common cases.
+	switch t.Op {
+	case "==":
+		for v := 0; v < dom.card; v++ {
+			tab.Rows = append(tab.Rows, row2(v, v, 1))
+		}
+		tab.Default = []blifmv.ValueSet{blifmv.Singleton(0)}
+	case "!=":
+		for v := 0; v < dom.card; v++ {
+			tab.Rows = append(tab.Rows, row2(v, v, 0))
+		}
+		tab.Default = []blifmv.ValueSet{blifmv.Singleton(1)}
+	default:
+		for a := 0; a < dom.card; a++ {
+			for b := 0; b < dom.card; b++ {
+				v, err := foldBinary(t.Op, a, b)
+				if err != nil {
+					return l, err
+				}
+				v = ((v % outDom.card) + outDom.card) % outDom.card
+				tab.Rows = append(tab.Rows, row2(a, b, v))
+			}
+		}
+	}
+	x.out.Tables = append(x.out.Tables, tab)
+	return operand{name: out, dom: outDom}, nil
+}
+
+func row2(a, b, out int) blifmv.Row {
+	return blifmv.Row{
+		In:  []blifmv.ValueSet{blifmv.Singleton(a), blifmv.Singleton(b)},
+		Out: []blifmv.OutSpec{{Set: blifmv.Singleton(out), EqInput: -1}},
+	}
+}
+
+func pickDom(l, r operand) domain {
+	if !l.flex {
+		return l.dom
+	}
+	return r.dom
+}
+
+func foldBinary(op string, a, b int) (int, error) {
+	bo := func(x bool) int {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "==":
+		return bo(a == b), nil
+	case "!=":
+		return bo(a != b), nil
+	case "<":
+		return bo(a < b), nil
+	case "<=":
+		return bo(a <= b), nil
+	case ">":
+		return bo(a > b), nil
+	case ">=":
+		return bo(a >= b), nil
+	case "&&":
+		return bo(a != 0 && b != 0), nil
+	case "||":
+		return bo(a != 0 || b != 0), nil
+	case "&":
+		return a & b, nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	default:
+		return 0, fmt.Errorf("verilog: unsupported operator %q", op)
+	}
+}
+
+// genExpect compiles an expression in a context that expects a specific
+// domain: flexible constants (and constant branches of ?: or $ND) adapt
+// to it, which lets `cond ? 1 : 0` take the width of its target.
+func (x *modCtx) genExpect(e Expr, want domain) (operand, error) {
+	switch t := e.(type) {
+	case *Cond:
+		return x.genCond(t, &want)
+	case *ND:
+		return x.genND(t, &want)
+	default:
+		o, err := x.genExpr(e)
+		if err != nil {
+			return o, err
+		}
+		if o.isConst && o.flex {
+			return x.adapt(o, want, 0)
+		}
+		return o, nil
+	}
+}
+
+// genBranch compiles a sub-expression, propagating the expected domain
+// when one is known.
+func (x *modCtx) genBranch(e Expr, want *domain) (operand, error) {
+	if want != nil {
+		return x.genExpect(e, *want)
+	}
+	return x.genExpr(e)
+}
+
+// genCond compiles c ? t : f with the BLIF-MV '=' construct: two rows
+// selecting one of the data inputs.
+func (x *modCtx) genCond(t *Cond, want *domain) (operand, error) {
+	c, err := x.genExpr(t.C)
+	if err != nil {
+		return c, err
+	}
+	tt, err := x.genBranch(t.T, want)
+	if err != nil {
+		return tt, err
+	}
+	ff, err := x.genBranch(t.F, want)
+	if err != nil {
+		return ff, err
+	}
+	if c.isConst {
+		if c.val != 0 {
+			return tt, nil
+		}
+		return ff, nil
+	}
+	// unify branch domains
+	switch {
+	case tt.isConst && tt.flex && !ff.isConst:
+		tt, err = x.adapt(tt, ff.dom, 0)
+	case ff.isConst && ff.flex && !tt.isConst:
+		ff, err = x.adapt(ff, tt.dom, 0)
+	case tt.isConst && tt.flex && ff.isConst && ff.flex:
+		card := 2
+		for card <= tt.val || card <= ff.val {
+			card *= 2
+		}
+		d := domain{card: card}
+		tt, _ = x.adapt(tt, d, 0)
+		ff, _ = x.adapt(ff, d, 0)
+	}
+	if err != nil {
+		return tt, err
+	}
+	tn, tdom, _ := x.materialize(tt, 0)
+	fn, fdom, _ := x.materialize(ff, 0)
+	if !tdom.sameAs(fdom) {
+		return tt, fmt.Errorf("verilog: module %s: ?: branches have different types", x.src.Name)
+	}
+	cn, cdom, _ := x.materialize(c, 0)
+	out := x.fresh(tdom)
+	tab := &blifmv.Table{Inputs: []string{cn, tn, fn}, Outputs: []string{out}}
+	nonzero := make([]int, 0, cdom.card-1)
+	for v := 1; v < cdom.card; v++ {
+		nonzero = append(nonzero, v)
+	}
+	tab.Rows = append(tab.Rows,
+		blifmv.Row{
+			In:  []blifmv.ValueSet{{Vals: nonzero}, blifmv.AnyValue(), blifmv.AnyValue()},
+			Out: []blifmv.OutSpec{{EqInput: 1}},
+		},
+		blifmv.Row{
+			In:  []blifmv.ValueSet{blifmv.Singleton(0), blifmv.AnyValue(), blifmv.AnyValue()},
+			Out: []blifmv.OutSpec{{EqInput: 2}},
+		},
+	)
+	x.out.Tables = append(x.out.Tables, tab)
+	return operand{name: out, dom: tdom}, nil
+}
+
+// genND compiles $ND(a, b, ...): a table whose rows overlap, one per
+// choice — the non-determinism extension of paper §3.
+func (x *modCtx) genND(t *ND, want *domain) (operand, error) {
+	if len(t.Choices) == 0 {
+		return operand{}, x.errf(t.Line, "$ND needs at least one choice")
+	}
+	ops := make([]operand, len(t.Choices))
+	var dom domain
+	haveDom := false
+	if want != nil {
+		dom = *want
+		haveDom = true
+	}
+	for i, ch := range t.Choices {
+		o, err := x.genBranch(ch, want)
+		if err != nil {
+			return o, err
+		}
+		ops[i] = o
+		if !o.isConst || !o.flex {
+			if haveDom && !o.dom.sameAs(dom) {
+				return o, x.errf(t.Line, "$ND choices have different types")
+			}
+			dom = o.dom
+			haveDom = true
+		}
+	}
+	if !haveDom {
+		// all flexible constants
+		card := 2
+		for _, o := range ops {
+			for card <= o.val {
+				card *= 2
+			}
+		}
+		dom = domain{card: card}
+	}
+	allConst := true
+	for i := range ops {
+		var err error
+		ops[i], err = x.adaptOrKeep(ops[i], dom, t.Line)
+		if err != nil {
+			return ops[i], err
+		}
+		if !ops[i].isConst {
+			allConst = false
+		}
+	}
+	out := x.fresh(dom)
+	tab := &blifmv.Table{Outputs: []string{out}}
+	if allConst {
+		for _, o := range ops {
+			tab.Rows = append(tab.Rows, blifmv.Row{
+				Out: []blifmv.OutSpec{{Set: blifmv.Singleton(o.val), EqInput: -1}},
+			})
+		}
+	} else {
+		var ins []string
+		for i := range ops {
+			n, _, _ := x.materialize(ops[i], t.Line)
+			ins = append(ins, n)
+		}
+		tab.Inputs = ins
+		for i := range ins {
+			anyIn := make([]blifmv.ValueSet, len(ins))
+			for j := range anyIn {
+				anyIn[j] = blifmv.AnyValue()
+			}
+			tab.Rows = append(tab.Rows, blifmv.Row{
+				In:  anyIn,
+				Out: []blifmv.OutSpec{{EqInput: i}},
+			})
+		}
+	}
+	x.out.Tables = append(x.out.Tables, tab)
+	return operand{name: out, dom: dom}, nil
+}
+
+func (x *modCtx) adaptOrKeep(o operand, want domain, line int) (operand, error) {
+	if o.isConst && o.flex {
+		return x.adapt(o, want, line)
+	}
+	if !o.dom.sameAs(want) {
+		return o, x.errf(line, "type mismatch in choices")
+	}
+	return o, nil
+}
+
+// genAssign emits the driver of a wire.
+func (x *modCtx) genAssign(a *Assign) error {
+	ni, ok := x.nets[a.LHS]
+	if !ok {
+		return x.errf(a.Line, "assign to undeclared net %s", a.LHS)
+	}
+	if ni.isReg {
+		return x.errf(a.Line, "assign to reg %s (use an always block)", a.LHS)
+	}
+	o, err := x.genExpect(a.RHS, ni.dom)
+	if err != nil {
+		return err
+	}
+	x.out.SetAttr("src", a.LHS, fmt.Sprintf("%s:%d", x.src.File, a.Line))
+	return x.connect(a.LHS, ni.dom, o, a.Line)
+}
+
+// connect drives target (an existing variable) from an operand via an
+// identity table.
+func (x *modCtx) connect(target string, dom domain, o operand, line int) error {
+	if o.isConst {
+		o2, err := x.adapt(o, dom, line)
+		if err != nil {
+			return err
+		}
+		x.out.Tables = append(x.out.Tables, &blifmv.Table{
+			Outputs: []string{target},
+			Rows:    []blifmv.Row{{Out: []blifmv.OutSpec{{Set: blifmv.Singleton(o2.val), EqInput: -1}}}},
+		})
+		return nil
+	}
+	if !o.dom.sameAs(dom) {
+		return x.errf(line, "type mismatch driving %s", target)
+	}
+	x.out.Tables = append(x.out.Tables, &blifmv.Table{
+		Inputs:  []string{o.name},
+		Outputs: []string{target},
+		Rows: []blifmv.Row{{
+			In:  []blifmv.ValueSet{blifmv.AnyValue()},
+			Out: []blifmv.OutSpec{{EqInput: 0}},
+		}},
+	})
+	return nil
+}
+
+// genAlways turns a sequential block into next-state expressions per
+// register and emits latches.
+func (x *modCtx) genAlways(a *AlwaysFF) error {
+	// env maps each register assigned in the block to its pending
+	// next-value expression; start from "hold".
+	regs := map[string]bool{}
+	collectRegs(a.Body, regs)
+	env := map[string]Expr{}
+	for r := range regs {
+		ni, ok := x.nets[r]
+		if !ok {
+			return x.errf(a.Line, "assignment to undeclared register %s", r)
+		}
+		if !ni.isReg {
+			return x.errf(a.Line, "non-blocking assignment to non-reg %s", r)
+		}
+		if hasLatch(x.out, r) {
+			return x.errf(a.Line, "register %s assigned in two always blocks", r)
+		}
+		env[r] = &Ident{Name: r, Line: a.Line}
+	}
+	if err := x.walkStmts(a.Body, env); err != nil {
+		return err
+	}
+	for r := range regs {
+		ni := x.nets[r]
+		o, err := x.genExpect(env[r], ni.dom)
+		if err != nil {
+			return err
+		}
+		next := fmt.Sprintf("_n_%s", r)
+		x.declareVar(next, ni.dom)
+		if err := x.connect(next, ni.dom, o, a.Line); err != nil {
+			return err
+		}
+		// source-level debugging (paper §8 item 7): remember where the
+		// register is assigned so traces can point back at the Verilog.
+		x.out.SetAttr("src", r, fmt.Sprintf("%s:%d", x.src.File, a.Line))
+		x.out.Latches = append(x.out.Latches, &blifmv.Latch{Input: next, Output: r})
+	}
+	return nil
+}
+
+func hasLatch(m *blifmv.Model, out string) bool {
+	for _, l := range m.Latches {
+		if l.Output == out {
+			return true
+		}
+	}
+	return false
+}
+
+func collectRegs(stmts []Stmt, into map[string]bool) {
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *NonBlocking:
+			into[t.LHS] = true
+		case *If:
+			collectRegs(t.Then, into)
+			collectRegs(t.Else, into)
+		case *Case:
+			for _, arm := range t.Arms {
+				collectRegs(arm.Body, into)
+			}
+			collectRegs(t.Default, into)
+		}
+	}
+}
+
+// walkStmts threads the pending-assignment environment through the
+// statements, building MUX expressions at control-flow joins.
+func (x *modCtx) walkStmts(stmts []Stmt, env map[string]Expr) error {
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *NonBlocking:
+			env[t.LHS] = t.RHS
+		case *If:
+			thenEnv := copyEnv(env)
+			elseEnv := copyEnv(env)
+			if err := x.walkStmts(t.Then, thenEnv); err != nil {
+				return err
+			}
+			if err := x.walkStmts(t.Else, elseEnv); err != nil {
+				return err
+			}
+			for r := range env {
+				if thenEnv[r] != env[r] || elseEnv[r] != env[r] {
+					env[r] = &Cond{C: t.Cond, T: thenEnv[r], F: elseEnv[r]}
+				}
+			}
+		case *Case:
+			// desugar into a chain of ifs over equality tests
+			armEnvs := make([]map[string]Expr, len(t.Arms))
+			for i, arm := range t.Arms {
+				armEnvs[i] = copyEnv(env)
+				if err := x.walkStmts(arm.Body, armEnvs[i]); err != nil {
+					return err
+				}
+				_ = arm
+			}
+			defEnv := copyEnv(env)
+			if err := x.walkStmts(t.Default, defEnv); err != nil {
+				return err
+			}
+			for r := range env {
+				result := defEnv[r]
+				for i := len(t.Arms) - 1; i >= 0; i-- {
+					cond := labelsCond(t.Subject, t.Arms[i].Labels)
+					result = &Cond{C: cond, T: armEnvs[i][r], F: result}
+				}
+				env[r] = result
+			}
+		}
+	}
+	return nil
+}
+
+func labelsCond(subject Expr, labels []Expr) Expr {
+	var cond Expr
+	for _, l := range labels {
+		eq := &Binary{Op: "==", L: subject, R: l}
+		if cond == nil {
+			cond = eq
+		} else {
+			cond = &Binary{Op: "||", L: cond, R: eq}
+		}
+	}
+	return cond
+}
+
+func copyEnv(env map[string]Expr) map[string]Expr {
+	out := make(map[string]Expr, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// genInitial records a reset value (several initial assignments to one
+// register accumulate into a non-deterministic reset set).
+func (x *modCtx) genInitial(ini *Initial) error {
+	ni, ok := x.nets[ini.LHS]
+	if !ok || !ni.isReg {
+		return x.errf(ini.Line, "initial target %s is not a reg", ini.LHS)
+	}
+	o, err := x.genExpr(ini.RHS)
+	if err != nil {
+		return err
+	}
+	if !o.isConst {
+		return x.errf(ini.Line, "initial value for %s must be constant", ini.LHS)
+	}
+	o, err = x.adapt(o, ni.dom, ini.Line)
+	if err != nil {
+		return err
+	}
+	x.resets[ini.LHS] = appendUniqueInt(x.resets[ini.LHS], o.val)
+	return nil
+}
+
+func appendUniqueInt(xs []int, v int) []int {
+	for _, e := range xs {
+		if e == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}
+
+func (x *modCtx) genInstance(inst *Instance) error {
+	child, ok := x.c.modules[inst.Module]
+	if !ok {
+		return x.errf(inst.Line, "unknown module %q", inst.Module)
+	}
+	s := &blifmv.Subckt{Model: inst.Module, Instance: inst.Name, Bindings: map[string]string{}}
+	// The global clock is implicit: drop clock ports on both sides.
+	childClocks := map[string]bool{}
+	for _, it := range child.Items {
+		if a, ok := it.(*AlwaysFF); ok {
+			childClocks[a.Clock] = true
+		}
+	}
+	if len(inst.Positional) > 0 {
+		dataPorts := make([]string, 0, len(child.Ports))
+		for _, p := range child.Ports {
+			if !childClocks[p] {
+				dataPorts = append(dataPorts, p)
+			}
+		}
+		switch {
+		case len(inst.Positional) == len(child.Ports):
+			// full connection list: align pairwise, dropping clock pairs
+			for i, p := range child.Ports {
+				if !childClocks[p] {
+					s.Bindings[p] = inst.Positional[i]
+				}
+			}
+		case len(inst.Positional) == len(dataPorts):
+			for i, p := range dataPorts {
+				s.Bindings[p] = inst.Positional[i]
+			}
+		default:
+			return x.errf(inst.Line, "instance %s: %d connections for %d ports (%d data)",
+				inst.Name, len(inst.Positional), len(child.Ports), len(dataPorts))
+		}
+	} else {
+		for formal, actual := range inst.Conns {
+			if childClocks[formal] || x.clocks[actual] {
+				continue
+			}
+			s.Bindings[formal] = actual
+		}
+	}
+	x.out.Subckts = append(x.out.Subckts, s)
+	return nil
+}
+
+// checkCombCycles rejects combinational loops through continuous
+// assignments within one module: `assign a = b; assign b = !a;` has no
+// clocked element to break the cycle, so its BLIF-MV translation would
+// be a relational fixed point rather than hardware. (Cycles through
+// registers are fine — the latch breaks them; cycles through module
+// boundaries are caught when each module's own assigns are acyclic and
+// instances connect only via declared ports driven once.)
+func (x *modCtx) checkCombCycles() error {
+	deps := map[string][]string{} // wire -> wires its assign reads
+	var line = map[string]int{}
+	for _, it := range x.src.Items {
+		a, ok := it.(*Assign)
+		if !ok {
+			continue
+		}
+		var reads []string
+		collectIdents(a.RHS, func(name string) {
+			if ni, isNet := x.nets[name]; isNet && !ni.isReg {
+				reads = append(reads, name)
+			}
+		})
+		deps[a.LHS] = reads
+		line[a.LHS] = a.Line
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(n string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case gray:
+			return x.errf(line[n], "combinational cycle through wire %s", n)
+		case black:
+			return nil
+		}
+		color[n] = gray
+		for _, d := range deps[n] {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for n := range deps {
+		if err := visit(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func collectIdents(e Expr, fn func(string)) {
+	switch t := e.(type) {
+	case *Ident:
+		fn(t.Name)
+	case *Unary:
+		collectIdents(t.X, fn)
+	case *Binary:
+		collectIdents(t.L, fn)
+		collectIdents(t.R, fn)
+	case *Cond:
+		collectIdents(t.C, fn)
+		collectIdents(t.T, fn)
+		collectIdents(t.F, fn)
+	case *ND:
+		for _, c := range t.Choices {
+			collectIdents(c, fn)
+		}
+	}
+}
+
+// pruneUnusedInputs drops primary inputs referenced by no table, latch
+// or subckt binding — typically the clock net of a module with no
+// always block of its own (the global clock is implicit in BLIF-MV).
+func (x *modCtx) pruneUnusedInputs() {
+	used := map[string]bool{}
+	for _, t := range x.out.Tables {
+		for _, n := range t.Inputs {
+			used[n] = true
+		}
+		for _, n := range t.Outputs {
+			used[n] = true
+		}
+	}
+	for _, l := range x.out.Latches {
+		used[l.Input] = true
+		used[l.Output] = true
+	}
+	for _, s := range x.out.Subckts {
+		for _, a := range s.Bindings {
+			used[a] = true
+		}
+	}
+	var keptIn []string
+	for _, in := range x.out.Inputs {
+		if used[in] {
+			keptIn = append(keptIn, in)
+		} else {
+			delete(x.out.Vars, in)
+		}
+	}
+	x.out.Inputs = keptIn
+	var keptDecl []string
+	for _, n := range x.out.VarDecl {
+		if _, ok := x.out.Vars[n]; ok {
+			keptDecl = append(keptDecl, n)
+		}
+	}
+	x.out.VarDecl = keptDecl
+}
+
+// finishLatches attaches reset values to the latches.
+func (x *modCtx) finishLatches() error {
+	for _, l := range x.out.Latches {
+		init, ok := x.resets[l.Output]
+		if !ok {
+			return fmt.Errorf("verilog: module %s: register %s has no initial value", x.src.Name, l.Output)
+		}
+		l.Init = append([]int(nil), init...)
+	}
+	// initial for a register never latched?
+	for r := range x.resets {
+		if !hasLatch(x.out, r) {
+			return fmt.Errorf("verilog: module %s: initial value for %s but no always block assigns it", x.src.Name, r)
+		}
+	}
+	return nil
+}

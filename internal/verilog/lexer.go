@@ -1,0 +1,164 @@
+// Package verilog implements the HSIS HDL front end (paper §3): a
+// compiler from a synthesizable subset of Verilog — extended with
+// non-determinism ($ND), enumerated types (typedef enum) and multiple
+// initial values — to the BLIF-MV intermediate format, the Go
+// counterpart of the vl2mv tool shipped with HSIS.
+//
+// Supported subset:
+//
+//   - module/endmodule with port lists, input/output/wire/reg
+//     declarations, bit vectors [msb:lsb] (treated as one multi-valued
+//     variable of cardinality 2^width)
+//   - typedef enum { A, B, C } name; and enum-typed wire/reg
+//     declarations ("name reg state;")
+//   - continuous assignments: assign w = expr;
+//   - one implicit global clock: always @(posedge clk) blocks with
+//     non-blocking assignments, if/else, case/endcase, begin/end
+//   - initial r = value; (repeatable: several initial assignments to
+//     one register give a non-deterministic reset set)
+//   - $ND(v1, v2, ...) non-deterministic choice in any expression
+//   - module instantiation, named (.port(sig)) or positional
+//   - parameter name = constant; usable in ranges and expressions
+//   - expressions: ?:, ||, &&, |, ^, &, ==/!=, </<=/>/>=, +/-, !/~,
+//     parentheses, identifiers, enum literals, decimal and sized binary
+//     constants
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber // possibly sized: 2'b01, 4'd7, plain 42
+	tkSymbol // punctuation / operator
+	tkString
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	toks []tok
+}
+
+func lexAll(src, file string) ([]tok, error) {
+	l := &lexer{src: src, file: file, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tkEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", l.file, l.line, fmt.Sprintf(format, args...))
+}
+
+var twoCharSymbols = []string{
+	"&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+}
+
+func (l *lexer) next() (tok, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return tok{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			goto content
+		}
+	}
+	return tok{kind: tkEOF, line: l.line}, nil
+
+content:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isLetter(c) || c == '_' || c == '$' || c == '`':
+		for l.pos < len(l.src) && isIdentByte(l.src[l.pos]) {
+			l.pos++
+		}
+		return tok{kind: tkIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case isDigit(c):
+		// number, possibly sized: 12, 4'b0101, 3'd6, 8'hff
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+			l.pos++
+			if l.pos < len(l.src) && strings.ContainsRune("bdhoBDHO", rune(l.src[l.pos])) {
+				l.pos++
+				for l.pos < len(l.src) && (isHexDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+					l.pos++
+				}
+			} else {
+				return tok{}, l.errf("malformed sized constant")
+			}
+		}
+		return tok{kind: tkNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return tok{}, l.errf("unterminated string")
+		}
+		l.pos++
+		return tok{kind: tkString, text: l.src[start+1 : l.pos-1], line: l.line}, nil
+	default:
+		for _, s := range twoCharSymbols {
+			if strings.HasPrefix(l.src[l.pos:], s) {
+				l.pos += 2
+				return tok{kind: tkSymbol, text: s, line: l.line}, nil
+			}
+		}
+		l.pos++
+		return tok{kind: tkSymbol, text: string(c), line: l.line}, nil
+	}
+}
+
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isIdentByte(c byte) bool {
+	return isLetter(c) || isDigit(c) || c == '_' || c == '$'
+}
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

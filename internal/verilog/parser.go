@@ -1,0 +1,712 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one Verilog source file.
+func Parse(src, file string) (*SourceFile, error) {
+	toks, err := lexAll(src, file)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, file: file}
+	out := &SourceFile{}
+	for !p.atEOF() {
+		switch {
+		case p.peekIdent("typedef"):
+			td, err := p.typedef()
+			if err != nil {
+				return nil, err
+			}
+			out.Typedefs = append(out.Typedefs, td)
+		case p.peekIdent("module"):
+			m, err := p.module()
+			if err != nil {
+				return nil, err
+			}
+			out.Modules = append(out.Modules, m)
+		default:
+			return nil, p.errf("expected module or typedef, found %q", p.cur().text)
+		}
+	}
+	if len(out.Modules) == 0 {
+		return nil, fmt.Errorf("%s: no modules found", file)
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []tok
+	pos  int
+	file string
+}
+
+func (p *parser) cur() tok    { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tkEOF }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peekIdent(name string) bool {
+	t := p.cur()
+	return t.kind == tkIdent && t.text == name
+}
+
+func (p *parser) acceptIdent(name string) bool {
+	if p.peekIdent(name) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSym(s string) bool {
+	t := p.cur()
+	if t.kind == tkSymbol && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if p.acceptSym(s) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", s, p.cur().text)
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// typedef enum { A, B } name;
+func (p *parser) typedef() (*Typedef, error) {
+	line := p.cur().line
+	p.pos++ // typedef
+	if !p.acceptIdent("enum") {
+		return nil, p.errf("typedef supports only enum")
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	td := &Typedef{Line: line}
+	for {
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		td.Values = append(td.Values, v)
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	td.Name = name
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+func (p *parser) module() (*Module, error) {
+	line := p.cur().line
+	p.pos++ // module
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name, File: p.file, Line: line}
+	if p.acceptSym("(") {
+		if !p.acceptSym(")") {
+			for {
+				port, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				m.Ports = append(m.Ports, port)
+				if p.acceptSym(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	for !p.acceptIdent("endmodule") {
+		if p.atEOF() {
+			return nil, p.errf("missing endmodule for %s", name)
+		}
+		if err := p.moduleItem(m); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) moduleItem(m *Module) error {
+	t := p.cur()
+	if t.kind != tkIdent {
+		return p.errf("unexpected %q in module body", t.text)
+	}
+	switch t.text {
+	case "input":
+		return p.decl(m, DeclInput)
+	case "output":
+		return p.decl(m, DeclOutput)
+	case "wire":
+		return p.decl(m, DeclWire)
+	case "reg":
+		return p.decl(m, DeclReg)
+	case "parameter":
+		return p.param(m)
+	case "assign":
+		return p.assign(m)
+	case "always":
+		return p.always(m)
+	case "initial":
+		return p.initial(m)
+	default:
+		// enum-typed decl ("state_t reg s;") or instance ("child c(...);")
+		next := p.toks[p.pos+1]
+		if next.kind == tkIdent && (next.text == "reg" || next.text == "wire") {
+			return p.enumDecl(m)
+		}
+		return p.instance(m)
+	}
+}
+
+// decl: input [3:0] a, b;
+func (p *parser) decl(m *Module, kind DeclKind) error {
+	line := p.cur().line
+	p.pos++ // keyword
+	width := 1
+	if p.acceptSym("[") {
+		msb, err := p.constInt(m)
+		if err != nil {
+			return err
+		}
+		if err := p.expectSym(":"); err != nil {
+			return err
+		}
+		lsb, err := p.constInt(m)
+		if err != nil {
+			return err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return err
+		}
+		if lsb != 0 || msb < lsb {
+			return p.errf("only [N:0] ranges are supported")
+		}
+		width = msb - lsb + 1
+	}
+	d := &Decl{Kind: kind, Width: width, Line: line}
+	for {
+		n, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		d.Names = append(d.Names, n)
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	m.Decls = append(m.Decls, d)
+	return p.expectSym(";")
+}
+
+// enumDecl: state_t reg s, t;
+func (p *parser) enumDecl(m *Module) error {
+	line := p.cur().line
+	enumName, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	kind := DeclWire
+	switch {
+	case p.acceptIdent("reg"):
+		kind = DeclReg
+	case p.acceptIdent("wire"):
+		kind = DeclWire
+	default:
+		return p.errf("expected reg or wire after type %s", enumName)
+	}
+	d := &Decl{Kind: kind, Enum: enumName, Width: 0, Line: line}
+	for {
+		n, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		d.Names = append(d.Names, n)
+		if p.acceptSym(",") {
+			continue
+		}
+		break
+	}
+	m.Decls = append(m.Decls, d)
+	return p.expectSym(";")
+}
+
+func (p *parser) param(m *Module) error {
+	line := p.cur().line
+	p.pos++ // parameter
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	v, err := p.constInt(m)
+	if err != nil {
+		return err
+	}
+	m.Params = append(m.Params, &Param{Name: name, Value: v, Line: line})
+	return p.expectSym(";")
+}
+
+func (p *parser) assign(m *Module) error {
+	line := p.cur().line
+	p.pos++ // assign
+	lhs, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return err
+	}
+	m.Items = append(m.Items, &Assign{LHS: lhs, RHS: rhs, Line: line})
+	return p.expectSym(";")
+}
+
+func (p *parser) always(m *Module) error {
+	line := p.cur().line
+	p.pos++ // always
+	if err := p.expectSym("@"); err != nil {
+		return err
+	}
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	if !p.acceptIdent("posedge") {
+		return p.errf("only always @(posedge clk) is supported")
+	}
+	clk, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return err
+	}
+	body, err := p.stmtList()
+	if err != nil {
+		return err
+	}
+	m.Items = append(m.Items, &AlwaysFF{Clock: clk, Body: body, Line: line})
+	return nil
+}
+
+func (p *parser) initial(m *Module) error {
+	line := p.cur().line
+	p.pos++ // initial
+	// optional begin ... end with several assignments
+	if p.acceptIdent("begin") {
+		for !p.acceptIdent("end") {
+			if err := p.initialAssign(m, line); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return p.initialAssign(m, line)
+}
+
+func (p *parser) initialAssign(m *Module, line int) error {
+	lhs, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return err
+	}
+	m.Items = append(m.Items, &Initial{LHS: lhs, RHS: rhs, Line: line})
+	return p.expectSym(";")
+}
+
+func (p *parser) instance(m *Module) error {
+	line := p.cur().line
+	modName, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	instName, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	inst := &Instance{Module: modName, Name: instName, Conns: map[string]string{}, Line: line}
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	if !p.acceptSym(")") {
+		named := p.cur().kind == tkSymbol && p.cur().text == "."
+		for {
+			if named {
+				if err := p.expectSym("."); err != nil {
+					return err
+				}
+				formal, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if err := p.expectSym("("); err != nil {
+					return err
+				}
+				actual, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if err := p.expectSym(")"); err != nil {
+					return err
+				}
+				inst.Conns[formal] = actual
+			} else {
+				actual, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				inst.Positional = append(inst.Positional, actual)
+			}
+			if p.acceptSym(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return err
+		}
+	}
+	m.Items = append(m.Items, inst)
+	return p.expectSym(";")
+}
+
+// stmtList parses a single statement or a begin/end block.
+func (p *parser) stmtList() ([]Stmt, error) {
+	if p.acceptIdent("begin") {
+		var out []Stmt
+		for !p.acceptIdent("end") {
+			if p.atEOF() {
+				return nil, p.errf("missing end")
+			}
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.cur().line
+	switch {
+	case p.acceptIdent("if"):
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmtList()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.acceptIdent("else") {
+			els, err = p.stmtList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Line: line}, nil
+	case p.acceptIdent("case"):
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		subj, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		c := &Case{Subject: subj, Line: line}
+		for !p.acceptIdent("endcase") {
+			if p.atEOF() {
+				return nil, p.errf("missing endcase")
+			}
+			if p.acceptIdent("default") {
+				if err := p.expectSym(":"); err != nil {
+					return nil, err
+				}
+				body, err := p.stmtList()
+				if err != nil {
+					return nil, err
+				}
+				c.Default = body
+				continue
+			}
+			var arm CaseArm
+			for {
+				lbl, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				arm.Labels = append(arm.Labels, lbl)
+				if p.acceptSym(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSym(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.stmtList()
+			if err != nil {
+				return nil, err
+			}
+			arm.Body = body
+			c.Arms = append(c.Arms, arm)
+		}
+		return c, nil
+	default:
+		lhs, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptSym("<=") {
+			return nil, p.errf("expected <= in sequential assignment to %s", lhs)
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		return &NonBlocking{LHS: lhs, RHS: rhs, Line: line}, nil
+	}
+}
+
+// constInt evaluates a compile-time constant (number or parameter).
+func (p *parser) constInt(m *Module) (int, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		n, _, err := parseNumber(t.text)
+		return n, err
+	case tkIdent:
+		for _, par := range m.Params {
+			if par.Name == t.text {
+				p.pos++
+				return par.Value, nil
+			}
+		}
+		return 0, p.errf("unknown parameter %q", t.text)
+	default:
+		return 0, p.errf("expected constant, found %q", t.text)
+	}
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"+": 8, "-": 8,
+}
+
+func (p *parser) expr() (Expr, error) {
+	return p.condExpr()
+}
+
+func (p *parser) condExpr() (Expr, error) {
+	c, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSym("?") {
+		t, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(":"); err != nil {
+			return nil, err
+		}
+		f, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, T: t, F: f}, nil
+	}
+	return c, nil
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tkSymbol {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := t.text
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.kind == tkSymbol && (t.text == "!" || t.text == "~") {
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tkSymbol && t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectSym(")")
+	case t.kind == tkNumber:
+		p.pos++
+		v, w, err := parseNumber(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &Number{Value: v, Width: w, Line: t.line}, nil
+	case t.kind == tkIdent && t.text == "$ND":
+		line := t.line
+		p.pos++
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		nd := &ND{Line: line}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			nd.Choices = append(nd.Choices, e)
+			if p.acceptSym(",") {
+				continue
+			}
+			break
+		}
+		return nd, p.expectSym(")")
+	case t.kind == tkIdent:
+		p.pos++
+		return &Ident{Name: t.text, Line: t.line}, nil
+	default:
+		return nil, p.errf("unexpected %q in expression", t.text)
+	}
+}
+
+// parseNumber handles 42, 4'b0101, 3'd6, 8'hff.
+func parseNumber(s string) (value, width int, err error) {
+	if i := strings.IndexByte(s, '\''); i >= 0 {
+		w, err := strconv.Atoi(s[:i])
+		if err != nil || w <= 0 || w > 30 {
+			return 0, 0, fmt.Errorf("bad constant width in %q", s)
+		}
+		base := 10
+		switch s[i+1] {
+		case 'b', 'B':
+			base = 2
+		case 'd', 'D':
+			base = 10
+		case 'h', 'H':
+			base = 16
+		case 'o', 'O':
+			base = 8
+		}
+		digits := strings.ReplaceAll(s[i+2:], "_", "")
+		v, err := strconv.ParseInt(digits, base, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad constant %q", s)
+		}
+		return int(v), w, nil
+	}
+	v, err2 := strconv.Atoi(s)
+	if err2 != nil {
+		return 0, 0, fmt.Errorf("bad constant %q", s)
+	}
+	return v, 0, nil
+}

@@ -1,0 +1,719 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/ctl"
+	"hsis/internal/network"
+	"hsis/internal/reach"
+)
+
+// compileNet runs the full pipeline: Verilog → BLIF-MV → flat → network.
+func compileNet(t *testing.T, src, top string) *network.Network {
+	t.Helper()
+	d, err := CompileString(src, top+".v", top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := network.Build(flat, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+const counterV = `
+// two-bit counter with enable
+module counter(clk, en, q);
+  input clk, en;
+  input en;
+  output [1:0] q;
+  reg [1:0] q;
+  initial q = 0;
+  always @(posedge clk)
+    if (en) q <= q + 1;
+endmodule
+`
+
+func TestCounterSemantics(t *testing.T) {
+	n := compileNet(t, counterV, "counter")
+	q := n.VarByName("q")
+	if q == nil || q.Card() != 4 {
+		t.Fatalf("q missing or wrong card")
+	}
+	res := reach.Forward(n, reach.Options{})
+	if got := n.NumStates(res.Reached); got != 4 {
+		t.Fatalf("reached %v states, want 4", got)
+	}
+	// en is free: from q=0 both q'=0 and q'=1 possible
+	img := reach.Image(n, q.Eq(0))
+	if img != n.Manager().Or(q.Eq(0), q.Eq(1)) {
+		t.Fatal("image of q=0 wrong")
+	}
+	// AG AF wraps around only if en held 1 — without fairness it fails
+	c := ctl.NewForNetwork(n, nil)
+	v, err := c.Check(ctl.MustParse("AG(AF q=3)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass {
+		t.Fatal("without fairness the counter may never advance")
+	}
+}
+
+const enumV = `
+typedef enum { IDLE, BUSY, DONE } state_t;
+module fsm(clk, start, st);
+  input clk, start;
+  output st;
+  state_t reg st;
+  state_t wire stw;
+  initial st = IDLE;
+  always @(posedge clk)
+    case (st)
+      IDLE: if (start) st <= BUSY;
+      BUSY: st <= DONE;
+      DONE: st <= IDLE;
+    endcase
+  assign stw = st;
+endmodule
+`
+
+func TestEnumFSM(t *testing.T) {
+	n := compileNet(t, enumV, "fsm")
+	st := n.VarByName("st")
+	if st.Card() != 3 {
+		t.Fatalf("enum card = %d", st.Card())
+	}
+	lbl, err := n.LabelEq("st", "BUSY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbl != st.Eq(1) {
+		t.Fatal("symbolic value names lost")
+	}
+	res := reach.Forward(n, reach.Options{})
+	if got := n.NumStates(res.Reached); got != 3 {
+		t.Fatalf("reached %v states, want 3", got)
+	}
+	c := ctl.NewForNetwork(n, nil)
+	// BUSY always advances to DONE
+	v, err := c.Check(ctl.MustParse("AG(st=BUSY -> AX st=DONE)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass {
+		t.Fatal("BUSY must step to DONE")
+	}
+}
+
+const ndV = `
+module coin(clk, v);
+  output v;
+  input clk;
+  reg v;
+  initial v = 0;
+  always @(posedge clk)
+    v <= $ND(0, 1);
+endmodule
+`
+
+func TestNDRegister(t *testing.T) {
+	n := compileNet(t, ndV, "coin")
+	v := n.VarByName("v")
+	// both successors from every state
+	m := n.Manager()
+	if got := m.SatCount(n.T, 2); got != 4 {
+		t.Fatalf("transitions = %v, want 4", got)
+	}
+	img := reach.Image(n, v.Eq(0))
+	if img != v.Domain() {
+		t.Fatal("$ND must allow both next values")
+	}
+}
+
+const ndWireV = `
+module ndwire(clk, w, q);
+  input clk;
+  output w, q;
+  wire w;
+  reg q;
+  assign w = $ND(0, 1);
+  initial q = 0;
+  always @(posedge clk) q <= w;
+endmodule
+`
+
+func TestNDWire(t *testing.T) {
+	n := compileNet(t, ndWireV, "ndwire")
+	q := n.VarByName("q")
+	img := reach.Image(n, q.Eq(0))
+	if img != q.Domain() {
+		t.Fatal("nondeterministic wire should drive both next states")
+	}
+}
+
+const hierV = `
+module top(clk, a);
+  input clk;
+  output a;
+  wire a, b;
+  cell c1(clk, b, a);
+  cell c2(.ck(clk), .i(a), .o(b));
+endmodule
+
+module cell(ck, i, o);
+  input ck, i;
+  output o;
+  reg o;
+  initial o = 0;
+  always @(posedge ck) o <= !i;
+endmodule
+`
+
+func TestHierarchyPositionalAndNamed(t *testing.T) {
+	n := compileNet(t, hierV, "top")
+	if len(n.Latches()) != 2 {
+		t.Fatalf("latches = %d, want 2", len(n.Latches()))
+	}
+	res := reach.Forward(n, reach.Options{})
+	// two cross-coupled inverters from (0,0): states (0,0)->(1,1)->(0,0)
+	if got := n.NumStates(res.Reached); got != 2 {
+		t.Fatalf("reached %v states, want 2", got)
+	}
+}
+
+const initialNDV = `
+module indet(clk, q);
+  input clk;
+  output q;
+  reg q;
+  initial q = 0;
+  initial q = 1;
+  always @(posedge clk) q <= q;
+endmodule
+`
+
+func TestNondeterministicReset(t *testing.T) {
+	n := compileNet(t, initialNDV, "indet")
+	if got := n.NumStates(n.Init); got != 2 {
+		t.Fatalf("initial states = %v, want 2 (paper: a latch may have more than one initial value)", got)
+	}
+}
+
+const paramV = `
+module pcount(clk, q);
+  parameter W = 3;
+  input clk;
+  output [W:0] q;
+  reg [W:0] q;
+  initial q = 0;
+  always @(posedge clk) q <= q + 1;
+endmodule
+`
+
+func TestParameterWidth(t *testing.T) {
+	n := compileNet(t, paramV, "pcount")
+	q := n.VarByName("q")
+	if q.Card() != 16 {
+		t.Fatalf("parameterized width: card = %d, want 16", q.Card())
+	}
+	res := reach.Forward(n, reach.Options{})
+	if got := n.NumStates(res.Reached); got != 16 {
+		t.Fatalf("reached %v states, want 16", got)
+	}
+}
+
+func TestOperatorsAgainstSemantics(t *testing.T) {
+	src := `
+module ops(clk, a, b, x);
+  input clk, a, b;
+  output x;
+  reg x;
+  wire w;
+  assign w = (a && !b) || (a ^ b);
+  initial x = 0;
+  always @(posedge clk) x <= w;
+endmodule
+`
+	n := compileNet(t, src, "ops")
+	// w = (a & !b) | (a^b) = a&!b | a!b+!ab = a!b + !ab ... evaluate:
+	// a=0,b=0: 0; a=1,b=0: 1; a=0,b=1: 1; a=1,b=1: 0  => XOR
+	x := n.VarByName("x")
+	img := reach.Image(n, x.Domain()) // from any state
+	if img != x.Domain() {
+		t.Fatal("x should reach both values under free inputs")
+	}
+	// pin inputs via the label: states where w can be 1
+	lbl, err := n.LabelEq("w", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w is input-driven: possible in every state
+	if lbl != x.Domain() {
+		t.Fatal("w=1 should be possible in every state")
+	}
+}
+
+func TestComparisonAndArithmetic(t *testing.T) {
+	src := `
+module cmp(clk, q, hit);
+  input clk;
+  output hit;
+  output [1:0] q;
+  reg [1:0] q;
+  wire hit;
+  assign hit = q >= 2;
+  initial q = 0;
+  always @(posedge clk) q <= q - 1;
+endmodule
+`
+	n := compileNet(t, src, "cmp")
+	q := n.VarByName("q")
+	// q counts down with wraparound: 0 -> 3 -> 2 -> 1 -> 0
+	if got := reach.Image(n, q.Eq(0)); got != q.Eq(3) {
+		t.Fatal("subtraction wraparound wrong")
+	}
+	lbl, err := n.LabelEq("hit", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.Manager().Or(q.Eq(2), q.Eq(3))
+	if lbl != want {
+		t.Fatal(">= comparison wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no module", "typedef enum { A } t;\n", "no modules"},
+		{"bad typedef", "typedef struct { } t;\n", "only enum"},
+		{"blocking", "module m(c); input c; reg r; initial r=0; always @(posedge c) r = 1; endmodule", "<="},
+		{"negedge", "module m(c); input c; reg r; always @(negedge c) r <= 1; endmodule", "posedge"},
+		{"unterminated", "module m(c); input c;", "endmodule"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src, c.name)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, top, want string }{
+		{"no top", "module m(); endmodule", "zz", "not found"},
+		{"no reset", "module m(c); input c; reg r; always @(posedge c) r <= r; endmodule", "m", "no initial value"},
+		{"assign reg", "module m(c); input c; reg r; assign r = 1; initial r=0; always @(posedge c) r <= r; endmodule", "m", "use an always block"},
+		{"unknown ident", "module m(c,w); input c; output w; wire w; assign w = zz; endmodule", "m", "unknown identifier"},
+		{"enum arith", "typedef enum { A, B } t;\nmodule m(c,o); input c; output o; t wire o; t wire p; assign p = A; assign o = p + 1; endmodule", "m", "arithmetic on enum"},
+		{"double always", "module m(c); input c; reg r; initial r=0; always @(posedge c) r <= r; always @(posedge c) r <= !r; endmodule", "m", "two always blocks"},
+		{"initial no always", "module m(c); input c; reg r; initial r = 0; endmodule", "m", "no always block"},
+		{"bad width", "module m(c,q); input c; output [40:0] q; reg [40:0] q; initial q=0; always @(posedge c) q <= q; endmodule", "m", "unsupported width"},
+	}
+	for _, c := range cases {
+		_, err := CompileString(c.src, c.name+".v", c.top)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestGeneratedBlifMVRoundTrips(t *testing.T) {
+	d, err := CompileString(enumV, "fsm.v", "fsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := blifmv.Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := blifmv.ParseString(sb.String(), "rt.mv")
+	if err != nil {
+		t.Fatalf("generated BLIF-MV does not re-parse: %v\n%s", err, sb.String())
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatalf("round-tripped design invalid: %v", err)
+	}
+	// equivalent state counts after round trip
+	f1, _ := blifmv.Flatten(d)
+	f2, _ := blifmv.Flatten(d2)
+	n1, err := network.Build(f1, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := network.Build(f2, network.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := reach.Forward(n1, reach.Options{})
+	r2 := reach.Forward(n2, reach.Options{})
+	if n1.NumStates(r1.Reached) != n2.NumStates(r2.Reached) {
+		t.Fatal("round trip changed semantics")
+	}
+}
+
+func TestCaseWithMultipleLabelsAndDefault(t *testing.T) {
+	src := `
+module sel(clk, q);
+  input clk;
+  output [1:0] q;
+  reg [1:0] q;
+  initial q = 0;
+  always @(posedge clk)
+    case (q)
+      0, 1: q <= 2;
+      2: q <= 3;
+      default: q <= 0;
+    endcase
+endmodule
+`
+	n := compileNet(t, src, "sel")
+	q := n.VarByName("q")
+	if reach.Image(n, q.Eq(0)) != q.Eq(2) || reach.Image(n, q.Eq(1)) != q.Eq(2) {
+		t.Fatal("multi-label arm wrong")
+	}
+	if reach.Image(n, q.Eq(3)) != q.Eq(0) {
+		t.Fatal("default arm wrong")
+	}
+}
+
+func TestHoldSemantics(t *testing.T) {
+	// register not assigned on a path holds its value
+	src := `
+module hold(clk, g, q);
+  input clk, g;
+  output [1:0] q;
+  reg [1:0] q;
+  initial q = 1;
+  always @(posedge clk)
+    if (g) q <= 2;
+endmodule
+`
+	n := compileNet(t, src, "hold")
+	q := n.VarByName("q")
+	img := reach.Image(n, q.Eq(1))
+	want := n.Manager().Or(q.Eq(1), q.Eq(2))
+	if img != want {
+		t.Fatal("implicit hold on untaken branch wrong")
+	}
+}
+
+func TestSourceAttributes(t *testing.T) {
+	d, err := CompileString(enumV, "fsm.v", "fsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Models["fsm"]
+	loc := m.Attr("src", "st")
+	if !strings.HasPrefix(loc, "fsm.v:") {
+		t.Fatalf("register source attr = %q", loc)
+	}
+	if wloc := m.Attr("src", "stw"); !strings.HasPrefix(wloc, "fsm.v:") {
+		t.Fatalf("wire source attr = %q", wloc)
+	}
+	// attributes survive flattening with hierarchy
+	dh, err := CompileString(hierV, "hier.v", "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := blifmv.Flatten(dh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cell outputs o bound to a/b: attr follows the actual names
+	if flat.Attr("src", "a") == "" && flat.Attr("src", "b") == "" {
+		t.Fatal("source attrs lost through hierarchy")
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	src := `
+module loopy(clk, a);
+  input clk;
+  output a;
+  wire a, b;
+  assign a = !b;
+  assign b = !a;
+endmodule
+`
+	_, err := CompileString(src, "loopy.v", "loopy")
+	if err == nil || !strings.Contains(err.Error(), "combinational cycle") {
+		t.Fatalf("want cycle rejection, got %v", err)
+	}
+	// a cycle broken by a register is fine
+	ok := `
+module fine(clk, a);
+  input clk;
+  output a;
+  wire a;
+  reg r;
+  assign a = !r;
+  initial r = 0;
+  always @(posedge clk) r <= a;
+endmodule
+`
+	if _, err := CompileString(ok, "fine.v", "fine"); err != nil {
+		t.Fatalf("register-broken cycle should compile: %v", err)
+	}
+	// self-loop
+	self := `
+module s(clk, a);
+  input clk;
+  output a;
+  wire a;
+  assign a = !a;
+endmodule
+`
+	if _, err := CompileString(self, "s.v", "s"); err == nil {
+		t.Fatal("combinational self-loop should be rejected")
+	}
+}
+
+// TestBinaryOperatorsExhaustive checks every supported binary operator
+// against Go semantics on all 2-bit operand combinations: the operands
+// are registers with fully nondeterministic initial values that hold
+// forever, so each operand pair is one initial state, and the
+// combinational result label must match exactly.
+func TestBinaryOperatorsExhaustive(t *testing.T) {
+	ops := []struct {
+		op   string
+		eval func(a, b int) int
+		bool bool // result domain is 1-bit
+	}{
+		{"==", func(a, b int) int { return b2i(a == b) }, true},
+		{"!=", func(a, b int) int { return b2i(a != b) }, true},
+		{"<", func(a, b int) int { return b2i(a < b) }, true},
+		{"<=", func(a, b int) int { return b2i(a <= b) }, true},
+		{">", func(a, b int) int { return b2i(a > b) }, true},
+		{">=", func(a, b int) int { return b2i(a >= b) }, true},
+		{"&", func(a, b int) int { return a & b }, false},
+		{"|", func(a, b int) int { return a | b }, false},
+		{"^", func(a, b int) int { return a ^ b }, false},
+		{"+", func(a, b int) int { return (a + b) % 4 }, false},
+		{"-", func(a, b int) int { return ((a-b)%4 + 4) % 4 }, false},
+	}
+	for _, op := range ops {
+		src := `
+module optest(clk, o);
+  input clk;
+  output o;
+  reg [1:0] a, b;
+  wire ` + widthDecl(op.bool) + ` o;
+  assign o = a ` + op.op + ` b;
+  initial begin
+    a = 0; a = 1; a = 2; a = 3;
+    b = 0; b = 1; b = 2; b = 3;
+  end
+  always @(posedge clk) begin
+    a <= a;
+    b <= b;
+  end
+endmodule
+`
+		n := compileNet(t, src, "optest")
+		av, bv := n.VarByName("a"), n.VarByName("b")
+		m := n.Manager()
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				want := op.eval(a, b)
+				lbl, err := n.LabelEq("o", itoa(want))
+				if err != nil {
+					t.Fatalf("%s: %v", op.op, err)
+				}
+				cell := m.And(av.Eq(a), bv.Eq(b))
+				if m.And(lbl, cell) == 0 /* bdd.False */ {
+					t.Errorf("op %s: %d %s %d should allow %d", op.op, a, op.op, b, want)
+				}
+				// and no other value is possible
+				card := 2
+				if !op.bool {
+					card = 4
+				}
+				for v := 0; v < card; v++ {
+					if v == want {
+						continue
+					}
+					other, err := n.LabelEq("o", itoa(v))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if m.AndN(other, cell) != 0 {
+						t.Errorf("op %s: %d %s %d must not allow %d", op.op, a, op.op, b, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func widthDecl(isBool bool) string {
+	if isBool {
+		return ""
+	}
+	return "[1:0]"
+}
+
+func b2i(x bool) int {
+	if x {
+		return 1
+	}
+	return 0
+}
+
+func itoa(v int) string { return string(rune('0' + v)) }
+
+func TestUnaryOperatorsExhaustive(t *testing.T) {
+	src := `
+module utest(clk, nn, bb);
+  input clk;
+  output nn, bb;
+  reg [1:0] a;
+  wire [1:0] nn;
+  wire bb;
+  assign nn = ~a;
+  assign bb = !a;
+  initial begin
+    a = 0; a = 1; a = 2; a = 3;
+  end
+  always @(posedge clk) a <= a;
+endmodule
+`
+	n := compileNet(t, src, "utest")
+	av := n.VarByName("a")
+	m := n.Manager()
+	for a := 0; a < 4; a++ {
+		cell := av.Eq(a)
+		not, err := n.LabelEq("nn", itoa(3-a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.And(not, cell) == 0 {
+			t.Errorf("~%d should be %d", a, 3-a)
+		}
+		lnot, err := n.LabelEq("bb", itoa(b2i(a == 0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.And(lnot, cell) == 0 {
+			t.Errorf("!%d wrong", a)
+		}
+	}
+}
+
+func TestTernaryAndNestedExpressions(t *testing.T) {
+	src := `
+module nest(clk, o);
+  input clk;
+  output o;
+  reg [1:0] a;
+  wire [1:0] o;
+  assign o = (a == 3) ? 0 : a + 1;
+  initial begin
+    a = 0; a = 1; a = 2; a = 3;
+  end
+  always @(posedge clk) a <= a;
+endmodule
+`
+	n := compileNet(t, src, "nest")
+	av := n.VarByName("a")
+	m := n.Manager()
+	for a := 0; a < 4; a++ {
+		want := (a + 1) % 4
+		lbl, err := n.LabelEq("o", itoa(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.And(lbl, av.Eq(a)) == 0 {
+			t.Errorf("ternary increment of %d wrong", a)
+		}
+	}
+}
+
+func TestSizedConstants(t *testing.T) {
+	src := `
+module sized(clk, o);
+  input clk;
+  output o;
+  reg [3:0] a;
+  wire o;
+  assign o = a == 4'b1010;
+  initial a = 10;
+  always @(posedge clk) a <= 4'd10;
+endmodule
+`
+	n := compileNet(t, src, "sized")
+	lbl, err := n.LabelEq("o", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := n.VarByName("a")
+	if n.Manager().And(lbl, av.Eq(10)) == 0 {
+		t.Fatal("sized binary constant mismatch")
+	}
+}
+
+func TestNDInControlFlow(t *testing.T) {
+	// $ND used inside an if-condition and a case subject
+	src := `
+typedef enum { RED, GREEN, BLUE } color_t;
+module light(clk, c);
+  input clk;
+  output c;
+  color_t reg c;
+  wire flip;
+  assign flip = $ND(0, 1);
+  initial c = RED;
+  always @(posedge clk)
+    if (flip)
+      case (c)
+        RED: c <= GREEN;
+        GREEN: c <= BLUE;
+        BLUE: c <= RED;
+      endcase
+endmodule
+`
+	n := compileNet(t, src, "light")
+	c := n.VarByName("c")
+	img := reach.Image(n, c.Eq(0))
+	want := n.Manager().Or(c.Eq(0), c.Eq(1)) // hold or advance
+	if img != want {
+		t.Fatal("ND-gated case semantics wrong")
+	}
+	res := reach.Forward(n, reach.Options{})
+	if got := n.NumStates(res.Reached); got != 3 {
+		t.Fatalf("reached %v states, want 3", got)
+	}
+}
+
+func TestNestedIfElseChains(t *testing.T) {
+	src := `
+module prio(clk, q);
+  input clk;
+  output [1:0] q;
+  reg [1:0] q;
+  wire a, b;
+  assign a = $ND(0, 1);
+  assign b = $ND(0, 1);
+  initial q = 0;
+  always @(posedge clk)
+    if (a)
+      if (b) q <= 3;
+      else q <= 2;
+    else if (b) q <= 1;
+    else q <= 0;
+endmodule
+`
+	n := compileNet(t, src, "prio")
+	q := n.VarByName("q")
+	img := reach.Image(n, q.Eq(0))
+	if img != q.Domain() {
+		t.Fatal("all four priority outcomes should be reachable in one step")
+	}
+}
