@@ -1,0 +1,28 @@
+# Developer convenience targets. `make check` is the full pre-commit
+# gate: vet, build, race-enabled tests, and a one-iteration smoke run of
+# the image-engine benchmarks.
+
+GO ?= go
+
+.PHONY: check vet build test bench-smoke bench
+
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of the image-pipeline comparison: enough to catch
+# regressions that break an engine outright without paying for a full
+# benchmark run.
+bench-smoke:
+	$(GO) test -bench=BenchmarkImage -benchtime=1x -run='^$$' .
+
+# The full Table-1 regeneration and ablation suite.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

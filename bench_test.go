@@ -313,6 +313,48 @@ func BenchmarkPartitionedTR(b *testing.B) {
 	})
 }
 
+// BenchmarkImage compares the three image engines — monolithic T,
+// per-conjunct partitioned, and clustered with the precompiled
+// quantification schedule — on full forward reachability plus a
+// preimage sweep (the Image/Preimage alternation is what used to thrash
+// the cube-keyed quantifier caches). Reports peak live BDD nodes and
+// the combined quantifier/and-exists cache hit rate.
+func BenchmarkImage(b *testing.B) {
+	engines := []struct {
+		label string
+		kind  reach.EngineKind
+	}{
+		{"monolithic", reach.EngineMonolithic},
+		{"partitioned", reach.EnginePartitioned},
+		{"clustered", reach.EngineClustered},
+	}
+	for _, name := range []string{"gigamax", "scheduler", "mdlc2"} {
+		name := name
+		for _, eng := range engines {
+			eng := eng
+			b.Run(name+"/"+eng.label, func(b *testing.B) {
+				w := load(b, name, core.Options{})
+				n := w.Net
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res := reach.Forward(n, reach.Options{Engine: eng.kind})
+					if !res.Converged {
+						b.Fatal("diverged")
+					}
+					e := reach.Engine(n, eng.kind)
+					if e.Preimage(res.Reached) == bdd.False {
+						b.Fatal("empty preimage of reached set")
+					}
+				}
+				b.StopTimer()
+				st := n.Manager().Stats()
+				b.ReportMetric(float64(n.Manager().PeakSize()), "peak-bdd-nodes")
+				b.ReportMetric(100*st.QuantHitRate(), "cache-hit-%")
+			})
+		}
+	}
+}
+
 func verilogToNetwork(src, top string, skipMono bool) (*network.Network, error) {
 	w, err := core.LoadVerilogString(src, top+".v", top, core.Options{})
 	if err != nil {

@@ -26,6 +26,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -46,13 +47,17 @@ import (
 )
 
 type shell struct {
-	w   *core.Workspace
-	sim *sim.Simulator
-	out *bufio.Writer
+	w     *core.Workspace
+	sim   *sim.Simulator
+	out   *bufio.Writer
+	stats bool
 }
 
 func main() {
-	sh := &shell{out: bufio.NewWriter(os.Stdout)}
+	statsFlag := flag.Bool("stats", false,
+		"print BDD operation statistics after every checking command")
+	flag.Parse()
+	sh := &shell{out: bufio.NewWriter(os.Stdout), stats: *statsFlag}
 	defer sh.out.Flush()
 	sc := bufio.NewScanner(os.Stdin)
 	interactive := isTerminal()
@@ -172,6 +177,7 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		fmt.Fprintf(sh.out, "# reached states: %.0f\n", sh.w.ReachableStates())
+		sh.maybeStats()
 		return nil
 	case "check_ctl":
 		if err := sh.need(); err != nil {
@@ -183,6 +189,7 @@ func (sh *shell) exec(line string) error {
 			}
 			sh.report(sh.w.CheckCTL(p))
 		}
+		sh.maybeStats()
 		return nil
 	case "lang_contain":
 		if err := sh.need(); err != nil {
@@ -194,6 +201,7 @@ func (sh *shell) exec(line string) error {
 			}
 			sh.report(sh.w.CheckLC(a))
 		}
+		sh.maybeStats()
 		return nil
 	case "check_all":
 		if err := sh.need(); err != nil {
@@ -202,6 +210,7 @@ func (sh *shell) exec(line string) error {
 		for _, r := range sh.w.VerifyAll() {
 			sh.report(r)
 		}
+		sh.maybeStats()
 		return nil
 	case "explain_ctl":
 		// the model checker debugger (paper §6.2): unfold a failing
@@ -444,6 +453,15 @@ func (sh *shell) exec(line string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+// maybeStats prints the BDD manager's operation counters (unique-table
+// size, op-cache hit rates including the quantifier and and-exists
+// caches) when the shell was started with -stats.
+func (sh *shell) maybeStats() {
+	if sh.stats && sh.w != nil {
+		fmt.Fprintln(sh.out, sh.w.Net.Manager().Stats())
 	}
 }
 

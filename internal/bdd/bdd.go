@@ -57,15 +57,14 @@ type Manager struct {
 
 	ite   []iteEntry
 	binop []binopEntry
-	quant []quantEntry
-	aex   []binopEntry // AndExists cache, epoch-keyed on qcube
-	qcube Ref          // cube bound to the current quantification cache epoch
-	qop   int
+	quant []quantEntry // Exists/ForAll cache, keyed on (op, f, cube)
+	aex   []aexEntry   // AndExists cache, keyed on (f, g, cube)
 	sat   map[Ref]float64
 
 	statApplyCalls, statApplyHits uint64
 	statITECalls, statITEHits     uint64
 	statQuantCalls, statQuantHits uint64
+	statAexCalls, statAexHits     uint64
 
 	gcEnabled  bool
 	autoGCAt   int // node count that triggers an automatic GC on allocation
@@ -86,8 +85,19 @@ type binopEntry struct {
 	f, g, res Ref
 }
 
+// quantEntry caches one Exists/ForAll recursion. The quantification cube
+// (the suffix actually reaching this node) and the operator are part of
+// the key, so plans that alternate cubes — an image step followed by a
+// preimage step, as every fixpoint does — no longer thrash the cache.
 type quantEntry struct {
-	f, res Ref
+	f, cube, res Ref
+	op           int32
+}
+
+// aexEntry caches one AndExists recursion, cube included in the key for
+// the same reason.
+type aexEntry struct {
+	f, g, cube, res Ref
 }
 
 const (
@@ -95,14 +105,14 @@ const (
 	opOr
 	opXor
 	opDiff // f AND NOT g
-	opAndExists
 )
 
 const (
 	defaultTableSize = 1 << 14
 	iteCacheSize     = 1 << 15
 	binopCacheSize   = 1 << 16
-	quantCacheSize   = 1 << 14
+	quantCacheSize   = 1 << 15
+	aexCacheSize     = 1 << 16
 )
 
 // New creates a Manager with no variables. Variables are added with
@@ -114,7 +124,7 @@ func New() *Manager {
 		ite:       make([]iteEntry, iteCacheSize),
 		binop:     make([]binopEntry, binopCacheSize),
 		quant:     make([]quantEntry, quantCacheSize),
-		aex:       make([]binopEntry, quantCacheSize),
+		aex:       make([]aexEntry, aexCacheSize),
 		gcEnabled: true,
 		autoGCAt:  1 << 20,
 	}
@@ -288,10 +298,8 @@ func (m *Manager) invalidateQuantCache() {
 		m.quant[i] = quantEntry{f: -1}
 	}
 	for i := range m.aex {
-		m.aex[i] = binopEntry{f: -1}
+		m.aex[i] = aexEntry{f: -1}
 	}
-	m.qcube = -1
-	m.qop = 0
 }
 
 // check panics if f is not a plausible handle for this manager. It is

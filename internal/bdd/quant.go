@@ -2,8 +2,11 @@ package bdd
 
 // Quantification. Cubes are BDDs that are conjunctions of positive
 // literals; they name the set of variables to quantify. The
-// quantification caches are epoch-keyed on the cube so repeated image
-// computations with the same cube stay fast.
+// quantification caches key on (operand, cube) pairs, so results survive
+// across calls with different cubes — an image step (quantifying the
+// present-state rail) no longer evicts the entries of the preimage step
+// (quantifying the next-state rail) that alternates with it in every
+// backward/forward fixpoint.
 
 // Cube builds the positive cube over the given variable IDs.
 func (m *Manager) Cube(vars []int) Ref {
@@ -52,7 +55,6 @@ func (m *Manager) Exists(f, cube Ref) Ref {
 	if cube == True || m.IsTerminal(f) {
 		return f
 	}
-	m.primeQuantCache(cube, qopExists)
 	return m.existsRec(f, cube)
 }
 
@@ -63,7 +65,6 @@ func (m *Manager) ForAll(f, cube Ref) Ref {
 	if cube == True || m.IsTerminal(f) {
 		return f
 	}
-	m.primeQuantCache(cube, qopForall)
 	return m.forallRec(f, cube)
 }
 
@@ -76,16 +77,7 @@ func (m *Manager) AndExists(f, g, cube Ref) Ref {
 	if cube == True {
 		return m.And(f, g)
 	}
-	m.primeQuantCache(cube, qopExists)
 	return m.andExistsRec(f, g, cube)
-}
-
-func (m *Manager) primeQuantCache(cube Ref, op int) {
-	if m.qcube != cube || m.qop != op {
-		m.invalidateQuantCache()
-		m.qcube = cube
-		m.qop = op
-	}
 }
 
 func (m *Manager) existsRec(f, cube Ref) Ref {
@@ -102,7 +94,7 @@ func (m *Manager) existsRec(f, cube Ref) Ref {
 	}
 	m.statQuantCalls++
 	slot := &m.quant[hash3(uint64(f), uint64(cube), 0x5eed)&(quantCacheSize-1)]
-	if slot.f == f {
+	if slot.f == f && slot.cube == cube && slot.op == qopExists {
 		m.statQuantHits++
 		return slot.res
 	}
@@ -121,7 +113,7 @@ func (m *Manager) existsRec(f, cube Ref) Ref {
 		high := m.existsRec(nf.high, cube)
 		r = m.mk(nf.level, low, high)
 	}
-	*slot = quantEntry{f: f, res: r}
+	*slot = quantEntry{f: f, cube: cube, op: qopExists, res: r}
 	return r
 }
 
@@ -138,7 +130,7 @@ func (m *Manager) forallRec(f, cube Ref) Ref {
 	}
 	m.statQuantCalls++
 	slot := &m.quant[hash3(uint64(f), uint64(cube), 0xa11)&(quantCacheSize-1)]
-	if slot.f == f {
+	if slot.f == f && slot.cube == cube && slot.op == qopForall {
 		m.statQuantHits++
 		return slot.res
 	}
@@ -157,7 +149,7 @@ func (m *Manager) forallRec(f, cube Ref) Ref {
 		high := m.forallRec(nf.high, cube)
 		r = m.mk(nf.level, low, high)
 	}
-	*slot = quantEntry{f: f, res: r}
+	*slot = quantEntry{f: f, cube: cube, op: qopForall, res: r}
 	return r
 }
 
@@ -191,10 +183,10 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 	if cube == True {
 		return m.applyRec(opAnd, f, g)
 	}
-	m.statQuantCalls++
-	slot := &m.aex[hash3(uint64(opAndExists), uint64(f), uint64(g))&(quantCacheSize-1)]
-	if slot.op == opAndExists && slot.f == f && slot.g == g {
-		m.statQuantHits++
+	m.statAexCalls++
+	slot := &m.aex[hash3(uint64(f), uint64(g), uint64(cube))&(aexCacheSize-1)]
+	if slot.f == f && slot.g == g && slot.cube == cube {
+		m.statAexHits++
 		return slot.res
 	}
 	f0, f1 := cofactor(nf, f, top)
@@ -214,7 +206,7 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 		high := m.andExistsRec(f1, g1, cube)
 		r = m.mk(top, low, high)
 	}
-	*slot = binopEntry{op: opAndExists, f: f, g: g, res: r}
+	*slot = aexEntry{f: f, g: g, cube: cube, res: r}
 	return r
 }
 

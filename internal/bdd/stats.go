@@ -9,8 +9,10 @@ type Statistics struct {
 	ApplyHits      uint64
 	ITECalls       uint64
 	ITEHits        uint64
-	QuantCalls     uint64
+	QuantCalls     uint64 // Exists/ForAll recursions (cube-keyed cache)
 	QuantHits      uint64
+	AndExistsCalls uint64 // AndExists recursions (cube-keyed cache)
+	AndExistsHits  uint64
 	GCs            int
 	LiveNodes      int
 	AllocatedNodes int
@@ -28,11 +30,19 @@ func ratio(hits, calls uint64) float64 {
 // String renders a one-line summary.
 func (s Statistics) String() string {
 	return fmt.Sprintf(
-		"bdd: %d vars, %d live / %d alloc nodes (peak %d), %d GCs; cache hits: apply %.0f%%, ite %.0f%%, quant %.0f%%",
+		"bdd: %d vars, %d live / %d alloc nodes (peak %d), %d GCs; cache hits: apply %.0f%%, ite %.0f%%, quant %.0f%%, andexists %.0f%%",
 		s.Variables, s.LiveNodes, s.AllocatedNodes, s.PeakNodes, s.GCs,
 		100*ratio(s.ApplyHits, s.ApplyCalls),
 		100*ratio(s.ITEHits, s.ITECalls),
-		100*ratio(s.QuantHits, s.QuantCalls))
+		100*ratio(s.QuantHits, s.QuantCalls),
+		100*ratio(s.AndExistsHits, s.AndExistsCalls))
+}
+
+// QuantHitRate returns the combined hit rate of the two cube-keyed
+// quantifier caches (Exists/ForAll and AndExists), the number the image
+// pipeline benchmarks report.
+func (s Statistics) QuantHitRate() float64 {
+	return ratio(s.QuantHits+s.AndExistsHits, s.QuantCalls+s.AndExistsCalls)
 }
 
 // Stats snapshots the manager's counters.
@@ -44,6 +54,8 @@ func (m *Manager) Stats() Statistics {
 		ITEHits:        m.statITEHits,
 		QuantCalls:     m.statQuantCalls,
 		QuantHits:      m.statQuantHits,
+		AndExistsCalls: m.statAexCalls,
+		AndExistsHits:  m.statAexHits,
 		GCs:            m.GCCount,
 		LiveNodes:      m.Size(),
 		AllocatedNodes: len(m.nodes),

@@ -276,7 +276,7 @@ type PropertyResult struct {
 // ReachableStates computes (and caches via the checker) the reachable
 // state count — the paper's "# reached states" column.
 func (w *Workspace) ReachableStates() float64 {
-	w.Net.EnsureT()
+	// EngineAuto: the clustered pipeline when T was skipped, T otherwise.
 	res := reach.Forward(w.Net, reach.Options{})
 	return w.Net.NumStates(res.Reached)
 }
@@ -294,7 +294,9 @@ func (w *Workspace) CheckCTL(p pif.CTLProp) *PropertyResult {
 		}
 		// reduction unavailable or vacuous: fall through to the full model
 	}
-	w.Net.EnsureT()
+	// No EnsureT: invariance properties run entirely on the image engine
+	// (clustered when the monolithic T was skipped); the fair-CTL route
+	// builds T lazily when it first needs an edge-restricted operator.
 	checker := ctl.NewForNetwork(w.Net, w.FC)
 	out := &PropertyResult{Name: p.Name, Kind: KindCTL, Formula: p.Formula}
 	f := p.Formula

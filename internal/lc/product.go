@@ -9,6 +9,8 @@ import (
 	"hsis/internal/mdd"
 	"hsis/internal/network"
 	"hsis/internal/pif"
+	"hsis/internal/quant"
+	"hsis/internal/reach"
 )
 
 // Product is the synchronous product of a design with a property
@@ -27,6 +29,11 @@ type Product struct {
 
 	psBits, nsBits []int
 	perm           []int
+
+	// Precompiled clustered image pipeline over the design's clusters
+	// plus δ; selected by SetEngine(reach.EngineClustered).
+	imgPlan, prePlan *quant.CompiledPlan
+	engine           reach.EngineKind
 }
 
 var productCounter int
@@ -60,7 +67,49 @@ func NewProduct(n *network.Network, a *Automaton) *Product {
 	p.perm = n.Space().Permutation(psv, nsv)
 	m.IncRef(p.T)
 	m.IncRef(p.init)
+	p.compilePlans()
 	return p
+}
+
+// compilePlans freezes the product-level clustered schedules: the
+// design's cluster conjuncts plus δ, quantifying the product rails and
+// every non-rail variable. Compilation is support-only and cheap; the
+// plans are used when SetEngine selects the clustered engine.
+func (p *Product) compilePlans() {
+	m := p.Manager()
+	clusters := p.N.ClusterConjuncts()
+	if len(clusters) == 0 {
+		return
+	}
+	conjs := append(append([]quant.Conjunct(nil), clusters...),
+		quant.Conjunct{F: p.Delta, Support: m.Support(p.Delta)})
+	rail := make(map[int]bool, len(p.psBits)+len(p.nsBits))
+	for _, b := range p.psBits {
+		rail[b] = true
+	}
+	for _, b := range p.nsBits {
+		rail[b] = true
+	}
+	var nonRail []int
+	for b := 0; b < m.NumVars(); b++ {
+		if !rail[b] {
+			nonRail = append(nonRail, b)
+		}
+	}
+	imgQ := append(append([]int(nil), nonRail...), p.psBits...)
+	preQ := append(append([]int(nil), nonRail...), p.nsBits...)
+	p.imgPlan = quant.Compile(m, conjs, p.psBits, imgQ)
+	p.prePlan = quant.Compile(m, conjs, p.nsBits, preQ)
+	p.imgPlan.Retain(m)
+	p.prePlan.Retain(m)
+}
+
+// SetEngine selects the Post/Pre strategy for the product fixpoints:
+// reach.EngineClustered replays the precompiled plans, anything else
+// uses the monolithic product relation (the default — the product T is
+// always built, since the edge-restricted emptiness operators need it).
+func (p *Product) SetEngine(kind reach.EngineKind) {
+	p.engine = kind
 }
 
 // Manager returns the shared BDD manager.
@@ -78,6 +127,9 @@ func (p *Product) SwapRails(f bdd.Ref) bdd.Ref { return p.Manager().Permute(f, p
 // Post returns the successors of s in the product.
 func (p *Product) Post(s bdd.Ref) bdd.Ref {
 	m := p.Manager()
+	if p.engine == reach.EngineClustered && p.imgPlan != nil {
+		return p.SwapRails(p.imgPlan.Run(m, s))
+	}
 	next := m.AndExists(p.T, s, m.Cube(p.psBits))
 	return p.SwapRails(next)
 }
@@ -85,6 +137,9 @@ func (p *Product) Post(s bdd.Ref) bdd.Ref {
 // Pre returns the predecessors of s in the product.
 func (p *Product) Pre(s bdd.Ref) bdd.Ref {
 	m := p.Manager()
+	if p.engine == reach.EngineClustered && p.prePlan != nil {
+		return p.prePlan.Run(m, p.SwapRails(s))
+	}
 	return m.AndExists(p.T, p.SwapRails(s), m.Cube(p.nsBits))
 }
 

@@ -31,11 +31,15 @@ type Options struct {
 	// names of the flat model). Default: order.Compute.
 	Order []string
 	// SkipMonolithic leaves N.T unbuilt (False); reachability then uses
-	// the partitioned relation via Conjuncts (Ablation F).
+	// the partitioned relation via Conjuncts (Ablation F) or the
+	// clustered plans.
 	SkipMonolithic bool
 	// NaiveQuantification disables early quantification and builds the
 	// full conjunction before quantifying (Ablation A baseline).
 	NaiveQuantification bool
+	// ClusterLimit bounds the BDD size of one merged conjunct cluster in
+	// the precompiled image pipeline (0 = quant.DefaultClusterLimit).
+	ClusterLimit int
 }
 
 // Latch pairs a source latch with its present/next-state variables.
@@ -57,6 +61,18 @@ type Network struct {
 
 	conjuncts []quant.Conjunct // table relations + auxiliary equalities
 	nonState  []int            // BDD variable IDs quantified out of T
+
+	// Clustered image pipeline, compiled once at Build time: the
+	// conjuncts merged into size-bounded clusters, and one frozen
+	// multiply-and-quantify plan per direction.
+	clusters []quant.Conjunct
+	imgPlan  *quant.CompiledPlan
+	prePlan  *quant.CompiledPlan
+
+	// Reusable operand buffers for the per-call partitioned engine, so
+	// ImagePartitioned/PreimagePartitioned allocate nothing per call.
+	imgConjs, preConjs []quant.Conjunct
+	imgQVars, preQVars []int
 
 	psVars, nsVars []*mdd.Var
 	psBits, nsBits []int
@@ -203,6 +219,12 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		n.Init = n.mgr.And(n.Init, l.PS.In(l.Src.Init))
 	}
 
+	// Clustered image pipeline: merge the conjuncts into size-bounded
+	// clusters and freeze one quantification schedule per direction, so
+	// Image/Preimage become pure replay of a precompiled plan.
+	n.buildPlans(opts.ClusterLimit)
+	n.buildPartitionedBuffers()
+
 	// Product transition relation.
 	n.naive = opts.NaiveQuantification
 	if opts.SkipMonolithic {
@@ -215,10 +237,75 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 	return n, nil
 }
 
+// buildPlans compiles the clustered image pipeline. Non-state variables
+// are pre-quantified during clustering when local to one cluster; the
+// remaining schedule (which variables die at which cluster) is computed
+// once here and merely replayed by every image/preimage call.
+func (n *Network) buildPlans(limit int) {
+	n.clusters = quant.Clusters(n.mgr, n.conjuncts, n.nonState, limit)
+	for _, c := range n.clusters {
+		n.mgr.IncRef(c.F)
+	}
+	imgQ := append(append([]int(nil), n.nonState...), n.psBits...)
+	preQ := append(append([]int(nil), n.nonState...), n.nsBits...)
+	n.imgPlan = quant.Compile(n.mgr, n.clusters, n.psBits, imgQ)
+	n.prePlan = quant.Compile(n.mgr, n.clusters, n.nsBits, preQ)
+	n.imgPlan.Retain(n.mgr)
+	n.prePlan.Retain(n.mgr)
+}
+
+// buildPartitionedBuffers preallocates the operand slices the
+// per-call-scheduled partitioned engine reuses on every image.
+func (n *Network) buildPartitionedBuffers() {
+	n.imgConjs = make([]quant.Conjunct, len(n.conjuncts)+1)
+	copy(n.imgConjs, n.conjuncts)
+	n.preConjs = make([]quant.Conjunct, len(n.conjuncts)+1)
+	copy(n.preConjs, n.conjuncts)
+	n.imgQVars = append(append([]int(nil), n.nonState...), n.psBits...)
+	n.preQVars = append(append([]int(nil), n.nonState...), n.nsBits...)
+}
+
+// ImageOperands returns the conjunct list (every table relation plus the
+// present-state set s) and the quantification variables for one
+// partitioned image call. The returned slices are buffers owned by the
+// network, valid until the next ImageOperands call.
+func (n *Network) ImageOperands(s bdd.Ref) ([]quant.Conjunct, []int) {
+	n.imgConjs[len(n.imgConjs)-1] = quant.Conjunct{F: s, Support: n.psBits}
+	return n.imgConjs, n.imgQVars
+}
+
+// PreimageOperands is the next-state counterpart of ImageOperands; sNext
+// must already live on the NS rail (SwapRails applied).
+func (n *Network) PreimageOperands(sNext bdd.Ref) ([]quant.Conjunct, []int) {
+	n.preConjs[len(n.preConjs)-1] = quant.Conjunct{F: sNext, Support: n.nsBits}
+	return n.preConjs, n.preQVars
+}
+
+// ImagePlan returns the precompiled clustered image schedule.
+func (n *Network) ImagePlan() *quant.CompiledPlan { return n.imgPlan }
+
+// PreimagePlan returns the precompiled clustered preimage schedule.
+func (n *Network) PreimagePlan() *quant.CompiledPlan { return n.prePlan }
+
+// ClusterConjuncts returns the clustered partitioned transition relation
+// (non-state variables local to one cluster already quantified out).
+// Callers must not mutate the slice.
+func (n *Network) ClusterConjuncts() []quant.Conjunct { return n.clusters }
+
+// TBuilt reports whether the monolithic product transition relation has
+// been built (false until EnsureT on a SkipMonolithic network).
+func (n *Network) TBuilt() bool { return n.tBuilt }
+
 func (n *Network) buildT() {
-	if n.naive {
+	switch {
+	case n.naive:
 		n.T = quant.Naive(n.mgr, n.conjuncts, n.nonState)
-	} else {
+	case n.clusters != nil:
+		// The clusters already absorbed the locally-quantifiable
+		// non-state variables; finish from them instead of redoing the
+		// full schedule over raw conjuncts.
+		n.T = quant.AndExists(n.mgr, n.clusters, n.nonState, n.heur)
+	default:
 		n.T = quant.AndExists(n.mgr, n.conjuncts, n.nonState, n.heur)
 	}
 	n.tBuilt = true

@@ -1,0 +1,116 @@
+package reach
+
+// Clustered image computation and the engine abstraction: every
+// fixpoint in the repository (reachability, CTL, language containment)
+// computes images and preimages through an ImageEngine, selecting the
+// monolithic product relation, the per-call-scheduled partitioned
+// relation, or the precompiled clustered pipeline. Clustered is the
+// default whenever the monolithic relation has not been built — it
+// replays a schedule frozen at network.Build time and performs no
+// per-call scheduling work.
+
+import (
+	"hsis/internal/bdd"
+	"hsis/internal/network"
+)
+
+// EngineKind selects an image-computation strategy.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineAuto picks monolithic when the product transition relation
+	// is already built, clustered otherwise.
+	EngineAuto EngineKind = iota
+	// EngineMonolithic uses the product transition relation T (building
+	// it on first use if necessary).
+	EngineMonolithic
+	// EnginePartitioned re-schedules the raw conjuncts on every call
+	// (the pre-clustering behavior; kept as an ablation baseline).
+	EnginePartitioned
+	// EngineClustered replays the precompiled per-network plan.
+	EngineClustered
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineMonolithic:
+		return "monolithic"
+	case EnginePartitioned:
+		return "partitioned"
+	case EngineClustered:
+		return "clustered"
+	default:
+		return "auto"
+	}
+}
+
+// ImageEngine computes successor and predecessor sets over a network's
+// present-state rail.
+type ImageEngine interface {
+	Kind() EngineKind
+	Image(s bdd.Ref) bdd.Ref
+	Preimage(s bdd.Ref) bdd.Ref
+}
+
+// Engine binds an engine of the given kind to a network. EngineAuto
+// resolves to monolithic when T is already built (it is paid for; reuse
+// it) and to the clustered pipeline otherwise, so SkipMonolithic
+// networks never multiply out the product relation just to take images.
+func Engine(n *network.Network, kind EngineKind) ImageEngine {
+	if kind == EngineAuto {
+		if n.TBuilt() {
+			kind = EngineMonolithic
+		} else {
+			kind = EngineClustered
+		}
+	}
+	switch kind {
+	case EnginePartitioned:
+		return partitionedEngine{n}
+	case EngineClustered:
+		if n.ImagePlan() != nil {
+			return clusteredEngine{n}
+		}
+		return partitionedEngine{n} // no plan compiled: degrade gracefully
+	default:
+		return monolithicEngine{n}
+	}
+}
+
+type monolithicEngine struct{ n *network.Network }
+
+func (e monolithicEngine) Kind() EngineKind { return EngineMonolithic }
+func (e monolithicEngine) Image(s bdd.Ref) bdd.Ref {
+	e.n.EnsureT()
+	return Image(e.n, s)
+}
+func (e monolithicEngine) Preimage(s bdd.Ref) bdd.Ref {
+	e.n.EnsureT()
+	return Preimage(e.n, s)
+}
+
+type partitionedEngine struct{ n *network.Network }
+
+func (e partitionedEngine) Kind() EngineKind           { return EnginePartitioned }
+func (e partitionedEngine) Image(s bdd.Ref) bdd.Ref    { return ImagePartitioned(e.n, s) }
+func (e partitionedEngine) Preimage(s bdd.Ref) bdd.Ref { return PreimagePartitioned(e.n, s) }
+
+type clusteredEngine struct{ n *network.Network }
+
+func (e clusteredEngine) Kind() EngineKind           { return EngineClustered }
+func (e clusteredEngine) Image(s bdd.Ref) bdd.Ref    { return ImageClustered(e.n, s) }
+func (e clusteredEngine) Preimage(s bdd.Ref) bdd.Ref { return PreimageClustered(e.n, s) }
+
+// ImageClustered computes successors by replaying the network's
+// precompiled clustered plan: one AndExists per cluster, each with a
+// cube frozen at Build time.
+func ImageClustered(n *network.Network, s bdd.Ref) bdd.Ref {
+	next := n.ImagePlan().Run(n.Manager(), s)
+	return n.SwapRails(next)
+}
+
+// PreimageClustered is the clustered counterpart of Preimage.
+func PreimageClustered(n *network.Network, s bdd.Ref) bdd.Ref {
+	return n.PreimagePlan().Run(n.Manager(), n.SwapRails(s))
+}

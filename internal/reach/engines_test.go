@@ -1,0 +1,134 @@
+package reach_test
+
+// Property-style engine-equivalence tests: the monolithic, partitioned,
+// and clustered image engines must compute identical successor and
+// predecessor sets on every bundled Table-1 design, for every
+// reachability ring, and Backward must agree across engines under
+// non-trivial care sets.
+
+import (
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/blifmv"
+	"hsis/internal/designs"
+	"hsis/internal/network"
+	"hsis/internal/reach"
+	"hsis/internal/verilog"
+)
+
+func buildNet(t *testing.T, d *designs.Design, opts network.Options) *network.Network {
+	t.Helper()
+	dsg, err := verilog.CompileString(d.Verilog, d.Name+".v", d.Top)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", d.Name, err)
+	}
+	flat, err := blifmv.Flatten(dsg)
+	if err != nil {
+		t.Fatalf("%s: flatten: %v", d.Name, err)
+	}
+	n, err := network.Build(flat, opts)
+	if err != nil {
+		t.Fatalf("%s: build: %v", d.Name, err)
+	}
+	return n
+}
+
+var engineKinds = []reach.EngineKind{
+	reach.EngineMonolithic,
+	reach.EnginePartitioned,
+	reach.EngineClustered,
+}
+
+func TestEnginesAgreeOnAllDesigns(t *testing.T) {
+	all, err := designs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range all {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			n := buildNet(t, d, network.Options{})
+			m := n.Manager()
+			res := reach.Forward(n, reach.Options{KeepRings: true})
+			if !res.Converged {
+				t.Fatal("reachability diverged")
+			}
+			// Every ring on small designs; evenly-sampled rings on large
+			// ones (the partitioned preimage of a wide mdlc2 ring costs
+			// seconds, and adjacent rings exercise the same code paths).
+			sets := []bdd.Ref{n.Init, res.Reached}
+			const maxRings = 6
+			step := 1
+			if len(res.Rings) > maxRings {
+				step = (len(res.Rings) + maxRings - 1) / maxRings
+			}
+			for i := 0; i < len(res.Rings); i += step {
+				sets = append(sets, res.Rings[i])
+			}
+			mono := reach.Engine(n, reach.EngineMonolithic)
+			part := reach.Engine(n, reach.EnginePartitioned)
+			clus := reach.Engine(n, reach.EngineClustered)
+			for i, s := range sets {
+				img := mono.Image(s)
+				if got := part.Image(s); got != img {
+					t.Fatalf("set %d: partitioned image differs", i)
+				}
+				if got := clus.Image(s); got != img {
+					t.Fatalf("set %d: clustered image differs", i)
+				}
+				pre := mono.Preimage(s)
+				if got := part.Preimage(s); got != pre {
+					t.Fatalf("set %d: partitioned preimage differs", i)
+				}
+				if got := clus.Preimage(s); got != pre {
+					t.Fatalf("set %d: clustered preimage differs", i)
+				}
+			}
+			// A SkipMonolithic network never builds T; EngineAuto resolves
+			// to clustered and must reach exactly the same state count.
+			np := buildNet(t, d, network.Options{SkipMonolithic: true})
+			if np.TBuilt() {
+				t.Fatal("SkipMonolithic network built T")
+			}
+			rp := reach.Forward(np, reach.Options{})
+			if np.TBuilt() {
+				t.Fatal("clustered reachability multiplied out T")
+			}
+			if got, want := np.NumStates(rp.Reached), n.NumStates(res.Reached); got != want {
+				t.Fatalf("clustered reachability: %v states, want %v", got, want)
+			}
+			_ = m
+		})
+	}
+}
+
+func TestBackwardEnginesAgreeWithCareSets(t *testing.T) {
+	all, err := designs.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range all {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			n := buildNet(t, d, network.Options{})
+			m := n.Manager()
+			res := reach.Forward(n, reach.Options{KeepRings: true})
+			target := res.Rings[len(res.Rings)-1]
+			// Non-trivial care sets: everything, the reachable set, and
+			// the reachable set minus an intermediate ring (cutting paths).
+			cares := []bdd.Ref{bdd.True, res.Reached}
+			if len(res.Rings) > 2 {
+				cares = append(cares, m.Diff(res.Reached, res.Rings[len(res.Rings)/2]))
+			}
+			for ci, care := range cares {
+				want := reach.Backward(n, target, care, reach.EngineMonolithic)
+				for _, kind := range engineKinds[1:] {
+					if got := reach.Backward(n, target, care, kind); got != want {
+						t.Fatalf("care %d: %v backward differs from monolithic", ci, kind)
+					}
+				}
+			}
+		})
+	}
+}

@@ -29,20 +29,18 @@ func Preimage(n *network.Network, s bdd.Ref) bdd.Ref {
 // ImagePartitioned computes successors without ever forming the product
 // transition relation: the state set joins the per-table conjuncts and
 // one early-quantification pass eliminates present-state and non-state
-// variables together.
+// variables together. The operand slices are buffers owned by the
+// network, so repeated calls allocate nothing; the schedule itself is
+// still derived per call (see ImageClustered for the precompiled form).
 func ImagePartitioned(n *network.Network, s bdd.Ref) bdd.Ref {
-	conjs := append(append([]quant.Conjunct(nil), n.Conjuncts()...),
-		quant.Conjunct{F: s, Support: n.PSBits()})
-	qvars := append(append([]int(nil), n.NonStateBits()...), n.PSBits()...)
+	conjs, qvars := n.ImageOperands(s)
 	next := quant.AndExists(n.Manager(), conjs, qvars, n.Heuristic())
 	return n.SwapRails(next)
 }
 
 // PreimagePartitioned is the partitioned counterpart of Preimage.
 func PreimagePartitioned(n *network.Network, s bdd.Ref) bdd.Ref {
-	conjs := append(append([]quant.Conjunct(nil), n.Conjuncts()...),
-		quant.Conjunct{F: n.SwapRails(s), Support: n.NSBits()})
-	qvars := append(append([]int(nil), n.NonStateBits()...), n.NSBits()...)
+	conjs, qvars := n.PreimageOperands(n.SwapRails(s))
 	return quant.AndExists(n.Manager(), conjs, qvars, n.Heuristic())
 }
 
@@ -51,7 +49,11 @@ type Options struct {
 	// MaxSteps bounds the number of image computations (0 = unbounded).
 	// Early failure detection runs with a small bound (paper §5.4).
 	MaxSteps int
-	// Partitioned selects ImagePartitioned instead of the monolithic T.
+	// Engine selects the image-computation strategy (EngineAuto picks
+	// monolithic when T is built, clustered otherwise).
+	Engine EngineKind
+	// Partitioned selects the per-call-scheduled partitioned engine
+	// (legacy knob, equivalent to Engine: EnginePartitioned).
 	Partitioned bool
 	// KeepRings records the frontier of every step for counterexample
 	// reconstruction ("onion rings").
@@ -86,12 +88,12 @@ func Forward(n *network.Network, opts Options) *Result {
 // ForwardFrom computes the states reachable from the given set.
 func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 	m := n.Manager()
-	img := func(s bdd.Ref) bdd.Ref {
-		if opts.Partitioned {
-			return ImagePartitioned(n, s)
-		}
-		return Image(n, s)
+	kind := opts.Engine
+	if opts.Partitioned && kind == EngineAuto {
+		kind = EnginePartitioned
 	}
+	eng := Engine(n, kind)
+	img := eng.Image
 	res := &Result{Reached: from}
 	frontier := from
 	if opts.KeepRings {
@@ -128,14 +130,9 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 // Backward computes the states that can reach the given set (a least
 // fixed point of preimages), optionally restricted to a care set: states
 // outside care are never explored. care == bdd.True means no restriction.
-func Backward(n *network.Network, target, care bdd.Ref, partitioned bool) bdd.Ref {
+func Backward(n *network.Network, target, care bdd.Ref, kind EngineKind) bdd.Ref {
 	m := n.Manager()
-	pre := func(s bdd.Ref) bdd.Ref {
-		if partitioned {
-			return PreimagePartitioned(n, s)
-		}
-		return Preimage(n, s)
-	}
+	pre := Engine(n, kind).Preimage
 	reached := m.And(target, care)
 	frontier := reached
 	for frontier != bdd.False {

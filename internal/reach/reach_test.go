@@ -185,7 +185,7 @@ func TestBackward(t *testing.T) {
 	m := n.Manager()
 	s := n.VarByName("s")
 	// Everything (including 4) can reach state 0.
-	back := Backward(n, s.Eq(0), bdd.True, false)
+	back := Backward(n, s.Eq(0), bdd.True, EngineMonolithic)
 	if got := m.SatCount(m.And(back, s.Domain()), 3); got != 5 {
 		t.Fatalf("backward reach = %v states, want 5", got)
 	}
@@ -193,7 +193,7 @@ func TestBackward(t *testing.T) {
 	// without passing through 3... (0->1->2->3->0 requires 3) so only
 	// {0,4} remain (plus nothing else).
 	care := m.Diff(bdd.True, s.Eq(3))
-	back = Backward(n, s.Eq(0), care, false)
+	back = Backward(n, s.Eq(0), care, EngineMonolithic)
 	want := m.Or(s.Eq(0), s.Eq(4))
 	if m.And(back, s.Domain()) != want {
 		t.Fatal("care-restricted backward reach wrong")

@@ -36,13 +36,25 @@ type System interface {
 	SwapRails(f bdd.Ref) bdd.Ref
 }
 
-// NetSystem adapts a compiled network (with its monolithic T) to System.
+// NetSystem adapts a compiled network to System. Plain Post/Pre route
+// through the network's image engine (clustered when the monolithic T
+// was skipped); the edge-restricted operators need the product relation
+// and build it lazily on first use.
 type NetSystem struct {
-	N *network.Network
+	N   *network.Network
+	eng reach.ImageEngine
 }
 
-// FromNetwork wraps a network as a System.
-func FromNetwork(n *network.Network) *NetSystem { return &NetSystem{N: n} }
+// FromNetwork wraps a network as a System, binding the default image
+// engine (monolithic when T is built, clustered otherwise).
+func FromNetwork(n *network.Network) *NetSystem {
+	return &NetSystem{N: n, eng: reach.Engine(n, reach.EngineAuto)}
+}
+
+// FromNetworkEngine wraps a network with an explicit engine choice.
+func FromNetworkEngine(n *network.Network, kind reach.EngineKind) *NetSystem {
+	return &NetSystem{N: n, eng: reach.Engine(n, kind)}
+}
 
 // Manager returns the BDD manager of the underlying network.
 func (s *NetSystem) Manager() *bdd.Manager { return s.N.Manager() }
@@ -50,14 +62,22 @@ func (s *NetSystem) Manager() *bdd.Manager { return s.N.Manager() }
 // Init returns the network's initial states.
 func (s *NetSystem) Init() bdd.Ref { return s.N.Init }
 
+func (s *NetSystem) engine() reach.ImageEngine {
+	if s.eng == nil { // zero-value construction
+		s.eng = reach.Engine(s.N, reach.EngineAuto)
+	}
+	return s.eng
+}
+
 // Post returns the successors of set.
-func (s *NetSystem) Post(set bdd.Ref) bdd.Ref { return reach.Image(s.N, set) }
+func (s *NetSystem) Post(set bdd.Ref) bdd.Ref { return s.engine().Image(set) }
 
 // Pre returns the predecessors of set.
-func (s *NetSystem) Pre(set bdd.Ref) bdd.Ref { return reach.Preimage(s.N, set) }
+func (s *NetSystem) Pre(set bdd.Ref) bdd.Ref { return s.engine().Preimage(set) }
 
 // PreVia returns predecessors through the restricted edge set.
 func (s *NetSystem) PreVia(edges, set bdd.Ref) bdd.Ref {
+	s.N.EnsureT()
 	m := s.N.Manager()
 	t := m.And(s.N.T, edges)
 	return m.AndExists(t, s.N.SwapRails(set), s.N.NSCube())
@@ -65,6 +85,7 @@ func (s *NetSystem) PreVia(edges, set bdd.Ref) bdd.Ref {
 
 // PostVia returns successors through the restricted edge set.
 func (s *NetSystem) PostVia(edges, set bdd.Ref) bdd.Ref {
+	s.N.EnsureT()
 	m := s.N.Manager()
 	t := m.And(s.N.T, edges)
 	next := m.AndExists(t, set, s.N.PSCube())
@@ -73,6 +94,7 @@ func (s *NetSystem) PostVia(edges, set bdd.Ref) bdd.Ref {
 
 // EdgeSources returns the states of z with an out-edge in edges into z.
 func (s *NetSystem) EdgeSources(edges, z bdd.Ref) bdd.Ref {
+	s.N.EnsureT()
 	m := s.N.Manager()
 	t := m.AndN(s.N.T, edges, s.N.SwapRails(z))
 	src := m.Exists(t, s.N.NSCube())
