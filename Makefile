@@ -1,10 +1,10 @@
 # Developer convenience targets. `make check` is the full pre-commit
 # gate: vet, build, race-enabled tests, and a one-iteration smoke run of
-# the image-engine benchmarks.
+# the kernel benchmarks.
 
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench
+.PHONY: check vet build test bench-smoke bench bench-all
 
 check: vet build test bench-smoke
 
@@ -17,12 +17,20 @@ build:
 test:
 	$(GO) test -race ./...
 
-# One iteration of the image-pipeline comparison: enough to catch
-# regressions that break an engine outright without paying for a full
-# benchmark run.
+# One iteration of the kernel benchmarks (image pipeline plus the
+# negation-heavy sweep): enough to catch a regression that breaks an
+# engine or the complement-edge kernel outright without paying for a
+# full benchmark run.
 bench-smoke:
-	$(GO) test -bench=BenchmarkImage -benchtime=1x -run='^$$' .
+	$(GO) test -bench='BenchmarkImage|BenchmarkNegationHeavy' -benchtime=1x -run='^$$' .
+
+# The kernel benchmarks with allocation stats, recorded to
+# BENCH_bdd.json for comparison across commits.
+bench:
+	$(GO) test -bench='BenchmarkImage|BenchmarkNegationHeavy' -benchmem -benchtime=3x -run='^$$' . \
+		| tee /dev/stderr \
+		| $(GO) run ./internal/tools/benchjson > BENCH_bdd.json
 
 # The full Table-1 regeneration and ablation suite.
-bench:
+bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .

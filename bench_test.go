@@ -355,6 +355,49 @@ func BenchmarkImage(b *testing.B) {
 	}
 }
 
+// BenchmarkNegationHeavy exercises the negation-dominated access pattern
+// of the backward verification algorithms: alternating image/preimage
+// sweeps where every round clips the frontier against the complement of
+// a care set (exactly how fair-cycle and preimage computations use
+// fair/care sets), with a GC between rounds the way fixpoints invoke
+// MaybeGC between iterations. A complement-edge kernel makes every Not
+// free and shares each set with its complement; a GC-surviving cache
+// layer keeps the sweep's operator caches warm across the collection.
+func BenchmarkNegationHeavy(b *testing.B) {
+	for _, name := range []string{"gigamax", "scheduler", "mdlc2"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			w := load(b, name, core.Options{})
+			n := w.Net
+			m := n.Manager()
+			e := reach.Engine(n, reach.EngineClustered)
+			res := reach.Forward(n, reach.Options{Engine: reach.EngineClustered})
+			if !res.Converged {
+				b.Fatal("diverged")
+			}
+			reached := m.IncRef(res.Reached)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				care := reached
+				front := n.Init
+				for k := 0; k < 4; k++ {
+					img := e.Image(front)
+					// clip to the care set through its complement — the
+					// fair/care-set pattern of the preimage sweeps
+					img = m.Diff(img, m.Not(care))
+					pre := e.Preimage(m.Not(m.Diff(m.Not(care), img)))
+					front = m.And(m.Or(front, pre), care)
+					care = m.Not(m.And(m.Not(care), m.Not(img)))
+				}
+				m.GC()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(m.Size()), "live-bdd-nodes")
+			m.DecRef(reached)
+		})
+	}
+}
+
 func verilogToNetwork(src, top string, skipMono bool) (*network.Network, error) {
 	w, err := core.LoadVerilogString(src, top+".v", top, core.Options{})
 	if err != nil {

@@ -1,12 +1,22 @@
 // Package bdd implements reduced ordered binary decision diagrams
-// (ROBDDs), the symbolic kernel underneath every verification algorithm
-// in this repository.
+// (ROBDDs) with complement edges, the symbolic kernel underneath every
+// verification algorithm in this repository.
 //
 // The design follows the classic shared-BDD architecture used by the
 // original HSIS (and by BuDDy/CUDD): a single Manager owns an arena of
 // nodes, a unique table guaranteeing canonicity, operation caches, and
 // reference counts for garbage collection. Node handles are small
 // integer Refs that are only meaningful together with their Manager.
+//
+// The sign bit of a Ref is a complement mark: a negative Ref denotes the
+// Boolean complement of the function stored at the underlying node, so a
+// function and its negation share one DAG and Not is a single XOR with
+// no allocation. Canonicity is preserved by the standard rule that the
+// low (else) edge of a stored node is never complemented; mk re-roots
+// any violating node onto the complement of its flipped twin. There is a
+// single stored terminal — the False node at index 0 — and True is its
+// complement edge, so the identity False = ¬True holds on Refs rather
+// than between two distinct nodes.
 //
 // Variables are identified by stable integer IDs assigned at creation
 // time. Each variable sits at a level in the global order; levels can be
@@ -18,24 +28,41 @@ import (
 	"math/bits"
 )
 
-// Ref is a handle to a BDD node inside a Manager. The zero value is the
-// constant false BDD; True is the constant true BDD. Refs are only valid
-// for the Manager that produced them.
+// Ref is a handle to a BDD node inside a Manager, with the sign bit
+// carrying the complement mark. The zero value is the constant false
+// BDD; True is the constant true BDD. Refs are only valid for the
+// Manager that produced them.
 type Ref int32
 
-// Terminal nodes. They exist in every Manager at fixed indices.
+// compBit is the complement mark: XOR-ing it negates the function.
+const compBit Ref = -1 << 31
+
+// Terminal constants. A Manager stores one terminal node (False, at
+// index 0); True is the complement edge onto the same node.
 const (
 	False Ref = 0
-	True  Ref = 1
+	True  Ref = compBit
 )
 
-// terminalLevel is the level assigned to the two terminal nodes. It
-// compares greater than any variable level.
+// regular strips the complement mark from f.
+func regular(f Ref) Ref { return f &^ compBit }
+
+// isComp reports whether f carries the complement mark.
+func isComp(f Ref) bool { return f < 0 }
+
+// neg complements f. This is the O(1), allocation-free negation that
+// complement edges exist to provide.
+func neg(f Ref) Ref { return f ^ compBit }
+
+// terminalLevel is the level assigned to the terminal node. It compares
+// greater than any variable level.
 const terminalLevel = int32(1 << 30)
 
+// node is one stored BDD node. The low edge is always regular (the
+// canonical-form invariant); the high edge may carry a complement mark.
 type node struct {
 	level int32 // level in the variable order (not the variable ID)
-	low   Ref   // else-branch (variable = 0)
+	low   Ref   // else-branch (variable = 0), never complemented
 	high  Ref   // then-branch (variable = 1)
 }
 
@@ -55,25 +82,50 @@ type Manager struct {
 	var2level []int32
 	level2var []int32
 
-	ite   []iteEntry
-	binop []binopEntry
-	quant []quantEntry // Exists/ForAll cache, keyed on (op, f, cube)
-	aex   []aexEntry   // AndExists cache, keyed on (f, g, cube)
-	sat   map[Ref]float64
+	// Operation caches. Each is a direct-mapped power-of-two array that
+	// starts at its initial size and doubles adaptively (see cache.go);
+	// entries whose operands and result survive a GC are kept.
+	ite       []iteEntry
+	binop     []binopEntry
+	quant     []quantEntry // Exists cache, keyed on (f, cube)
+	aex       []aexEntry   // AndExists cache, keyed on (f, g, cube)
+	iteMask   uint64
+	binopMask uint64
+	quantMask uint64
+	aexMask   uint64
+
+	cacheBudget int                    // total entry budget across all op caches
+	cacheWin    [numCaches]cacheWindow // adaptive-growth bookkeeping
+	allocs      uint64                 // node allocations, drives adaptation checks
+	allocsAtGC  uint64                 // allocs at the last collection (demand estimate)
+
+	marks []uint64 // reusable mark bitmap, one bit per node slot
+
+	// Reusable rebuild memo (Permute/Compose/VectorCompose): indexed by
+	// stored-node id, validated by an epoch stamp so calls never clear
+	// it. memoLast (stored nodes visited by the previous rebuild) picks
+	// between this and a plain map per call; see subst.go.
+	memoVal   []Ref
+	memoStamp []uint32
+	memoEpoch uint32
+	memoCount int
+	memoLast  int
 
 	statApplyCalls, statApplyHits uint64
 	statITECalls, statITEHits     uint64
 	statQuantCalls, statQuantHits uint64
 	statAexCalls, statAexHits     uint64
+	statCompShared                uint64 // mk results re-rooted onto a complement-shared node
+	statCacheGrowths              int
+	statCacheKept                 int // op-cache entries that survived the last GC
 
-	gcEnabled  bool
-	autoGCAt   int // node count that triggers an automatic GC on allocation
-	GCCount    int // number of garbage collections performed
-	lastLive   int
-	numVars    int
-	peakNodes  int
-	OnGC       func(live, dead int) // optional GC observer
-	growthSeed int
+	gcEnabled bool
+	autoGCAt  int // node count that triggers an automatic GC on allocation
+	GCCount   int // number of garbage collections performed
+	lastLive  int
+	numVars   int
+	peakNodes int
+	OnGC      func(live, dead int) // optional GC observer
 }
 
 type iteEntry struct {
@@ -85,13 +137,13 @@ type binopEntry struct {
 	f, g, res Ref
 }
 
-// quantEntry caches one Exists/ForAll recursion. The quantification cube
-// (the suffix actually reaching this node) and the operator are part of
-// the key, so plans that alternate cubes — an image step followed by a
-// preimage step, as every fixpoint does — no longer thrash the cache.
+// quantEntry caches one Exists recursion (ForAll is derived through
+// complement edges: ∀x.f = ¬∃x.¬f, so one cache serves both). The
+// quantification cube (the suffix actually reaching this node) is part
+// of the key, so plans that alternate cubes — an image step followed by
+// a preimage step, as every fixpoint does — do not thrash the cache.
 type quantEntry struct {
 	f, cube, res Ref
-	op           int32
 }
 
 // aexEntry caches one AndExists recursion, cube included in the key for
@@ -100,41 +152,38 @@ type aexEntry struct {
 	f, g, cube, res Ref
 }
 
-const (
-	opAnd = iota + 1
-	opOr
-	opXor
-	opDiff // f AND NOT g
-)
+// Empty cache entries are all-zero. A zero operand field can never match
+// a probe: every recursion resolves terminal operands before probing, so
+// a cached f is always a non-terminal (index ≥ 1) Ref.
 
 const (
-	defaultTableSize = 1 << 14
-	iteCacheSize     = 1 << 15
-	binopCacheSize   = 1 << 16
-	quantCacheSize   = 1 << 15
-	aexCacheSize     = 1 << 16
+	opAnd = iota + 1
+	opXor
 )
+
+const defaultTableSize = 1 << 14
 
 // New creates a Manager with no variables. Variables are added with
 // NewVar or NewVars.
 func New() *Manager {
 	m := &Manager{
-		table:     make([]int32, defaultTableSize),
-		tableMask: defaultTableSize - 1,
-		ite:       make([]iteEntry, iteCacheSize),
-		binop:     make([]binopEntry, binopCacheSize),
-		quant:     make([]quantEntry, quantCacheSize),
-		aex:       make([]aexEntry, aexCacheSize),
-		gcEnabled: true,
-		autoGCAt:  1 << 20,
+		table:       make([]int32, defaultTableSize),
+		tableMask:   defaultTableSize - 1,
+		ite:         make([]iteEntry, initITECache),
+		binop:       make([]binopEntry, initBinopCache),
+		quant:       make([]quantEntry, initQuantCache),
+		aex:         make([]aexEntry, initAexCache),
+		iteMask:     initITECache - 1,
+		binopMask:   initBinopCache - 1,
+		quantMask:   initQuantCache - 1,
+		aexMask:     initAexCache - 1,
+		cacheBudget: defaultCacheBudget,
+		gcEnabled:   true,
+		autoGCAt:    1 << 20,
 	}
-	// Install the two terminals. Index 0 = False, 1 = True.
-	m.nodes = append(m.nodes,
-		node{level: terminalLevel, low: False, high: False},
-		node{level: terminalLevel, low: True, high: True},
-	)
-	m.refs = append(m.refs, 1, 1) // terminals are permanently referenced
-	m.invalidateCaches()
+	// Install the single terminal at index 0.
+	m.nodes = append(m.nodes, node{level: terminalLevel, low: False, high: False})
+	m.refs = append(m.refs, 1) // permanently referenced
 	return m
 }
 
@@ -142,7 +191,7 @@ func New() *Manager {
 func (m *Manager) NumVars() int { return m.numVars }
 
 // Size returns the number of live plus dead nodes currently allocated,
-// including the two terminals.
+// including the terminal.
 func (m *Manager) Size() int { return len(m.nodes) - len(m.free) }
 
 // PeakSize returns the largest node count observed since creation.
@@ -193,7 +242,7 @@ func (m *Manager) VarAtLevel(l int) int { return int(m.level2var[l]) }
 // VarOf returns the variable id labelling the root node of f. It panics
 // if f is a terminal.
 func (m *Manager) VarOf(f Ref) int {
-	n := m.nodes[f]
+	n := m.nodes[regular(f)]
 	if n.level == terminalLevel {
 		panic("bdd: VarOf on terminal")
 	}
@@ -201,21 +250,44 @@ func (m *Manager) VarOf(f Ref) int {
 }
 
 // IsTerminal reports whether f is one of the two constants.
-func (m *Manager) IsTerminal(f Ref) bool { return f == False || f == True }
+func (m *Manager) IsTerminal(f Ref) bool { return regular(f) == 0 }
 
 // Low returns the else-cofactor of the root node of f.
-func (m *Manager) Low(f Ref) Ref { return m.nodes[f].low }
+func (m *Manager) Low(f Ref) Ref { return m.nodes[regular(f)].low ^ (f & compBit) }
 
 // High returns the then-cofactor of the root node of f.
-func (m *Manager) High(f Ref) Ref { return m.nodes[f].high }
+func (m *Manager) High(f Ref) Ref { return m.nodes[regular(f)].high ^ (f & compBit) }
 
-// mk returns the canonical node (level, low, high), applying the
-// reduction rules: equal children collapse, and structurally identical
-// nodes are shared through the unique table.
+// top returns the root level of f and its two cofactors, pushing f's
+// complement mark down onto the children.
+func (m *Manager) top(f Ref) (level int32, low, high Ref) {
+	n := &m.nodes[f&^compBit]
+	c := f & compBit
+	return n.level, n.low ^ c, n.high ^ c
+}
+
+// levelOf returns the root level of f (terminalLevel for constants).
+func (m *Manager) levelOf(f Ref) int32 { return m.nodes[f&^compBit].level }
+
+// mk returns the canonical ref for the triple (level, low, high),
+// applying the reduction rules: equal children collapse, structurally
+// identical nodes are shared through the unique table, and a node whose
+// low edge is complemented is re-rooted onto the complement of its
+// flipped twin so f and ¬f share one stored node.
 func (m *Manager) mk(level int32, low, high Ref) Ref {
 	if low == high {
 		return low
 	}
+	if isComp(low) {
+		m.statCompShared++
+		return neg(m.mkNode(level, neg(low), neg(high)))
+	}
+	return m.mkNode(level, low, high)
+}
+
+// mkNode finds or allocates the stored node (level, low, high); low must
+// already be regular.
+func (m *Manager) mkNode(level int32, low, high Ref) Ref {
 	h := hash3(uint64(level), uint64(low), uint64(high)) & m.tableMask
 	for {
 		idx := m.table[h]
@@ -228,7 +300,8 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 		}
 		h = (h + 1) & m.tableMask
 	}
-	// Not found: allocate.
+	// Not found: allocate. The probe loop left h at an empty slot for
+	// this key, so insert there directly instead of rehashing.
 	var r Ref
 	if len(m.free) > 0 {
 		r = m.free[len(m.free)-1]
@@ -240,12 +313,17 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 		m.nodes = append(m.nodes, node{level: level, low: low, high: high})
 		m.refs = append(m.refs, 0)
 	}
-	m.tableInsert(r)
+	m.table[h] = int32(r) + 1
 	if s := len(m.nodes); s > m.peakNodes {
 		m.peakNodes = s
 	}
-	if float64(m.Size()) > 0.7*float64(len(m.table)) {
+	if 10*m.Size() > 7*len(m.table) {
 		m.growTable()
+	}
+	if m.allocs++; m.allocs&(cacheAdaptEvery-1) == 0 {
+		// Allocation-driven adaptation point: lets the caches grow in
+		// the middle of a long recursion that never reaches a GC.
+		m.adaptCaches()
 	}
 	return r
 }
@@ -263,16 +341,33 @@ func (m *Manager) growTable() {
 	newSize := len(m.table) * 2
 	m.table = make([]int32, newSize)
 	m.tableMask = uint64(newSize - 1)
-	live := make([]bool, len(m.nodes))
+	m.resetMarks()
 	for _, f := range m.free {
-		live[f] = true // mark recycled slots so we skip them
+		m.setMark(f) // mark recycled slots so we skip them
 	}
-	for i := 2; i < len(m.nodes); i++ {
-		if !live[i] {
+	for i := 1; i < len(m.nodes); i++ {
+		if !m.marked(Ref(i)) {
 			m.tableInsert(Ref(i))
 		}
 	}
 }
+
+// resetMarks sizes the reusable mark bitmap to the node arena and clears
+// it. The bitmap is shared by GC and unique-table rebuilds, so neither
+// allocates per collection.
+func (m *Manager) resetMarks() {
+	n := (len(m.nodes) + 63) / 64
+	if cap(m.marks) < n {
+		m.marks = make([]uint64, n)
+		return
+	}
+	m.marks = m.marks[:n]
+	clear(m.marks)
+}
+
+func (m *Manager) setMark(i Ref) { m.marks[i>>6] |= 1 << (uint(i) & 63) }
+
+func (m *Manager) marked(i Ref) bool { return m.marks[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 func hash3(a, b, c uint64) uint64 {
 	h := a*0x9e3779b97f4a7c15 ^ bits.RotateLeft64(b, 21)*0xbf58476d1ce4e5b9 ^ bits.RotateLeft64(c, 42)*0x94d049bb133111eb
@@ -282,30 +377,10 @@ func hash3(a, b, c uint64) uint64 {
 	return h
 }
 
-func (m *Manager) invalidateCaches() {
-	for i := range m.ite {
-		m.ite[i] = iteEntry{f: -1}
-	}
-	for i := range m.binop {
-		m.binop[i] = binopEntry{f: -1}
-	}
-	m.invalidateQuantCache()
-	m.sat = nil
-}
-
-func (m *Manager) invalidateQuantCache() {
-	for i := range m.quant {
-		m.quant[i] = quantEntry{f: -1}
-	}
-	for i := range m.aex {
-		m.aex[i] = aexEntry{f: -1}
-	}
-}
-
 // check panics if f is not a plausible handle for this manager. It is
 // used at public API boundaries.
 func (m *Manager) check(f Ref) {
-	if f < 0 || int(f) >= len(m.nodes) {
+	if int(regular(f)) >= len(m.nodes) {
 		panic(fmt.Sprintf("bdd: invalid ref %d (manager has %d nodes)", f, len(m.nodes)))
 	}
 }

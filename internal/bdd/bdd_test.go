@@ -18,8 +18,13 @@ func TestTerminals(t *testing.T) {
 	if !m.IsTerminal(True) || !m.IsTerminal(False) {
 		t.Fatal("IsTerminal wrong")
 	}
-	if m.Size() != 2 {
-		t.Fatalf("fresh manager size = %d, want 2", m.Size())
+	// With complement edges there is a single stored terminal: True is
+	// the complement edge onto the False node.
+	if m.Size() != 1 {
+		t.Fatalf("fresh manager size = %d, want 1", m.Size())
+	}
+	if True != m.Not(False) || regular(True) != False {
+		t.Fatal("True is not the complement edge onto the terminal")
 	}
 }
 

@@ -9,7 +9,11 @@ import (
 // WriteDot emits a Graphviz rendering of the BDDs rooted at the given
 // functions, with variables labelled by the names slice (indexed by
 // variable ID; missing names fall back to "v<i>"). It is a debugging
-// aid, mirroring the original tool's BDD dump facility.
+// aid, mirroring the original tool's BDD dump facility. There is a
+// single terminal box ("0"); complement edges are drawn with a dot
+// arrowhead, so the constant true appears as a complemented edge into
+// the 0-terminal. Low (else) edges are dashed and, by the canonical-form
+// invariant, never complemented.
 func (m *Manager) WriteDot(w io.Writer, names []string, roots map[string]Ref) error {
 	nodes := make(map[Ref]bool)
 	var keys []string
@@ -24,7 +28,18 @@ func (m *Manager) WriteDot(w io.Writer, names []string, roots map[string]Ref) er
 	}
 	fmt.Fprintln(w, "  rankdir=TB;")
 	fmt.Fprintln(w, `  node0 [label="0", shape=box];`)
-	fmt.Fprintln(w, `  node1 [label="1", shape=box];`)
+	edge := func(from Ref, to Ref, dashed bool) {
+		attrs := ""
+		switch {
+		case dashed && isComp(to):
+			attrs = " [style=dashed, arrowhead=odot]"
+		case dashed:
+			attrs = " [style=dashed]"
+		case isComp(to):
+			attrs = " [arrowhead=odot]"
+		}
+		fmt.Fprintf(w, "  node%d -> node%d%s;\n", from, regular(to), attrs)
+	}
 	ordered := make([]Ref, 0, len(nodes))
 	for f := range nodes {
 		if !m.IsTerminal(f) {
@@ -40,12 +55,17 @@ func (m *Manager) WriteDot(w io.Writer, names []string, roots map[string]Ref) er
 			name = names[v]
 		}
 		fmt.Fprintf(w, "  node%d [label=%q];\n", f, name)
-		fmt.Fprintf(w, "  node%d -> node%d [style=dashed];\n", f, n.low)
-		fmt.Fprintf(w, "  node%d -> node%d;\n", f, n.high)
+		edge(f, n.low, true)
+		edge(f, n.high, false)
 	}
 	for _, k := range keys {
+		f := roots[k]
 		fmt.Fprintf(w, "  root_%s [label=%q, shape=plaintext];\n", sanitize(k), k)
-		fmt.Fprintf(w, "  root_%s -> node%d;\n", sanitize(k), roots[k])
+		attrs := ""
+		if isComp(f) {
+			attrs = " [arrowhead=odot]"
+		}
+		fmt.Fprintf(w, "  root_%s -> node%d%s;\n", sanitize(k), regular(f), attrs)
 	}
 	_, err := fmt.Fprintln(w, "}")
 	return err

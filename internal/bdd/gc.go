@@ -1,74 +1,120 @@
 package bdd
 
+import "math/bits"
+
 // Reference counting and garbage collection. External code that must
 // keep a BDD alive across a GC point calls IncRef; the verification
 // algorithms call MaybeGC between fixpoint iterations. GC never runs
 // implicitly inside an operation, so plain Refs held in local variables
 // are stable for the duration of any sequence of operations that does
 // not call GC.
+//
+// Reference counts live on stored nodes, so f and ¬f share one count.
+// The mark phase uses the Manager's reusable bitmap (no per-collection
+// allocation), and the operation caches are swept — entries whose
+// operands and result all survived are kept — rather than cleared.
 
 // IncRef marks f as externally referenced and returns f for chaining.
 func (m *Manager) IncRef(f Ref) Ref {
 	m.check(f)
-	m.refs[f]++
+	m.refs[regular(f)]++
 	return f
 }
 
 // DecRef releases one external reference to f.
 func (m *Manager) DecRef(f Ref) {
 	m.check(f)
-	if m.refs[f] <= 0 {
+	i := regular(f)
+	if m.refs[i] <= 0 {
 		panic("bdd: DecRef without matching IncRef")
 	}
-	m.refs[f]--
+	m.refs[i]--
 }
 
-// GC sweeps all nodes not reachable from externally referenced roots,
-// rebuilds the unique table, and clears the operation caches. All Refs
-// not protected (directly or transitively) by IncRef are invalidated.
+// GC sweeps all nodes not reachable from externally referenced roots and
+// rebuilds the unique table. Operation-cache entries survive when every
+// node they mention is still live. All Refs not protected (directly or
+// transitively) by IncRef are invalidated.
 func (m *Manager) GC() {
-	live := make([]bool, len(m.nodes))
-	live[False], live[True] = true, true
+	m.resetMarks()
+	m.setMark(0) // the terminal is always live
 	for i, rc := range m.refs {
 		if rc > 0 {
-			m.markLive(Ref(i), live)
+			m.mark(Ref(i))
 		}
 	}
-	// Sweep into the free list and rebuild the unique table.
-	m.free = m.free[:0]
-	for i := range m.table {
-		m.table[i] = 0
+	live := 0
+	for _, w := range m.marks {
+		live += bits.OnesCount64(w)
 	}
-	dead := 0
-	for i := 2; i < len(m.nodes); i++ {
-		if live[i] {
+	// Demand estimate: the phase between two collections needed table
+	// and cache room for everything it allocated, not just for what
+	// survived. Sizing decisions use max(live, allocations since the
+	// last GC) so a steady-state loop that rebuilds a large forest every
+	// iteration keeps its structures, while a loop over a small working
+	// set stops paying for a long-gone peak.
+	demand := live
+	if d := int(m.allocs - m.allocsAtGC); d > demand {
+		demand = d
+	}
+	m.allocsAtGC = m.allocs
+	// Rebuild the unique table. A table sized for a long-gone peak makes
+	// every later collection wipe megabytes to reinsert a few hundred
+	// survivors, so shrink it when demand has fallen well below it (2×
+	// hysteresis; it regrows on its load factor as usual).
+	if target := max(pow2AtLeast(4*demand), defaultTableSize); 2*target <= len(m.table) {
+		m.table = make([]int32, target)
+		m.tableMask = uint64(target - 1)
+	} else {
+		clear(m.table)
+	}
+	// Sweep into the free list.
+	m.free = m.free[:0]
+	for i := 1; i < len(m.nodes); i++ {
+		if m.marked(Ref(i)) {
 			m.tableInsert(Ref(i))
 		} else {
 			m.free = append(m.free, Ref(i))
-			dead++
 		}
 	}
-	m.invalidateCaches()
 	m.GCCount++
-	m.lastLive = len(m.nodes) - dead
+	m.lastLive = live
+	// The mark bitmap is still valid here: use it to retain cache
+	// entries that only mention surviving nodes. When almost everything
+	// died, survival is hopeless (an entry needs all of its nodes live),
+	// so skip the scan, wipe, and shrink toward the live set. Then give
+	// each cache a chance to grow if its hit rate collapsed since the
+	// last check.
+	if 4*live >= len(m.nodes) {
+		m.sweepCaches()
+	} else {
+		m.clearCaches(demand)
+	}
+	m.adaptCaches()
 	if m.OnGC != nil {
-		m.OnGC(m.lastLive, dead)
+		m.OnGC(live, len(m.nodes)-live)
 	}
 }
 
-func (m *Manager) markLive(f Ref, live []bool) {
-	for !live[f] {
-		live[f] = true
+// mark sets the live bit on f's stored node and everything below it,
+// iterating down high chains to keep recursion depth at the BDD width.
+func (m *Manager) mark(f Ref) {
+	f = regular(f)
+	for !m.marked(f) {
+		m.setMark(f)
 		n := m.nodes[f]
-		m.markLive(n.low, live)
-		f = n.high
+		m.mark(n.low)
+		f = regular(n.high)
 	}
 }
 
 // MaybeGC runs a collection if the node count has crossed the adaptive
-// threshold. It returns true if a collection ran.
+// threshold. It returns true if a collection ran. Even when no
+// collection is due it performs the O(1) cache-adaptation check, so
+// fixpoint loops that never trigger a GC still grow their caches.
 func (m *Manager) MaybeGC() bool {
 	if !m.gcEnabled || m.Size() < m.autoGCAt {
+		m.adaptCaches()
 		return false
 	}
 	before := m.Size()

@@ -12,21 +12,25 @@ import (
 // format. Nodes are emitted in an order where children precede parents,
 // so ReadBDDs can rebuild them with single mk calls. The format records
 // variable IDs (not levels): a dump is portable across managers whose
-// variables mean the same thing positionally.
+// variables mean the same thing positionally. Complement edges are
+// spelled with a "!" prefix on the referenced node id; "F" and "T" name
+// the constants, so dumps written before complement edges existed still
+// read back.
 //
 //	bdd 12            # variable count
 //	n 2 0 F T         # node 2 = (var 0, low False, high True)
-//	n 3 1 F 2
+//	n 3 1 F !2        # high edge is the complement of node 2
 //	root init 3
 func (m *Manager) WriteBDDs(w io.Writer, roots map[string]Ref) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "bdd %d\n", m.numVars)
-	// collect nodes reachable from all roots
+	// collect stored nodes reachable from all roots
 	seen := map[Ref]bool{}
 	var order []Ref
 	var visit func(f Ref)
 	visit = func(f Ref) {
-		if seen[f] || m.IsTerminal(f) {
+		f = regular(f)
+		if f == False || seen[f] {
 			return
 		}
 		seen[f] = true
@@ -48,9 +52,11 @@ func (m *Manager) WriteBDDs(w io.Writer, roots map[string]Ref) error {
 			return "F"
 		case True:
 			return "T"
-		default:
-			return fmt.Sprint(int(f))
 		}
+		if isComp(f) {
+			return "!" + fmt.Sprint(int(regular(f)))
+		}
+		return fmt.Sprint(int(f))
 	}
 	for _, f := range order {
 		n := m.nodes[f]
@@ -73,6 +79,20 @@ func (m *Manager) ReadBDDs(r io.Reader) (map[string]Ref, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	out := map[string]Ref{}
 	remap := map[string]Ref{"F": False, "T": True}
+	dec := func(tok string) (Ref, bool) {
+		comp := strings.HasPrefix(tok, "!")
+		if comp {
+			tok = tok[1:]
+		}
+		f, ok := remap[tok]
+		if !ok {
+			return False, false
+		}
+		if comp {
+			f = neg(f)
+		}
+		return f, true
+	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -104,11 +124,11 @@ func (m *Manager) ReadBDDs(r io.Reader) (map[string]Ref, error) {
 			if v < 0 || v >= m.numVars {
 				return nil, fmt.Errorf("bdd: line %d: variable %d out of range", lineNo, v)
 			}
-			low, ok := remap[fields[3]]
+			low, ok := dec(fields[3])
 			if !ok {
 				return nil, fmt.Errorf("bdd: line %d: unknown node id %q", lineNo, fields[3])
 			}
-			high, ok := remap[fields[4]]
+			high, ok := dec(fields[4])
 			if !ok {
 				return nil, fmt.Errorf("bdd: line %d: unknown node id %q", lineNo, fields[4])
 			}
@@ -120,7 +140,7 @@ func (m *Manager) ReadBDDs(r io.Reader) (map[string]Ref, error) {
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("bdd: line %d: malformed root", lineNo)
 			}
-			f, ok := remap[fields[2]]
+			f, ok := dec(fields[2])
 			if !ok {
 				return nil, fmt.Errorf("bdd: line %d: unknown node id %q", lineNo, fields[2])
 			}

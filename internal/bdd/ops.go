@@ -1,51 +1,59 @@
 package bdd
 
-// Boolean connectives. All operations are implemented on top of either
-// the binary-operator recursion (with a shared cache) or the ternary ITE
-// recursion. Results are canonical by construction.
+// Boolean connectives. With complement edges only two recursions are
+// needed: AND and XOR. Everything else is derived through De Morgan
+// identities that cost a sign flip — Or(f,g) = ¬(¬f ∧ ¬g) shares the
+// AND cache, Not is a single XOR — so f, ¬f, f∧g, ¬f∨¬g … all draw on
+// one shared DAG and one set of cache entries. Results are canonical by
+// construction.
 
-// Not returns the complement of f.
+// Not returns the complement of f in O(1): complement edges make
+// negation a sign flip, with no node allocation and no recursion.
 func (m *Manager) Not(f Ref) Ref {
 	m.check(f)
-	return m.iteRec(f, False, True)
+	return neg(f)
 }
 
 // And returns f AND g.
 func (m *Manager) And(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.applyRec(opAnd, f, g)
+	return m.andRec(f, g)
 }
 
 // Or returns f OR g.
 func (m *Manager) Or(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.applyRec(opOr, f, g)
+	return m.or(f, g)
 }
 
 // Xor returns f XOR g.
 func (m *Manager) Xor(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.applyRec(opXor, f, g)
+	return m.xorRec(f, g)
 }
 
 // Diff returns f AND NOT g.
 func (m *Manager) Diff(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.applyRec(opDiff, f, g)
+	return m.andRec(f, neg(g))
 }
 
 // Implies returns NOT f OR g.
 func (m *Manager) Implies(f, g Ref) Ref {
-	return m.Or(m.Not(f), g)
+	m.check(f)
+	m.check(g)
+	return neg(m.andRec(f, neg(g)))
 }
 
 // Equiv returns the biconditional f XNOR g.
 func (m *Manager) Equiv(f, g Ref) Ref {
-	return m.Not(m.Xor(f, g))
+	m.check(f)
+	m.check(g)
+	return neg(m.xorRec(f, g))
 }
 
 // ITE returns if-then-else(f, g, h) = f·g + f'·h.
@@ -82,96 +90,99 @@ func (m *Manager) OrN(fs ...Ref) Ref {
 
 // Leq reports whether f implies g (f ≤ g pointwise).
 func (m *Manager) Leq(f, g Ref) bool {
-	return m.Diff(f, g) == False
+	return m.andRec(f, neg(g)) == False
 }
 
-func (m *Manager) applyRec(op int32, f, g Ref) Ref {
-	// Terminal cases per operator.
-	switch op {
-	case opAnd:
-		if f == g {
-			return f
-		}
-		if f == False || g == False {
-			return False
-		}
-		if f == True {
-			return g
-		}
-		if g == True {
-			return f
-		}
-		if f > g {
-			f, g = g, f
-		}
-	case opOr:
-		if f == g {
-			return f
-		}
-		if f == True || g == True {
-			return True
-		}
-		if f == False {
-			return g
-		}
-		if g == False {
-			return f
-		}
-		if f > g {
-			f, g = g, f
-		}
-	case opXor:
-		if f == g {
-			return False
-		}
-		if f == False {
-			return g
-		}
-		if g == False {
-			return f
-		}
-		if f == True {
-			return m.iteRec(g, False, True)
-		}
-		if g == True {
-			return m.iteRec(f, False, True)
-		}
-		if f > g {
-			f, g = g, f
-		}
-	case opDiff:
-		if f == g || f == False || g == True {
-			return False
-		}
-		if g == False {
-			return f
-		}
-		if f == True {
-			return m.iteRec(g, False, True)
-		}
+// or is the internal disjunction: ¬(¬f ∧ ¬g), sharing the AND cache.
+func (m *Manager) or(f, g Ref) Ref { return neg(m.andRec(neg(f), neg(g))) }
+
+func (m *Manager) andRec(f, g Ref) Ref {
+	// Terminal and complement-identity cases.
+	switch {
+	case f == g:
+		return f
+	case f == neg(g), f == False, g == False:
+		return False
+	case f == True:
+		return g
+	case g == True:
+		return f
+	}
+	if f > g {
+		f, g = g, f
 	}
 	m.statApplyCalls++
-	slot := &m.binop[hash3(uint64(op), uint64(f), uint64(g))&(binopCacheSize-1)]
-	if slot.op == op && slot.f == f && slot.g == g {
+	slot := &m.binop[hash3(opAnd, uint64(f), uint64(g))&m.binopMask]
+	if slot.op == opAnd && slot.f == f && slot.g == g {
 		m.statApplyHits++
 		return slot.res
 	}
-	nf, ng := m.nodes[f], m.nodes[g]
-	var level int32
-	var f0, f1, g0, g1 Ref
-	switch {
-	case nf.level == ng.level:
-		level, f0, f1, g0, g1 = nf.level, nf.low, nf.high, ng.low, ng.high
-	case nf.level < ng.level:
-		level, f0, f1, g0, g1 = nf.level, nf.low, nf.high, g, g
-	default:
-		level, f0, f1, g0, g1 = ng.level, f, f, ng.low, ng.high
+	lf, f0, f1 := m.top(f)
+	lg, g0, g1 := m.top(g)
+	level := lf
+	if lg < level {
+		level = lg
 	}
-	low := m.applyRec(op, f0, g0)
-	high := m.applyRec(op, f1, g1)
+	if lf != level {
+		f0, f1 = f, f
+	}
+	if lg != level {
+		g0, g1 = g, g
+	}
+	low := m.andRec(f0, g0)
+	high := m.andRec(f1, g1)
 	r := m.mk(level, low, high)
-	*slot = binopEntry{op: op, f: f, g: g, res: r}
+	*slot = binopEntry{op: opAnd, f: f, g: g, res: r}
 	return r
+}
+
+func (m *Manager) xorRec(f, g Ref) Ref {
+	switch {
+	case f == g:
+		return False
+	case f == neg(g):
+		return True
+	case f == False:
+		return g
+	case g == False:
+		return f
+	case f == True:
+		return neg(g)
+	case g == True:
+		return neg(f)
+	}
+	// XOR commutes with complement on either input: ¬f ⊕ g = ¬(f ⊕ g).
+	// Strip both marks, recurse on the regular pair, and re-apply the
+	// parity to the result, so all four sign combinations share one
+	// cache entry.
+	c := (f ^ g) & compBit
+	f, g = regular(f), regular(g)
+	if f > g {
+		f, g = g, f
+	}
+	m.statApplyCalls++
+	slot := &m.binop[hash3(opXor, uint64(f), uint64(g))&m.binopMask]
+	if slot.op == opXor && slot.f == f && slot.g == g {
+		m.statApplyHits++
+		return slot.res ^ c
+	}
+	lf, f0, f1 := m.top(f)
+	lg, g0, g1 := m.top(g)
+	level := lf
+	if lg < level {
+		level = lg
+	}
+	if lf != level {
+		f0, f1 = f, f
+	}
+	if lg != level {
+		g0, g1 = g, g
+	}
+	low := m.xorRec(f0, g0)
+	high := m.xorRec(f1, g1)
+	r := m.mk(level, low, high)
+	*slot = binopEntry{op: opXor, f: f, g: g, res: r}
+	return r ^ c
 }
 
 func (m *Manager) iteRec(f, g, h Ref) Ref {
@@ -183,50 +194,73 @@ func (m *Manager) iteRec(f, g, h Ref) Ref {
 		return h
 	case g == h:
 		return g
-	case g == True && h == False:
-		return f
 	}
 	if g == f {
 		g = True
+	} else if g == neg(f) {
+		g = False
 	}
 	if h == f {
 		h = False
+	} else if h == neg(f) {
+		h = True
 	}
-	// Standard-triple normalization keeps the cache hit rate high.
-	if g == True && h != False {
-		// f + h: commutes
-		return m.applyRec(opOr, f, h)
+	// Reductions to the binary recursions keep the cache hit rate high.
+	switch {
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return neg(f)
+	case g == True:
+		return m.or(f, h)
+	case g == False:
+		return m.andRec(neg(f), h)
+	case h == False:
+		return m.andRec(f, g)
+	case h == True:
+		return neg(m.andRec(f, neg(g))) // f → g
+	case g == neg(h):
+		return m.xorRec(f, h)
 	}
-	if h == False && g != True {
-		return m.applyRec(opAnd, f, g)
+	// Complement normalization: ITE(¬f,g,h) = ITE(f,h,g) makes the first
+	// argument regular, and ITE(f,¬g,h) = ¬ITE(f,g,¬h) makes the second
+	// regular, so the cache stores one canonical triple per function.
+	if isComp(f) {
+		f, g, h = neg(f), h, g
+	}
+	var c Ref
+	if isComp(g) {
+		c = compBit
+		g, h = neg(g), neg(h)
 	}
 	m.statITECalls++
-	slot := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&(iteCacheSize-1)]
+	slot := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&m.iteMask]
 	if slot.f == f && slot.g == g && slot.h == h {
 		m.statITEHits++
-		return slot.res
+		return slot.res ^ c
 	}
-	nf, ng, nh := m.nodes[f], m.nodes[g], m.nodes[h]
-	level := nf.level
-	if ng.level < level {
-		level = ng.level
+	lf, f0, f1 := m.top(f)
+	lg, g0, g1 := m.top(g)
+	lh, h0, h1 := m.top(h)
+	level := lf
+	if lg < level {
+		level = lg
 	}
-	if nh.level < level {
-		level = nh.level
+	if lh < level {
+		level = lh
 	}
-	f0, f1 := cofactor(nf, f, level)
-	g0, g1 := cofactor(ng, g, level)
-	h0, h1 := cofactor(nh, h, level)
+	if lf != level {
+		f0, f1 = f, f
+	}
+	if lg != level {
+		g0, g1 = g, g
+	}
+	if lh != level {
+		h0, h1 = h, h
+	}
 	low := m.iteRec(f0, g0, h0)
 	high := m.iteRec(f1, g1, h1)
 	r := m.mk(level, low, high)
 	*slot = iteEntry{f: f, g: g, h: h, res: r}
-	return r
-}
-
-func cofactor(n node, f Ref, level int32) (lo, hi Ref) {
-	if n.level == level {
-		return n.low, n.high
-	}
-	return f, f
+	return r ^ c
 }

@@ -1,12 +1,15 @@
 package bdd
 
 // Quantification. Cubes are BDDs that are conjunctions of positive
-// literals; they name the set of variables to quantify. The
-// quantification caches key on (operand, cube) pairs, so results survive
-// across calls with different cubes — an image step (quantifying the
-// present-state rail) no longer evicts the entries of the preimage step
-// (quantifying the next-state rail) that alternates with it in every
-// backward/forward fixpoint.
+// literals; they name the set of variables to quantify. Cube nodes are
+// always regular (their low edges are False), so cube traversal reads
+// stored nodes directly. The quantification caches key on (operand,
+// cube) pairs, so results survive across calls with different cubes — an
+// image step (quantifying the present-state rail) no longer evicts the
+// entries of the preimage step (quantifying the next-state rail) that
+// alternates with it in every backward/forward fixpoint. With complement
+// edges, universal quantification is derived — ∀x.f = ¬∃x.¬f — so a
+// single Exists cache serves both quantifiers.
 
 // Cube builds the positive cube over the given variable IDs.
 func (m *Manager) Cube(vars []int) Ref {
@@ -30,23 +33,18 @@ func (m *Manager) Cube(vars []int) Ref {
 func (m *Manager) CubeVars(cube Ref) []int {
 	var out []int
 	for cube != True {
-		n := m.nodes[cube]
-		if n.level == terminalLevel {
+		level, low, high := m.top(cube)
+		if level == terminalLevel {
 			panic("bdd: CubeVars on non-cube (reached False)")
 		}
-		if n.low != False {
+		if low != False {
 			panic("bdd: CubeVars on non-cube (negative or shared literal)")
 		}
-		out = append(out, int(m.level2var[n.level]))
-		cube = n.high
+		out = append(out, int(m.level2var[level]))
+		cube = high
 	}
 	return out
 }
-
-const (
-	qopExists = 1
-	qopForall = 2
-)
 
 // Exists existentially quantifies the variables of cube out of f.
 func (m *Manager) Exists(f, cube Ref) Ref {
@@ -58,14 +56,15 @@ func (m *Manager) Exists(f, cube Ref) Ref {
 	return m.existsRec(f, cube)
 }
 
-// ForAll universally quantifies the variables of cube out of f.
+// ForAll universally quantifies the variables of cube out of f. It is
+// the complement-edge dual ¬∃x.¬f, sharing the Exists cache.
 func (m *Manager) ForAll(f, cube Ref) Ref {
 	m.check(f)
 	m.check(cube)
 	if cube == True || m.IsTerminal(f) {
 		return f
 	}
-	return m.forallRec(f, cube)
+	return neg(m.existsRec(neg(f), cube))
 }
 
 // AndExists computes Exists(cube, f AND g) without building the full
@@ -75,7 +74,7 @@ func (m *Manager) AndExists(f, g, cube Ref) Ref {
 	m.check(g)
 	m.check(cube)
 	if cube == True {
-		return m.And(f, g)
+		return m.andRec(f, g)
 	}
 	return m.andExistsRec(f, g, cube)
 }
@@ -84,113 +83,75 @@ func (m *Manager) existsRec(f, cube Ref) Ref {
 	if m.IsTerminal(f) {
 		return f
 	}
-	nf := m.nodes[f]
+	lf, f0, f1 := m.top(f)
 	// Skip cube variables above f's top variable.
-	for cube != True && m.nodes[cube].level < nf.level {
+	for cube != True && m.nodes[cube].level < lf {
 		cube = m.nodes[cube].high
 	}
 	if cube == True {
 		return f
 	}
 	m.statQuantCalls++
-	slot := &m.quant[hash3(uint64(f), uint64(cube), 0x5eed)&(quantCacheSize-1)]
-	if slot.f == f && slot.cube == cube && slot.op == qopExists {
+	slot := &m.quant[hash3(uint64(f), uint64(cube), 0x5eed)&m.quantMask]
+	if slot.f == f && slot.cube == cube {
 		m.statQuantHits++
 		return slot.res
 	}
 	nc := m.nodes[cube]
 	var r Ref
-	if nf.level == nc.level {
-		low := m.existsRec(nf.low, nc.high)
+	if lf == nc.level {
+		low := m.existsRec(f0, nc.high)
 		if low == True {
 			r = True
 		} else {
-			high := m.existsRec(nf.high, nc.high)
-			r = m.applyRec(opOr, low, high)
+			high := m.existsRec(f1, nc.high)
+			r = m.or(low, high)
 		}
 	} else {
-		low := m.existsRec(nf.low, cube)
-		high := m.existsRec(nf.high, cube)
-		r = m.mk(nf.level, low, high)
+		low := m.existsRec(f0, cube)
+		high := m.existsRec(f1, cube)
+		r = m.mk(lf, low, high)
 	}
-	*slot = quantEntry{f: f, cube: cube, op: qopExists, res: r}
-	return r
-}
-
-func (m *Manager) forallRec(f, cube Ref) Ref {
-	if m.IsTerminal(f) {
-		return f
-	}
-	nf := m.nodes[f]
-	for cube != True && m.nodes[cube].level < nf.level {
-		cube = m.nodes[cube].high
-	}
-	if cube == True {
-		return f
-	}
-	m.statQuantCalls++
-	slot := &m.quant[hash3(uint64(f), uint64(cube), 0xa11)&(quantCacheSize-1)]
-	if slot.f == f && slot.cube == cube && slot.op == qopForall {
-		m.statQuantHits++
-		return slot.res
-	}
-	nc := m.nodes[cube]
-	var r Ref
-	if nf.level == nc.level {
-		low := m.forallRec(nf.low, nc.high)
-		if low == False {
-			r = False
-		} else {
-			high := m.forallRec(nf.high, nc.high)
-			r = m.applyRec(opAnd, low, high)
-		}
-	} else {
-		low := m.forallRec(nf.low, cube)
-		high := m.forallRec(nf.high, cube)
-		r = m.mk(nf.level, low, high)
-	}
-	*slot = quantEntry{f: f, cube: cube, op: qopForall, res: r}
+	*slot = quantEntry{f: f, cube: cube, res: r}
 	return r
 }
 
 func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
-	if f == False || g == False {
+	switch {
+	case f == False, g == False, f == neg(g):
 		return False
-	}
-	if f == True && g == True {
-		return True
-	}
-	if f == True {
+	case f == True:
 		return m.existsRec(g, cube)
-	}
-	if g == True {
-		return m.existsRec(f, cube)
-	}
-	if f == g {
+	case g == True, f == g:
 		return m.existsRec(f, cube)
 	}
 	if f > g {
 		f, g = g, f
 	}
-	nf, ng := m.nodes[f], m.nodes[g]
-	top := nf.level
-	if ng.level < top {
-		top = ng.level
+	lf, f0, f1 := m.top(f)
+	lg, g0, g1 := m.top(g)
+	top := lf
+	if lg < top {
+		top = lg
 	}
 	for cube != True && m.nodes[cube].level < top {
 		cube = m.nodes[cube].high
 	}
 	if cube == True {
-		return m.applyRec(opAnd, f, g)
+		return m.andRec(f, g)
 	}
 	m.statAexCalls++
-	slot := &m.aex[hash3(uint64(f), uint64(g), uint64(cube))&(aexCacheSize-1)]
+	slot := &m.aex[hash3(uint64(f), uint64(g), uint64(cube))&m.aexMask]
 	if slot.f == f && slot.g == g && slot.cube == cube {
 		m.statAexHits++
 		return slot.res
 	}
-	f0, f1 := cofactor(nf, f, top)
-	g0, g1 := cofactor(ng, g, top)
+	if lf != top {
+		f0, f1 = f, f
+	}
+	if lg != top {
+		g0, g1 = g, g
+	}
 	nc := m.nodes[cube]
 	var r Ref
 	if nc.level == top {
@@ -199,7 +160,7 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 			r = True
 		} else {
 			high := m.andExistsRec(f1, g1, nc.high)
-			r = m.applyRec(opOr, low, high)
+			r = m.or(low, high)
 		}
 	} else {
 		low := m.andExistsRec(f0, g0, cube)

@@ -8,6 +8,11 @@ package bdd
 // useful algebraic property f·c = constrain(f,c)·c and distributes over
 // Boolean connectives, but can introduce variables not in f's support.
 // Restrict is the "safe" variant that never grows the support of f.
+//
+// Both recursions commute with output complement — cofactoring ¬f along
+// the care set complements every leaf of the recursion — so complement
+// marks on f are normalized away at entry and the memo tables key on
+// regular nodes only.
 
 type pairKey struct{ a, b Ref }
 
@@ -29,17 +34,28 @@ func (m *Manager) constrainRec(f, c Ref, memo map[pairKey]Ref) Ref {
 	if f == c {
 		return True
 	}
+	if f == neg(c) {
+		return False
+	}
+	if isComp(f) {
+		return neg(m.constrainRec(neg(f), c, memo))
+	}
 	key := pairKey{f, c}
 	if r, ok := memo[key]; ok {
 		return r
 	}
-	nf, nc := m.nodes[f], m.nodes[c]
-	top := nf.level
-	if nc.level < top {
-		top = nc.level
+	lf, f0, f1 := m.top(f)
+	lc, c0, c1 := m.top(c)
+	top := lf
+	if lc < top {
+		top = lc
 	}
-	c0, c1 := cofactor(nc, c, top)
-	f0, f1 := cofactor(nf, f, top)
+	if lf != top {
+		f0, f1 = f, f
+	}
+	if lc != top {
+		c0, c1 = c, c
+	}
 	var r Ref
 	switch {
 	case c1 == False:
@@ -82,26 +98,33 @@ func (m *Manager) restrictRec(f, c Ref, memo map[pairKey]Ref) Ref {
 	if f == c {
 		return True
 	}
+	if f == neg(c) {
+		return False
+	}
+	if isComp(f) {
+		return neg(m.restrictRec(neg(f), c, memo))
+	}
 	key := pairKey{f, c}
 	if r, ok := memo[key]; ok {
 		return r
 	}
-	nf, nc := m.nodes[f], m.nodes[c]
+	nf := m.nodes[f]
+	lc, c0, c1 := m.top(c)
 	var r Ref
-	if nc.level < nf.level {
+	if lc < nf.level {
 		// The care set constrains a variable f does not depend on:
 		// drop it by existential quantification to stay in f's support.
-		cc := m.applyRec(opOr, nc.low, nc.high)
+		cc := m.or(c0, c1)
 		r = m.restrictRec(f, cc, memo)
-	} else if nc.level == nf.level {
+	} else if lc == nf.level {
 		switch {
-		case nc.high == False:
-			r = m.restrictRec(nf.low, nc.low, memo)
-		case nc.low == False:
-			r = m.restrictRec(nf.high, nc.high, memo)
+		case c1 == False:
+			r = m.restrictRec(nf.low, c0, memo)
+		case c0 == False:
+			r = m.restrictRec(nf.high, c1, memo)
 		default:
-			low := m.restrictRec(nf.low, nc.low, memo)
-			high := m.restrictRec(nf.high, nc.high, memo)
+			low := m.restrictRec(nf.low, c0, memo)
+			high := m.restrictRec(nf.high, c1, memo)
 			r = m.mk(nf.level, low, high)
 		}
 	} else {

@@ -3,7 +3,10 @@ package bdd
 import "sort"
 
 // Satisfiability utilities: counting, witness extraction, support and
-// structural metrics.
+// structural metrics. Traversals either push the complement mark onto
+// cofactors as they descend (top) or memoize on regular nodes and fold
+// the mark into the result — SatCount uses the complement identity
+// |¬f| = 2^n − |f| directly.
 
 // SatCount returns the number of satisfying assignments of f over the
 // given number of variables (typically Manager.NumVars(), but callers
@@ -21,13 +24,17 @@ func (m *Manager) SatCount(f Ref, nvars int) float64 {
 	return total
 }
 
-// satFrac returns the fraction of all assignments satisfying f.
+// satFrac returns the fraction of all assignments satisfying f. The memo
+// keys on regular nodes; complement marks become 1 − x on the way out.
 func (m *Manager) satFrac(f Ref, memo map[Ref]float64) float64 {
 	if f == False {
 		return 0
 	}
 	if f == True {
 		return 1
+	}
+	if isComp(f) {
+		return 1 - m.satFrac(neg(f), memo)
 	}
 	if v, ok := memo[f]; ok {
 		return v
@@ -54,14 +61,14 @@ func (m *Manager) AnySat(f Ref) ([]Literal, bool) {
 	}
 	var out []Literal
 	for f != True {
-		n := m.nodes[f]
-		v := int(m.level2var[n.level])
-		if n.low != False {
+		level, low, high := m.top(f)
+		v := int(m.level2var[level])
+		if low != False {
 			out = append(out, Literal{Var: v, Val: false})
-			f = n.low
+			f = low
 		} else {
 			out = append(out, Literal{Var: v, Val: true})
-			f = n.high
+			f = high
 		}
 	}
 	return out, true
@@ -86,15 +93,15 @@ func (m *Manager) allSatRec(f Ref, cube []int8, fn func([]int8) bool) bool {
 	if f == True {
 		return fn(cube)
 	}
-	n := m.nodes[f]
-	v := m.level2var[n.level]
+	level, low, high := m.top(f)
+	v := m.level2var[level]
 	cube[v] = 0
-	if !m.allSatRec(n.low, cube, fn) {
+	if !m.allSatRec(low, cube, fn) {
 		cube[v] = -1
 		return false
 	}
 	cube[v] = 1
-	if !m.allSatRec(n.high, cube, fn) {
+	if !m.allSatRec(high, cube, fn) {
 		cube[v] = -1
 		return false
 	}
@@ -106,11 +113,11 @@ func (m *Manager) allSatRec(f Ref, cube []int8, fn func([]int8) bool) bool {
 func (m *Manager) Eval(f Ref, assignment []bool) bool {
 	m.check(f)
 	for !m.IsTerminal(f) {
-		n := m.nodes[f]
-		if assignment[m.level2var[n.level]] {
-			f = n.high
+		level, low, high := m.top(f)
+		if assignment[m.level2var[level]] {
+			f = high
 		} else {
-			f = n.low
+			f = low
 		}
 	}
 	return f == True
@@ -131,7 +138,8 @@ func (m *Manager) Support(f Ref) []int {
 }
 
 func (m *Manager) supportRec(f Ref, seen map[Ref]bool, vars map[int]bool) {
-	if m.IsTerminal(f) || seen[f] {
+	f = regular(f)
+	if f == False || seen[f] {
 		return
 	}
 	seen[f] = true
@@ -141,8 +149,8 @@ func (m *Manager) supportRec(f Ref, seen map[Ref]bool, vars map[int]bool) {
 	m.supportRec(n.high, seen, vars)
 }
 
-// NodeCount returns the number of BDD nodes in f, including terminals
-// reachable from it.
+// NodeCount returns the number of stored BDD nodes in f, including the
+// terminal when it is reachable. f and ¬f have the same count.
 func (m *Manager) NodeCount(f Ref) int {
 	m.check(f)
 	seen := make(map[Ref]bool)
@@ -150,8 +158,8 @@ func (m *Manager) NodeCount(f Ref) int {
 	return len(seen)
 }
 
-// NodeCountMulti returns the number of distinct nodes in the shared
-// forest rooted at the given functions.
+// NodeCountMulti returns the number of distinct stored nodes in the
+// shared forest rooted at the given functions.
 func (m *Manager) NodeCountMulti(fs []Ref) int {
 	seen := make(map[Ref]bool)
 	for _, f := range fs {
@@ -162,11 +170,12 @@ func (m *Manager) NodeCountMulti(fs []Ref) int {
 }
 
 func (m *Manager) countRec(f Ref, seen map[Ref]bool) {
+	f = regular(f)
 	if seen[f] {
 		return
 	}
 	seen[f] = true
-	if m.IsTerminal(f) {
+	if f == False {
 		return
 	}
 	n := m.nodes[f]

@@ -18,6 +18,21 @@ type Statistics struct {
 	AllocatedNodes int
 	PeakNodes      int
 	Variables      int
+
+	// Complement-edge sharing: mk calls whose result was re-rooted onto
+	// the complement of an existing (or newly shared) node, i.e. cases
+	// where f and ¬f ended up sharing storage.
+	ComplementShared uint64
+
+	// Adaptive cache layer: current per-cache sizes (entries, after any
+	// adaptive growth), how many times a cache doubled, and how many
+	// entries survived the most recent GC sweep.
+	ITECacheEntries       int
+	ApplyCacheEntries     int
+	QuantCacheEntries     int
+	AndExistsCacheEntries int
+	CacheGrowths          int
+	CacheEntriesKept      int
 }
 
 func ratio(hits, calls uint64) float64 {
@@ -27,15 +42,18 @@ func ratio(hits, calls uint64) float64 {
 	return float64(hits) / float64(calls)
 }
 
-// String renders a one-line summary.
+// String renders a two-line summary.
 func (s Statistics) String() string {
 	return fmt.Sprintf(
-		"bdd: %d vars, %d live / %d alloc nodes (peak %d), %d GCs; cache hits: apply %.0f%%, ite %.0f%%, quant %.0f%%, andexists %.0f%%",
-		s.Variables, s.LiveNodes, s.AllocatedNodes, s.PeakNodes, s.GCs,
+		"bdd: %d vars, %d live / %d alloc nodes (peak %d), %d GCs, %d comp-shared; cache hits: apply %.0f%%, ite %.0f%%, quant %.0f%%, andexists %.0f%%\n"+
+			"bdd: cache entries: apply %d, ite %d, quant %d, andexists %d (%d growths, %d kept across last GC)",
+		s.Variables, s.LiveNodes, s.AllocatedNodes, s.PeakNodes, s.GCs, s.ComplementShared,
 		100*ratio(s.ApplyHits, s.ApplyCalls),
 		100*ratio(s.ITEHits, s.ITECalls),
 		100*ratio(s.QuantHits, s.QuantCalls),
-		100*ratio(s.AndExistsHits, s.AndExistsCalls))
+		100*ratio(s.AndExistsHits, s.AndExistsCalls),
+		s.ApplyCacheEntries, s.ITECacheEntries, s.QuantCacheEntries, s.AndExistsCacheEntries,
+		s.CacheGrowths, s.CacheEntriesKept)
 }
 
 // QuantHitRate returns the combined hit rate of the two cube-keyed
@@ -61,5 +79,13 @@ func (m *Manager) Stats() Statistics {
 		AllocatedNodes: len(m.nodes),
 		PeakNodes:      m.peakNodes,
 		Variables:      m.numVars,
+
+		ComplementShared:      m.statCompShared,
+		ITECacheEntries:       len(m.ite),
+		ApplyCacheEntries:     len(m.binop),
+		QuantCacheEntries:     len(m.quant),
+		AndExistsCacheEntries: len(m.aex),
+		CacheGrowths:          m.statCacheGrowths,
+		CacheEntriesKept:      m.statCacheKept,
 	}
 }

@@ -1,0 +1,70 @@
+package hsis
+
+// Live-node accounting on the bundled designs: build the network, run
+// forward reachability, then protect what a negation-heavy verification
+// session keeps — the reached set, its complement (the unreached/error
+// cone), the preimage of that cone, and the preimage's complement (the
+// care set for the next sweep) — collect everything else, and report
+// what survives. Fair-cycle and language-emptiness sweeps hold exactly
+// such polarity pairs. This is the forest the complement-edge kernel is
+// meant to shrink: f and ¬f share one DAG, so each pair costs one copy
+// instead of two.
+
+import (
+	"testing"
+
+	"hsis/internal/bdd"
+	"hsis/internal/core"
+	"hsis/internal/designs"
+	"hsis/internal/reach"
+)
+
+func TestLiveNodeCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("design builds are slow")
+	}
+	for _, name := range []string{"gigamax", "scheduler", "mdlc2"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := load2(t, name, core.Options{})
+			n := w.Net
+			m := n.Manager()
+			res := reach.Forward(n, reach.Options{})
+			if !res.Converged {
+				t.Fatal("reachability diverged")
+			}
+			e := reach.Engine(n, reach.EngineClustered)
+			roots := []bdd.Ref{
+				res.Reached,
+				m.Not(res.Reached), // unreached cone
+			}
+			pre := e.Preimage(roots[1])
+			roots = append(roots, pre, m.Not(pre)) // sweep care set
+			for _, f := range roots {
+				m.IncRef(f)
+			}
+			m.GC()
+			t.Logf("%s: %d live nodes after GC (analysis sets %d, peak %d)",
+				name, m.Size(), m.NodeCountMulti(roots), m.PeakSize())
+			for _, f := range roots {
+				m.DecRef(f)
+			}
+		})
+	}
+}
+
+func load2(t *testing.T, name string, opts core.Options) *core.Workspace {
+	t.Helper()
+	d, err := designs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.LoadVerilogString(d.Verilog, name+".v", d.Top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPIFString(d.PIF, name+".pif"); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
