@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench bench-all
+.PHONY: check vet build test bench-smoke bench bench-reorder bench-all
 
 check: vet build test bench-smoke
 
@@ -30,6 +30,15 @@ bench:
 	$(GO) test -bench='BenchmarkImage|BenchmarkNegationHeavy' -benchmem -benchtime=3x -run='^$$' . \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson > BENCH_bdd.json
+
+# Dynamic-reordering ablation: reachability from a scrambled (appended)
+# variable order with sifting off versus auto, recorded to
+# BENCH_reorder.json. The slow configurations are the point — the off
+# runs show what the bad order costs.
+bench-reorder:
+	$(GO) test -bench='BenchmarkReorder' -benchtime=1x -timeout=30m -run='^$$' . \
+		| tee /dev/stderr \
+		| $(GO) run ./internal/tools/benchjson > BENCH_reorder.json
 
 # The full Table-1 regeneration and ablation suite.
 bench-all:

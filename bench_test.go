@@ -450,6 +450,45 @@ module coibench(clk, req, ack);
 endmodule
 `
 
+// BenchmarkReorder measures dynamic variable reordering digging a run
+// out of a deliberately bad initial order: every design is loaded with
+// the naive appended order, then forward reachability runs with sifting
+// off versus growth-triggered auto sifting at the fixpoint safe points.
+// A GC and a peak reset after the build discard the build phase's
+// garbage, so peak-live-nodes isolates the reachability phase that
+// reordering can actually influence.
+func BenchmarkReorder(b *testing.B) {
+	for _, design := range []string{"scheduler", "mdlc2", "gigamax"} {
+		design := design
+		for _, cfg := range []struct {
+			label string
+			opts  core.Options
+		}{
+			{"off", core.Options{AppendedOrder: true, Reorder: "off"}},
+			{"auto", core.Options{AppendedOrder: true, Reorder: "auto"}},
+		} {
+			cfg := cfg
+			b.Run(design+"/"+cfg.label, func(b *testing.B) {
+				var peak, reorders int
+				for i := 0; i < b.N; i++ {
+					w := load(b, design, cfg.opts)
+					m := w.Net.Manager()
+					m.GC()
+					m.ResetPeaks()
+					res := reach.Forward(w.Net, reach.Options{})
+					if !res.Converged {
+						b.Fatal("diverged")
+					}
+					peak = m.PeakLive()
+					reorders = m.Stats().Reorders
+				}
+				b.ReportMetric(float64(peak), "peak-live-nodes")
+				b.ReportMetric(float64(reorders), "reorders")
+			})
+		}
+	}
+}
+
 func BenchmarkConeOfInfluence(b *testing.B) {
 	prop := "ctl response AG(req=1 -> AF ack=1)\n"
 	for _, cfg := range []struct {

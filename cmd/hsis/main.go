@@ -18,10 +18,17 @@
 //	explain_ctl <name>              unfold a failing CTL property (§6.2)
 //	check_refine <spec.v> <top> <i=s>...   refinement vs an abstraction
 //	quant_schedule                  print the early-quantification plan
+//	reorder                         sift the variable order now
+//	write_order <file>              save the current variable order
 //	write_blif_mv <file> / write_dot <file>
 //	bisim_classes                   bisimulation equivalence classes
 //	sim_init / sim_step [n] / sim_step_with <expr> / sim_states [max] / sim_back
 //	quit
+//
+// Flags: -reorder off|manual|auto selects the dynamic-reordering policy
+// for designs loaded afterwards; -order <file> seeds the variable order
+// from a saved .order file (written by write_order); -stats prints BDD
+// statistics after checking commands.
 package main
 
 import (
@@ -51,13 +58,22 @@ type shell struct {
 	sim   *sim.Simulator
 	out   *bufio.Writer
 	stats bool
+	opts  core.Options
 }
 
 func main() {
 	statsFlag := flag.Bool("stats", false,
 		"print BDD operation statistics after every checking command")
+	reorderFlag := flag.String("reorder", "off",
+		"dynamic variable reordering policy: off, manual or auto")
+	orderFlag := flag.String("order", "",
+		"seed the variable order from a saved .order file (see write_order)")
 	flag.Parse()
-	sh := &shell{out: bufio.NewWriter(os.Stdout), stats: *statsFlag}
+	sh := &shell{
+		out:   bufio.NewWriter(os.Stdout),
+		stats: *statsFlag,
+		opts:  core.Options{Reorder: *reorderFlag, OrderFile: *orderFlag},
+	}
 	defer sh.out.Flush()
 	sc := bufio.NewScanner(os.Stdin)
 	interactive := isTerminal()
@@ -95,7 +111,7 @@ func (sh *shell) exec(line string) error {
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
 	case "help":
-		fmt.Fprintln(sh.out, "commands: read_verilog read_blif_mv read_pif read_builtin print_stats compute_reach check_ctl lang_contain check_all explain_ctl check_refine quant_schedule write_blif_mv write_dot bisim_classes sim_init sim_step sim_step_with sim_states sim_back quit")
+		fmt.Fprintln(sh.out, "commands: read_verilog read_blif_mv read_pif read_builtin print_stats compute_reach check_ctl lang_contain check_all explain_ctl check_refine quant_schedule reorder write_order write_blif_mv write_dot bisim_classes sim_init sim_step sim_step_with sim_states sim_back quit")
 		return nil
 	case "read_verilog":
 		if len(args) < 1 {
@@ -107,7 +123,7 @@ func (sh *shell) exec(line string) error {
 		} else {
 			top = strings.TrimSuffix(baseName(args[0]), ".v")
 		}
-		w, err := core.LoadVerilogFile(args[0], top, core.Options{})
+		w, err := core.LoadVerilogFile(args[0], top, sh.opts)
 		if err != nil {
 			return err
 		}
@@ -120,7 +136,7 @@ func (sh *shell) exec(line string) error {
 		if len(args) != 1 {
 			return fmt.Errorf("usage: read_blif_mv <file.mv>")
 		}
-		w, err := core.LoadBlifMVFile(args[0], core.Options{})
+		w, err := core.LoadBlifMVFile(args[0], sh.opts)
 		if err != nil {
 			return err
 		}
@@ -136,7 +152,7 @@ func (sh *shell) exec(line string) error {
 		if err != nil {
 			return err
 		}
-		w, err := core.LoadVerilogString(d.Verilog, d.Name+".v", d.Top, core.Options{})
+		w, err := core.LoadVerilogString(d.Verilog, d.Name+".v", d.Top, sh.opts)
 		if err != nil {
 			return err
 		}
@@ -337,6 +353,26 @@ func (sh *shell) exec(line string) error {
 		n := sh.w.Net
 		sched := quant.Plan(n.Conjuncts(), n.NonStateBits(), n.Heuristic())
 		fmt.Fprint(sh.out, sched)
+		return nil
+	case "reorder":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		res := sh.w.SiftNow()
+		fmt.Fprintf(sh.out, "sifted: %d -> %d live nodes (%d swaps, %d passes)\n",
+			res.Before, res.After, res.Swaps, res.Passes)
+		return nil
+	case "write_order":
+		if err := sh.need(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: write_order <file.order>")
+		}
+		if err := sh.w.SaveOrder(args[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "wrote variable order to %s\n", args[0])
 		return nil
 	case "write_blif_mv":
 		if err := sh.need(); err != nil {

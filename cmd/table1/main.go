@@ -86,6 +86,7 @@ func main() {
 	early := flag.Int("early", 0, "early failure detection depth for LC (0 = off)")
 	noFast := flag.Bool("no-invariant-fastpath", false, "disable the AG(prop) fast path (Ablation B)")
 	coi := flag.Bool("coi", false, "cone-of-influence abstraction per property (Ablation G)")
+	reorderPolicy := flag.String("reorder", "off", "dynamic variable reordering policy: off, manual or auto")
 	flag.Parse()
 
 	opts := core.Options{
@@ -93,6 +94,7 @@ func main() {
 		AppendedOrder:            *appended,
 		DisableInvariantFastPath: *noFast,
 		ConeOfInfluence:          *coi,
+		Reorder:                  *reorderPolicy,
 	}
 	switch *heuristic {
 	case "minwidth":

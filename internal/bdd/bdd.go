@@ -19,13 +19,16 @@
 // than between two distinct nodes.
 //
 // Variables are identified by stable integer IDs assigned at creation
-// time. Each variable sits at a level in the global order; levels can be
-// permuted with Manager.Reorder. All operations are deterministic.
+// time. Each variable sits at a level in the global order; adjacent
+// levels can be exchanged in place through a ReorderSession (see
+// reorder.go), which is how the sifting driver in internal/reorder
+// permutes the order dynamically. All operations are deterministic.
 package bdd
 
 import (
 	"fmt"
 	"math/bits"
+	"time"
 )
 
 // Ref is a handle to a BDD node inside a Manager, with the sign bit
@@ -125,7 +128,25 @@ type Manager struct {
 	lastLive  int
 	numVars   int
 	peakNodes int
+	peakLive  int                  // largest live count seen at an allocation
 	OnGC      func(live, dead int) // optional GC observer
+
+	// Dynamic variable reordering (reorder.go; sifting driver in
+	// internal/reorder).
+	session        *ReorderSession // non-nil while a reorder is in progress
+	groups         [][]int         // atomic sifting blocks (variable IDs)
+	reorderPolicy  ReorderPolicy
+	reorderFn      func(*Manager) // automatic-reorder hook
+	reorderGrow    float64
+	reorderMin     int
+	reorderAt      int  // live count that arms reorderPending (0 = disarmed)
+	reorderPending bool // trigger fired; next safe point reorders
+
+	statReorders     int
+	statReorderSwaps uint64
+	statReorderTime  time.Duration
+	reorderBefore    int // manager size entering the last reorder
+	reorderAfter     int // manager size leaving the last reorder
 }
 
 type iteEntry struct {
@@ -198,13 +219,16 @@ func (m *Manager) Size() int { return len(m.nodes) - len(m.free) }
 func (m *Manager) PeakSize() int { return m.peakNodes }
 
 // NewVar appends a fresh variable at the bottom of the current order and
-// returns its projection function (the BDD "v").
+// returns its projection function (the BDD "v"). Projection nodes are
+// permanently referenced: callers everywhere hold them for the life of
+// the manager (spaces, networks, cubes), and a reorder session must
+// never reclaim and reuse their slots.
 func (m *Manager) NewVar() Ref {
 	v := m.numVars
 	m.numVars++
 	m.var2level = append(m.var2level, int32(v))
 	m.level2var = append(m.level2var, int32(v))
-	return m.mk(int32(v), False, True)
+	return m.IncRef(m.mk(int32(v), False, True))
 }
 
 // NewVars creates n fresh variables and returns their projection
@@ -288,6 +312,9 @@ func (m *Manager) mk(level int32, low, high Ref) Ref {
 // mkNode finds or allocates the stored node (level, low, high); low must
 // already be regular.
 func (m *Manager) mkNode(level int32, low, high Ref) Ref {
+	if m.session != nil {
+		panic("bdd: operation during an active reorder session")
+	}
 	h := hash3(uint64(level), uint64(low), uint64(high)) & m.tableMask
 	for {
 		idx := m.table[h]
@@ -316,6 +343,15 @@ func (m *Manager) mkNode(level int32, low, high Ref) Ref {
 	m.table[h] = int32(r) + 1
 	if s := len(m.nodes); s > m.peakNodes {
 		m.peakNodes = s
+	}
+	if live := m.Size(); live > m.peakLive {
+		m.peakLive = live
+	}
+	if m.reorderAt > 0 && m.Size() >= m.reorderAt {
+		// The growth trigger arms here; the reorder itself runs at the
+		// next safe point (MaybeReorder/MaybeGC), never inside an
+		// operation.
+		m.reorderPending = true
 	}
 	if 10*m.Size() > 7*len(m.table) {
 		m.growTable()

@@ -4,14 +4,16 @@ package bdd
 // truth-table evaluator. A fuzz input is a byte program for a small
 // stack machine whose operations mirror the Manager API — push a
 // variable or constant, negate, combine with and/or/xor/ite, quantify a
-// single variable, or run a garbage collection with the stack as roots.
-// Every operation is applied in parallel to a Ref and to a 1024-bit
-// truth table over nVars = 10 variables; after the program runs, every
-// surviving stack entry must agree with its table on all 2^10
-// assignments. This exercises exactly the invariants complement edges
-// make delicate: sign propagation through cofactors, the canonical
-// low-edge rule in mk, ITE complement normalization, derived ForAll,
-// and cache survival across GC.
+// single variable, run a garbage collection with the stack as roots, or
+// run a reordering session of adjacent-level swaps with the stack as
+// roots. Every operation is applied in parallel to a Ref and to a
+// 1024-bit truth table over nVars = 10 variables; after the program
+// runs, every surviving stack entry must agree with its table on all
+// 2^10 assignments. This exercises exactly the invariants complement
+// edges make delicate: sign propagation through cofactors, the
+// canonical low-edge rule in mk (and its swapMk twin during reorders),
+// ITE complement normalization, derived ForAll, and cache survival
+// across GC and reordering.
 
 import "testing"
 
@@ -93,7 +95,7 @@ func runFuzzProgram(m *Manager, prog []byte) []fuzzEntry {
 		return e
 	}
 	for pc := 0; pc < len(prog); pc++ {
-		op := prog[pc] % 12
+		op := prog[pc] % 13
 		arg := 0
 		if pc+1 < len(prog) {
 			arg = int(prog[pc+1]) % fuzzVars
@@ -154,6 +156,19 @@ func runFuzzProgram(m *Manager, prog []byte) []fuzzEntry {
 			for _, e := range stack {
 				m.DecRef(e.f)
 			}
+		case op == 12: // reorder: adjacent swaps with the stack as roots
+			for _, e := range stack {
+				m.IncRef(e.f)
+			}
+			s := m.StartReorder()
+			for k := 0; k < 4; k++ {
+				s.Swap((arg + k) % (fuzzVars - 1))
+			}
+			s.Close()
+			for _, e := range stack {
+				m.DecRef(e.f)
+			}
+			pc++
 		}
 	}
 	return stack
@@ -183,6 +198,9 @@ func FuzzComplementKernel(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 5, 5, 0, 7, 11, 0, 3, 3})
 	f.Add([]byte{0, 9, 0, 3, 0, 7, 9, 2, 11, 5, 0, 0, 7, 7})
 	f.Add([]byte{1, 0, 1, 1, 2, 10, 0, 4, 9, 1, 11, 0, 6, 6, 3})
+	// Reordering interleaved with construction, quantification and GC.
+	f.Add([]byte{0, 3, 0, 5, 3, 12, 0, 0, 4, 3, 12, 4, 8, 2})
+	f.Add([]byte{0, 1, 0, 2, 12, 8, 3, 11, 0, 6, 12, 0, 7, 7, 12, 1})
 	f.Fuzz(func(t *testing.T, prog []byte) {
 		if len(prog) > 256 {
 			t.Skip("long programs add time, not coverage")
@@ -191,8 +209,10 @@ func FuzzComplementKernel(f *testing.F) {
 		m.NewVars(fuzzVars)
 		stack := runFuzzProgram(m, prog)
 		checkFuzzStack(t, m, stack)
-		// The stack survived arbitrary GCs; a final collection with the
-		// stack as roots must not change any function either.
+		checkKernelInvariants(t, m)
+		// The stack survived arbitrary GCs and reorders; a final
+		// collection with the stack as roots must not change any
+		// function either.
 		for _, e := range stack {
 			m.IncRef(e.f)
 		}
@@ -211,11 +231,15 @@ func TestFuzzCorpus(t *testing.T) {
 		{0, 9, 0, 3, 0, 7, 9, 2, 11, 5, 0, 0, 7, 7},
 		{1, 0, 1, 1, 2, 10, 0, 4, 9, 1, 11, 0, 6, 6, 3},
 		{11, 11, 0, 0, 0, 0, 2, 7, 9, 3, 11, 8, 1, 10, 5},
+		{0, 3, 0, 5, 3, 12, 0, 0, 4, 3, 12, 4, 8, 2},
+		{0, 1, 0, 2, 12, 8, 3, 11, 0, 6, 12, 0, 7, 7, 12, 1},
+		{12, 0, 0, 0, 5, 12, 9, 3, 7, 12, 2, 11, 12, 5, 10},
 	}
 	for _, prog := range progs {
 		m := New()
 		m.NewVars(fuzzVars)
 		checkFuzzStack(t, m, runFuzzProgram(m, prog))
+		checkKernelInvariants(t, m)
 	}
 }
 

@@ -36,6 +36,9 @@ func (m *Manager) DecRef(f Ref) {
 // node they mention is still live. All Refs not protected (directly or
 // transitively) by IncRef are invalidated.
 func (m *Manager) GC() {
+	if m.session != nil {
+		panic("bdd: GC during an active reorder session")
+	}
 	m.resetMarks()
 	m.setMark(0) // the terminal is always live
 	for i, rc := range m.refs {
@@ -113,6 +116,9 @@ func (m *Manager) mark(f Ref) {
 // collection is due it performs the O(1) cache-adaptation check, so
 // fixpoint loops that never trigger a GC still grow their caches.
 func (m *Manager) MaybeGC() bool {
+	// MaybeGC call sites already satisfy the protection contract a
+	// reorder needs, so a pending automatic reorder drains here too.
+	m.MaybeReorder()
 	if !m.gcEnabled || m.Size() < m.autoGCAt {
 		m.adaptCaches()
 		return false

@@ -1,0 +1,617 @@
+package bdd
+
+// Dynamic variable reordering: the kernel half of the sifting subsystem
+// (the search strategy lives in internal/reorder). A ReorderSession
+// exposes the one primitive reordering needs — swapping two adjacent
+// levels in place — while keeping every Ref that is protected by IncRef
+// (directly or transitively) valid and denoting the same Boolean
+// function. The contract is exactly the GC contract: starting a session
+// may reclaim nodes no protected root reaches, so callers protect what
+// they hold, and in exchange never need to translate a single Ref.
+//
+// The swap itself is the classic Rudell in-place exchange adapted to
+// complement edges. Writing u for the variable at level l and v for the
+// one at l+1, a node f = (u, F0, F1) whose cofactors depend on v is
+// rewritten in place as f = (v, G0, G1) with G0 = (u, F00, F10) and
+// G1 = (u, F01, F11): the stored slot keeps its index (so parents and
+// external Refs are untouched) while the node it holds changes level.
+// Complement edges add two wrinkles. First, cofactoring F1 through a
+// complemented high edge pushes the mark onto F1's children (F10, F11
+// pick up the mark). Second, the canonical low-edge-never-complemented
+// rule must be re-established for the new inner nodes: G0 inherits F00,
+// which is a stored low edge and hence always regular, so the rewritten
+// node itself is safe, but G1's low edge F01 is a stored *high* edge and
+// may carry the mark — swapMk re-roots exactly like mk does, returning
+// the complement of the flipped twin.
+//
+// During a session the unique table is stale (Close rebuilds it), so no
+// mk/mkNode may run; the session keeps its own exact (level, low, high)
+// index instead. Per-level node populations are maintained incrementally
+// in bucket lists, which doubles as the level-size signal sifting uses.
+// Operation caches are function-keyed, so surviving entries stay
+// semantically correct across swaps; the only invalid entries are those
+// naming a slot freed during the session (possibly since reused), which
+// Close sweeps out via a sticky "tainted" bitmap.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ReorderPolicy names the dynamic-reordering modes the CLIs surface as
+// -reorder: no reordering at all, reordering only on explicit request,
+// or growth-triggered automatic sifting.
+type ReorderPolicy int
+
+const (
+	ReorderOff ReorderPolicy = iota
+	ReorderManual
+	ReorderAuto
+)
+
+func (p ReorderPolicy) String() string {
+	switch p {
+	case ReorderManual:
+		return "manual"
+	case ReorderAuto:
+		return "auto"
+	default:
+		return "off"
+	}
+}
+
+// ReorderSession is an open reordering transaction on a Manager. Between
+// StartReorder and Close only session methods may touch the manager (no
+// BDD operations), and the GC protection contract applies to the whole
+// session: Refs not reachable from an IncRef'd root may be reclaimed.
+type ReorderSession struct {
+	m *Manager
+
+	// ref[i] counts why slot i must stay: its external references plus
+	// one per allocated parent node (dead parents included — a node is
+	// only reclaimed when the session itself severs its last edge, which
+	// is how unprotected garbage melts away as its levels are swapped).
+	ref []int32
+
+	// bucket[l] lists exactly the slots stored at level l; pos[i] is
+	// slot i's index within its bucket (swap-remove bookkeeping).
+	bucket [][]Ref
+	pos    []int32
+
+	// uniq replaces the (stale) open-addressing unique table for the
+	// duration of the session.
+	uniq map[node]Ref
+
+	free    []uint64 // slots currently on the free list
+	tainted []uint64 // slots freed at any point during the session (sticky across reuse)
+
+	relStack []Ref
+	sa, sb   []Ref // per-swap bucket snapshots, reused across swaps
+	inter    []Ref
+
+	swaps  int
+	before int
+	start  time.Time
+}
+
+// StartReorder opens a reordering session. It panics if one is already
+// active. All ordinary operations (mk-based construction, Apply, GC, …)
+// are forbidden until Close; Refs protected per the GC contract remain
+// valid across the session and keep their functions.
+func (m *Manager) StartReorder() *ReorderSession {
+	if m.session != nil {
+		panic("bdd: StartReorder with a reorder session already active")
+	}
+	s := &ReorderSession{
+		m:       m,
+		start:   time.Now(),
+		before:  m.Size(),
+		ref:     make([]int32, len(m.nodes)),
+		pos:     make([]int32, len(m.nodes)),
+		free:    make([]uint64, (len(m.nodes)+63)/64),
+		tainted: make([]uint64, (len(m.nodes)+63)/64),
+		bucket:  make([][]Ref, m.numVars),
+		uniq:    make(map[node]Ref, len(m.nodes)),
+	}
+	for _, f := range m.free {
+		s.free[f>>6] |= 1 << (uint(f) & 63)
+	}
+	for i := 1; i < len(m.nodes); i++ {
+		r := Ref(i)
+		if s.isFree(r) {
+			continue
+		}
+		n := m.nodes[i]
+		s.ref[i] += m.refs[i]
+		s.ref[n.low]++
+		s.ref[regular(n.high)]++
+		s.uniq[n] = r
+		s.addToBucket(r, int(n.level))
+	}
+	m.session = s
+	return s
+}
+
+// Swap exchanges the variables at level and level+1, rewriting the
+// affected nodes in place.
+func (s *ReorderSession) Swap(level int) { s.m.swapLevels(s, level) }
+
+// Swaps returns the number of adjacent-level swaps performed so far.
+func (s *ReorderSession) Swaps() int { return s.swaps }
+
+// LevelSize returns the number of nodes currently stored at the given
+// level (the per-level population sifting minimizes).
+func (s *ReorderSession) LevelSize(level int) int { return len(s.bucket[level]) }
+
+// Manager returns the manager this session reorders.
+func (s *ReorderSession) Manager() *Manager { return s.m }
+
+// swapLevels is the kernel swap primitive. Phases:
+//
+//  0. unindex every old level-(l+1) node — their keys are about to be
+//     reused by rewritten nodes and must not satisfy lookups;
+//  1. relabel level-l nodes independent of the level-(l+1) variable
+//     (both children below l+1): only their level field changes;
+//  2. rewrite each interacting level-l node in place onto the
+//     level-(l+1) variable, building its new cofactors with swapMk
+//     (which shares or allocates inner level-(l+1) nodes). Edge
+//     accounting is numeric only; no slot is freed yet, because later
+//     rewrites in the same phase still read the old children;
+//  3. relabel the old level-(l+1) nodes that retained a reason to live
+//     down to level l, and release the rest (cascading to children
+//     whose last edge this severs).
+func (m *Manager) swapLevels(s *ReorderSession, level int) {
+	if m.session != s {
+		panic("bdd: Swap on an inactive reorder session")
+	}
+	if level < 0 || level+1 >= m.numVars {
+		panic(fmt.Sprintf("bdd: Swap(%d) out of range [0,%d)", level, m.numVars-1))
+	}
+	l := int32(level)
+	lv1 := l + 1
+	s.sa = append(s.sa[:0], s.bucket[l]...)
+	s.sb = append(s.sb[:0], s.bucket[lv1]...)
+
+	// Phase 0.
+	for _, g := range s.sb {
+		n := m.nodes[g]
+		if s.uniq[n] == g {
+			delete(s.uniq, n)
+		}
+	}
+
+	// Phase 1.
+	s.inter = s.inter[:0]
+	for _, f := range s.sa {
+		n := m.nodes[f]
+		if m.nodes[n.low].level == lv1 || m.nodes[regular(n.high)].level == lv1 {
+			s.inter = append(s.inter, f)
+			continue
+		}
+		delete(s.uniq, n)
+		s.removeFromBucket(f, int(l))
+		n.level = lv1
+		m.nodes[f] = n
+		s.uniq[n] = f
+		s.addToBucket(f, int(lv1))
+	}
+
+	// Phase 2.
+	for _, f := range s.inter {
+		n := m.nodes[f]
+		f0, f1 := n.low, n.high
+		var f00, f01 Ref
+		if m.nodes[f0].level == lv1 {
+			b := m.nodes[f0]
+			f00, f01 = b.low, b.high
+		} else {
+			f00, f01 = f0, f0
+		}
+		r1, c := regular(f1), f1&compBit
+		var f10, f11 Ref
+		if m.nodes[r1].level == lv1 {
+			b := m.nodes[r1]
+			f10, f11 = b.low^c, b.high^c
+		} else {
+			f10, f11 = f1, f1
+		}
+		g0 := s.swapMk(lv1, f00, f10)
+		g1 := s.swapMk(lv1, f01, f11)
+		s.ref[regular(g0)]++
+		s.ref[regular(g1)]++
+		s.ref[f0]--
+		s.ref[r1]--
+		if s.uniq[n] == f {
+			delete(s.uniq, n)
+		}
+		n = node{level: l, low: g0, high: g1}
+		m.nodes[f] = n
+		s.uniq[n] = f
+	}
+
+	// Phase 3.
+	for _, g := range s.sb {
+		if s.ref[g] > 0 {
+			s.removeFromBucket(g, int(lv1))
+			n := m.nodes[g]
+			n.level = l
+			m.nodes[g] = n
+			s.uniq[n] = g
+			s.addToBucket(g, int(l))
+		} else {
+			s.release(g)
+		}
+	}
+
+	u, v := m.level2var[l], m.level2var[lv1]
+	m.level2var[l], m.level2var[lv1] = v, u
+	m.var2level[u], m.var2level[v] = lv1, l
+	s.swaps++
+}
+
+// swapMk is the session's mk: reduction, canonical-low re-rooting, and
+// find-or-allocate against the session index. low is a cofactor of a
+// stored node, so it is regular unless it inherited a pushed-down
+// complement mark from a complemented high edge.
+func (s *ReorderSession) swapMk(level int32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	if isComp(low) {
+		return neg(s.swapMkNode(level, neg(low), neg(high)))
+	}
+	return s.swapMkNode(level, low, high)
+}
+
+func (s *ReorderSession) swapMkNode(level int32, low, high Ref) Ref {
+	m := s.m
+	key := node{level: level, low: low, high: high}
+	if r, ok := s.uniq[key]; ok {
+		return r
+	}
+	var r Ref
+	if len(m.free) > 0 {
+		r = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		s.free[r>>6] &^= 1 << (uint(r) & 63) // taint, if set, stays set
+		m.nodes[r] = key
+		m.refs[r] = 0
+		s.ref[r] = 0
+	} else {
+		r = Ref(len(m.nodes))
+		m.nodes = append(m.nodes, key)
+		m.refs = append(m.refs, 0)
+		s.ref = append(s.ref, 0)
+		s.pos = append(s.pos, 0)
+		for len(s.free)*64 < len(m.nodes) {
+			s.free = append(s.free, 0)
+			s.tainted = append(s.tainted, 0)
+		}
+		if len(m.nodes) > m.peakNodes {
+			m.peakNodes = len(m.nodes)
+		}
+	}
+	s.ref[low]++
+	s.ref[regular(high)]++
+	s.uniq[key] = r
+	s.addToBucket(r, int(level))
+	if sz := m.Size(); sz > m.peakLive {
+		m.peakLive = sz
+	}
+	return r
+}
+
+// release frees a node whose last reason to live is gone, cascading to
+// children left with no external reference and no parent.
+func (s *ReorderSession) release(g Ref) {
+	m := s.m
+	stack := append(s.relStack[:0], g)
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := m.nodes[r]
+		if s.uniq[n] == r {
+			delete(s.uniq, n)
+		}
+		s.removeFromBucket(r, int(n.level))
+		s.free[r>>6] |= 1 << (uint(r) & 63)
+		s.tainted[r>>6] |= 1 << (uint(r) & 63)
+		m.free = append(m.free, r)
+		for _, ch := range [2]Ref{n.low, regular(n.high)} {
+			if ch == 0 {
+				continue
+			}
+			if s.ref[ch]--; s.ref[ch] == 0 {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	s.relStack = stack[:0]
+}
+
+// Close ends the session: it rebuilds the open-addressing unique table
+// for the new order, sweeps operation-cache entries that name a slot
+// freed during the session, and records the reorder statistics. The
+// manager is fully operational again afterwards.
+func (s *ReorderSession) Close() {
+	m := s.m
+	if m.session != s {
+		panic("bdd: Close on an inactive reorder session")
+	}
+	m.session = nil
+	need := len(m.table)
+	for 10*m.Size() > 7*need {
+		need *= 2
+	}
+	if need != len(m.table) {
+		m.table = make([]int32, need)
+		m.tableMask = uint64(need - 1)
+	} else {
+		clear(m.table)
+	}
+	for i := 1; i < len(m.nodes); i++ {
+		r := Ref(i)
+		if !s.isFree(r) {
+			m.tableInsert(r)
+		}
+	}
+	m.sweepCachesTainted(s.tainted)
+	m.statReorders++
+	m.statReorderSwaps += uint64(s.swaps)
+	m.statReorderTime += time.Since(s.start)
+	m.reorderBefore = s.before
+	m.reorderAfter = m.Size()
+}
+
+func (s *ReorderSession) isFree(r Ref) bool {
+	return s.free[r>>6]&(1<<(uint(r)&63)) != 0
+}
+
+func (s *ReorderSession) addToBucket(r Ref, level int) {
+	s.bucket[level] = append(s.bucket[level], r)
+	s.pos[r] = int32(len(s.bucket[level]) - 1)
+}
+
+func (s *ReorderSession) removeFromBucket(r Ref, level int) {
+	b := s.bucket[level]
+	i := s.pos[r]
+	last := b[len(b)-1]
+	b[i] = last
+	s.pos[last] = i
+	s.bucket[level] = b[:len(b)-1]
+}
+
+// sweepCachesTainted drops every operation-cache entry mentioning a slot
+// freed during a reorder session. Entries whose nodes all survived are
+// function-keyed and stay correct under any permutation of levels, so
+// they are kept. Slots already free when the session started cannot
+// appear in any entry (the GC that freed them swept or cleared the
+// caches), so the tainted set is exactly the invalid one.
+func (m *Manager) sweepCachesTainted(tainted []uint64) {
+	bad := func(f Ref) bool {
+		i := regular(f)
+		return tainted[i>>6]&(1<<(uint(i)&63)) != 0
+	}
+	for i := range m.ite {
+		e := &m.ite[i]
+		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.h) || bad(e.res)) {
+			*e = iteEntry{}
+		}
+	}
+	for i := range m.binop {
+		e := &m.binop[i]
+		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.res)) {
+			*e = binopEntry{}
+		}
+	}
+	for i := range m.quant {
+		e := &m.quant[i]
+		if e.f != 0 && (bad(e.f) || bad(e.cube) || bad(e.res)) {
+			*e = quantEntry{}
+		}
+	}
+	for i := range m.aex {
+		e := &m.aex[i]
+		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.cube) || bad(e.res)) {
+			*e = aexEntry{}
+		}
+	}
+}
+
+// GroupVars registers the given variable IDs as one atomic reordering
+// block: sifting moves them together, preserving their relative order.
+// This is how MDD log-encoded value bits and interleaved present/next
+// state pairs stay adjacent — the Permute-based rail swap is keyed on
+// variable IDs and stays *correct* under any order, but block sifting
+// keeps the orders that make it *cheap*. Registrations sharing a
+// variable merge into one block; IDs are kept sorted and deduplicated.
+func (m *Manager) GroupVars(vars []int) {
+	if len(vars) < 2 {
+		return
+	}
+	merged := append([]int(nil), vars...)
+	for _, v := range merged {
+		if v < 0 || v >= m.numVars {
+			panic(fmt.Sprintf("bdd: GroupVars: variable %d out of range [0,%d)", v, m.numVars))
+		}
+	}
+	in := make(map[int]bool, len(merged))
+	for _, v := range merged {
+		in[v] = true
+	}
+	kept := m.groups[:0]
+	for _, g := range m.groups {
+		overlap := false
+		for _, v := range g {
+			if in[v] {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			kept = append(kept, g)
+			continue
+		}
+		for _, v := range g {
+			if !in[v] {
+				in[v] = true
+				merged = append(merged, v)
+			}
+		}
+	}
+	sort.Ints(merged)
+	m.groups = append(kept, merged)
+}
+
+// VarGroups returns the registered atomic reordering blocks. Callers
+// must not mutate the result.
+func (m *Manager) VarGroups() [][]int { return m.groups }
+
+// SetReorderPolicy records the reordering mode. Setting ReorderOff or
+// ReorderManual disarms any pending automatic trigger; ReorderAuto is
+// normally installed through SetAutoReorder, which supplies the hook.
+func (m *Manager) SetReorderPolicy(p ReorderPolicy) {
+	m.reorderPolicy = p
+	if p != ReorderAuto {
+		m.reorderPending = false
+		m.reorderAt = 0
+	} else if m.reorderFn != nil {
+		m.armReorder()
+	}
+}
+
+// GetReorderPolicy returns the recorded reordering mode.
+func (m *Manager) GetReorderPolicy() ReorderPolicy { return m.reorderPolicy }
+
+// SetAutoReorder installs fn as the automatic reordering hook and sets
+// the policy to ReorderAuto: when live nodes exceed grow times the size
+// at the last (re-)arming — but at least minNodes — the next safe point
+// (MaybeReorder or MaybeGC) runs fn and re-arms the trigger. A nil fn
+// reverts the policy to ReorderOff.
+func (m *Manager) SetAutoReorder(grow float64, minNodes int, fn func(*Manager)) {
+	m.reorderFn = fn
+	m.reorderGrow = grow
+	m.reorderMin = minNodes
+	m.reorderPending = false
+	if fn == nil {
+		m.reorderPolicy = ReorderOff
+		m.reorderAt = 0
+		return
+	}
+	m.reorderPolicy = ReorderAuto
+	m.armReorder()
+}
+
+func (m *Manager) armReorder() {
+	at := int(m.reorderGrow * float64(m.Size()))
+	if at < m.reorderMin {
+		at = m.reorderMin
+	}
+	m.reorderAt = at
+}
+
+// ReorderPending reports whether an automatic reorder is armed and due.
+// Fixpoint loops test it before paying to protect their live Refs for a
+// MaybeReorder call.
+func (m *Manager) ReorderPending() bool {
+	return m.reorderPending && m.reorderFn != nil && m.session == nil
+}
+
+// MaybeReorder runs the automatic reordering hook if its growth trigger
+// has fired, then re-arms the trigger; it reports whether a reorder ran.
+// This is a safe point with the same contract as GC: all Refs the caller
+// needs afterwards must be protected by IncRef (their functions are
+// preserved — unlike after a GC, protected Refs need no recomputation).
+func (m *Manager) MaybeReorder() bool {
+	if !m.ReorderPending() {
+		return false
+	}
+	m.reorderPending = false
+	m.reorderFn(m)
+	m.armReorder()
+	return true
+}
+
+// CheckInvariants validates the kernel's structural invariants —
+// canonical-low edges, strictly increasing levels, no freed children or
+// duplicate triples, exact unique-table membership, and no operation
+// cache entry naming a freed slot. It exists for tests and debugging;
+// it is O(nodes + cache entries).
+func (m *Manager) CheckInvariants() error {
+	free := make(map[Ref]bool, len(m.free))
+	for _, f := range m.free {
+		if free[f] {
+			return fmt.Errorf("slot %d appears twice on the free list", f)
+		}
+		free[f] = true
+	}
+	seen := make(map[node]Ref, len(m.nodes))
+	for i := 1; i < len(m.nodes); i++ {
+		r := Ref(i)
+		if free[r] {
+			continue
+		}
+		n := m.nodes[i]
+		if isComp(n.low) {
+			return fmt.Errorf("node %d has a complemented low edge", i)
+		}
+		if free[n.low] || free[regular(n.high)] {
+			return fmt.Errorf("node %d has a freed child", i)
+		}
+		if m.levelOf(n.low) <= n.level || m.levelOf(regular(n.high)) <= n.level {
+			return fmt.Errorf("node %d (level %d) has a child at level <= its own", i, n.level)
+		}
+		if prev, dup := seen[n]; dup {
+			return fmt.Errorf("nodes %d and %d store the same triple", prev, i)
+		}
+		seen[n] = r
+		if m.session == nil {
+			h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.tableMask
+			for {
+				idx := m.table[h]
+				if idx == 0 {
+					return fmt.Errorf("node %d missing from the unique table", i)
+				}
+				if Ref(idx-1) == r {
+					break
+				}
+				h = (h + 1) & m.tableMask
+			}
+		}
+	}
+	bad := func(f Ref) bool { return free[regular(f)] }
+	for _, e := range m.ite {
+		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.h) || bad(e.res)) {
+			return fmt.Errorf("ite cache entry names a freed slot")
+		}
+	}
+	for _, e := range m.binop {
+		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.res)) {
+			return fmt.Errorf("binop cache entry names a freed slot")
+		}
+	}
+	for _, e := range m.quant {
+		if e.f != 0 && (bad(e.f) || bad(e.cube) || bad(e.res)) {
+			return fmt.Errorf("quant cache entry names a freed slot")
+		}
+	}
+	for _, e := range m.aex {
+		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.cube) || bad(e.res)) {
+			return fmt.Errorf("andexists cache entry names a freed slot")
+		}
+	}
+	return nil
+}
+
+// PeakLive returns the largest live node count observed (allocated minus
+// free at each allocation), the number dynamic reordering exists to
+// shrink.
+func (m *Manager) PeakLive() int { return m.peakLive }
+
+// ResetPeaks restarts peak tracking from the current state, so a
+// measurement can isolate one phase.
+func (m *Manager) ResetPeaks() {
+	m.peakNodes = len(m.nodes)
+	m.peakLive = m.Size()
+}

@@ -1,6 +1,9 @@
 package bdd
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Statistics reports operation and cache-effectiveness counters, the
 // numbers the original tool's BDD package printed for tuning.
@@ -33,6 +36,17 @@ type Statistics struct {
 	AndExistsCacheEntries int
 	CacheGrowths          int
 	CacheEntriesKept      int
+
+	// Dynamic variable reordering: number of sifting runs, total
+	// adjacent-level swaps, cumulative time spent reordering, the node
+	// counts around the most recent run, and the peak live node count
+	// (the quantity reordering exists to bound).
+	Reorders           int
+	ReorderSwaps       uint64
+	ReorderTime        time.Duration
+	ReorderNodesBefore int
+	ReorderNodesAfter  int
+	PeakLive           int
 }
 
 func ratio(hits, calls uint64) float64 {
@@ -42,18 +56,26 @@ func ratio(hits, calls uint64) float64 {
 	return float64(hits) / float64(calls)
 }
 
-// String renders a two-line summary.
+// String renders a two-line summary, plus a reordering line when any
+// reorder has run.
 func (s Statistics) String() string {
-	return fmt.Sprintf(
-		"bdd: %d vars, %d live / %d alloc nodes (peak %d), %d GCs, %d comp-shared; cache hits: apply %.0f%%, ite %.0f%%, quant %.0f%%, andexists %.0f%%\n"+
+	out := fmt.Sprintf(
+		"bdd: %d vars, %d live / %d alloc nodes (peak %d, live-peak %d), %d GCs, %d comp-shared; cache hits: apply %.0f%%, ite %.0f%%, quant %.0f%%, andexists %.0f%%\n"+
 			"bdd: cache entries: apply %d, ite %d, quant %d, andexists %d (%d growths, %d kept across last GC)",
-		s.Variables, s.LiveNodes, s.AllocatedNodes, s.PeakNodes, s.GCs, s.ComplementShared,
+		s.Variables, s.LiveNodes, s.AllocatedNodes, s.PeakNodes, s.PeakLive, s.GCs, s.ComplementShared,
 		100*ratio(s.ApplyHits, s.ApplyCalls),
 		100*ratio(s.ITEHits, s.ITECalls),
 		100*ratio(s.QuantHits, s.QuantCalls),
 		100*ratio(s.AndExistsHits, s.AndExistsCalls),
 		s.ApplyCacheEntries, s.ITECacheEntries, s.QuantCacheEntries, s.AndExistsCacheEntries,
 		s.CacheGrowths, s.CacheEntriesKept)
+	if s.Reorders > 0 {
+		out += fmt.Sprintf(
+			"\nbdd: reorders: %d (%d swaps in %v; last %d -> %d nodes)",
+			s.Reorders, s.ReorderSwaps, s.ReorderTime.Round(time.Millisecond),
+			s.ReorderNodesBefore, s.ReorderNodesAfter)
+	}
+	return out
 }
 
 // QuantHitRate returns the combined hit rate of the two cube-keyed
@@ -87,5 +109,12 @@ func (m *Manager) Stats() Statistics {
 		AndExistsCacheEntries: len(m.aex),
 		CacheGrowths:          m.statCacheGrowths,
 		CacheEntriesKept:      m.statCacheKept,
+
+		Reorders:           m.statReorders,
+		ReorderSwaps:       m.statReorderSwaps,
+		ReorderTime:        m.statReorderTime,
+		ReorderNodesBefore: m.reorderBefore,
+		ReorderNodesAfter:  m.reorderAfter,
+		PeakLive:           m.peakLive,
 	}
 }

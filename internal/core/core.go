@@ -18,9 +18,11 @@ import (
 	"hsis/internal/fair"
 	"hsis/internal/lc"
 	"hsis/internal/network"
+	"hsis/internal/order"
 	"hsis/internal/pif"
 	"hsis/internal/quant"
 	"hsis/internal/reach"
+	"hsis/internal/reorder"
 	"hsis/internal/sys"
 )
 
@@ -43,6 +45,14 @@ type Options struct {
 	// influence its atoms (plus the fairness constraints' support)
 	// before checking — the automatic abstraction of paper §8 item 2.
 	ConeOfInfluence bool
+	// Reorder selects the dynamic variable reordering policy: "" or
+	// "off" (none), "manual" (only explicit SiftNow calls), "auto"
+	// (growth-triggered block sifting at reachability safe points).
+	Reorder string
+	// OrderFile, when non-empty, seeds the variable order from a saved
+	// .order file if it exists and matches the model; otherwise the
+	// static interacting-FSM order is used. SaveOrder writes the file.
+	OrderFile string
 }
 
 // Workspace is a loaded design together with its properties.
@@ -111,6 +121,11 @@ func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch opts.Reorder {
+	case "", "off", "manual", "auto":
+	default:
+		return nil, fmt.Errorf("core: unknown reorder policy %q (want off, manual or auto)", opts.Reorder)
+	}
 	nopts := network.Options{
 		Heuristic:           opts.Heuristic,
 		NaiveQuantification: opts.NaiveQuantification,
@@ -118,9 +133,22 @@ func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
 		// product transition relation may never be needed; build it
 		// lazily (EnsureT) only when a property cannot be reduced.
 		SkipMonolithic: opts.ConeOfInfluence,
+		AutoReorder:    opts.Reorder == "auto",
 	}
 	if opts.AppendedOrder {
 		nopts.Order = appendedOrder(flat)
+	} else if opts.OrderFile != "" {
+		if entries, err := order.LoadFile(opts.OrderFile); err == nil {
+			// A stale file (renamed variables, changed cardinalities)
+			// falls back to the static order; a missing file just means
+			// no order has been saved yet.
+			if names, err := order.Apply(flat, entries); err == nil {
+				nopts.Order = names
+				nopts.ExactOrder = true
+			}
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
 	}
 	net, err := network.Build(flat, nopts)
 	if err != nil {
@@ -200,6 +228,7 @@ func (w *Workspace) coneWorkspace(observed []string) (*Workspace, *abstract.Resu
 	nopts := network.Options{
 		Heuristic:           w.opts.Heuristic,
 		NaiveQuantification: w.opts.NaiveQuantification,
+		AutoReorder:         w.opts.Reorder == "auto",
 	}
 	net, err := network.Build(res.Model, nopts)
 	if err != nil {
@@ -271,6 +300,19 @@ type PropertyResult struct {
 	// abstraction before this check (0 when COI was off or vacuous).
 	ConeDropped int
 	Err         error
+}
+
+// SiftNow runs one converging block sift on the workspace's manager and
+// returns its before/after statistics. It follows the GC protection
+// contract, which every long-lived Ref in the workspace satisfies.
+func (w *Workspace) SiftNow() reorder.Result {
+	return reorder.Sift(w.Net.Manager(), reorder.Options{Converge: true})
+}
+
+// SaveOrder writes the current variable order (post-sifting, if any) to
+// path, for a later run to seed from via Options.OrderFile.
+func (w *Workspace) SaveOrder(path string) error {
+	return order.SaveFile(path, order.Snapshot(w.Net.Space()))
 }
 
 // ReachableStates computes (and caches via the checker) the reachable

@@ -39,10 +39,12 @@ func NewForNetwork(n *network.Network, fc *fair.Constraints) *Checker {
 	return c
 }
 
-// Reached returns (and caches) the reachable states.
+// Reached returns (and caches) the reachable states. The cached set is
+// referenced so it survives garbage collections and dynamic reorders
+// between checks.
 func (c *Checker) Reached() bdd.Ref {
 	if !c.haveReached {
-		c.reached = sys.Reached(c.S)
+		c.reached = c.S.Manager().IncRef(sys.Reached(c.S))
 		c.haveReached = true
 	}
 	return c.reached
@@ -54,7 +56,7 @@ func (c *Checker) Reached() bdd.Ref {
 func (c *Checker) Fair() bdd.Ref {
 	if !c.haveFair {
 		r := emptiness.FairStates(c.S, c.FC, c.Reached())
-		c.fairHull = r.Fair
+		c.fairHull = c.S.Manager().IncRef(r.Fair)
 		c.haveFair = true
 	}
 	return c.fairHull
@@ -108,6 +110,13 @@ func (c *Checker) checkInvariant(f, p Formula) (*Verdict, error) {
 		return nil, err
 	}
 	bad := m.Not(good)
+	// The reachability run below contains reorder safe points; good and
+	// bad are read afterwards (and inside the Stop closure), so protect
+	// them per the GC contract.
+	m.IncRef(good)
+	m.IncRef(bad)
+	defer m.DecRef(bad)
+	defer m.DecRef(good)
 	step := 0
 	failStep := -1
 	res := reach.Forward(c.net, reach.Options{
@@ -121,7 +130,7 @@ func (c *Checker) checkInvariant(f, p Formula) (*Verdict, error) {
 		},
 	})
 	if !c.haveReached && res.Converged {
-		c.reached = res.Reached
+		c.reached = m.IncRef(res.Reached)
 		c.haveReached = true
 	}
 	pass := failStep < 0

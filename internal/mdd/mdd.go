@@ -66,6 +66,12 @@ func (s *Space) NewVar(name string, card int) *Var {
 		ref := s.mgr.NewVar()
 		v.bits = append(v.bits, s.mgr.VarOf(ref))
 	}
+	if len(v.bits) > 1 {
+		// The bits of one multi-valued variable move as an atomic block
+		// under dynamic reordering: value-level locality is what the
+		// log encoding exploits, and Eq/In/Domain rebuilds stay cheap.
+		s.mgr.GroupVars(v.bits)
+	}
 	s.vars = append(s.vars, v)
 	s.byName[name] = v
 	return v

@@ -15,12 +15,14 @@ package network
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"hsis/internal/bdd"
 	"hsis/internal/blifmv"
 	"hsis/internal/mdd"
 	"hsis/internal/order"
 	"hsis/internal/quant"
+	"hsis/internal/reorder"
 )
 
 // Options configures symbolic compilation.
@@ -40,6 +42,15 @@ type Options struct {
 	// ClusterLimit bounds the BDD size of one merged conjunct cluster in
 	// the precompiled image pipeline (0 = quant.DefaultClusterLimit).
 	ClusterLimit int
+	// ExactOrder places the names in Order verbatim: a latch's next-state
+	// variable is auto-created right after its output only when its name
+	// is absent from Order, and names unknown to the model are skipped.
+	// This is how an order saved after dynamic reordering is replayed.
+	ExactOrder bool
+	// AutoReorder arms growth-triggered sifting on the manager: when live
+	// nodes grow past the adaptive threshold, the next reachability safe
+	// point runs a converging block sift.
+	AutoReorder bool
 }
 
 // Latch pairs a source latch with its present/next-state variables.
@@ -128,24 +139,43 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 
 	// Create MDD variables in order; a latch output is immediately
 	// followed by its next-state variable (interleaved rails, ref [1]).
+	// Under ExactOrder the list is authoritative — auxiliary $ns names
+	// appear in it explicitly (order.Snapshot records them), so the
+	// auto-follow only fills in names the list does not place itself.
+	inOrder := make(map[string]bool, len(names))
+	if opts.ExactOrder {
+		for _, name := range names {
+			inOrder[name] = true
+		}
+	}
 	makeVar := func(name string) *mdd.Var {
 		if v := n.space.ByName(name); v != nil {
 			return v
 		}
 		return n.space.NewVar(name, flat.Var(name).Card)
 	}
+	cardOf := func(name string) int {
+		if l := latchByOutput[strings.TrimSuffix(name, "$ns")]; l != nil && nsName[l] == name {
+			return flat.Var(l.Output).Card
+		}
+		if mv := flat.Var(name); mv != nil {
+			return mv.Card
+		}
+		return 0
+	}
 	for _, name := range names {
 		if n.space.ByName(name) != nil {
 			continue
 		}
-		v := makeVar(name)
-		if l := latchByOutput[name]; l != nil {
-			ns := n.space.ByName(nsName[l])
-			if ns == nil {
-				card := v.Card()
-				ns = n.space.NewVar(nsName[l], card)
+		card := cardOf(name)
+		if card == 0 {
+			continue // unknown to this model (stale saved order): skip
+		}
+		n.space.NewVar(name, card)
+		if l := latchByOutput[name]; l != nil && !inOrder[nsName[l]] {
+			if n.space.ByName(nsName[l]) == nil {
+				n.space.NewVar(nsName[l], card)
 			}
-			_ = ns
 		}
 	}
 	// Any variable missed by the ordering (defensive) and auxiliary NS
@@ -174,6 +204,16 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		n.inputs = append(n.inputs, n.space.ByName(in))
 	}
 	n.perm = n.space.Permutation(n.psVars, n.nsVars)
+
+	// Each latch's present/next-state pair sifts as one block: the
+	// Permute-based rail swap is correct under any order, but keeping
+	// the rails interleaved keeps it (and image computation) cheap.
+	for _, l := range n.latches {
+		n.mgr.GroupVars(append(append([]int(nil), l.PS.Bits()...), l.NS.Bits()...))
+	}
+	if opts.AutoReorder {
+		reorder.EnableAuto(n.mgr, 0, 0, reorder.Options{Converge: true})
+	}
 
 	// Non-state variables: everything not on the PS or NS rail.
 	rail := make(map[int]bool, len(n.psBits)+len(n.nsBits))
@@ -211,6 +251,12 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		if dom := l.NS.Domain(); dom != bdd.True {
 			n.conjuncts = append(n.conjuncts, quant.Conjunct{F: dom, Support: l.NS.Bits()})
 		}
+	}
+	// The partitioned engines read the conjuncts on every image call,
+	// across GC and reorder safe points: protect them for the life of
+	// the network.
+	for _, c := range n.conjuncts {
+		n.mgr.IncRef(c.F)
 	}
 
 	// Initial states.

@@ -1,0 +1,158 @@
+package order
+
+// Order persistence: the payoff of a dynamic-reordering run is saved as
+// a plain text file — one "name cardinality" line per MDD variable, in
+// current level order — and replayed on a later run through
+// network.Options{Order: ..., ExactOrder: true}. Auxiliary next-state
+// variables (the "$ns" names the network layer invents) are recorded
+// like any other variable, so a saved order reproduces the whole rail
+// layout, not just the model-visible variables.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"hsis/internal/blifmv"
+	"hsis/internal/mdd"
+)
+
+// Entry is one variable of a saved order.
+type Entry struct {
+	Name string
+	Card int
+}
+
+// Snapshot records the space's variables in current BDD order: variables
+// are sorted by the level of their topmost encoding bit. Zero-bit
+// (cardinality-1) variables sort last, in creation order.
+func Snapshot(s *mdd.Space) []Entry {
+	m := s.Manager()
+	type at struct {
+		v     *mdd.Var
+		level int
+	}
+	vs := s.Vars()
+	ats := make([]at, 0, len(vs))
+	for _, v := range vs {
+		top := int(^uint(0) >> 1)
+		for _, b := range v.Bits() {
+			if l := m.Level(b); l < top {
+				top = l
+			}
+		}
+		ats = append(ats, at{v, top})
+	}
+	sort.SliceStable(ats, func(i, j int) bool { return ats[i].level < ats[j].level })
+	out := make([]Entry, len(ats))
+	for i, a := range ats {
+		out[i] = Entry{Name: a.v.Name(), Card: a.v.Card()}
+	}
+	return out
+}
+
+// Save writes entries as one "name cardinality" line each, preceded by a
+// comment header.
+func Save(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# hsis variable order (name cardinality), topmost level first")
+	for _, e := range entries {
+		if strings.ContainsAny(e.Name, " \t\n") {
+			return fmt.Errorf("order: variable name %q contains whitespace", e.Name)
+		}
+		fmt.Fprintf(bw, "%s %d\n", e.Name, e.Card)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the entries to path, replacing any existing file.
+func SaveFile(path string, entries []Entry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, entries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load parses a saved order. Blank lines and lines starting with # are
+// ignored.
+func Load(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("order: line %d: want \"name cardinality\", got %q", lineNo, line)
+		}
+		var card int
+		if _, err := fmt.Sscanf(fields[1], "%d", &card); err != nil || card < 1 {
+			return nil, fmt.Errorf("order: line %d: bad cardinality %q", lineNo, fields[1])
+		}
+		out = append(out, Entry{Name: fields[0], Card: card})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LoadFile reads a saved order from path.
+func LoadFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Apply validates a saved order against a flat model and returns the
+// name list for network.Options{Order: ..., ExactOrder: true}. Every
+// entry must name a model variable — or an auxiliary next-state
+// variable "<latch output>$ns" of the model — with a matching
+// cardinality; a mismatch means the order file is stale for this model.
+// Model variables absent from the file are allowed (the network appends
+// them after the listed prefix).
+func Apply(flat *blifmv.Model, entries []Entry) ([]string, error) {
+	latchOut := make(map[string]bool, len(flat.Latches))
+	for _, l := range flat.Latches {
+		latchOut[l.Output] = true
+	}
+	names := make([]string, 0, len(entries))
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if seen[e.Name] {
+			return nil, fmt.Errorf("order: variable %q listed twice", e.Name)
+		}
+		seen[e.Name] = true
+		// Look the name up without Model.Var, which would silently
+		// declare unknown names as fresh binary variables.
+		card := 0
+		if mv, ok := flat.Vars[e.Name]; ok {
+			card = mv.Card
+		} else if base, isNS := strings.CutSuffix(e.Name, "$ns"); isNS && latchOut[base] {
+			card = flat.Vars[base].Card
+		} else {
+			return nil, fmt.Errorf("order: %q is not a variable of model %s (stale order file?)", e.Name, flat.Name)
+		}
+		if card != e.Card {
+			return nil, fmt.Errorf("order: %s has cardinality %d in the model but %d in the order file (stale order file?)",
+				e.Name, card, e.Card)
+		}
+		names = append(names, e.Name)
+	}
+	return names, nil
+}

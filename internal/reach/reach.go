@@ -107,6 +107,23 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 		if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
 			return res
 		}
+		// Safe point: between image steps every Ref the loop still needs
+		// is known, so an armed auto-reorder can run here under the GC
+		// protection contract. ReorderPending gates the IncRef traffic to
+		// the (rare) iterations where a sift actually fires.
+		if m.ReorderPending() {
+			m.IncRef(res.Reached)
+			m.IncRef(frontier)
+			for _, r := range res.Rings {
+				m.IncRef(r)
+			}
+			m.MaybeReorder()
+			for _, r := range res.Rings {
+				m.DecRef(r)
+			}
+			m.DecRef(frontier)
+			m.DecRef(res.Reached)
+		}
 		next := img(frontier)
 		frontier = m.Diff(next, res.Reached)
 		if frontier == bdd.False {
@@ -136,6 +153,16 @@ func Backward(n *network.Network, target, care bdd.Ref, kind EngineKind) bdd.Ref
 	reached := m.And(target, care)
 	frontier := reached
 	for frontier != bdd.False {
+		// Safe point (see ForwardFrom).
+		if m.ReorderPending() {
+			m.IncRef(reached)
+			m.IncRef(frontier)
+			m.IncRef(care)
+			m.MaybeReorder()
+			m.DecRef(care)
+			m.DecRef(frontier)
+			m.DecRef(reached)
+		}
 		prev := m.And(pre(frontier), care)
 		frontier = m.Diff(prev, reached)
 		reached = m.Or(reached, frontier)
@@ -151,6 +178,8 @@ func EarlyFailure(n *network.Network, bad bdd.Ref, maxSteps int) int {
 	m := n.Manager()
 	step := -1
 	count := 0
+	m.IncRef(bad) // the Stop closure reads bad across reorder safe points
+	defer m.DecRef(bad)
 	ForwardFrom(n, n.Init, Options{
 		MaxSteps: maxSteps,
 		Stop: func(reached bdd.Ref) bool {

@@ -1,0 +1,229 @@
+// Package reorder implements dynamic variable reordering for the BDD
+// kernel: Rudell-style sifting with a max-growth abort and optional
+// converging passes, generalized to atomic variable blocks so MDD
+// log-encoded bit groups and interleaved present/next-state pairs move
+// as units. The kernel half — the in-place adjacent-level swap that
+// keeps protected Refs valid — lives in internal/bdd; this package is
+// the search strategy on top of it.
+//
+// Sift follows the GC protection contract: every Ref the caller needs
+// afterwards must be protected by IncRef, directly or transitively.
+// Protected functions are preserved exactly (same Ref, same function);
+// unprotected nodes may be reclaimed.
+package reorder
+
+import (
+	"sort"
+
+	"hsis/internal/bdd"
+)
+
+// Options tunes one sifting run.
+type Options struct {
+	// MaxGrowth bounds how far the node count may rise above the best
+	// size seen while one block is in motion before the move aborts in
+	// that direction (Rudell's maxGrowth; default 1.2).
+	MaxGrowth float64
+	// Converge repeats whole sifting passes until one fails to shrink
+	// the manager, bounded by MaxPasses.
+	Converge bool
+	// MaxPasses caps converging passes (default 4).
+	MaxPasses int
+}
+
+// Result reports one sifting run.
+type Result struct {
+	Before, After int // live nodes entering/leaving the run
+	Swaps         int // adjacent-level swaps performed
+	Passes        int // sifting passes completed
+}
+
+// block is a run of adjacent levels that moves as a unit.
+type block struct {
+	id    int // identity, stable across moves
+	level int // topmost level currently occupied
+	width int // number of levels
+}
+
+// Sift reorders the manager's variables by block sifting: each block in
+// turn is bubbled through the whole order and settled at the position
+// minimizing the live node count. A GC runs first so sifting measures
+// (and moves) only what the protected roots reach.
+func Sift(m *bdd.Manager, opts Options) Result {
+	growth := opts.MaxGrowth
+	if growth <= 1 {
+		growth = 1.2
+	}
+	passes := opts.MaxPasses
+	if passes <= 0 {
+		passes = 4
+	}
+	if !opts.Converge {
+		passes = 1
+	}
+	m.GC()
+	res := Result{Before: m.Size(), After: m.Size()}
+	blocks := materializeBlocks(m)
+	if len(blocks) < 2 {
+		return res
+	}
+	s := m.StartReorder()
+	for p := 0; p < passes; p++ {
+		startSize := m.Size()
+		for _, id := range blockOrder(s, blocks) {
+			siftBlock(m, s, blocks, indexOf(blocks, id), growth)
+		}
+		res.Passes++
+		if m.Size() >= startSize {
+			break
+		}
+	}
+	res.After = m.Size()
+	res.Swaps = s.Swaps()
+	s.Close()
+	return res
+}
+
+// EnableAuto arms growth-triggered sifting on m: when live nodes exceed
+// grow times the count at the last (re-)arming — at least minNodes —
+// the next kernel safe point (Manager.MaybeReorder, called between
+// fixpoint iterations, or MaybeGC) runs Sift with the given options and
+// re-arms the trigger. grow <= 1 selects 2x, minNodes <= 0 selects 4096.
+func EnableAuto(m *bdd.Manager, grow float64, minNodes int, opts Options) {
+	if grow <= 1 {
+		grow = 2
+	}
+	if minNodes <= 0 {
+		minNodes = 1 << 12
+	}
+	m.SetAutoReorder(grow, minNodes, func(m *bdd.Manager) { Sift(m, opts) })
+}
+
+// DisableAuto removes the automatic sifting hook and resets the policy.
+func DisableAuto(m *bdd.Manager) { m.SetAutoReorder(0, 0, nil) }
+
+// materializeBlocks projects the registered variable groups onto the
+// current order: a maximal run of adjacent levels whose variables all
+// belong to one group forms a block, every other level is a singleton.
+// (Group variables that are not currently adjacent fall into separate
+// blocks — registration at creation time keeps them adjacent, and block
+// moves preserve that.)
+func materializeBlocks(m *bdd.Manager) []block {
+	n := m.NumVars()
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for gi, g := range m.VarGroups() {
+		for _, v := range g {
+			groupOf[v] = gi
+		}
+	}
+	var blocks []block
+	for l := 0; l < n; {
+		width := 1
+		if g := groupOf[m.VarAtLevel(l)]; g >= 0 {
+			for l+width < n && groupOf[m.VarAtLevel(l+width)] == g {
+				width++
+			}
+		}
+		blocks = append(blocks, block{id: len(blocks), level: l, width: width})
+		l += width
+	}
+	return blocks
+}
+
+// blockOrder returns block ids heaviest-first: sifting the most
+// populated levels first realizes the biggest reductions early, which
+// tightens the max-growth bound for every later move.
+func blockOrder(s *bdd.ReorderSession, blocks []block) []int {
+	type weighted struct{ id, nodes int }
+	ws := make([]weighted, len(blocks))
+	for i, b := range blocks {
+		w := 0
+		for l := b.level; l < b.level+b.width; l++ {
+			w += s.LevelSize(l)
+		}
+		ws[i] = weighted{b.id, w}
+	}
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].nodes > ws[j].nodes })
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		out[i] = w.id
+	}
+	return out
+}
+
+func indexOf(blocks []block, id int) int {
+	for i, b := range blocks {
+		if b.id == id {
+			return i
+		}
+	}
+	panic("reorder: unknown block id")
+}
+
+// siftBlock bubbles blocks[idx] to both ends of the order (nearer end
+// first), tracking the best position seen, aborting a direction once
+// the node count exceeds growth times the best, and finally settling
+// the block at its best position.
+func siftBlock(m *bdd.Manager, s *bdd.ReorderSession, blocks []block, idx int, growth float64) {
+	n := len(blocks)
+	best := m.Size()
+	bestPos := idx
+	cur := idx
+	down := func() {
+		for cur < n-1 {
+			swapBlocks(s, blocks, cur)
+			cur++
+			if sz := m.Size(); sz < best {
+				best, bestPos = sz, cur
+			} else if float64(sz) > growth*float64(best) {
+				return
+			}
+		}
+	}
+	up := func() {
+		for cur > 0 {
+			swapBlocks(s, blocks, cur-1)
+			cur--
+			if sz := m.Size(); sz < best {
+				best, bestPos = sz, cur
+			} else if float64(sz) > growth*float64(best) {
+				return
+			}
+		}
+	}
+	if idx >= n/2 {
+		down()
+		up()
+	} else {
+		up()
+		down()
+	}
+	for cur < bestPos {
+		swapBlocks(s, blocks, cur)
+		cur++
+	}
+	for cur > bestPos {
+		swapBlocks(s, blocks, cur-1)
+		cur--
+	}
+}
+
+// swapBlocks exchanges the adjacent blocks at positions j and j+1 with
+// width(x)*width(y) adjacent-level swaps, preserving the internal order
+// of both.
+func swapBlocks(s *bdd.ReorderSession, blocks []block, j int) {
+	x, y := blocks[j], blocks[j+1]
+	p := x.level
+	// Bubble each level of y in turn up through all of x.
+	for k := 0; k < y.width; k++ {
+		for t := p + x.width + k; t > p+k; t-- {
+			s.Swap(t - 1)
+		}
+	}
+	y.level = p
+	x.level = p + y.width
+	blocks[j], blocks[j+1] = y, x
+}

@@ -17,6 +17,9 @@ import (
 )
 
 // Simulator is an interactive stepping session over a compiled network.
+// The session owns one manager reference on the current set and one per
+// history entry, so its state survives garbage collections and dynamic
+// reorders run between commands.
 type Simulator struct {
 	N *network.Network
 
@@ -27,7 +30,7 @@ type Simulator struct {
 
 // New starts a session at the network's initial states.
 func New(n *network.Network) *Simulator {
-	return &Simulator{N: n, current: n.Init}
+	return &Simulator{N: n, current: n.Manager().IncRef(n.Init)}
 }
 
 // Current returns the current state set.
@@ -41,8 +44,9 @@ func (s *Simulator) Count() float64 { return s.N.NumStates(s.current) }
 
 // Step advances the whole current set one clock tick.
 func (s *Simulator) Step() {
+	next := reach.Image(s.N, s.current)
 	s.push()
-	s.current = reach.Image(s.N, s.current)
+	s.current = s.N.Manager().IncRef(next)
 }
 
 // StepWith advances under a constraint on the step's variables (inputs,
@@ -50,14 +54,14 @@ func (s *Simulator) Step() {
 // The constraint is applied before non-state variables are quantified,
 // so it can pin primary inputs to chosen values.
 func (s *Simulator) StepWith(constraint bdd.Ref) {
-	s.push()
 	m := s.N.Manager()
 	conjs := append(append([]quant.Conjunct(nil), s.N.Conjuncts()...),
 		quant.Conjunct{F: s.current, Support: s.N.PSBits()},
 		quant.Conjunct{F: constraint, Support: m.Support(constraint)})
 	qvars := append(append([]int(nil), s.N.NonStateBits()...), s.N.PSBits()...)
 	next := quant.AndExists(m, conjs, qvars, s.N.Heuristic())
-	s.current = s.N.SwapRails(next)
+	s.push()
+	s.current = m.IncRef(s.N.SwapRails(next))
 }
 
 // Focus restricts the current set to its intersection with the given
@@ -69,7 +73,7 @@ func (s *Simulator) Focus(set bdd.Ref) error {
 		return fmt.Errorf("sim: focus set does not intersect the current states")
 	}
 	s.push()
-	s.current = nxt
+	s.current = m.IncRef(nxt)
 	s.steps-- // focusing is not a clock step
 	return nil
 }
@@ -79,6 +83,7 @@ func (s *Simulator) Back() bool {
 	if len(s.history) == 0 {
 		return false
 	}
+	s.N.Manager().DecRef(s.current)
 	s.current = s.history[len(s.history)-1]
 	s.history = s.history[:len(s.history)-1]
 	if s.steps > 0 {
@@ -89,7 +94,12 @@ func (s *Simulator) Back() bool {
 
 // Reset returns to the initial states and clears history.
 func (s *Simulator) Reset() {
-	s.current = s.N.Init
+	m := s.N.Manager()
+	m.DecRef(s.current)
+	for _, h := range s.history {
+		m.DecRef(h)
+	}
+	s.current = m.IncRef(s.N.Init)
 	s.history = nil
 	s.steps = 0
 }
