@@ -1,12 +1,13 @@
 # Developer convenience targets. `make check` is the full pre-commit
-# gate: vet, build, race-enabled tests, and a one-iteration smoke run of
-# the kernel benchmarks.
+# gate: vet, build, race-enabled tests (which cover the armed-telemetry
+# paths, including the background live-node sampler), a one-iteration
+# smoke run of the kernel benchmarks, and a traced end-to-end shell run.
 
 GO ?= go
 
-.PHONY: check vet build test bench-smoke bench bench-reorder bench-all
+.PHONY: check vet build test bench-smoke trace-smoke bench bench-reorder bench-all
 
-check: vet build test bench-smoke
+check: vet build test bench-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -14,8 +15,24 @@ vet:
 build:
 	$(GO) build ./...
 
+# -race also exercises the telemetry layer: the tracer tests arm a
+# process-wide sink and run the sampler goroutine against kernel gauge
+# publications, so a data race between the kernel and the sampler fails
+# here.
 test:
 	$(GO) test -race ./...
+
+# End-to-end traced run: reachability plus a property check on a bundled
+# design with -trace, verifying the shell emits a parseable JSONL trace
+# and a summary without disturbing the verification result.
+trace-smoke:
+	@tmp=$$(mktemp -d); \
+	printf 'read_builtin mdlc2\ncompute_reach\ncheck_all\nquit\n' \
+		| $(GO) run ./cmd/hsis -trace $$tmp/run.jsonl > $$tmp/out.txt \
+		&& grep -q 'telemetry summary' $$tmp/out.txt \
+		&& test -s $$tmp/run.jsonl \
+		&& echo "trace-smoke: ok ($$(wc -l < $$tmp/run.jsonl) events)"; \
+	status=$$?; rm -rf $$tmp; exit $$status
 
 # One iteration of the kernel benchmarks (image pipeline plus the
 # negation-heavy sweep): enough to catch a regression that breaks an
@@ -25,7 +42,10 @@ bench-smoke:
 	$(GO) test -bench='BenchmarkImage|BenchmarkNegationHeavy' -benchtime=1x -run='^$$' .
 
 # The kernel benchmarks with allocation stats, recorded to
-# BENCH_bdd.json for comparison across commits.
+# BENCH_bdd.json for comparison across commits. The benchmarks report
+# the unified Statistics.BenchMetrics set (peak-live-nodes,
+# peak-bdd-nodes, cache-hit-%), so benchjson lands the telemetry
+# summary's headline numbers in the JSON alongside ns/op.
 bench:
 	$(GO) test -bench='BenchmarkImage|BenchmarkNegationHeavy' -benchmem -benchtime=3x -run='^$$' . \
 		| tee /dev/stderr \

@@ -347,9 +347,13 @@ func BenchmarkImage(b *testing.B) {
 					}
 				}
 				b.StopTimer()
-				st := n.Manager().Stats()
-				b.ReportMetric(float64(n.Manager().PeakSize()), "peak-bdd-nodes")
-				b.ReportMetric(100*st.QuantHitRate(), "cache-hit-%")
+				// The unified stats formatter decides what the benchmark
+				// records, so BENCH_bdd.json and the telemetry summary
+				// report the same metric set (peak-live, peak-alloc,
+				// quantifier-cache hit rate).
+				for metric, v := range n.Manager().Stats().BenchMetrics() {
+					b.ReportMetric(v, metric)
+				}
 			})
 		}
 	}
@@ -393,6 +397,9 @@ func BenchmarkNegationHeavy(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(m.Size()), "live-bdd-nodes")
+			for metric, v := range m.Stats().BenchMetrics() {
+				b.ReportMetric(v, metric)
+			}
 			m.DecRef(reached)
 		})
 	}

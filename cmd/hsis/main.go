@@ -23,12 +23,17 @@
 //	write_blif_mv <file> / write_dot <file>
 //	bisim_classes                   bisimulation equivalence classes
 //	sim_init / sim_step [n] / sim_step_with <expr> / sim_states [max] / sim_back
+//	trace on [file.jsonl] / trace off
 //	quit
 //
 // Flags: -reorder off|manual|auto selects the dynamic-reordering policy
 // for designs loaded afterwards; -order <file> seeds the variable order
 // from a saved .order file (written by write_order); -stats prints BDD
-// statistics after checking commands.
+// statistics after checking commands; -trace <file.jsonl> arms the
+// telemetry layer for the whole session and writes one JSON event per
+// line (fixpoint iterations, GCs, reorders, cache growth, node samples),
+// printing the telemetry summary at exit; -profile <dir> captures
+// cpu.pprof over the run and heap.pprof at exit.
 package main
 
 import (
@@ -50,6 +55,7 @@ import (
 	"hsis/internal/quant"
 	"hsis/internal/refine"
 	"hsis/internal/sim"
+	"hsis/internal/telemetry"
 	"hsis/internal/verilog"
 )
 
@@ -68,6 +74,10 @@ func main() {
 		"dynamic variable reordering policy: off, manual or auto")
 	orderFlag := flag.String("order", "",
 		"seed the variable order from a saved .order file (see write_order)")
+	traceFlag := flag.String("trace", "",
+		"write a JSONL telemetry trace of the whole session to this file")
+	profileFlag := flag.String("profile", "",
+		"write cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
 	sh := &shell{
 		out:   bufio.NewWriter(os.Stdout),
@@ -75,6 +85,32 @@ func main() {
 		opts:  core.Options{Reorder: *reorderFlag, OrderFile: *orderFlag},
 	}
 	defer sh.out.Flush()
+	if *traceFlag != "" {
+		if err := sh.traceOn(*traceFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "hsis:", err)
+			os.Exit(1)
+		}
+	}
+	// A traced session prints its summary on every exit path (quit, EOF).
+	defer func() {
+		if telemetry.Enabled() {
+			if err := sh.traceOff(); err != nil {
+				fmt.Fprintln(sh.out, "error:", err)
+			}
+		}
+	}()
+	if *profileFlag != "" {
+		stop, err := telemetry.StartProfiling(*profileFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hsis:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(sh.out, "error:", err)
+			}
+		}()
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	interactive := isTerminal()
 	if interactive {
@@ -111,8 +147,31 @@ func (sh *shell) exec(line string) error {
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
 	case "help":
-		fmt.Fprintln(sh.out, "commands: read_verilog read_blif_mv read_pif read_builtin print_stats compute_reach check_ctl lang_contain check_all explain_ctl check_refine quant_schedule reorder write_order write_blif_mv write_dot bisim_classes sim_init sim_step sim_step_with sim_states sim_back quit")
+		fmt.Fprintln(sh.out, "commands: read_verilog read_blif_mv read_pif read_builtin print_stats compute_reach check_ctl lang_contain check_all explain_ctl check_refine quant_schedule reorder write_order write_blif_mv write_dot bisim_classes sim_init sim_step sim_step_with sim_states sim_back trace quit")
 		return nil
+	case "trace":
+		// trace on [file.jsonl] arms the telemetry layer mid-session;
+		// trace off prints the summary and closes the trace file.
+		if len(args) == 0 {
+			if t := telemetry.T(); t != nil {
+				fmt.Fprintf(sh.out, "tracing is on (%d events)\n", t.Events())
+			} else {
+				fmt.Fprintln(sh.out, "tracing is off")
+			}
+			return nil
+		}
+		switch args[0] {
+		case "on":
+			path := "trace.jsonl"
+			if len(args) > 1 {
+				path = args[1]
+			}
+			return sh.traceOn(path)
+		case "off":
+			return sh.traceOff()
+		default:
+			return fmt.Errorf("usage: trace on [file.jsonl] | trace off")
+		}
 	case "read_verilog":
 		if len(args) < 1 {
 			return fmt.Errorf("usage: read_verilog <file.v> [top]")
@@ -185,7 +244,10 @@ func (sh *shell) exec(line string) error {
 		fmt.Fprintf(sh.out, "design %s: %d latches, %d state bits, %d tables, %d BDD nodes in manager\n",
 			sh.w.Name, len(n.Latches()), len(n.PSBits()), len(n.Conjuncts()), n.Manager().Size())
 		fmt.Fprintf(sh.out, "transition relation: %d BDD nodes\n", n.Manager().NodeCount(n.T))
-		fmt.Fprintln(sh.out, n.Manager().Stats())
+		n.Manager().Stats().WriteTable(sh.out)
+		if t := telemetry.T(); t != nil {
+			fmt.Fprintf(sh.out, "  %-22s %d events\n", "telemetry", t.Events())
+		}
 		fmt.Fprintln(sh.out, n.Model().FindNondeterminism())
 		return nil
 	case "compute_reach":
@@ -494,11 +556,49 @@ func (sh *shell) exec(line string) error {
 
 // maybeStats prints the BDD manager's operation counters (unique-table
 // size, op-cache hit rates including the quantifier and and-exists
-// caches) when the shell was started with -stats.
+// caches) when the shell was started with -stats. It shares the
+// formatter with print_stats and the telemetry summary.
 func (sh *shell) maybeStats() {
 	if sh.stats && sh.w != nil {
-		fmt.Fprintln(sh.out, sh.w.Net.Manager().Stats())
+		sh.w.Net.Manager().Stats().WriteTable(sh.out)
 	}
+}
+
+// traceOn arms the process-wide telemetry layer, writing JSONL events to
+// path and sampling live-node gauges in the background.
+func (sh *shell) traceOn(path string) error {
+	if telemetry.Enabled() {
+		return fmt.Errorf("tracing is already on (trace off first)")
+	}
+	tr, err := telemetry.OpenTrace(path)
+	if err != nil {
+		return err
+	}
+	tr.StartSampler(0)
+	telemetry.Arm(tr)
+	fmt.Fprintf(sh.out, "tracing to %s\n", path)
+	return nil
+}
+
+// traceOff disarms the tracer, stamps the final BDD statistics into the
+// trace, prints the end-of-run summary and closes the trace file.
+func (sh *shell) traceOff() error {
+	tr := telemetry.Disarm()
+	if tr == nil {
+		return fmt.Errorf("tracing is not on")
+	}
+	statsBlock := ""
+	if sh.w != nil {
+		st := sh.w.Net.Manager().Stats()
+		// Final timeline point: small runs may never cross a kernel
+		// publish checkpoint, and the summary's last sample should be
+		// the end-of-session state either way.
+		tr.RecordSample(int64(st.LiveNodes), int64(st.PeakLive))
+		tr.Emit("bdd.stats", st.TelemetryFields()...)
+		statsBlock = st.Table()
+	}
+	fmt.Fprint(sh.out, tr.Summary(statsBlock))
+	return tr.Close()
 }
 
 func (sh *shell) need() error {

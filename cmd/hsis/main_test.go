@@ -40,11 +40,53 @@ func TestShellBuiltinFlow(t *testing.T) {
 		"PASS",
 		"mutex",
 		"no_double_hit",
-		"cache hits",
+		"apply cache", // the unified statistics table
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestShellTraceCommand(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.jsonl")
+	sh, buf := newTestShell()
+	out := run(t, sh, buf,
+		"read_builtin pingpong",
+		"trace on "+trace,
+		"compute_reach",
+		"trace", // status query
+		"trace off",
+	)
+	for _, want := range []string{
+		"tracing to " + trace,
+		"tracing is on",
+		"telemetry summary",
+		"reach.iter",
+		"node growth",
+		"apply cache", // the stats block rides along in the summary
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ev":"reach.start"`) ||
+		!strings.Contains(string(data), `"ev":"bdd.stats"`) {
+		t.Fatalf("trace file missing events:\n%s", data)
+	}
+	// Double arming and double disarming both error.
+	run(t, sh, buf, "trace on "+trace)
+	if err := sh.exec("trace on " + trace); err == nil {
+		t.Error("second trace on should error")
+	}
+	run(t, sh, buf, "trace off")
+	if err := sh.exec("trace off"); err == nil {
+		t.Error("trace off when off should error")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"hsis/internal/core"
 	"hsis/internal/designs"
 	"hsis/internal/quant"
+	"hsis/internal/telemetry"
 )
 
 // row is one line of the regenerated table.
@@ -87,7 +88,38 @@ func main() {
 	noFast := flag.Bool("no-invariant-fastpath", false, "disable the AG(prop) fast path (Ablation B)")
 	coi := flag.Bool("coi", false, "cone-of-influence abstraction per property (Ablation G)")
 	reorderPolicy := flag.String("reorder", "off", "dynamic variable reordering policy: off, manual or auto")
+	traceFlag := flag.String("trace", "", "write a JSONL telemetry trace of the run to this file")
+	profileFlag := flag.String("profile", "", "write cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
+
+	if *traceFlag != "" {
+		tr, err := telemetry.OpenTrace(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		tr.StartSampler(0)
+		telemetry.Arm(tr)
+		defer func() {
+			telemetry.Disarm()
+			fmt.Print(tr.Summary(""))
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "table1:", err)
+			}
+		}()
+	}
+	if *profileFlag != "" {
+		stop, err := telemetry.StartProfiling(*profileFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "table1:", err)
+			}
+		}()
+	}
 
 	opts := core.Options{
 		EarlySteps:               *early,

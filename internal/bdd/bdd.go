@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"math/bits"
 	"time"
+
+	"hsis/internal/telemetry"
 )
 
 // Ref is a handle to a BDD node inside a Manager, with the sign bit
@@ -147,6 +149,11 @@ type Manager struct {
 	statReorderTime  time.Duration
 	reorderBefore    int // manager size entering the last reorder
 	reorderAfter     int // manager size leaving the last reorder
+
+	// statsSnap is the coherent Statistics snapshot taken when a reorder
+	// session opens; Stats() serves it while the session is rewriting the
+	// arena (see stats.go).
+	statsSnap Statistics
 }
 
 type iteEntry struct {
@@ -358,8 +365,15 @@ func (m *Manager) mkNode(level int32, low, high Ref) Ref {
 	}
 	if m.allocs++; m.allocs&(cacheAdaptEvery-1) == 0 {
 		// Allocation-driven adaptation point: lets the caches grow in
-		// the middle of a long recursion that never reaches a GC.
+		// the middle of a long recursion that never reaches a GC. It is
+		// also the periodic checkpoint where the kernel publishes its
+		// node counts for the telemetry sampler — off the per-allocation
+		// hot path, but frequent enough that a blowup shows up in the
+		// timeline while it happens.
 		m.adaptCaches()
+		if telemetry.Enabled() {
+			telemetry.PublishNodes(m.Size(), m.peakLive)
+		}
 	}
 	return r
 }

@@ -1,5 +1,7 @@
 package bdd
 
+import "hsis/internal/telemetry"
+
 // The adaptive operation-cache layer. The four direct-mapped caches
 // (ITE, binary ops, Exists, AndExists) start at fixed power-of-two sizes
 // and grow on demand: when a cache shows a sustained hit-rate collapse —
@@ -56,6 +58,21 @@ const (
 	cacheAex
 	numCaches
 )
+
+func (id cacheID) String() string {
+	switch id {
+	case cacheITE:
+		return "ite"
+	case cacheBinop:
+		return "apply"
+	case cacheQuant:
+		return "quant"
+	case cacheAex:
+		return "andexists"
+	default:
+		return "unknown"
+	}
+}
 
 // cacheWindow tracks one cache's counters at the last adaptation check.
 type cacheWindow struct {
@@ -201,6 +218,26 @@ func (m *Manager) growCache(id cacheID) {
 		}
 	}
 	m.statCacheGrowths++
+	if t := telemetry.T(); t != nil {
+		t.Emit("bdd.cache_grow",
+			telemetry.Str("cache", id.String()),
+			telemetry.Int("entries", m.cacheLen(id)),
+			telemetry.Int("total_entries", m.totalCacheEntries()))
+	}
+}
+
+// cacheLen returns the current entry count of one cache.
+func (m *Manager) cacheLen(id cacheID) int {
+	switch id {
+	case cacheITE:
+		return len(m.ite)
+	case cacheBinop:
+		return len(m.binop)
+	case cacheQuant:
+		return len(m.quant)
+	default:
+		return len(m.aex)
+	}
 }
 
 // clearCaches wipes all four operation caches and resizes each toward

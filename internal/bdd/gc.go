@@ -1,6 +1,11 @@
 package bdd
 
-import "math/bits"
+import (
+	"math/bits"
+	"time"
+
+	"hsis/internal/telemetry"
+)
 
 // Reference counting and garbage collection. External code that must
 // keep a BDD alive across a GC point calls IncRef; the verification
@@ -38,6 +43,10 @@ func (m *Manager) DecRef(f Ref) {
 func (m *Manager) GC() {
 	if m.session != nil {
 		panic("bdd: GC during an active reorder session")
+	}
+	var gcStart time.Time
+	if telemetry.Enabled() {
+		gcStart = time.Now()
 	}
 	m.resetMarks()
 	m.setMark(0) // the terminal is always live
@@ -94,6 +103,14 @@ func (m *Manager) GC() {
 		m.clearCaches(demand)
 	}
 	m.adaptCaches()
+	if t := telemetry.T(); t != nil {
+		telemetry.PublishNodes(m.Size(), m.peakLive)
+		t.Emit("bdd.gc",
+			telemetry.Int("live", live),
+			telemetry.Int("dead", len(m.nodes)-live),
+			telemetry.Int("kept_cache_entries", m.statCacheKept),
+			telemetry.I64("elapsed_us", time.Since(gcStart).Microseconds()))
+	}
 	if m.OnGC != nil {
 		m.OnGC(live, len(m.nodes)-live)
 	}

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"hsis/internal/telemetry"
 )
 
 // ReorderPolicy names the dynamic-reordering modes the CLIs surface as
@@ -102,6 +104,12 @@ type ReorderSession struct {
 func (m *Manager) StartReorder() *ReorderSession {
 	if m.session != nil {
 		panic("bdd: StartReorder with a reorder session already active")
+	}
+	// Freeze a coherent Statistics snapshot before the session starts
+	// rewriting the arena; Stats() serves it until Close.
+	m.statsSnap = m.statsNow()
+	if t := telemetry.T(); t != nil {
+		t.Emit("bdd.reorder_start", telemetry.Int("live", m.Size()))
 	}
 	s := &ReorderSession{
 		m:       m,
@@ -362,6 +370,14 @@ func (s *ReorderSession) Close() {
 	m.statReorderTime += time.Since(s.start)
 	m.reorderBefore = s.before
 	m.reorderAfter = m.Size()
+	if t := telemetry.T(); t != nil {
+		telemetry.PublishNodes(m.Size(), m.peakLive)
+		t.Emit("bdd.reorder_end",
+			telemetry.Int("swaps", s.swaps),
+			telemetry.Int("before", s.before),
+			telemetry.Int("after", m.Size()),
+			telemetry.I64("elapsed_us", time.Since(s.start).Microseconds()))
+	}
 }
 
 func (s *ReorderSession) isFree(r Ref) bool {

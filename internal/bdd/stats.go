@@ -2,7 +2,11 @@ package bdd
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"time"
+
+	"hsis/internal/telemetry"
 )
 
 // Statistics reports operation and cache-effectiveness counters, the
@@ -85,8 +89,83 @@ func (s Statistics) QuantHitRate() float64 {
 	return ratio(s.QuantHits+s.AndExistsHits, s.QuantCalls+s.AndExistsCalls)
 }
 
-// Stats snapshots the manager's counters.
+// WriteTable renders the statistics as an aligned name/value table —
+// the one formatter behind the shell's print_stats, the CLIs' -stats
+// output and the telemetry summary's statistics block.
+func (s Statistics) WriteTable(w io.Writer) {
+	row := func(name string, format string, args ...any) {
+		fmt.Fprintf(w, "  %-22s %s\n", name, fmt.Sprintf(format, args...))
+	}
+	row("variables", "%d", s.Variables)
+	row("nodes live/alloc", "%d / %d", s.LiveNodes, s.AllocatedNodes)
+	row("peak alloc / live", "%d / %d", s.PeakNodes, s.PeakLive)
+	row("gcs", "%d", s.GCs)
+	row("complement-shared", "%d", s.ComplementShared)
+	row("apply cache", "%.1f%% of %d calls (%d entries)",
+		100*ratio(s.ApplyHits, s.ApplyCalls), s.ApplyCalls, s.ApplyCacheEntries)
+	row("ite cache", "%.1f%% of %d calls (%d entries)",
+		100*ratio(s.ITEHits, s.ITECalls), s.ITECalls, s.ITECacheEntries)
+	row("quant cache", "%.1f%% of %d calls (%d entries)",
+		100*ratio(s.QuantHits, s.QuantCalls), s.QuantCalls, s.QuantCacheEntries)
+	row("andexists cache", "%.1f%% of %d calls (%d entries)",
+		100*ratio(s.AndExistsHits, s.AndExistsCalls), s.AndExistsCalls, s.AndExistsCacheEntries)
+	row("cache growths/kept", "%d / %d", s.CacheGrowths, s.CacheEntriesKept)
+	if s.Reorders > 0 {
+		row("reorders", "%d (%d swaps in %v; last %d -> %d nodes)",
+			s.Reorders, s.ReorderSwaps, s.ReorderTime.Round(time.Millisecond),
+			s.ReorderNodesBefore, s.ReorderNodesAfter)
+	}
+}
+
+// Table returns WriteTable's rendering as a string.
+func (s Statistics) Table() string {
+	var sb strings.Builder
+	s.WriteTable(&sb)
+	return sb.String()
+}
+
+// BenchMetrics returns the statistics the benchmark harness records
+// alongside ns/op, keyed by the metric names benchjson emits into
+// BENCH_*.json (peak-live and hit-rate trajectories).
+func (s Statistics) BenchMetrics() map[string]float64 {
+	return map[string]float64{
+		"peak-live-nodes": float64(s.PeakLive),
+		"peak-bdd-nodes":  float64(s.PeakNodes),
+		"cache-hit-%":     100 * s.QuantHitRate(),
+	}
+}
+
+// TelemetryFields renders the headline statistics as telemetry fields,
+// for the "bdd.stats" event the CLIs emit when a traced run ends.
+func (s Statistics) TelemetryFields() []telemetry.Field {
+	return []telemetry.Field{
+		telemetry.Int("vars", s.Variables),
+		telemetry.Int("live", s.LiveNodes),
+		telemetry.Int("peak_live", s.PeakLive),
+		telemetry.Int("peak_alloc", s.PeakNodes),
+		telemetry.Int("gcs", s.GCs),
+		telemetry.Int("reorders", s.Reorders),
+		telemetry.F64("quant_hit_rate", s.QuantHitRate()),
+		telemetry.F64("apply_hit_rate", ratio(s.ApplyHits, s.ApplyCalls)),
+		telemetry.F64("ite_hit_rate", ratio(s.ITEHits, s.ITECalls)),
+	}
+}
+
+// Stats snapshots the manager's counters. While a reorder session is
+// open the node arena, the unique table and the cache arrays are all
+// mid-rewrite, so Stats returns the coherent snapshot taken at the
+// session boundary instead of reading half-swapped state — telemetry
+// samples and shell commands never observe a partially reordered level.
 func (m *Manager) Stats() Statistics {
+	if m.session != nil {
+		return m.statsSnap
+	}
+	return m.statsNow()
+}
+
+// statsNow collects the counters directly; callers must ensure no
+// reorder session is rewriting the arena.
+func (m *Manager) statsNow() Statistics {
 	return Statistics{
 		ApplyCalls:     m.statApplyCalls,
 		ApplyHits:      m.statApplyHits,

@@ -24,6 +24,7 @@ import (
 	"hsis/internal/reach"
 	"hsis/internal/reorder"
 	"hsis/internal/sys"
+	"hsis/internal/telemetry"
 )
 
 // Options tunes the verification flow.
@@ -356,7 +357,19 @@ func (w *Workspace) CheckCTL(p pif.CTLProp) *PropertyResult {
 	}
 	out.Pass = v.Pass
 	out.UsedInvariantPath = v.UsedInvariantPath
+	emitPropCheck(out)
 	return out
+}
+
+// emitPropCheck reports one finished property check to the armed tracer.
+func emitPropCheck(r *PropertyResult) {
+	if t := telemetry.T(); t != nil {
+		t.Emit("prop.check",
+			telemetry.Str("name", r.Name),
+			telemetry.Str("kind", string(r.Kind)),
+			telemetry.Bool("pass", r.Pass),
+			telemetry.I64("elapsed_us", r.Time.Microseconds()))
+	}
 }
 
 // CheckLC verifies one automaton property by language containment.
@@ -401,6 +414,7 @@ func (w *Workspace) CheckLC(spec *pif.AutSpec) *PropertyResult {
 		}
 	}
 	out.Time = time.Since(start)
+	emitPropCheck(out)
 	return out
 }
 

@@ -9,6 +9,7 @@ import (
 	"hsis/internal/network"
 	"hsis/internal/reach"
 	"hsis/internal/sys"
+	"hsis/internal/telemetry"
 )
 
 // Checker evaluates fair CTL formulas over a symbolic transition system.
@@ -248,8 +249,19 @@ func (c *Checker) satEU(l, r Formula) (bdd.Ref, error) {
 		return bdd.False, err
 	}
 	y := m.And(q, c.Fair())
+	t := telemetry.T()
+	iter := 0
 	for {
+		var sp telemetry.Span
+		if t != nil {
+			sp = t.Start("ctl.eu.iter")
+		}
 		ny := m.Or(y, m.And(p, c.S.Pre(y)))
+		if t != nil {
+			iter++
+			sp.End(telemetry.Int("iter", iter),
+				telemetry.Int("y_nodes", m.NodeCount(ny)))
+		}
 		if ny == y {
 			return y, nil
 		}

@@ -20,6 +20,7 @@ import (
 	"hsis/internal/bdd"
 	"hsis/internal/fair"
 	"hsis/internal/sys"
+	"hsis/internal/telemetry"
 )
 
 // EG returns the states of z with an infinite path staying inside z:
@@ -69,12 +70,18 @@ func FairStates(s sys.System, fc *fair.Constraints, restrict bdd.Ref) Result {
 	m := s.Manager()
 	z := restrict
 	iter := 0
+	t := telemetry.T()
 	for {
 		iter++
 		old := z
+		var sp telemetry.Span
+		if t != nil {
+			sp = t.Start("emptiness.hull.iter")
+		}
 		// (1) infinite-path hull
 		z = EG(s, z)
 		if z == bdd.False {
+			sp.End(telemetry.Int("iter", iter), telemetry.Int("z_nodes", 0))
 			return Result{Fair: z, Iterations: iter}
 		}
 		// (2) Büchi conditions: must be able to revisit each set
@@ -88,6 +95,7 @@ func FairStates(s sys.System, fc *fair.Constraints, restrict bdd.Ref) Result {
 				}
 				z = m.And(z, EU(s, z, target))
 				if z == bdd.False {
+					sp.End(telemetry.Int("iter", iter), telemetry.Int("z_nodes", 0))
 					return Result{Fair: z, Iterations: iter}
 				}
 			}
@@ -111,9 +119,14 @@ func FairStates(s sys.System, fc *fair.Constraints, restrict bdd.Ref) Result {
 				canReachU := EU(s, z, uset)
 				z = m.And(z, m.Or(m.Not(lset), canReachU))
 				if z == bdd.False {
+					sp.End(telemetry.Int("iter", iter), telemetry.Int("z_nodes", 0))
 					return Result{Fair: z, Iterations: iter}
 				}
 			}
+		}
+		if t != nil {
+			sp.End(telemetry.Int("iter", iter),
+				telemetry.Int("z_nodes", m.NodeCount(z)))
 		}
 		if z == old {
 			return Result{Fair: z, Iterations: iter}

@@ -5,6 +5,7 @@ import (
 	"hsis/internal/emptiness"
 	"hsis/internal/fair"
 	"hsis/internal/sys"
+	"hsis/internal/telemetry"
 )
 
 // Options tunes the containment check.
@@ -90,10 +91,20 @@ func boundedReached(s sys.System, k int) bdd.Ref {
 	m := s.Manager()
 	reached := s.Init()
 	frontier := reached
+	t := telemetry.T()
 	for i := 0; i < k && frontier != bdd.False; i++ {
+		var sp telemetry.Span
+		if t != nil {
+			sp = t.Start("lc.bounded.iter")
+		}
 		next := s.Post(frontier)
 		frontier = m.Diff(next, reached)
 		reached = m.Or(reached, frontier)
+		if t != nil {
+			sp.End(telemetry.Int("step", i+1),
+				telemetry.Int("frontier_nodes", m.NodeCount(frontier)),
+				telemetry.Int("reached_nodes", m.NodeCount(reached)))
+		}
 	}
 	return reached
 }

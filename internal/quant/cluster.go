@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"hsis/internal/bdd"
+	"hsis/internal/telemetry"
 )
 
 // DefaultClusterLimit bounds the BDD size of one merged cluster when the
@@ -271,13 +272,30 @@ func Compile(m *bdd.Manager, clusters []Conjunct, seedSupport []int, quantify []
 // Run replays the plan: conjoin the seed with each step's cluster,
 // quantifying that step's cube in the same AndExists pass.
 func (p *CompiledPlan) Run(m *bdd.Manager, seed bdd.Ref) bdd.Ref {
+	t := telemetry.T()
+	if t == nil {
+		r := seed
+		for _, st := range p.Steps {
+			r = m.AndExists(r, st.F, st.Cube)
+		}
+		if p.Tail != bdd.True {
+			r = m.Exists(r, p.Tail)
+		}
+		return r
+	}
+	sp := t.Start("quant.image")
 	r := seed
-	for _, st := range p.Steps {
+	for i, st := range p.Steps {
+		csp := t.Start("quant.cluster")
 		r = m.AndExists(r, st.F, st.Cube)
+		csp.End(telemetry.Int("step", i+1),
+			telemetry.Int("result_nodes", m.NodeCount(r)))
 	}
 	if p.Tail != bdd.True {
 		r = m.Exists(r, p.Tail)
 	}
+	sp.End(telemetry.Int("steps", len(p.Steps)),
+		telemetry.Int("result_nodes", m.NodeCount(r)))
 	return r
 }
 

@@ -9,6 +9,7 @@ import (
 	"hsis/internal/bdd"
 	"hsis/internal/network"
 	"hsis/internal/quant"
+	"hsis/internal/telemetry"
 )
 
 // Image computes the successors of the state set s (over the PS rail)
@@ -96,6 +97,18 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 	img := eng.Image
 	res := &Result{Reached: from}
 	frontier := from
+	t := telemetry.T()
+	if t != nil {
+		t.Emit("reach.start",
+			telemetry.Str("engine", eng.Kind().String()),
+			telemetry.Int("init_nodes", m.NodeCount(from)))
+		defer func() {
+			t.Emit("reach.done",
+				telemetry.Int("steps", res.Steps),
+				telemetry.Bool("converged", res.Converged),
+				telemetry.Int("reached_nodes", m.NodeCount(res.Reached)))
+		}()
+	}
 	if opts.KeepRings {
 		res.Rings = append(res.Rings, frontier)
 	}
@@ -106,6 +119,10 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 	for frontier != bdd.False {
 		if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
 			return res
+		}
+		var sp telemetry.Span
+		if t != nil {
+			sp = t.Start("reach.iter")
 		}
 		// Safe point: between image steps every Ref the loop still needs
 		// is known, so an armed auto-reorder can run here under the GC
@@ -127,11 +144,19 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 		next := img(frontier)
 		frontier = m.Diff(next, res.Reached)
 		if frontier == bdd.False {
+			sp.End(telemetry.Int("step", res.Steps),
+				telemetry.Int("frontier_nodes", 0),
+				telemetry.Int("reached_nodes", m.NodeCount(res.Reached)))
 			res.Converged = true
 			return res
 		}
 		res.Reached = m.Or(res.Reached, frontier)
 		res.Steps++
+		if t != nil {
+			sp.End(telemetry.Int("step", res.Steps),
+				telemetry.Int("frontier_nodes", m.NodeCount(frontier)),
+				telemetry.Int("reached_nodes", m.NodeCount(res.Reached)))
+		}
 		if opts.KeepRings {
 			res.Rings = append(res.Rings, frontier)
 		}
@@ -152,7 +177,13 @@ func Backward(n *network.Network, target, care bdd.Ref, kind EngineKind) bdd.Ref
 	pre := Engine(n, kind).Preimage
 	reached := m.And(target, care)
 	frontier := reached
+	t := telemetry.T()
+	step := 0
 	for frontier != bdd.False {
+		var sp telemetry.Span
+		if t != nil {
+			sp = t.Start("reach.back.iter")
+		}
 		// Safe point (see ForwardFrom).
 		if m.ReorderPending() {
 			m.IncRef(reached)
@@ -166,6 +197,12 @@ func Backward(n *network.Network, target, care bdd.Ref, kind EngineKind) bdd.Ref
 		prev := m.And(pre(frontier), care)
 		frontier = m.Diff(prev, reached)
 		reached = m.Or(reached, frontier)
+		if t != nil {
+			step++
+			sp.End(telemetry.Int("step", step),
+				telemetry.Int("frontier_nodes", m.NodeCount(frontier)),
+				telemetry.Int("reached_nodes", m.NodeCount(reached)))
+		}
 	}
 	return reached
 }

@@ -14,6 +14,7 @@ import (
 	"hsis/internal/network"
 	"hsis/internal/quant"
 	"hsis/internal/reach"
+	"hsis/internal/telemetry"
 )
 
 // Simulator is an interactive stepping session over a compiled network.
@@ -47,6 +48,7 @@ func (s *Simulator) Step() {
 	next := reach.Image(s.N, s.current)
 	s.push()
 	s.current = s.N.Manager().IncRef(next)
+	s.emitStep(false)
 }
 
 // StepWith advances under a constraint on the step's variables (inputs,
@@ -62,6 +64,17 @@ func (s *Simulator) StepWith(constraint bdd.Ref) {
 	next := quant.AndExists(m, conjs, qvars, s.N.Heuristic())
 	s.push()
 	s.current = m.IncRef(s.N.SwapRails(next))
+	s.emitStep(true)
+}
+
+// emitStep reports one simulator advance to the armed tracer.
+func (s *Simulator) emitStep(constrained bool) {
+	if t := telemetry.T(); t != nil {
+		t.Emit("sim.step",
+			telemetry.Int("step", s.steps),
+			telemetry.Int("current_nodes", s.N.Manager().NodeCount(s.current)),
+			telemetry.Bool("constrained", constrained))
+	}
 }
 
 // Focus restricts the current set to its intersection with the given

@@ -10,6 +10,7 @@ import (
 	"hsis/internal/bdd"
 	"hsis/internal/network"
 	"hsis/internal/reach"
+	"hsis/internal/telemetry"
 )
 
 // System is a symbolic transition system.
@@ -112,10 +113,22 @@ func Reached(s System) bdd.Ref {
 	m := s.Manager()
 	reached := s.Init()
 	frontier := reached
+	t := telemetry.T()
+	step := 0
 	for frontier != bdd.False {
+		var sp telemetry.Span
+		if t != nil {
+			sp = t.Start("sys.reach.iter")
+		}
 		next := s.Post(frontier)
 		frontier = m.Diff(next, reached)
 		reached = m.Or(reached, frontier)
+		if t != nil {
+			step++
+			sp.End(telemetry.Int("step", step),
+				telemetry.Int("frontier_nodes", m.NodeCount(frontier)),
+				telemetry.Int("reached_nodes", m.NodeCount(reached)))
+		}
 	}
 	return reached
 }

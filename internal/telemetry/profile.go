@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Opt-in pprof capture behind the CLIs' -profile flag: a CPU profile
+// recorded over the whole run and a heap profile snapped at exit, both
+// written into one directory so a single flag captures everything
+// needed to see where a verification run burns its time and memory.
+
+// StartProfiling begins a CPU profile in dir (created if needed) and
+// returns a stop function that ends the CPU profile and writes a heap
+// profile. The profiles land in dir/cpu.pprof and dir/heap.pprof.
+func StartProfiling(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		err := cpu.Close()
+		heap, herr := os.Create(filepath.Join(dir, "heap.pprof"))
+		if herr != nil {
+			if err == nil {
+				err = herr
+			}
+			return err
+		}
+		runtime.GC() // get up-to-date allocation statistics
+		if werr := pprof.WriteHeapProfile(heap); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := heap.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

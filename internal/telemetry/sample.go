@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Live-node gauges. The BDD kernel is single-threaded and its Manager
+// must never be read from another goroutine, so the kernel *publishes*
+// its node counts into these process-wide atomics at points where the
+// numbers are coherent (garbage collections, the periodic allocation
+// checkpoint, reorder-session boundaries), and the background sampler
+// reads only the atomics. That keeps live-node sampling race-free under
+// -race without putting a lock anywhere near the kernel hot path.
+//
+// With several managers alive at once (e.g. cone-of-influence
+// sub-workspaces) the gauges track whichever manager published last —
+// the one currently doing the work, which is the one worth watching.
+var (
+	gaugeLive atomic.Int64
+	gaugePeak atomic.Int64
+)
+
+// PublishNodes records the current and peak live node counts of the
+// active BDD manager. Callers guard with Enabled(); the sampled timeline
+// also picks the publication up immediately (without emitting an event),
+// so GC cliffs appear in the timeline even between sampler ticks.
+func PublishNodes(live, peak int) {
+	gaugeLive.Store(int64(live))
+	gaugePeak.Store(int64(peak))
+	if t := T(); t != nil {
+		t.record(int64(live), int64(peak), false)
+	}
+}
+
+// LiveNodes returns the last published live/peak node counts.
+func LiveNodes() (live, peak int64) {
+	return gaugeLive.Load(), gaugePeak.Load()
+}
+
+// RecordSample appends one explicit point to the node-growth timeline
+// (without emitting an event) — the CLIs use it to stamp the end-of-run
+// state even when the kernel never crossed a publish checkpoint.
+func (t *Tracer) RecordSample(live, peak int64) {
+	t.record(live, peak, false)
+}
+
+// StartSampler launches a background goroutine that appends a timeline
+// sample and emits a "bdd.sample" event every interval, reading only the
+// published gauges. It is a no-op if a sampler is already running; zero
+// published state (no kernel activity yet) is skipped. StopSampler (or
+// Close) terminates it.
+func (t *Tracer) StartSampler(interval time.Duration) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t.mu.Lock()
+	if t.samplerStop != nil {
+		t.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t.samplerStop, t.samplerDone = stop, done
+	t.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if live := gaugeLive.Load(); live > 0 {
+					t.record(live, gaugePeak.Load(), true)
+				}
+			}
+		}
+	}()
+}
+
+// StopSampler terminates the background sampler, if one is running, and
+// waits for it to exit.
+func (t *Tracer) StopSampler() {
+	t.mu.Lock()
+	stop, done := t.samplerStop, t.samplerDone
+	t.samplerStop, t.samplerDone = nil, nil
+	t.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Summary rendering: the end-of-run table the CLIs print in place of the
+// bare Statistics dump. It has three blocks — phase timings aggregated
+// per event kind, the node-growth timeline, and a caller-supplied
+// statistics block (the unified BDD stats formatter; this package cannot
+// import the bdd package, so the text is passed in).
+
+// PhaseTable renders the per-kind event aggregation: count and total
+// span time per kind, ordered by time spent. Kinds that only emitted
+// plain (unspanned) events show a count with a blank time column.
+func (t *Tracer) PhaseTable() string {
+	rows := t.kinds()
+	if len(rows) == 0 {
+		return "telemetry: no events recorded\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %10s %12s\n", "event", "count", "total")
+	for _, r := range rows {
+		total := ""
+		if r.Total > 0 {
+			total = r.Total.Round(10 * time.Microsecond).String()
+		}
+		fmt.Fprintf(&sb, "%-24s %10d %12s\n", r.Kind, r.Count, total)
+	}
+	return sb.String()
+}
+
+// Timeline renders the node-growth timeline compacted to at most
+// maxRows evenly spaced samples (always keeping the first, the last and
+// the peak-live sample). Pass 0 for the default of 12 rows.
+func (t *Tracer) Timeline(maxRows int) string {
+	if maxRows <= 0 {
+		maxRows = 12
+	}
+	samples := t.Samples()
+	if len(samples) == 0 {
+		return "telemetry: no node samples recorded\n"
+	}
+	peakAt := 0
+	for i, s := range samples {
+		if s.Live > samples[peakAt].Live {
+			peakAt = i
+		}
+	}
+	keep := map[int]bool{0: true, len(samples) - 1: true, peakAt: true}
+	if len(samples) > maxRows {
+		for i := 0; i < maxRows; i++ {
+			keep[i*(len(samples)-1)/(maxRows-1)] = true
+		}
+	} else {
+		for i := range samples {
+			keep[i] = true
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %12s %12s\n", "time", "live-nodes", "peak-live")
+	for i, s := range samples {
+		if !keep[i] {
+			continue
+		}
+		mark := ""
+		if i == peakAt {
+			mark = "  <- peak"
+		}
+		fmt.Fprintf(&sb, "%-12s %12d %12d%s\n",
+			(time.Duration(s.TUs) * time.Microsecond).Round(time.Millisecond).String(),
+			s.Live, s.Peak, mark)
+	}
+	return sb.String()
+}
+
+// Summary renders the full end-of-run report: event totals, the phase
+// table, the node-growth timeline, and the supplied statistics block
+// (cache hit rates etc. from the unified BDD formatter; pass "" when no
+// manager is alive).
+func (t *Tracer) Summary(statsBlock string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== telemetry summary (%d events, %s) ===\n",
+		t.Events(), time.Since(t.start).Round(time.Millisecond))
+	sb.WriteString(t.PhaseTable())
+	sb.WriteString("--- node growth ---\n")
+	sb.WriteString(t.Timeline(0))
+	if statsBlock != "" {
+		sb.WriteString("--- bdd statistics ---\n")
+		sb.WriteString(statsBlock)
+		if !strings.HasSuffix(statsBlock, "\n") {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// disarm resets the process-wide tracer and gauges after a test; tests
+// in this package share the global arming point.
+func disarm(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		Disarm()
+		gaugeLive.Store(0)
+		gaugePeak.Store(0)
+	})
+}
+
+func TestDisarmedIsNil(t *testing.T) {
+	disarm(t)
+	if T() != nil {
+		t.Fatal("T() should be nil before arming")
+	}
+	if Enabled() {
+		t.Fatal("Enabled() should be false before arming")
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	disarm(t)
+	var buf bytes.Buffer
+	tr := New(&buf)
+	Arm(tr)
+	if T() != tr {
+		t.Fatal("T() should return the armed tracer")
+	}
+	if got := Disarm(); got != tr {
+		t.Fatal("Disarm should return the armed tracer")
+	}
+	if T() != nil {
+		t.Fatal("T() should be nil after Disarm")
+	}
+}
+
+// TestEmitJSONL checks every emitted line is a valid JSON object with
+// "ev" first, "t_us" second, and the caller's fields in call order.
+func TestEmitJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	tr.Emit("test.plain",
+		Int("a", 1), I64("b", -2), Str("s", `x"y`), F64("f", 0.5), Bool("yes", true))
+	sp := tr.Start("test.span")
+	time.Sleep(time.Millisecond)
+	sp.End(Int("n", 7))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), buf.String())
+	}
+	var plain map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &plain); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if plain["ev"] != "test.plain" || plain["a"] != 1.0 || plain["b"] != -2.0 ||
+		plain["s"] != `x"y` || plain["f"] != 0.5 || plain["yes"] != true {
+		t.Fatalf("bad plain event: %v", plain)
+	}
+	if !strings.HasPrefix(lines[0], `{"ev":"test.plain","t_us":`) {
+		t.Fatalf("field order not deterministic: %s", lines[0])
+	}
+	var span map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &span); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if span["ev"] != "test.span" || span["n"] != 7.0 {
+		t.Fatalf("bad span event: %v", span)
+	}
+	if e, ok := span["elapsed_us"].(float64); !ok || e < 500 {
+		t.Fatalf("span elapsed_us missing or too small: %v", span["elapsed_us"])
+	}
+	if tr.Events() != 2 {
+		t.Fatalf("Events() = %d, want 2", tr.Events())
+	}
+	if tr.Count("test.plain") != 1 || tr.Count("test.span") != 1 {
+		t.Fatal("per-kind counts wrong")
+	}
+}
+
+func TestZeroSpanEndIsNoop(t *testing.T) {
+	var sp Span
+	sp.End(Int("x", 1)) // must not panic
+}
+
+func TestPublishNodesAndSampler(t *testing.T) {
+	disarm(t)
+	var buf bytes.Buffer
+	tr := New(&buf)
+	Arm(tr)
+	PublishNodes(123, 456)
+	if live, peak := LiveNodes(); live != 123 || peak != 456 {
+		t.Fatalf("gauges = %d/%d, want 123/456", live, peak)
+	}
+	// The publication lands in the timeline without emitting an event.
+	if got := tr.Events(); got != 0 {
+		t.Fatalf("publication should not emit events, got %d", got)
+	}
+	if s := tr.Samples(); len(s) != 1 || s[0].Live != 123 || s[0].Peak != 456 {
+		t.Fatalf("bad timeline: %v", s)
+	}
+	// The sampler reads the gauges and emits bdd.sample events.
+	tr.StartSampler(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.Count("bdd.sample") == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	tr.StopSampler()
+	if tr.Count("bdd.sample") == 0 {
+		t.Fatal("sampler emitted no bdd.sample events")
+	}
+}
+
+// TestConcurrentEmit drives the tracer from several goroutines at once
+// — the kernel emits from the verification goroutine while the sampler
+// ticks — and checks the sink still holds one valid JSON object per line.
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	var wg sync.WaitGroup
+	const goroutines, events = 4, 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				tr.Emit("conc", Int("g", g), Int("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != goroutines*events {
+		t.Fatalf("want %d lines, got %d", goroutines*events, len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("corrupt line %q: %v", l, err)
+		}
+	}
+}
+
+func TestSummaryBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	sp := tr.Start("phase.a")
+	sp.End()
+	tr.Emit("phase.b")
+	tr.RecordSample(10, 20)
+	tr.RecordSample(50, 50)
+	tr.RecordSample(30, 50)
+	sum := tr.Summary("  stats-block-line\n")
+	for _, want := range []string{
+		"telemetry summary", "phase.a", "phase.b",
+		"node growth", "<- peak", "stats-block-line",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestTimelineCompaction checks long timelines compact to few rows while
+// keeping the first, last and peak samples.
+func TestTimelineCompaction(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	for i := 0; i < 100; i++ {
+		live := int64(i)
+		if i == 37 {
+			live = 1000 // the peak, off the even grid
+		}
+		tr.RecordSample(live, 1000)
+	}
+	tl := tr.Timeline(10)
+	if !strings.Contains(tl, "1000") || !strings.Contains(tl, "<- peak") {
+		t.Fatalf("timeline lost the peak:\n%s", tl)
+	}
+	if rows := strings.Count(tl, "\n"); rows > 14 {
+		t.Fatalf("timeline not compacted: %d rows", rows)
+	}
+}
+
+// BenchmarkDisabledSite measures the disabled-path cost contract: an
+// instrumentation site behind a nil T() check must cost one atomic load
+// and a branch — no allocation, no time syscall.
+func BenchmarkDisabledSite(b *testing.B) {
+	if Enabled() {
+		b.Fatal("telemetry must be disarmed for this benchmark")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if t := T(); t != nil {
+			t.Emit("never", Int("x", i))
+		}
+	}
+}

@@ -1,8 +1,12 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON array on stdout, one object per benchmark line with the name,
 // iteration count, ns/op, the -benchmem columns, and any custom
-// ReportMetric values (peak-bdd-nodes, live-bdd-nodes, cache-hit-%).
-// `make bench` pipes through it to record BENCH_bdd.json.
+// ReportMetric values. The kernel benchmarks report the unified
+// Statistics.BenchMetrics set (peak-live-nodes, peak-bdd-nodes,
+// cache-hit-%) plus per-benchmark extras like live-bdd-nodes, so
+// BENCH_*.json records the peak-live and hit-rate trajectories
+// alongside ns/op. `make bench` pipes through it to record
+// BENCH_bdd.json.
 package main
 
 import (
