@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test bench-smoke trace-smoke bench bench-reorder bench-all
+.PHONY: check vet build test test-parallel bench-smoke trace-smoke bench bench-reorder bench-parallel bench-all
 
-check: vet build test bench-smoke trace-smoke
+check: vet build test test-parallel bench-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,14 @@ build:
 # here.
 test:
 	$(GO) test -race ./...
+
+# The parallel-kernel shard: the concurrent differential fuzzer and
+# kernel pool tests under -race at workers=4, plus the cross-design
+# determinism suite at workers=1/2/8 — the full stack (fixpoints, CTL,
+# language containment) running on a live worker pool with GC and
+# auto-reorder epochs armed.
+test-parallel:
+	$(GO) test -race -run 'Parallel|Concurrent|Workers' ./internal/bdd .
 
 # End-to-end traced run: reachability plus a property check on a bundled
 # design with -trace, verifying the shell emits a parseable JSONL trace
@@ -39,7 +47,7 @@ trace-smoke:
 # engine or the complement-edge kernel outright without paying for a
 # full benchmark run.
 bench-smoke:
-	$(GO) test -bench='BenchmarkImage|BenchmarkNegationHeavy' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='(BenchmarkImage|BenchmarkNegationHeavy)$$' -benchtime=1x -run='^$$' .
 
 # The kernel benchmarks with allocation stats, recorded to
 # BENCH_bdd.json for comparison across commits. The benchmarks report
@@ -47,7 +55,7 @@ bench-smoke:
 # peak-bdd-nodes, cache-hit-%), so benchjson lands the telemetry
 # summary's headline numbers in the JSON alongside ns/op.
 bench:
-	$(GO) test -bench='BenchmarkImage|BenchmarkNegationHeavy' -benchmem -benchtime=3x -run='^$$' . \
+	$(GO) test -bench='(BenchmarkImage|BenchmarkNegationHeavy)$$' -benchmem -benchtime=3x -run='^$$' . \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson > BENCH_bdd.json
 
@@ -59,6 +67,18 @@ bench-reorder:
 	$(GO) test -bench='BenchmarkReorder' -benchtime=1x -timeout=30m -run='^$$' . \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson > BENCH_reorder.json
+
+# Parallel-kernel scaling sweep: the clustered image pipeline and the
+# raw multi-operand AndExists at 1/2/4/8 workers, recorded to
+# BENCH_parallel.json. Cold single iterations (-benchtime=1x) because
+# the GC-surviving op caches make warm repeats nearly free; the
+# forks/steals metrics confirm the fork/join recursion engaged.
+# Wall-clock scaling requires real cores — on a single-CPU host the
+# workers>=2 rows measure coordination overhead instead of speedup.
+bench-parallel:
+	$(GO) test -bench='BenchmarkImageParallel|BenchmarkParallelAndExists' -benchtime=1x -timeout=30m -run='^$$' . \
+		| tee /dev/stderr \
+		| $(GO) run ./internal/tools/benchjson > BENCH_parallel.json
 
 # The full Table-1 regeneration and ablation suite.
 bench-all:

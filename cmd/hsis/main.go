@@ -24,16 +24,21 @@
 //	bisim_classes                   bisimulation equivalence classes
 //	sim_init / sim_step [n] / sim_step_with <expr> / sim_states [max] / sim_back
 //	trace on [file.jsonl] / trace off
+//	workers [n]                     show or set the BDD worker count
 //	quit
 //
 // Flags: -reorder off|manual|auto selects the dynamic-reordering policy
 // for designs loaded afterwards; -order <file> seeds the variable order
-// from a saved .order file (written by write_order); -stats prints BDD
-// statistics after checking commands; -trace <file.jsonl> arms the
-// telemetry layer for the whole session and writes one JSON event per
-// line (fixpoint iterations, GCs, reorders, cache growth, node samples),
-// printing the telemetry summary at exit; -profile <dir> captures
-// cpu.pprof over the run and heap.pprof at exit.
+// from a saved .order file (written by write_order); -workers <n>
+// selects the BDD kernel's worker count (default GOMAXPROCS; 1 = the
+// sequential kernel) — with two or more workers large conjunctions fork
+// onto a work-stealing pool and check_all verifies independent
+// properties concurrently; -stats prints BDD statistics after checking
+// commands; -trace <file.jsonl> arms the telemetry layer for the whole
+// session and writes one JSON event per line (fixpoint iterations, GCs,
+// reorders, cache growth, node samples), printing the telemetry summary
+// at exit; -profile <dir> captures cpu.pprof over the run and
+// heap.pprof at exit.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -74,15 +80,21 @@ func main() {
 		"dynamic variable reordering policy: off, manual or auto")
 	orderFlag := flag.String("order", "",
 		"seed the variable order from a saved .order file (see write_order)")
+	workersFlag := flag.Int("workers", 0,
+		"BDD kernel workers: 0 = GOMAXPROCS, 1 = sequential, n >= 2 = parallel kernel")
 	traceFlag := flag.String("trace", "",
 		"write a JSONL telemetry trace of the whole session to this file")
 	profileFlag := flag.String("profile", "",
 		"write cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
+	workers := *workersFlag
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	sh := &shell{
 		out:   bufio.NewWriter(os.Stdout),
 		stats: *statsFlag,
-		opts:  core.Options{Reorder: *reorderFlag, OrderFile: *orderFlag},
+		opts:  core.Options{Reorder: *reorderFlag, OrderFile: *orderFlag, Workers: workers},
 	}
 	defer sh.out.Flush()
 	if *traceFlag != "" {
@@ -147,7 +159,32 @@ func (sh *shell) exec(line string) error {
 	cmd, args := fields[0], fields[1:]
 	switch cmd {
 	case "help":
-		fmt.Fprintln(sh.out, "commands: read_verilog read_blif_mv read_pif read_builtin print_stats compute_reach check_ctl lang_contain check_all explain_ctl check_refine quant_schedule reorder write_order write_blif_mv write_dot bisim_classes sim_init sim_step sim_step_with sim_states sim_back trace quit")
+		fmt.Fprintln(sh.out, "commands: read_verilog read_blif_mv read_pif read_builtin print_stats compute_reach check_ctl lang_contain check_all explain_ctl check_refine quant_schedule reorder write_order write_blif_mv write_dot bisim_classes sim_init sim_step sim_step_with sim_states sim_back trace workers quit")
+		return nil
+	case "workers":
+		// workers [n] mirrors trace/reorder: with no argument it reports
+		// the current mode, with one it reconfigures the kernel for the
+		// loaded design and every design loaded afterwards (0 or "auto"
+		// means GOMAXPROCS).
+		if len(args) == 0 {
+			fmt.Fprintf(sh.out, "workers: %d\n", sh.opts.Workers)
+			return nil
+		}
+		n := 0
+		if args[0] != "auto" {
+			var err error
+			if n, err = strconv.Atoi(args[0]); err != nil || n < 0 {
+				return fmt.Errorf("usage: workers [n | auto] (n >= 1; 0/auto = GOMAXPROCS)")
+			}
+		}
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		sh.opts.Workers = n
+		if sh.w != nil {
+			sh.w.Net.Manager().SetWorkers(n)
+		}
+		fmt.Fprintf(sh.out, "workers: %d\n", n)
 		return nil
 	case "trace":
 		// trace on [file.jsonl] arms the telemetry layer mid-session;

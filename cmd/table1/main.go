@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -88,6 +89,8 @@ func main() {
 	noFast := flag.Bool("no-invariant-fastpath", false, "disable the AG(prop) fast path (Ablation B)")
 	coi := flag.Bool("coi", false, "cone-of-influence abstraction per property (Ablation G)")
 	reorderPolicy := flag.String("reorder", "off", "dynamic variable reordering policy: off, manual or auto")
+	workersFlag := flag.Int("workers", 0,
+		"BDD kernel workers: 0 = GOMAXPROCS, 1 = sequential, n >= 2 = parallel kernel")
 	traceFlag := flag.String("trace", "", "write a JSONL telemetry trace of the run to this file")
 	profileFlag := flag.String("profile", "", "write cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
@@ -127,6 +130,10 @@ func main() {
 		DisableInvariantFastPath: *noFast,
 		ConeOfInfluence:          *coi,
 		Reorder:                  *reorderPolicy,
+		Workers:                  *workersFlag,
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	switch *heuristic {
 	case "minwidth":

@@ -23,11 +23,40 @@
 // levels can be exchanged in place through a ReorderSession (see
 // reorder.go), which is how the sifting driver in internal/reorder
 // permutes the order dynamically. All operations are deterministic.
+//
+// # Concurrency
+//
+// A Manager has two execution modes selected by SetWorkers. With one
+// worker (the default) it is single-threaded and every hot path is
+// identical to the classic sequential kernel: plain unique-table probes,
+// plain cache slots, no locks. With two or more workers the manager is
+// safe for concurrent operations from any number of goroutines and
+// additionally splits large And/Exists/AndExists recursions across a
+// bounded work-stealing pool (see pool.go):
+//
+//   - the node arena is a chunked store whose chunks never move, so a
+//     Ref-to-node lookup is stable under concurrent allocation;
+//   - the unique table is sharded into lock-striped segments keyed on
+//     the top bits of the node hash;
+//   - the operation caches publish fixed-width entries through a
+//     per-slot sequence lock, so lookups are lock-free and exact;
+//   - refcounts and gauges are atomic;
+//   - GC, cache adaptation and reorder sessions are stop-the-world
+//     epochs behind an RWMutex every operation read-locks.
+//
+// GC and reordering keep their sequential safe-point contract: they run
+// only at explicit calls (GC, MaybeGC, MaybeReorder), never implicitly
+// inside an operation, and they must be invoked from one goroutine at a
+// time while no other goroutine holds unprotected Refs across the call.
+// ParallelDo sections defer MaybeGC/MaybeReorder automatically so
+// concurrent tasks cannot collect each other's intermediate results.
 package bdd
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hsis/internal/telemetry"
@@ -71,25 +100,65 @@ type node struct {
 	high  Ref   // then-branch (variable = 1)
 }
 
-// Manager owns a shared forest of BDD nodes. It is not safe for
-// concurrent use; verification algorithms in this repository are
-// single-threaded per Manager, matching the original C implementation.
+// The node arena is chunked: chunks are fixed-size blocks that are
+// allocated on demand, published with an atomic pointer, and never
+// moved or freed, so a concurrent reader can follow any Ref it has
+// legitimately received without synchronizing with allocators. Slot
+// indices are dense; index 0 is the terminal.
+const (
+	chunkShift = 16
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+	maxChunks  = 1 << (31 - chunkShift)
+)
+
+// chunk stores one block of nodes plus their external reference counts
+// (kept out of node so the reorder session can keep keying its maps on
+// the bare triple).
+type chunk struct {
+	nodes [chunkSize]node
+	refs  [chunkSize]int32
+}
+
+// The unique table is sharded: the top shardBits of a node hash select
+// a segment, the low bits probe inside it. Each segment is an
+// open-addressing table guarded by its own mutex in parallel mode;
+// sequential mode skips the locks entirely.
+const (
+	shardBits      = 6
+	numShards      = 1 << shardBits
+	initShardSlots = defaultTableSize / numShards
+)
+
+type tableShard struct {
+	mu    sync.Mutex
+	slots []int32 // node indices + 1; 0 means empty
+	mask  uint64
+	count int // occupied slots, drives per-shard growth
+	// pad the shard to its own cache lines so neighbouring shard locks
+	// do not false-share under contention
+	_ [64]byte
+}
+
+// Manager owns a shared forest of BDD nodes. It is single-threaded by
+// default; SetWorkers(n > 1) makes it safe for concurrent operations
+// and enables the fork/join worker pool (see the package comment).
 type Manager struct {
-	nodes []node
-	refs  []int32 // external reference counts, parallel to nodes
+	chunks  []atomic.Pointer[chunk]
+	nodeCap atomic.Int64 // number of initialized node slots (high water)
 
-	// unique table: open-addressing hash from (level,low,high) to index
-	table     []int32 // holds node indices + 1; 0 means empty
-	tableMask uint64
+	shards [numShards]tableShard
 
-	free []Ref // recycled node indices (dead after GC)
+	free    []Ref // recycled node indices (dead after GC); free[:freeLen]
+	freeLen atomic.Int64
 
 	var2level []int32
 	level2var []int32
 
 	// Operation caches. Each is a direct-mapped power-of-two array that
 	// starts at its initial size and doubles adaptively (see cache.go);
-	// entries whose operands and result survive a GC are kept.
+	// entries whose operands and result survive a GC are kept. Each
+	// entry carries a sequence word used only in parallel mode.
 	ite       []iteEntry
 	binop     []binopEntry
 	quant     []quantEntry // Exists cache, keyed on (f, cube)
@@ -101,7 +170,7 @@ type Manager struct {
 
 	cacheBudget int                    // total entry budget across all op caches
 	cacheWin    [numCaches]cacheWindow // adaptive-growth bookkeeping
-	allocs      uint64                 // node allocations, drives adaptation checks
+	allocs      atomic.Uint64          // node allocations (flushed from contexts)
 	allocsAtGC  uint64                 // allocs at the last collection (demand estimate)
 
 	marks []uint64 // reusable mark bitmap, one bit per node slot
@@ -109,40 +178,64 @@ type Manager struct {
 	// Reusable rebuild memo (Permute/Compose/VectorCompose): indexed by
 	// stored-node id, validated by an epoch stamp so calls never clear
 	// it. memoLast (stored nodes visited by the previous rebuild) picks
-	// between this and a plain map per call; see subst.go.
+	// between this and a plain map per call; see subst.go. memoMu
+	// serializes the substitution family in parallel mode.
+	memoMu    sync.Mutex
 	memoVal   []Ref
 	memoStamp []uint32
 	memoEpoch uint32
 	memoCount int
 	memoLast  int
 
-	statApplyCalls, statApplyHits uint64
-	statITECalls, statITEHits     uint64
-	statQuantCalls, statQuantHits uint64
-	statAexCalls, statAexHits     uint64
-	statCompShared                uint64 // mk results re-rooted onto a complement-shared node
-	statCacheGrowths              int
+	statApplyCalls, statApplyHits atomic.Uint64
+	statITECalls, statITEHits     atomic.Uint64
+	statQuantCalls, statQuantHits atomic.Uint64
+	statAexCalls, statAexHits     atomic.Uint64
+	statCompShared                atomic.Uint64 // mk results re-rooted onto a complement-shared node
+	statCacheGrowths              atomic.Int64
 	statCacheKept                 int // op-cache entries that survived the last GC
+
+	statForks      atomic.Uint64 // subproblems forked onto the pool
+	statSteals     atomic.Uint64 // futures executed off the forking call path
+	statContention atomic.Uint64 // shard-lock waits + cache-publication conflicts
 
 	gcEnabled bool
 	autoGCAt  int // node count that triggers an automatic GC on allocation
 	GCCount   int // number of garbage collections performed
 	lastLive  int
 	numVars   int
-	peakNodes int
-	peakLive  int                  // largest live count seen at an allocation
-	OnGC      func(live, dead int) // optional GC observer
+	// numVarsPub mirrors numVars for lock-free external readers:
+	// NumVars() and the Var/NVar range checks run outside the epoch
+	// lock, so they must not read the plain field NewVar mutates.
+	numVarsPub atomic.Int32
+	peakNodes  atomic.Int64
+	peakLive   atomic.Int64         // largest live count seen at an allocation
+	OnGC       func(live, dead int) // optional GC observer
+
+	// Parallel mode (pool.go, parallel.go). par is set by SetWorkers at
+	// a quiescent point and selects the lock-striped/atomic access
+	// paths; stw is the stop-the-world epoch lock: operations hold it
+	// for read, GC / cache adaptation / reorder sessions for write.
+	par          bool
+	workers      int
+	stw          sync.RWMutex
+	sections     atomic.Int32 // open ParallelDo sections (defers GC/reorder)
+	adaptPending atomic.Bool  // a context requested a cache-adaptation check
+	pool         *pool
+	ctxFree      sync.Pool
+	seqCtx       *kctx
 
 	// Dynamic variable reordering (reorder.go; sifting driver in
 	// internal/reorder).
 	session        *ReorderSession // non-nil while a reorder is in progress
+	inSession      atomic.Bool     // lock-free mirror of session != nil
 	groups         [][]int         // atomic sifting blocks (variable IDs)
 	reorderPolicy  ReorderPolicy
 	reorderFn      func(*Manager) // automatic-reorder hook
 	reorderGrow    float64
 	reorderMin     int
-	reorderAt      int  // live count that arms reorderPending (0 = disarmed)
-	reorderPending bool // trigger fired; next safe point reorders
+	reorderAt      atomic.Int64 // live count that arms reorderPending (0 = disarmed)
+	reorderPending atomic.Bool  // trigger fired; next safe point reorders
 
 	statReorders     int
 	statReorderSwaps uint64
@@ -156,11 +249,19 @@ type Manager struct {
 	statsSnap Statistics
 }
 
+// Cache entries. The seq word is the per-slot sequence lock used by the
+// parallel publication protocol (cache.go); sequential mode reads and
+// writes the fields directly. Empty cache entries are all-zero. A zero
+// operand field can never match a probe: every recursion resolves
+// terminal operands before probing, so a cached f is always a
+// non-terminal (index ≥ 1) Ref.
 type iteEntry struct {
+	seq          uint32
 	f, g, h, res Ref
 }
 
 type binopEntry struct {
+	seq       uint32
 	op        int32
 	f, g, res Ref
 }
@@ -171,18 +272,16 @@ type binopEntry struct {
 // of the key, so plans that alternate cubes — an image step followed by
 // a preimage step, as every fixpoint does — do not thrash the cache.
 type quantEntry struct {
+	seq          uint32
 	f, cube, res Ref
 }
 
 // aexEntry caches one AndExists recursion, cube included in the key for
 // the same reason.
 type aexEntry struct {
+	seq             uint32
 	f, g, cube, res Ref
 }
-
-// Empty cache entries are all-zero. A zero operand field can never match
-// a probe: every recursion resolves terminal operands before probing, so
-// a cached f is always a non-terminal (index ≥ 1) Ref.
 
 const (
 	opAnd = iota + 1
@@ -195,8 +294,7 @@ const defaultTableSize = 1 << 14
 // NewVar or NewVars.
 func New() *Manager {
 	m := &Manager{
-		table:       make([]int32, defaultTableSize),
-		tableMask:   defaultTableSize - 1,
+		chunks:      make([]atomic.Pointer[chunk], maxChunks),
 		ite:         make([]iteEntry, initITECache),
 		binop:       make([]binopEntry, initBinopCache),
 		quant:       make([]quantEntry, initQuantCache),
@@ -208,22 +306,73 @@ func New() *Manager {
 		cacheBudget: defaultCacheBudget,
 		gcEnabled:   true,
 		autoGCAt:    1 << 20,
+		workers:     1,
 	}
+	for i := range m.shards {
+		m.shards[i].slots = make([]int32, initShardSlots)
+		m.shards[i].mask = initShardSlots - 1
+	}
+	m.seqCtx = &kctx{m: m}
+	m.ctxFree.New = func() any { return &kctx{m: m} }
 	// Install the single terminal at index 0.
-	m.nodes = append(m.nodes, node{level: terminalLevel, low: False, high: False})
-	m.refs = append(m.refs, 1) // permanently referenced
+	m.chunks[0].Store(new(chunk))
+	m.nodeCap.Store(1)
+	t := m.node(0)
+	t.level = terminalLevel
+	*m.rcPtr(0) = 1 // permanently referenced
 	return m
 }
 
+// node returns the stored node underlying f (complement mark ignored).
+// Chunks never move, so the pointer stays valid across allocations; in
+// parallel mode callers may read it plainly for any Ref they received
+// through a synchronized channel (a cache hit, a unique-table hit, a
+// joined future, or program order).
+func (m *Manager) node(f Ref) *node {
+	i := uint32(f &^ compBit)
+	return &m.chunks[i>>chunkShift].Load().nodes[i&chunkMask]
+}
+
+// rcPtr returns the external reference-count cell of f's stored node.
+func (m *Manager) rcPtr(f Ref) *int32 {
+	i := uint32(f &^ compBit)
+	return &m.chunks[i>>chunkShift].Load().refs[i&chunkMask]
+}
+
+// ensureChunk makes sure the chunk containing slot i exists. Losing the
+// publication race just discards the extra chunk.
+func (m *Manager) ensureChunk(i int64) {
+	ci := i >> chunkShift
+	if ci >= maxChunks {
+		panic("bdd: node arena exhausted")
+	}
+	if m.chunks[ci].Load() == nil {
+		m.chunks[ci].CompareAndSwap(nil, new(chunk))
+	}
+}
+
 // NumVars returns the number of variables created in the manager.
-func (m *Manager) NumVars() int { return m.numVars }
+func (m *Manager) NumVars() int { return int(m.numVarsPub.Load()) }
 
 // Size returns the number of live plus dead nodes currently allocated,
 // including the terminal.
-func (m *Manager) Size() int { return len(m.nodes) - len(m.free) }
+func (m *Manager) Size() int { return int(m.nodeCap.Load() - m.freeLen.Load()) }
 
 // PeakSize returns the largest node count observed since creation.
-func (m *Manager) PeakSize() int { return m.peakNodes }
+func (m *Manager) PeakSize() int { return int(m.peakNodes.Load()) }
+
+// newVarLocked is NewVar's body; callers in parallel mode must hold the
+// stop-the-world write lock.
+func (m *Manager) newVarLocked() Ref {
+	v := m.numVars
+	m.numVars++
+	m.numVarsPub.Store(int32(m.numVars))
+	m.var2level = append(m.var2level, int32(v))
+	m.level2var = append(m.level2var, int32(v))
+	r := m.mk(m.seqCtx, int32(v), False, True)
+	atomic.AddInt32(m.rcPtr(r), 1)
+	return r
+}
 
 // NewVar appends a fresh variable at the bottom of the current order and
 // returns its projection function (the BDD "v"). Projection nodes are
@@ -231,11 +380,11 @@ func (m *Manager) PeakSize() int { return m.peakNodes }
 // the manager (spaces, networks, cubes), and a reorder session must
 // never reclaim and reuse their slots.
 func (m *Manager) NewVar() Ref {
-	v := m.numVars
-	m.numVars++
-	m.var2level = append(m.var2level, int32(v))
-	m.level2var = append(m.level2var, int32(v))
-	return m.IncRef(m.mk(int32(v), False, True))
+	if m.par {
+		m.stw.Lock()
+		defer m.stw.Unlock()
+	}
+	return m.newVarLocked()
 }
 
 // NewVars creates n fresh variables and returns their projection
@@ -250,30 +399,48 @@ func (m *Manager) NewVars(n int) []Ref {
 
 // Var returns the projection function of variable id v.
 func (m *Manager) Var(v int) Ref {
-	if v < 0 || v >= m.numVars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	if nv := m.NumVars(); v < 0 || v >= nv {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, nv))
 	}
-	return m.mk(m.var2level[v], False, True)
+	c := m.begin()
+	r := m.mk(c, m.var2level[v], False, True)
+	m.end(c)
+	return r
 }
 
 // NVar returns the negative literal of variable id v.
 func (m *Manager) NVar(v int) Ref {
-	if v < 0 || v >= m.numVars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	if nv := m.NumVars(); v < 0 || v >= nv {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, nv))
 	}
-	return m.mk(m.var2level[v], True, False)
+	c := m.begin()
+	r := m.mk(c, m.var2level[v], True, False)
+	m.end(c)
+	return r
+}
+
+// varRef is the internal projection builder used inside held operations
+// (public Var would re-enter the operation lock).
+func (m *Manager) varRef(c *kctx, v int) Ref {
+	return m.mk(c, m.var2level[v], False, True)
 }
 
 // Level returns the current level of variable id v in the order.
+// Deliberately lock-free: the sifting driver queries it from inside a
+// reorder session (which holds the stop-the-world lock), so callers
+// outside a session must not run it concurrently with NewVar.
 func (m *Manager) Level(v int) int { return int(m.var2level[v]) }
 
-// VarAtLevel returns the variable id currently placed at the given level.
+// VarAtLevel returns the variable id currently placed at the given
+// level. Lock-free with the same contract as Level.
 func (m *Manager) VarAtLevel(l int) int { return int(m.level2var[l]) }
 
 // VarOf returns the variable id labelling the root node of f. It panics
 // if f is a terminal.
 func (m *Manager) VarOf(f Ref) int {
-	n := m.nodes[regular(f)]
+	m.rlock()
+	defer m.runlock()
+	n := m.node(f)
 	if n.level == terminalLevel {
 		panic("bdd: VarOf on terminal")
 	}
@@ -284,121 +451,215 @@ func (m *Manager) VarOf(f Ref) int {
 func (m *Manager) IsTerminal(f Ref) bool { return regular(f) == 0 }
 
 // Low returns the else-cofactor of the root node of f.
-func (m *Manager) Low(f Ref) Ref { return m.nodes[regular(f)].low ^ (f & compBit) }
+func (m *Manager) Low(f Ref) Ref { return m.node(f).low ^ (f & compBit) }
 
 // High returns the then-cofactor of the root node of f.
-func (m *Manager) High(f Ref) Ref { return m.nodes[regular(f)].high ^ (f & compBit) }
+func (m *Manager) High(f Ref) Ref { return m.node(f).high ^ (f & compBit) }
 
 // top returns the root level of f and its two cofactors, pushing f's
 // complement mark down onto the children.
 func (m *Manager) top(f Ref) (level int32, low, high Ref) {
-	n := &m.nodes[f&^compBit]
+	n := m.node(f)
 	c := f & compBit
 	return n.level, n.low ^ c, n.high ^ c
 }
 
 // levelOf returns the root level of f (terminalLevel for constants).
-func (m *Manager) levelOf(f Ref) int32 { return m.nodes[f&^compBit].level }
+func (m *Manager) levelOf(f Ref) int32 { return m.node(f).level }
 
 // mk returns the canonical ref for the triple (level, low, high),
 // applying the reduction rules: equal children collapse, structurally
 // identical nodes are shared through the unique table, and a node whose
 // low edge is complemented is re-rooted onto the complement of its
 // flipped twin so f and ¬f share one stored node.
-func (m *Manager) mk(level int32, low, high Ref) Ref {
+func (m *Manager) mk(c *kctx, level int32, low, high Ref) Ref {
 	if low == high {
 		return low
 	}
 	if isComp(low) {
-		m.statCompShared++
-		return neg(m.mkNode(level, neg(low), neg(high)))
+		c.compShared++
+		return neg(m.mkNode(c, level, neg(low), neg(high)))
 	}
-	return m.mkNode(level, low, high)
+	return m.mkNode(c, level, low, high)
 }
 
 // mkNode finds or allocates the stored node (level, low, high); low must
-// already be regular.
-func (m *Manager) mkNode(level int32, low, high Ref) Ref {
-	if m.session != nil {
+// already be regular. In parallel mode the probe and insert run under
+// the shard lock selected by the top hash bits; node fields are written
+// before the slot index is published, so the shard mutex (for same-shard
+// lookups) or any later synchronized hand-off of the Ref (cache
+// publication, future completion) orders the field writes before every
+// reader.
+func (m *Manager) mkNode(c *kctx, level int32, low, high Ref) Ref {
+	h := hash3(uint64(level), uint64(low), uint64(high))
+	sh := &m.shards[h>>(64-shardBits)]
+	if c.par {
+		if !sh.mu.TryLock() {
+			c.contention++
+			sh.mu.Lock()
+		}
+	} else if m.session != nil {
 		panic("bdd: operation during an active reorder session")
 	}
-	h := hash3(uint64(level), uint64(low), uint64(high)) & m.tableMask
+	hh := h & sh.mask
 	for {
-		idx := m.table[h]
+		idx := sh.slots[hh]
 		if idx == 0 {
 			break
 		}
-		n := &m.nodes[idx-1]
+		n := m.node(Ref(idx - 1))
 		if n.level == level && n.low == low && n.high == high {
+			if c.par {
+				sh.mu.Unlock()
+			}
 			return Ref(idx - 1)
 		}
-		h = (h + 1) & m.tableMask
+		hh = (hh + 1) & sh.mask
 	}
-	// Not found: allocate. The probe loop left h at an empty slot for
+	// Not found: allocate. The probe loop left hh at an empty slot for
 	// this key, so insert there directly instead of rehashing.
-	var r Ref
-	if len(m.free) > 0 {
-		r = m.free[len(m.free)-1]
-		m.free = m.free[:len(m.free)-1]
-		m.nodes[r] = node{level: level, low: low, high: high}
-		m.refs[r] = 0
-	} else {
-		r = Ref(len(m.nodes))
-		m.nodes = append(m.nodes, node{level: level, low: low, high: high})
-		m.refs = append(m.refs, 0)
+	r := m.allocSlot(c)
+	n := m.node(r)
+	n.level, n.low, n.high = level, low, high
+	sh.slots[hh] = int32(r) + 1
+	sh.count++
+	if 10*sh.count > 7*len(sh.slots) {
+		sh.grow(m)
 	}
-	m.table[h] = int32(r) + 1
-	if s := len(m.nodes); s > m.peakNodes {
-		m.peakNodes = s
+	if c.par {
+		sh.mu.Unlock()
 	}
-	if live := m.Size(); live > m.peakLive {
-		m.peakLive = live
+	m.afterAlloc(c)
+	return r
+}
+
+// allocSlot pops a recycled slot or extends the arena. Free-list pushes
+// happen only at stop-the-world points (GC, reorder), so the parallel
+// path is a simple CAS pop against a stable backing array.
+func (m *Manager) allocSlot(c *kctx) Ref {
+	if c.par {
+		for {
+			top := m.freeLen.Load()
+			if top == 0 {
+				break
+			}
+			r := m.free[top-1]
+			if m.freeLen.CompareAndSwap(top, top-1) {
+				return r
+			}
+		}
+		i := m.nodeCap.Add(1) - 1
+		m.ensureChunk(i)
+		return Ref(i)
 	}
-	if m.reorderAt > 0 && m.Size() >= m.reorderAt {
+	if top := m.freeLen.Load(); top > 0 {
+		r := m.free[top-1]
+		m.freeLen.Store(top - 1)
+		return r
+	}
+	i := m.nodeCap.Add(1) - 1
+	m.ensureChunk(i)
+	return Ref(i)
+}
+
+// maxStore raises a to v if v is larger (monotonic gauge update).
+func maxStore(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// afterAlloc is mkNode's post-allocation bookkeeping: peak gauges, the
+// reorder growth trigger, and the allocation-driven cache-adaptation
+// checkpoint. Sequential mode keeps the exact per-allocation behaviour
+// of the classic kernel; parallel mode samples the gauges (every 64th
+// allocation per context) to stay off the shared cache lines, and turns
+// the adaptation check into a flag drained at the next stop-the-world
+// point — the caches must not be resized under concurrent probes.
+func (m *Manager) afterAlloc(c *kctx) {
+	c.allocs++
+	c.sinceAdapt++
+	if c.par {
+		if c.allocs&63 == 0 {
+			maxStore(&m.peakNodes, m.nodeCap.Load())
+			live := int64(m.Size())
+			maxStore(&m.peakLive, live)
+			if at := m.reorderAt.Load(); at > 0 && live >= at {
+				m.reorderPending.Store(true)
+			}
+		}
+		if c.sinceAdapt >= cacheAdaptEvery {
+			c.sinceAdapt = 0
+			m.adaptPending.Store(true)
+			if telemetry.Enabled() {
+				telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
+			}
+		}
+		return
+	}
+	maxStore(&m.peakNodes, m.nodeCap.Load())
+	live := int64(m.Size())
+	maxStore(&m.peakLive, live)
+	if at := m.reorderAt.Load(); at > 0 && live >= at {
 		// The growth trigger arms here; the reorder itself runs at the
 		// next safe point (MaybeReorder/MaybeGC), never inside an
 		// operation.
-		m.reorderPending = true
+		m.reorderPending.Store(true)
 	}
-	if 10*m.Size() > 7*len(m.table) {
-		m.growTable()
-	}
-	if m.allocs++; m.allocs&(cacheAdaptEvery-1) == 0 {
+	if c.sinceAdapt >= cacheAdaptEvery {
 		// Allocation-driven adaptation point: lets the caches grow in
 		// the middle of a long recursion that never reaches a GC. It is
 		// also the periodic checkpoint where the kernel publishes its
 		// node counts for the telemetry sampler — off the per-allocation
 		// hot path, but frequent enough that a blowup shows up in the
 		// timeline while it happens.
+		c.sinceAdapt = 0
+		c.flush(m)
 		m.adaptCaches()
 		if telemetry.Enabled() {
-			telemetry.PublishNodes(m.Size(), m.peakLive)
+			telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
 		}
 	}
-	return r
 }
 
+// tableInsert re-indexes node r during a stop-the-world rebuild (GC,
+// reorder Close).
 func (m *Manager) tableInsert(r Ref) {
-	n := m.nodes[r]
-	h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.tableMask
-	for m.table[h] != 0 {
-		h = (h + 1) & m.tableMask
+	n := m.node(r)
+	h := hash3(uint64(n.level), uint64(n.low), uint64(n.high))
+	sh := &m.shards[h>>(64-shardBits)]
+	hh := h & sh.mask
+	for sh.slots[hh] != 0 {
+		hh = (hh + 1) & sh.mask
 	}
-	m.table[h] = int32(r) + 1
+	sh.slots[hh] = int32(r) + 1
+	sh.count++
+	if 10*sh.count > 7*len(sh.slots) {
+		sh.grow(m)
+	}
 }
 
-func (m *Manager) growTable() {
-	newSize := len(m.table) * 2
-	m.table = make([]int32, newSize)
-	m.tableMask = uint64(newSize - 1)
-	m.resetMarks()
-	for _, f := range m.free {
-		m.setMark(f) // mark recycled slots so we skip them
-	}
-	for i := 1; i < len(m.nodes); i++ {
-		if !m.marked(Ref(i)) {
-			m.tableInsert(Ref(i))
+// grow doubles one shard, re-probing its entries into the larger array.
+// Callers hold the shard lock (parallel mode) or are at a
+// stop-the-world point.
+func (sh *tableShard) grow(m *Manager) {
+	old := sh.slots
+	n := len(old) * 2
+	sh.slots = make([]int32, n)
+	sh.mask = uint64(n - 1)
+	for _, idx := range old {
+		if idx == 0 {
+			continue
 		}
+		nd := m.node(Ref(idx - 1))
+		h := hash3(uint64(nd.level), uint64(nd.low), uint64(nd.high)) & sh.mask
+		for sh.slots[h] != 0 {
+			h = (h + 1) & sh.mask
+		}
+		sh.slots[h] = idx
 	}
 }
 
@@ -406,7 +667,7 @@ func (m *Manager) growTable() {
 // it. The bitmap is shared by GC and unique-table rebuilds, so neither
 // allocates per collection.
 func (m *Manager) resetMarks() {
-	n := (len(m.nodes) + 63) / 64
+	n := (int(m.nodeCap.Load()) + 63) / 64
 	if cap(m.marks) < n {
 		m.marks = make([]uint64, n)
 		return
@@ -430,7 +691,7 @@ func hash3(a, b, c uint64) uint64 {
 // check panics if f is not a plausible handle for this manager. It is
 // used at public API boundaries.
 func (m *Manager) check(f Ref) {
-	if int(regular(f)) >= len(m.nodes) {
-		panic(fmt.Sprintf("bdd: invalid ref %d (manager has %d nodes)", f, len(m.nodes)))
+	if int64(regular(f)) >= m.nodeCap.Load() {
+		panic(fmt.Sprintf("bdd: invalid ref %d (manager has %d nodes)", f, m.nodeCap.Load()))
 	}
 }

@@ -1,0 +1,147 @@
+package bdd
+
+import "sync/atomic"
+
+// kctx is the per-operation kernel context. Every recursion takes one:
+// it carries the execution mode (sequential or parallel), the fork
+// budget, and a set of plain statistics counters that are flushed into
+// the manager's atomic totals when the operation ends. Keeping the hot
+// counters private to the running goroutine is what lets the parallel
+// mode avoid a shared contended cache line per recursion step, and lets
+// the sequential mode keep its zero-atomic fast path.
+//
+// Sequential mode uses the manager's single long-lived seqCtx, so the
+// cumulative sinceAdapt counter preserves the classic "adaptation check
+// every 2^14 allocations" cadence across operations. Parallel mode
+// draws pooled contexts in begin and returns them in end; pool workers
+// own one context each for the futures they execute.
+type kctx struct {
+	m          *Manager
+	par        bool  // use the lock-striped/atomic access paths
+	mayFork    bool  // may split subproblems onto the worker pool
+	depthLimit int32 // forking allowed strictly above this recursion depth
+
+	applyCalls, applyHits uint64
+	iteCalls, iteHits     uint64
+	quantCalls, quantHits uint64
+	aexCalls, aexHits     uint64
+	compShared            uint64
+	allocs                uint64
+	forks, steals         uint64
+	contention            uint64
+
+	// sinceAdapt is the allocation counter driving the periodic cache
+	// adaptation checkpoint; unlike the fields above it is never flushed,
+	// so the cadence is cumulative across operations.
+	sinceAdapt uint64
+}
+
+// flush folds the context's counters into the manager totals and zeroes
+// them, leaving the context reusable.
+func (c *kctx) flush(m *Manager) {
+	addClear(&m.statApplyCalls, &c.applyCalls)
+	addClear(&m.statApplyHits, &c.applyHits)
+	addClear(&m.statITECalls, &c.iteCalls)
+	addClear(&m.statITEHits, &c.iteHits)
+	addClear(&m.statQuantCalls, &c.quantCalls)
+	addClear(&m.statQuantHits, &c.quantHits)
+	addClear(&m.statAexCalls, &c.aexCalls)
+	addClear(&m.statAexHits, &c.aexHits)
+	addClear(&m.statCompShared, &c.compShared)
+	addClear(&m.allocs, &c.allocs)
+	addClear(&m.statForks, &c.forks)
+	addClear(&m.statSteals, &c.steals)
+	addClear(&m.statContention, &c.contention)
+}
+
+func addClear(dst *atomic.Uint64, src *uint64) {
+	if *src != 0 {
+		dst.Add(*src)
+		*src = 0
+	}
+}
+
+// begin opens an operation epoch. Sequential mode returns the resident
+// context with no synchronization at all; parallel mode read-locks the
+// stop-the-world lock (so GC, cache adaptation and reorder sessions
+// exclude the operation) and draws a pooled context.
+func (m *Manager) begin() *kctx {
+	if !m.par {
+		return m.seqCtx
+	}
+	m.stw.RLock()
+	c := m.ctxFree.Get().(*kctx)
+	c.par = true
+	c.mayFork = m.pool != nil
+	if c.mayFork {
+		c.depthLimit = m.pool.depthLimit
+	}
+	return c
+}
+
+// end closes an operation epoch opened by begin.
+func (m *Manager) end(c *kctx) {
+	if c == m.seqCtx {
+		return
+	}
+	c.flush(m)
+	c.par = false
+	c.mayFork = false
+	m.ctxFree.Put(c)
+	m.stw.RUnlock()
+	// Drain a pending cache-adaptation request if the manager happens to
+	// be quiescent right now; otherwise a later end, MaybeGC or GC gets
+	// it. Resizing a cache requires the stop-the-world lock because
+	// concurrent probes hold slot pointers into the old array.
+	if m.adaptPending.Load() {
+		m.tryAdapt()
+	}
+}
+
+// rlock/runlock guard read-only public entry points (SatCount, Support,
+// WriteBDDs, ...) against stop-the-world epochs in parallel mode. They
+// are no-ops sequentially.
+func (m *Manager) rlock() {
+	if m.par {
+		m.stw.RLock()
+	}
+}
+
+func (m *Manager) runlock() {
+	if m.par {
+		m.stw.RUnlock()
+	}
+}
+
+// exclusive opens a stop-the-world epoch and returns a sequential-mode
+// context for it. It serves cold structural entry points (ReadBDDs,
+// NewVar) that mix node construction with manager mutations no
+// concurrent reader may observe. release closes the epoch.
+func (m *Manager) exclusive() *kctx {
+	if !m.par {
+		return m.seqCtx
+	}
+	m.stw.Lock()
+	return m.seqCtx
+}
+
+func (m *Manager) release(c *kctx) {
+	if !m.par {
+		return
+	}
+	c.flush(m)
+	m.stw.Unlock()
+}
+
+// tryAdapt runs a requested cache-adaptation check if the
+// stop-the-world lock is immediately available; contended attempts are
+// simply retried at a later drain point.
+func (m *Manager) tryAdapt() {
+	if !m.stw.TryLock() {
+		return
+	}
+	if m.adaptPending.CompareAndSwap(true, false) {
+		m.adaptCaches()
+	}
+	m.stw.Unlock()
+}

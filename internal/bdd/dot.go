@@ -15,6 +15,8 @@ import (
 // the 0-terminal. Low (else) edges are dashed and, by the canonical-form
 // invariant, never complemented.
 func (m *Manager) WriteDot(w io.Writer, names []string, roots map[string]Ref) error {
+	m.rlock()
+	defer m.runlock()
 	nodes := make(map[Ref]bool)
 	var keys []string
 	for k, f := range roots {
@@ -48,7 +50,7 @@ func (m *Manager) WriteDot(w io.Writer, names []string, roots map[string]Ref) er
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	for _, f := range ordered {
-		n := m.nodes[f]
+		n := *m.node(f)
 		v := int(m.level2var[n.level])
 		name := fmt.Sprintf("v%d", v)
 		if v < len(names) && names[v] != "" {

@@ -2,6 +2,7 @@ package bdd
 
 import (
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"hsis/internal/telemetry"
@@ -18,22 +19,31 @@ import (
 // The mark phase uses the Manager's reusable bitmap (no per-collection
 // allocation), and the operation caches are swept — entries whose
 // operands and result all survived are kept — rather than cleared.
+//
+// In parallel mode a collection is a stop-the-world epoch: GC takes the
+// write side of the epoch lock, so it excludes every operation, and the
+// safe-point contract is unchanged — GC and MaybeGC must be called from
+// one orchestrating goroutine while no other goroutine holds
+// unprotected Refs. Inside a ParallelDo section MaybeGC is a no-op,
+// because sibling tasks hold unprotected intermediate Refs by design.
 
 // IncRef marks f as externally referenced and returns f for chaining.
 func (m *Manager) IncRef(f Ref) Ref {
 	m.check(f)
-	m.refs[regular(f)]++
+	m.rlock()
+	atomic.AddInt32(m.rcPtr(f), 1)
+	m.runlock()
 	return f
 }
 
 // DecRef releases one external reference to f.
 func (m *Manager) DecRef(f Ref) {
 	m.check(f)
-	i := regular(f)
-	if m.refs[i] <= 0 {
+	m.rlock()
+	if atomic.AddInt32(m.rcPtr(f), -1) < 0 {
 		panic("bdd: DecRef without matching IncRef")
 	}
-	m.refs[i]--
+	m.runlock()
 }
 
 // GC sweeps all nodes not reachable from externally referenced roots and
@@ -41,6 +51,10 @@ func (m *Manager) DecRef(f Ref) {
 // node they mention is still live. All Refs not protected (directly or
 // transitively) by IncRef are invalidated.
 func (m *Manager) GC() {
+	if m.par {
+		m.stw.Lock()
+		defer m.stw.Unlock()
+	}
 	if m.session != nil {
 		panic("bdd: GC during an active reorder session")
 	}
@@ -48,11 +62,20 @@ func (m *Manager) GC() {
 	if telemetry.Enabled() {
 		gcStart = time.Now()
 	}
+	m.seqCtx.flush(m)
+	alloc := int(m.nodeCap.Load())
 	m.resetMarks()
 	m.setMark(0) // the terminal is always live
-	for i, rc := range m.refs {
-		if rc > 0 {
-			m.mark(Ref(i))
+	for base := 0; base < alloc; base += chunkSize {
+		ch := m.chunks[base>>chunkShift].Load()
+		n := chunkSize
+		if alloc-base < n {
+			n = alloc - base
+		}
+		for j := 0; j < n; j++ {
+			if ch.refs[j] > 0 {
+				m.mark(Ref(base + j))
+			}
 		}
 	}
 	live := 0
@@ -66,29 +89,39 @@ func (m *Manager) GC() {
 	// iteration keeps its structures, while a loop over a small working
 	// set stops paying for a long-gone peak.
 	demand := live
-	if d := int(m.allocs - m.allocsAtGC); d > demand {
+	if d := int(m.allocs.Load() - m.allocsAtGC); d > demand {
 		demand = d
 	}
-	m.allocsAtGC = m.allocs
-	// Rebuild the unique table. A table sized for a long-gone peak makes
-	// every later collection wipe megabytes to reinsert a few hundred
-	// survivors, so shrink it when demand has fallen well below it (2×
-	// hysteresis; it regrows on its load factor as usual).
-	if target := max(pow2AtLeast(4*demand), defaultTableSize); 2*target <= len(m.table) {
-		m.table = make([]int32, target)
-		m.tableMask = uint64(target - 1)
-	} else {
-		clear(m.table)
+	m.allocsAtGC = m.allocs.Load()
+	// Rebuild the unique table shard by shard. A table sized for a
+	// long-gone peak makes every later collection wipe megabytes to
+	// reinsert a few hundred survivors, so shrink each shard when demand
+	// has fallen well below it (2× hysteresis; shards regrow on their
+	// load factor as usual).
+	perShard := pow2AtLeast(4 * demand / numShards)
+	if perShard < initShardSlots {
+		perShard = initShardSlots
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		if 2*perShard <= len(sh.slots) {
+			sh.slots = make([]int32, perShard)
+			sh.mask = uint64(perShard - 1)
+		} else {
+			clear(sh.slots)
+		}
+		sh.count = 0
 	}
 	// Sweep into the free list.
 	m.free = m.free[:0]
-	for i := 1; i < len(m.nodes); i++ {
+	for i := 1; i < alloc; i++ {
 		if m.marked(Ref(i)) {
 			m.tableInsert(Ref(i))
 		} else {
 			m.free = append(m.free, Ref(i))
 		}
 	}
+	m.freeLen.Store(int64(len(m.free)))
 	m.GCCount++
 	m.lastLive = live
 	// The mark bitmap is still valid here: use it to retain cache
@@ -97,22 +130,23 @@ func (m *Manager) GC() {
 	// so skip the scan, wipe, and shrink toward the live set. Then give
 	// each cache a chance to grow if its hit rate collapsed since the
 	// last check.
-	if 4*live >= len(m.nodes) {
+	if 4*live >= alloc {
 		m.sweepCaches()
 	} else {
 		m.clearCaches(demand)
 	}
+	m.adaptPending.Store(false)
 	m.adaptCaches()
 	if t := telemetry.T(); t != nil {
-		telemetry.PublishNodes(m.Size(), m.peakLive)
+		telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
 		t.Emit("bdd.gc",
 			telemetry.Int("live", live),
-			telemetry.Int("dead", len(m.nodes)-live),
+			telemetry.Int("dead", alloc-live),
 			telemetry.Int("kept_cache_entries", m.statCacheKept),
 			telemetry.I64("elapsed_us", time.Since(gcStart).Microseconds()))
 	}
 	if m.OnGC != nil {
-		m.OnGC(live, len(m.nodes)-live)
+		m.OnGC(live, alloc-live)
 	}
 }
 
@@ -122,7 +156,7 @@ func (m *Manager) mark(f Ref) {
 	f = regular(f)
 	for !m.marked(f) {
 		m.setMark(f)
-		n := m.nodes[f]
+		n := m.node(f)
 		m.mark(n.low)
 		f = regular(n.high)
 	}
@@ -132,12 +166,21 @@ func (m *Manager) mark(f Ref) {
 // threshold. It returns true if a collection ran. Even when no
 // collection is due it performs the O(1) cache-adaptation check, so
 // fixpoint loops that never trigger a GC still grow their caches.
+// Inside a ParallelDo section it is a no-op.
 func (m *Manager) MaybeGC() bool {
+	if m.sections.Load() > 0 {
+		return false
+	}
 	// MaybeGC call sites already satisfy the protection contract a
 	// reorder needs, so a pending automatic reorder drains here too.
 	m.MaybeReorder()
 	if !m.gcEnabled || m.Size() < m.autoGCAt {
-		m.adaptCaches()
+		if m.par {
+			m.tryAdapt()
+		} else {
+			m.seqCtx.flush(m)
+			m.adaptCaches()
+		}
 		return false
 	}
 	before := m.Size()

@@ -22,6 +22,8 @@ import (
 //	n 3 1 F !2        # high edge is the complement of node 2
 //	root init 3
 func (m *Manager) WriteBDDs(w io.Writer, roots map[string]Ref) error {
+	m.rlock()
+	defer m.runlock()
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "bdd %d\n", m.numVars)
 	// collect stored nodes reachable from all roots
@@ -34,7 +36,7 @@ func (m *Manager) WriteBDDs(w io.Writer, roots map[string]Ref) error {
 			return
 		}
 		seen[f] = true
-		n := m.nodes[f]
+		n := *m.node(f)
 		visit(n.low)
 		visit(n.high)
 		order = append(order, f) // post-order: children first
@@ -59,7 +61,7 @@ func (m *Manager) WriteBDDs(w io.Writer, roots map[string]Ref) error {
 		return fmt.Sprint(int(f))
 	}
 	for _, f := range order {
-		n := m.nodes[f]
+		n := *m.node(f)
 		fmt.Fprintf(bw, "n %d %d %s %s\n", int(f), int(m.level2var[n.level]), enc(n.low), enc(n.high))
 	}
 	for _, name := range names {
@@ -73,8 +75,12 @@ func (m *Manager) WriteBDDs(w io.Writer, roots map[string]Ref) error {
 
 // ReadBDDs reconstructs functions written by WriteBDDs into this
 // manager. The manager must have at least as many variables as the
-// writer had; missing variables are created.
+// writer had; missing variables are created. Because it may create
+// variables mid-stream it runs as one exclusive (stop-the-world) epoch
+// in parallel mode rather than an ordinary operation.
 func (m *Manager) ReadBDDs(r io.Reader) (map[string]Ref, error) {
+	kc := m.exclusive()
+	defer m.release(kc)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	out := map[string]Ref{}
@@ -111,7 +117,7 @@ func (m *Manager) ReadBDDs(r io.Reader) (map[string]Ref, error) {
 				return nil, fmt.Errorf("bdd: line %d: %v", lineNo, err)
 			}
 			for m.numVars < nv {
-				m.NewVar()
+				m.newVarLocked()
 			}
 		case "n":
 			if len(fields) != 5 {
@@ -135,7 +141,7 @@ func (m *Manager) ReadBDDs(r io.Reader) (map[string]Ref, error) {
 			// rebuild with ITE rather than mk so the dump stays valid
 			// even if the reading manager uses a different variable
 			// order (ITE re-normalizes; mk would not)
-			remap[fields[1]] = m.iteRec(m.Var(v), high, low)
+			remap[fields[1]] = m.iteRec(kc, m.varRef(kc, v), high, low, 0)
 		case "root":
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("bdd: line %d: malformed root", lineNo)

@@ -6,6 +6,13 @@ package bdd
 // AND cache, Not is a single XOR — so f, ¬f, f∧g, ¬f∨¬g … all draw on
 // one shared DAG and one set of cache entries. Results are canonical by
 // construction.
+//
+// Every recursion threads a kernel context (ctx.go) carrying the
+// execution mode and counters, plus its depth, which drives the
+// fork/join cutoff: in parallel mode an AND node near the recursion
+// root forks its high cofactor onto the worker pool and computes the
+// low cofactor inline (pool.go). Canonicity makes the result identical
+// either way.
 
 // Not returns the complement of f in O(1): complement edges make
 // negation a sign flip, with no node allocation and no recursion.
@@ -18,42 +25,60 @@ func (m *Manager) Not(f Ref) Ref {
 func (m *Manager) And(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.andRec(f, g)
+	c := m.begin()
+	r := m.andRec(c, f, g, 0)
+	m.end(c)
+	return r
 }
 
 // Or returns f OR g.
 func (m *Manager) Or(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.or(f, g)
+	c := m.begin()
+	r := m.or(c, f, g, 0)
+	m.end(c)
+	return r
 }
 
 // Xor returns f XOR g.
 func (m *Manager) Xor(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.xorRec(f, g)
+	c := m.begin()
+	r := m.xorRec(c, f, g)
+	m.end(c)
+	return r
 }
 
 // Diff returns f AND NOT g.
 func (m *Manager) Diff(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return m.andRec(f, neg(g))
+	c := m.begin()
+	r := m.andRec(c, f, neg(g), 0)
+	m.end(c)
+	return r
 }
 
 // Implies returns NOT f OR g.
 func (m *Manager) Implies(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return neg(m.andRec(f, neg(g)))
+	c := m.begin()
+	r := neg(m.andRec(c, f, neg(g), 0))
+	m.end(c)
+	return r
 }
 
 // Equiv returns the biconditional f XNOR g.
 func (m *Manager) Equiv(f, g Ref) Ref {
 	m.check(f)
 	m.check(g)
-	return neg(m.xorRec(f, g))
+	c := m.begin()
+	r := neg(m.xorRec(c, f, g))
+	m.end(c)
+	return r
 }
 
 // ITE returns if-then-else(f, g, h) = f·g + f'·h.
@@ -61,42 +86,56 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	m.check(f)
 	m.check(g)
 	m.check(h)
-	return m.iteRec(f, g, h)
+	c := m.begin()
+	r := m.iteRec(c, f, g, h, 0)
+	m.end(c)
+	return r
 }
 
 // AndN folds And over its arguments; AndN() is True.
 func (m *Manager) AndN(fs ...Ref) Ref {
+	c := m.begin()
 	r := True
 	for _, f := range fs {
-		r = m.And(r, f)
+		m.check(f)
+		r = m.andRec(c, r, f, 0)
 		if r == False {
-			return False
+			break
 		}
 	}
+	m.end(c)
 	return r
 }
 
 // OrN folds Or over its arguments; OrN() is False.
 func (m *Manager) OrN(fs ...Ref) Ref {
+	c := m.begin()
 	r := False
 	for _, f := range fs {
-		r = m.Or(r, f)
+		m.check(f)
+		r = m.or(c, r, f, 0)
 		if r == True {
-			return True
+			break
 		}
 	}
+	m.end(c)
 	return r
 }
 
 // Leq reports whether f implies g (f ≤ g pointwise).
 func (m *Manager) Leq(f, g Ref) bool {
-	return m.andRec(f, neg(g)) == False
+	c := m.begin()
+	r := m.andRec(c, f, neg(g), 0)
+	m.end(c)
+	return r == False
 }
 
 // or is the internal disjunction: ¬(¬f ∧ ¬g), sharing the AND cache.
-func (m *Manager) or(f, g Ref) Ref { return neg(m.andRec(neg(f), neg(g))) }
+func (m *Manager) or(c *kctx, f, g Ref, depth int32) Ref {
+	return neg(m.andRec(c, neg(f), neg(g), depth))
+}
 
-func (m *Manager) andRec(f, g Ref) Ref {
+func (m *Manager) andRec(c *kctx, f, g Ref, depth int32) Ref {
 	// Terminal and complement-identity cases.
 	switch {
 	case f == g:
@@ -111,10 +150,15 @@ func (m *Manager) andRec(f, g Ref) Ref {
 	if f > g {
 		f, g = g, f
 	}
-	m.statApplyCalls++
+	c.applyCalls++
 	slot := &m.binop[hash3(opAnd, uint64(f), uint64(g))&m.binopMask]
-	if slot.op == opAnd && slot.f == f && slot.g == g {
-		m.statApplyHits++
+	if c.par {
+		if e, ok := slot.loadPar(); ok && e.op == opAnd && e.f == f && e.g == g {
+			c.applyHits++
+			return e.res
+		}
+	} else if slot.op == opAnd && slot.f == f && slot.g == g {
+		c.applyHits++
 		return slot.res
 	}
 	lf, f0, f1 := m.top(f)
@@ -129,14 +173,27 @@ func (m *Manager) andRec(f, g Ref) Ref {
 	if lg != level {
 		g0, g1 = g, g
 	}
-	low := m.andRec(f0, g0)
-	high := m.andRec(f1, g1)
-	r := m.mk(level, low, high)
-	*slot = binopEntry{op: opAnd, f: f, g: g, res: r}
+	var low, high Ref
+	if c.canFork(depth, level) {
+		fu := c.forkTask(futAnd, f1, g1, False, depth+1)
+		low = m.andRec(c, f0, g0, depth+1)
+		high = c.join(fu)
+	} else {
+		low = m.andRec(c, f0, g0, depth+1)
+		high = m.andRec(c, f1, g1, depth+1)
+	}
+	r := m.mk(c, level, low, high)
+	if c.par {
+		if !slot.storePar(binopEntry{op: opAnd, f: f, g: g, res: r}) {
+			c.contention++
+		}
+	} else {
+		*slot = binopEntry{op: opAnd, f: f, g: g, res: r}
+	}
 	return r
 }
 
-func (m *Manager) xorRec(f, g Ref) Ref {
+func (m *Manager) xorRec(c *kctx, f, g Ref) Ref {
 	switch {
 	case f == g:
 		return False
@@ -155,16 +212,21 @@ func (m *Manager) xorRec(f, g Ref) Ref {
 	// Strip both marks, recurse on the regular pair, and re-apply the
 	// parity to the result, so all four sign combinations share one
 	// cache entry.
-	c := (f ^ g) & compBit
+	cm := (f ^ g) & compBit
 	f, g = regular(f), regular(g)
 	if f > g {
 		f, g = g, f
 	}
-	m.statApplyCalls++
+	c.applyCalls++
 	slot := &m.binop[hash3(opXor, uint64(f), uint64(g))&m.binopMask]
-	if slot.op == opXor && slot.f == f && slot.g == g {
-		m.statApplyHits++
-		return slot.res ^ c
+	if c.par {
+		if e, ok := slot.loadPar(); ok && e.op == opXor && e.f == f && e.g == g {
+			c.applyHits++
+			return e.res ^ cm
+		}
+	} else if slot.op == opXor && slot.f == f && slot.g == g {
+		c.applyHits++
+		return slot.res ^ cm
 	}
 	lf, f0, f1 := m.top(f)
 	lg, g0, g1 := m.top(g)
@@ -178,14 +240,20 @@ func (m *Manager) xorRec(f, g Ref) Ref {
 	if lg != level {
 		g0, g1 = g, g
 	}
-	low := m.xorRec(f0, g0)
-	high := m.xorRec(f1, g1)
-	r := m.mk(level, low, high)
-	*slot = binopEntry{op: opXor, f: f, g: g, res: r}
-	return r ^ c
+	low := m.xorRec(c, f0, g0)
+	high := m.xorRec(c, f1, g1)
+	r := m.mk(c, level, low, high)
+	if c.par {
+		if !slot.storePar(binopEntry{op: opXor, f: f, g: g, res: r}) {
+			c.contention++
+		}
+	} else {
+		*slot = binopEntry{op: opXor, f: f, g: g, res: r}
+	}
+	return r ^ cm
 }
 
-func (m *Manager) iteRec(f, g, h Ref) Ref {
+func (m *Manager) iteRec(c *kctx, f, g, h Ref, depth int32) Ref {
 	// Terminal and simplification cases.
 	switch {
 	case f == True:
@@ -212,15 +280,15 @@ func (m *Manager) iteRec(f, g, h Ref) Ref {
 	case g == False && h == True:
 		return neg(f)
 	case g == True:
-		return m.or(f, h)
+		return m.or(c, f, h, depth)
 	case g == False:
-		return m.andRec(neg(f), h)
+		return m.andRec(c, neg(f), h, depth)
 	case h == False:
-		return m.andRec(f, g)
+		return m.andRec(c, f, g, depth)
 	case h == True:
-		return neg(m.andRec(f, neg(g))) // f → g
+		return neg(m.andRec(c, f, neg(g), depth)) // f → g
 	case g == neg(h):
-		return m.xorRec(f, h)
+		return m.xorRec(c, f, h)
 	}
 	// Complement normalization: ITE(¬f,g,h) = ITE(f,h,g) makes the first
 	// argument regular, and ITE(f,¬g,h) = ¬ITE(f,g,¬h) makes the second
@@ -228,16 +296,21 @@ func (m *Manager) iteRec(f, g, h Ref) Ref {
 	if isComp(f) {
 		f, g, h = neg(f), h, g
 	}
-	var c Ref
+	var cm Ref
 	if isComp(g) {
-		c = compBit
+		cm = compBit
 		g, h = neg(g), neg(h)
 	}
-	m.statITECalls++
+	c.iteCalls++
 	slot := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&m.iteMask]
-	if slot.f == f && slot.g == g && slot.h == h {
-		m.statITEHits++
-		return slot.res ^ c
+	if c.par {
+		if e, ok := slot.loadPar(); ok && e.f == f && e.g == g && e.h == h {
+			c.iteHits++
+			return e.res ^ cm
+		}
+	} else if slot.f == f && slot.g == g && slot.h == h {
+		c.iteHits++
+		return slot.res ^ cm
 	}
 	lf, f0, f1 := m.top(f)
 	lg, g0, g1 := m.top(g)
@@ -258,9 +331,15 @@ func (m *Manager) iteRec(f, g, h Ref) Ref {
 	if lh != level {
 		h0, h1 = h, h
 	}
-	low := m.iteRec(f0, g0, h0)
-	high := m.iteRec(f1, g1, h1)
-	r := m.mk(level, low, high)
-	*slot = iteEntry{f: f, g: g, h: h, res: r}
-	return r ^ c
+	low := m.iteRec(c, f0, g0, h0, depth+1)
+	high := m.iteRec(c, f1, g1, h1, depth+1)
+	r := m.mk(c, level, low, high)
+	if c.par {
+		if !slot.storePar(iteEntry{f: f, g: g, h: h, res: r}) {
+			c.contention++
+		}
+	} else {
+		*slot = iteEntry{f: f, g: g, h: h, res: r}
+	}
+	return r ^ cm
 }

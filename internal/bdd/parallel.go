@@ -1,0 +1,80 @@
+package bdd
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SetWorkers selects the manager's execution mode. n <= 1 (the default)
+// is the classic single-threaded kernel: no locks, plain cache slots,
+// bit-for-bit the sequential fast paths. n >= 2 makes the manager safe
+// for concurrent operations from any number of goroutines and starts a
+// pool of n-1 worker goroutines that large And/Exists/AndExists
+// recursions fork subproblems onto; n = 0 means GOMAXPROCS.
+//
+// SetWorkers must be called from a single goroutine while no operations
+// are in flight (typically right after New, or between verification
+// phases). Results are unaffected by the mode: BDDs are canonical, so a
+// parallel run returns the same Refs the sequential kernel would.
+//
+// GC and reordering keep their safe-point contract in parallel mode:
+// they still run only at explicit MaybeGC/MaybeReorder/GC calls, and
+// those calls must come from one orchestrating goroutine while no other
+// goroutine holds unprotected Refs — inside a ParallelDo section both
+// are deferred automatically.
+func (m *Manager) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == m.workers {
+		return
+	}
+	if m.pool != nil {
+		m.pool.shutdown()
+		m.pool = nil
+	}
+	m.workers = n
+	if n > 1 {
+		m.par = true
+		m.pool = newPool(m, n)
+	} else {
+		m.par = false
+	}
+}
+
+// Workers returns the configured worker count (1 = sequential mode).
+func (m *Manager) Workers() int { return m.workers }
+
+// ParallelDo runs the given tasks, concurrently when the manager is in
+// parallel mode (bounded by the worker count) and sequentially
+// otherwise. While any section is open, MaybeGC and MaybeReorder are
+// no-ops: sibling tasks hold intermediate Refs that no collection may
+// reclaim, so the garbage-collection safe-point contract is preserved
+// without every task protecting its locals.
+//
+// Tasks must confine themselves to manager operations and their own
+// data; they must not call GC, StartReorder or SetWorkers.
+func (m *Manager) ParallelDo(tasks ...func()) {
+	if !m.par || len(tasks) <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	m.sections.Add(1)
+	defer m.sections.Add(-1)
+	sem := make(chan struct{}, m.workers)
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(fn func()) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			fn()
+		}(t)
+	}
+	wg.Wait()
+}

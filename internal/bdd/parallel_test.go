@@ -1,0 +1,360 @@
+package bdd
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// xorshift32 is the tiny deterministic RNG the parallel tests use to
+// build reproducible "large" inputs without math/rand.
+type xorshift32 uint32
+
+func (x *xorshift32) next() uint32 {
+	v := uint32(*x)
+	v ^= v << 13
+	v ^= v >> 17
+	v ^= v << 5
+	*x = xorshift32(v)
+	return v
+}
+
+// buildDNF constructs a disjunction of random cubes: terms conjunctions
+// of width literals each, over nv variables. Same seed, same manager
+// variable order ⇒ same function, in any manager.
+func buildDNF(m *Manager, rng *xorshift32, nv, terms, width int) Ref {
+	f := False
+	for i := 0; i < terms; i++ {
+		term := True
+		for j := 0; j < width; j++ {
+			v := int(rng.next()) % nv
+			if rng.next()&1 == 0 {
+				term = m.And(term, m.Var(v))
+			} else {
+				term = m.And(term, m.NVar(v))
+			}
+		}
+		f = m.Or(f, term)
+	}
+	return f
+}
+
+// transfer moves f from src into dst through the serialized dump format,
+// returning the canonical Ref of the same function in dst. Canonicity
+// makes this an exact cross-manager equality check.
+func transfer(t *testing.T, src, dst *Manager, f Ref) Ref {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := src.WriteBDDs(&buf, map[string]Ref{"f": f}); err != nil {
+		t.Fatalf("WriteBDDs: %v", err)
+	}
+	roots, err := dst.ReadBDDs(&buf)
+	if err != nil {
+		t.Fatalf("ReadBDDs: %v", err)
+	}
+	return roots["f"]
+}
+
+// TestParallelCorpus replays the differential fuzz corpus on managers in
+// parallel mode: the sharded table, seqlock caches and stop-the-world
+// GC/reorder epochs all engage, and every stack entry must still match
+// its truth table bit for bit.
+func TestParallelCorpus(t *testing.T) {
+	progs := [][]byte{
+		{0, 1, 0, 2, 3},
+		{0, 0, 0, 3, 2, 2, 8, 4},
+		{0, 1, 0, 5, 5, 0, 7, 11, 0, 3, 3},
+		{0, 9, 0, 3, 0, 7, 9, 2, 11, 5, 0, 0, 7, 7},
+		{1, 0, 1, 1, 2, 10, 0, 4, 9, 1, 11, 0, 6, 6, 3},
+		{0, 3, 0, 5, 3, 12, 0, 0, 4, 3, 12, 4, 8, 2},
+		{0, 1, 0, 2, 12, 8, 3, 11, 0, 6, 12, 0, 7, 7, 12, 1},
+	}
+	for _, workers := range []int{2, 4} {
+		for _, prog := range progs {
+			m := New()
+			m.NewVars(fuzzVars)
+			m.SetWorkers(workers)
+			stack := runFuzzProgram(m, prog)
+			checkFuzzStack(t, m, stack)
+			checkKernelInvariants(t, m)
+			m.SetWorkers(1)
+		}
+	}
+}
+
+// TestParallelForkDifferential builds inputs wide enough to clear the
+// fork headroom, runs And / Exists / AndExists in a 4-worker manager,
+// and checks the results against a sequential manager through the exact
+// dump-transfer equality. It also insists the pool actually forked:
+// a cutoff bug that silently serialized everything would otherwise pass.
+func TestParallelForkDifferential(t *testing.T) {
+	const nv = 26
+	build := func(m *Manager) (f, g, cube Ref) {
+		rngF := xorshift32(0x1234567)
+		rngG := xorshift32(0xfedcba9)
+		f = m.IncRef(buildDNF(m, &rngF, nv, 60, 8))
+		g = m.IncRef(buildDNF(m, &rngG, nv, 60, 8))
+		vars := make([]int, 0, nv/2)
+		for v := 0; v < nv; v += 2 {
+			vars = append(vars, v)
+		}
+		cube = m.IncRef(m.Cube(vars))
+		return
+	}
+
+	seq := New()
+	seq.NewVars(nv)
+	sf, sg, scube := build(seq)
+	sAnd := seq.And(sf, sg)
+	sEx := seq.Exists(sf, scube)
+	sAex := seq.AndExists(sf, sg, scube)
+
+	par := New()
+	par.NewVars(nv)
+	par.SetWorkers(4)
+	pf, pg, pcube := build(par)
+	pAnd := par.And(pf, pg)
+	pEx := par.Exists(pf, pcube)
+	pAex := par.AndExists(pf, pg, pcube)
+
+	if st := par.Stats(); st.Forks == 0 {
+		t.Fatalf("no subproblems were forked (stats: %+v)", st)
+	}
+	if got := transfer(t, par, seq, pAnd); got != sAnd {
+		t.Errorf("parallel And disagrees with sequential: %d vs %d", got, sAnd)
+	}
+	if got := transfer(t, par, seq, pEx); got != sEx {
+		t.Errorf("parallel Exists disagrees with sequential: %d vs %d", got, sEx)
+	}
+	if got := transfer(t, par, seq, pAex); got != sAex {
+		t.Errorf("parallel AndExists disagrees with sequential: %d vs %d", got, sAex)
+	}
+	checkKernelInvariants(t, par)
+	par.SetWorkers(1)
+}
+
+// TestConcurrentOpsDifferential runs several goroutines of independent
+// operation chains against one shared 4-worker manager, each goroutine
+// checking every result against a private sequential oracle manager by
+// sampled evaluation. This is the concurrency analogue of the fuzz
+// harness: shard locks, lock-free cache publication and the fork pool
+// all run under true multi-goroutine load.
+func TestConcurrentOpsDifferential(t *testing.T) {
+	const (
+		nv         = 24
+		goroutines = 8
+		rounds     = 6
+	)
+	shared := New()
+	shared.NewVars(nv)
+	shared.SetWorkers(4)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			oracle := New()
+			oracle.NewVars(nv)
+			run := func(m *Manager) []Ref {
+				rng := xorshift32(seed)
+				var out []Ref
+				a := buildDNF(m, &rng, nv, 20, 6)
+				b := buildDNF(m, &rng, nv, 20, 6)
+				for r := 0; r < rounds; r++ {
+					switch r % 4 {
+					case 0:
+						a = m.And(a, m.Or(b, m.Not(a)))
+					case 1:
+						b = m.Xor(a, b)
+					case 2:
+						a = m.ITE(b, a, m.Not(b))
+					case 3:
+						cube := m.Cube([]int{int(rng.next()) % nv, int(rng.next()) % nv})
+						a = m.AndExists(a, b, cube)
+						b = m.Exists(b, cube)
+					}
+					out = append(out, a, b)
+				}
+				return out
+			}
+			got := run(shared)
+			want := run(oracle)
+			rng := xorshift32(seed ^ 0xabcdef)
+			assignment := make([]bool, nv)
+			for trial := 0; trial < 400; trial++ {
+				w := rng.next()
+				for v := range assignment {
+					if v%32 == 0 && v > 0 {
+						w = rng.next()
+					}
+					assignment[v] = w>>(v%32)&1 == 1
+				}
+				for i := range got {
+					if shared.Eval(got[i], assignment) != oracle.Eval(want[i], assignment) {
+						errs <- fmt.Errorf("seed %#x result %d trial %d: concurrent result disagrees with sequential oracle", seed, i, trial)
+						return
+					}
+				}
+			}
+		}(uint32(g)*0x9e370001 + 7)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	checkKernelInvariants(t, shared)
+	shared.SetWorkers(1)
+}
+
+// runConcurrentFuzz interprets prog against a shared parallel manager
+// from several goroutines at once. Each goroutine runs a rotation of the
+// program restricted to pure operations (no GC, no reorder: those are
+// orchestrator-only under the safe-point contract) and verifies its own
+// stack against the truth-table oracle afterwards.
+func runConcurrentFuzz(t *testing.T, prog []byte) {
+	t.Helper()
+	const goroutines = 4
+	m := New()
+	m.NewVars(fuzzVars)
+	m.SetWorkers(4)
+	stacks := make([][]fuzzEntry, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rot := make([]byte, len(prog))
+			for i := range prog {
+				// rotate per goroutine for divergent schedules, and remap
+				// away the GC(11)/reorder(12) opcodes
+				rot[i] = (prog[(i+g)%len(prog)] + byte(g)) % 11
+			}
+			stacks[g] = runFuzzProgram(m, rot)
+		}(g)
+	}
+	wg.Wait()
+	for _, stack := range stacks {
+		checkFuzzStack(t, m, stack)
+	}
+	checkKernelInvariants(t, m)
+	// A stop-the-world collection with every stack rooted must not
+	// change any function.
+	for _, stack := range stacks {
+		for _, e := range stack {
+			m.IncRef(e.f)
+		}
+	}
+	m.GC()
+	for _, stack := range stacks {
+		checkFuzzStack(t, m, stack)
+	}
+	m.SetWorkers(1)
+}
+
+// FuzzConcurrentKernel is the concurrent arm of the differential fuzz
+// harness: arbitrary operation programs executed by multiple goroutines
+// against one parallel manager, each checked against the truth-table
+// oracle.
+func FuzzConcurrentKernel(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 3})
+	f.Add([]byte{0, 0, 0, 3, 2, 2, 8, 4})
+	f.Add([]byte{0, 9, 0, 3, 0, 7, 9, 2, 5, 0, 0, 7, 7})
+	f.Add([]byte{1, 0, 1, 1, 2, 10, 0, 4, 9, 1, 0, 6, 6, 3})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) == 0 || len(prog) > 128 {
+			t.Skip()
+		}
+		runConcurrentFuzz(t, prog)
+	})
+}
+
+// TestConcurrentFuzzCorpus runs the concurrent fuzz seeds as a plain
+// test so `go test` (and the -race shard in make check) exercises the
+// multi-goroutine harness without -fuzz.
+func TestConcurrentFuzzCorpus(t *testing.T) {
+	progs := [][]byte{
+		{0, 1, 0, 2, 3},
+		{0, 0, 0, 3, 2, 2, 8, 4},
+		{0, 9, 0, 3, 0, 7, 9, 2, 5, 0, 0, 7, 7},
+		{1, 0, 1, 1, 2, 10, 0, 4, 9, 1, 0, 6, 6, 3},
+		{0, 3, 0, 5, 3, 0, 0, 4, 3, 4, 8, 2, 7, 10, 9, 1},
+	}
+	for _, prog := range progs {
+		runConcurrentFuzz(t, prog)
+	}
+}
+
+// TestParallelDo checks the task-level section: results match the
+// sequential execution of the same closures, and MaybeGC inside a
+// section is a no-op (sibling tasks hold unprotected Refs).
+func TestParallelDo(t *testing.T) {
+	const nv = 16
+	m := New()
+	vars := m.NewVars(nv)
+	m.SetWorkers(4)
+
+	results := make([]Ref, 8)
+	gcInSection := false
+	tasks := make([]func(), len(results))
+	for i := range tasks {
+		i := i
+		tasks[i] = func() {
+			f := True
+			for j := 0; j < nv-1; j++ {
+				f = m.And(f, m.Or(vars[(i+j)%nv], m.Not(vars[(i+j+1)%nv])))
+			}
+			if m.MaybeGC() {
+				gcInSection = true // racy write is fine: only ever set under failure
+			}
+			results[i] = f
+		}
+	}
+	m.ParallelDo(tasks...)
+	if gcInSection {
+		t.Fatal("MaybeGC collected inside a ParallelDo section")
+	}
+	m.SetWorkers(1)
+	for i, got := range results {
+		f := True
+		for j := 0; j < nv-1; j++ {
+			f = m.And(f, m.Or(vars[(i+j)%nv], m.Not(vars[(i+j+1)%nv])))
+		}
+		if got != f {
+			t.Fatalf("task %d: parallel section result %d != sequential %d", i, got, f)
+		}
+	}
+}
+
+// TestSetWorkersRoundTrip switches one manager seq → par → seq with GC
+// and a reorder session in parallel mode in between; functions built
+// before the switches must keep their semantics throughout.
+func TestSetWorkersRoundTrip(t *testing.T) {
+	m := New()
+	m.NewVars(fuzzVars)
+	stack := runFuzzProgram(m, []byte{0, 1, 0, 5, 5, 0, 7, 0, 3, 3})
+	m.SetWorkers(2)
+	if m.Workers() != 2 {
+		t.Fatalf("Workers() = %d after SetWorkers(2)", m.Workers())
+	}
+	stack = append(stack, runFuzzProgram(m, []byte{0, 9, 0, 3, 0, 7, 9, 2, 5})...)
+	for _, e := range stack {
+		m.IncRef(e.f)
+	}
+	m.GC() // stop-the-world collection in parallel mode
+	s := m.StartReorder()
+	for k := 0; k < fuzzVars-1; k++ {
+		s.Swap(k)
+	}
+	s.Close() // stop-the-world reorder epoch in parallel mode
+	checkFuzzStack(t, m, stack)
+	m.SetWorkers(1)
+	checkFuzzStack(t, m, stack)
+	checkKernelInvariants(t, m)
+	if m.Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1)", m.Workers())
+	}
+}

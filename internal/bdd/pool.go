@@ -1,0 +1,236 @@
+package bdd
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Fork/join recursion splitting. Near the root of a large And, Exists
+// or AndExists recursion the two cofactor subproblems are independent,
+// so the kernel forks one of them as a future onto a small
+// work-stealing pool and computes the other inline. Determinism is free:
+// the unique table makes every subresult canonical, so the final Ref is
+// identical regardless of which goroutine computed which half.
+//
+// The pool is deliberately simple — a Treiber stack of futures and
+// n-1 persistent workers that park on a condition variable when the
+// stack drains. Futures are tiny and forked only above a depth cutoff
+// (and only when enough variable levels remain below the current node
+// for the subproblem to plausibly amortize a dispatch), so the stack
+// never holds more than a few dozen entries per operation.
+
+// futKind selects the recursion a future runs.
+type futKind uint8
+
+const (
+	futAnd futKind = iota
+	futExists
+	futAndExists
+)
+
+// future states: a future is claimed exactly once, by the first
+// goroutine (owner at join, or a worker/helper stealing it) to CAS
+// pending→running.
+const (
+	futPending uint32 = iota
+	futRunning
+	futDone
+)
+
+type future struct {
+	next  *future // Treiber-stack link
+	m     *Manager
+	kind  futKind
+	depth int32
+	f, g  Ref
+	cube  Ref
+	res   Ref
+	state atomic.Uint32
+}
+
+// run executes the future's recursion with the given context and
+// publishes the result. The state store is the release barrier that
+// makes res (and every node the recursion built) visible to the joiner.
+func (fu *future) run(c *kctx) {
+	m := fu.m
+	var r Ref
+	switch fu.kind {
+	case futAnd:
+		r = m.andRec(c, fu.f, fu.g, fu.depth)
+	case futExists:
+		r = m.existsRec(c, fu.f, fu.cube, fu.depth)
+	case futAndExists:
+		r = m.andExistsRec(c, fu.f, fu.g, fu.cube, fu.depth)
+	}
+	fu.res = r
+	fu.state.Store(futDone)
+}
+
+// pool is the bounded work-stealing worker pool: one per Manager in
+// parallel mode, holding workers-1 persistent goroutines.
+type pool struct {
+	m          *Manager
+	depthLimit int32
+	head       atomic.Pointer[future]
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	parked atomic.Int32
+	stop   bool
+	wg     sync.WaitGroup
+}
+
+// forkDepth bounds how deep in the recursion forking may still happen:
+// every level doubles the potential future count, so a few levels past
+// saturating the workers is enough.
+func forkDepth(workers int) int32 {
+	d := int32(3)
+	for w := 1; w < workers; w *= 2 {
+		d++
+	}
+	return d
+}
+
+// forkHeadroom is the minimum number of variable levels that must
+// remain below a node before its cofactors are worth dispatching: a
+// subproblem over a handful of levels finishes faster than a fork.
+const forkHeadroom = 12
+
+func newPool(m *Manager, workers int) *pool {
+	p := &pool{m: m, depthLimit: forkDepth(workers)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 1; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// push publishes a future and wakes a parked worker if there is one.
+// The parked counter is read without the mutex: the worker re-checks
+// the stack after announcing itself parked (see worker), so the pair of
+// sequentially consistent atomics cannot lose a wakeup.
+func (p *pool) push(fu *future) {
+	for {
+		h := p.head.Load()
+		fu.next = h
+		if p.head.CompareAndSwap(h, fu) {
+			break
+		}
+	}
+	if p.parked.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Signal()
+		p.mu.Unlock()
+	}
+}
+
+// pop removes one future. Futures are never reused, so the bare CAS has
+// no ABA problem.
+func (p *pool) pop() *future {
+	for {
+		h := p.head.Load()
+		if h == nil {
+			return nil
+		}
+		if p.head.CompareAndSwap(h, h.next) {
+			return h
+		}
+	}
+}
+
+// runIfPending claims and executes fu under ctx c; returns false if
+// another goroutine got there first.
+func runIfPending(fu *future, c *kctx) bool {
+	if !fu.state.CompareAndSwap(futPending, futRunning) {
+		return false
+	}
+	fu.run(c)
+	return true
+}
+
+// helpOne steals one pending future off the stack and runs it. It is
+// called by joiners waiting on a future another goroutine claimed, so
+// the wait is productive.
+func (p *pool) helpOne(c *kctx) bool {
+	fu := p.pop()
+	if fu == nil {
+		return false
+	}
+	if runIfPending(fu, c) {
+		c.steals++
+	}
+	return true
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	c := &kctx{m: p.m, par: true, mayFork: true, depthLimit: p.depthLimit}
+	for {
+		if fu := p.pop(); fu != nil {
+			if runIfPending(fu, c) {
+				c.steals++
+			}
+			continue
+		}
+		// Stack looked empty: flush the counters (the pool may stay idle
+		// for a long time) and park. The parked.Add happens before the
+		// re-check of the stack, so a push that missed the parked counter
+		// is seen here, and a push that saw it signals under the mutex.
+		c.flush(p.m)
+		p.mu.Lock()
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		p.parked.Add(1)
+		if p.head.Load() == nil && !p.stop {
+			p.cond.Wait()
+		}
+		p.parked.Add(-1)
+		p.mu.Unlock()
+	}
+}
+
+// shutdown stops the workers and waits for them to exit. The pool must
+// be quiescent (no operations in flight).
+func (p *pool) shutdown() {
+	p.mu.Lock()
+	p.stop = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// canFork reports whether a recursion at the given depth over a node at
+// the given level should split its cofactors.
+func (c *kctx) canFork(depth, level int32) bool {
+	return c.mayFork && depth < c.depthLimit &&
+		int32(c.m.numVars)-level >= forkHeadroom
+}
+
+// forkTask publishes one cofactor subproblem as a future.
+func (c *kctx) forkTask(kind futKind, f, g, cube Ref, depth int32) *future {
+	fu := &future{m: c.m, kind: kind, f: f, g: g, cube: cube, depth: depth}
+	fu.state.Store(futPending)
+	c.forks++
+	c.m.pool.push(fu)
+	return fu
+}
+
+// join returns the future's result, executing it inline if nobody has
+// claimed it yet, and otherwise helping with other pool work (or
+// yielding) until the thief finishes.
+func (c *kctx) join(fu *future) Ref {
+	if runIfPending(fu, c) {
+		return fu.res
+	}
+	p := c.m.pool
+	for fu.state.Load() != futDone {
+		if !p.helpOne(c) {
+			runtime.Gosched()
+		}
+	}
+	return fu.res
+}

@@ -10,9 +10,16 @@ package bdd
 // alternates with it in every backward/forward fixpoint. With complement
 // edges, universal quantification is derived — ∀x.f = ¬∃x.¬f — so a
 // single Exists cache serves both quantifiers.
+//
+// In parallel mode the recursions fork the high cofactor of
+// non-quantified nodes onto the worker pool (pool.go). Quantified
+// levels are never forked: their or(low, high) keeps the low == True
+// short-circuit, and forking the high half would compute it
+// speculatively even when the short-circuit fires.
 
 // Cube builds the positive cube over the given variable IDs.
 func (m *Manager) Cube(vars []int) Ref {
+	c := m.begin()
 	// Build bottom-up in level order for linear-size intermediate results.
 	levels := make([]int32, 0, len(vars))
 	for _, v := range vars {
@@ -24,13 +31,16 @@ func (m *Manager) Cube(vars []int) Ref {
 		if i+1 < len(levels) && levels[i] == levels[i+1] {
 			continue // duplicate variable
 		}
-		r = m.mk(levels[i], False, r)
+		r = m.mk(c, levels[i], False, r)
 	}
+	m.end(c)
 	return r
 }
 
 // CubeVars decomposes a positive cube into the variable IDs it mentions.
 func (m *Manager) CubeVars(cube Ref) []int {
+	m.rlock()
+	defer m.runlock()
 	var out []int
 	for cube != True {
 		level, low, high := m.top(cube)
@@ -53,7 +63,10 @@ func (m *Manager) Exists(f, cube Ref) Ref {
 	if cube == True || m.IsTerminal(f) {
 		return f
 	}
-	return m.existsRec(f, cube)
+	c := m.begin()
+	r := m.existsRec(c, f, cube, 0)
+	m.end(c)
+	return r
 }
 
 // ForAll universally quantifies the variables of cube out of f. It is
@@ -64,7 +77,10 @@ func (m *Manager) ForAll(f, cube Ref) Ref {
 	if cube == True || m.IsTerminal(f) {
 		return f
 	}
-	return neg(m.existsRec(neg(f), cube))
+	c := m.begin()
+	r := neg(m.existsRec(c, neg(f), cube, 0))
+	m.end(c)
+	return r
 }
 
 // AndExists computes Exists(cube, f AND g) without building the full
@@ -73,57 +89,78 @@ func (m *Manager) AndExists(f, g, cube Ref) Ref {
 	m.check(f)
 	m.check(g)
 	m.check(cube)
+	c := m.begin()
+	var r Ref
 	if cube == True {
-		return m.andRec(f, g)
+		r = m.andRec(c, f, g, 0)
+	} else {
+		r = m.andExistsRec(c, f, g, cube, 0)
 	}
-	return m.andExistsRec(f, g, cube)
+	m.end(c)
+	return r
 }
 
-func (m *Manager) existsRec(f, cube Ref) Ref {
+func (m *Manager) existsRec(c *kctx, f, cube Ref, depth int32) Ref {
 	if m.IsTerminal(f) {
 		return f
 	}
 	lf, f0, f1 := m.top(f)
 	// Skip cube variables above f's top variable.
-	for cube != True && m.nodes[cube].level < lf {
-		cube = m.nodes[cube].high
+	for cube != True && m.node(cube).level < lf {
+		cube = m.node(cube).high
 	}
 	if cube == True {
 		return f
 	}
-	m.statQuantCalls++
+	c.quantCalls++
 	slot := &m.quant[hash3(uint64(f), uint64(cube), 0x5eed)&m.quantMask]
-	if slot.f == f && slot.cube == cube {
-		m.statQuantHits++
+	if c.par {
+		if e, ok := slot.loadPar(); ok && e.f == f && e.cube == cube {
+			c.quantHits++
+			return e.res
+		}
+	} else if slot.f == f && slot.cube == cube {
+		c.quantHits++
 		return slot.res
 	}
-	nc := m.nodes[cube]
+	nc := m.node(cube)
 	var r Ref
 	if lf == nc.level {
-		low := m.existsRec(f0, nc.high)
+		low := m.existsRec(c, f0, nc.high, depth+1)
 		if low == True {
 			r = True
 		} else {
-			high := m.existsRec(f1, nc.high)
-			r = m.or(low, high)
+			high := m.existsRec(c, f1, nc.high, depth+1)
+			r = m.or(c, low, high, depth)
+		}
+	} else if c.canFork(depth, lf) {
+		fu := c.forkTask(futExists, f1, False, cube, depth+1)
+		low := m.existsRec(c, f0, cube, depth+1)
+		high := c.join(fu)
+		r = m.mk(c, lf, low, high)
+	} else {
+		low := m.existsRec(c, f0, cube, depth+1)
+		high := m.existsRec(c, f1, cube, depth+1)
+		r = m.mk(c, lf, low, high)
+	}
+	if c.par {
+		if !slot.storePar(quantEntry{f: f, cube: cube, res: r}) {
+			c.contention++
 		}
 	} else {
-		low := m.existsRec(f0, cube)
-		high := m.existsRec(f1, cube)
-		r = m.mk(lf, low, high)
+		*slot = quantEntry{f: f, cube: cube, res: r}
 	}
-	*slot = quantEntry{f: f, cube: cube, res: r}
 	return r
 }
 
-func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
+func (m *Manager) andExistsRec(c *kctx, f, g, cube Ref, depth int32) Ref {
 	switch {
 	case f == False, g == False, f == neg(g):
 		return False
 	case f == True:
-		return m.existsRec(g, cube)
+		return m.existsRec(c, g, cube, depth)
 	case g == True, f == g:
-		return m.existsRec(f, cube)
+		return m.existsRec(c, f, cube, depth)
 	}
 	if f > g {
 		f, g = g, f
@@ -134,16 +171,21 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 	if lg < top {
 		top = lg
 	}
-	for cube != True && m.nodes[cube].level < top {
-		cube = m.nodes[cube].high
+	for cube != True && m.node(cube).level < top {
+		cube = m.node(cube).high
 	}
 	if cube == True {
-		return m.andRec(f, g)
+		return m.andRec(c, f, g, depth)
 	}
-	m.statAexCalls++
+	c.aexCalls++
 	slot := &m.aex[hash3(uint64(f), uint64(g), uint64(cube))&m.aexMask]
-	if slot.f == f && slot.g == g && slot.cube == cube {
-		m.statAexHits++
+	if c.par {
+		if e, ok := slot.loadPar(); ok && e.f == f && e.g == g && e.cube == cube {
+			c.aexHits++
+			return e.res
+		}
+	} else if slot.f == f && slot.g == g && slot.cube == cube {
+		c.aexHits++
 		return slot.res
 	}
 	if lf != top {
@@ -152,22 +194,33 @@ func (m *Manager) andExistsRec(f, g, cube Ref) Ref {
 	if lg != top {
 		g0, g1 = g, g
 	}
-	nc := m.nodes[cube]
+	nc := m.node(cube)
 	var r Ref
 	if nc.level == top {
-		low := m.andExistsRec(f0, g0, nc.high)
+		low := m.andExistsRec(c, f0, g0, nc.high, depth+1)
 		if low == True {
 			r = True
 		} else {
-			high := m.andExistsRec(f1, g1, nc.high)
-			r = m.or(low, high)
+			high := m.andExistsRec(c, f1, g1, nc.high, depth+1)
+			r = m.or(c, low, high, depth)
+		}
+	} else if c.canFork(depth, top) {
+		fu := c.forkTask(futAndExists, f1, g1, cube, depth+1)
+		low := m.andExistsRec(c, f0, g0, cube, depth+1)
+		high := c.join(fu)
+		r = m.mk(c, top, low, high)
+	} else {
+		low := m.andExistsRec(c, f0, g0, cube, depth+1)
+		high := m.andExistsRec(c, f1, g1, cube, depth+1)
+		r = m.mk(c, top, low, high)
+	}
+	if c.par {
+		if !slot.storePar(aexEntry{f: f, g: g, cube: cube, res: r}) {
+			c.contention++
 		}
 	} else {
-		low := m.andExistsRec(f0, g0, cube)
-		high := m.andExistsRec(f1, g1, cube)
-		r = m.mk(top, low, high)
+		*slot = aexEntry{f: f, g: g, cube: cube, res: r}
 	}
-	*slot = aexEntry{f: f, g: g, cube: cube, res: r}
 	return r
 }
 

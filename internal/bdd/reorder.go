@@ -32,6 +32,13 @@ package bdd
 // semantically correct across swaps; the only invalid entries are those
 // naming a slot freed during the session (possibly since reused), which
 // Close sweeps out via a sticky "tainted" bitmap.
+//
+// In parallel mode a session is a stop-the-world epoch: StartReorder
+// takes the write side of the epoch lock and Close releases it, so the
+// sifting invariants above are untouched by worker concurrency — every
+// operation is excluded for the whole session. The sift driver itself
+// runs on the orchestrating goroutine and uses only session methods,
+// Size() and Stats(), all of which stay lock-free.
 
 import (
 	"fmt"
@@ -100,8 +107,12 @@ type ReorderSession struct {
 // StartReorder opens a reordering session. It panics if one is already
 // active. All ordinary operations (mk-based construction, Apply, GC, …)
 // are forbidden until Close; Refs protected per the GC contract remain
-// valid across the session and keep their functions.
+// valid across the session and keep their functions. In parallel mode
+// the session holds the stop-the-world lock until Close.
 func (m *Manager) StartReorder() *ReorderSession {
+	if m.par {
+		m.stw.Lock()
+	}
 	if m.session != nil {
 		panic("bdd: StartReorder with a reorder session already active")
 	}
@@ -111,33 +122,39 @@ func (m *Manager) StartReorder() *ReorderSession {
 	if t := telemetry.T(); t != nil {
 		t.Emit("bdd.reorder_start", telemetry.Int("live", m.Size()))
 	}
+	// Parallel free-list pops consume the tail without shrinking the
+	// slice; re-establish len(m.free) == freeLen for the session, which
+	// mutates the list with plain appends and pops.
+	m.free = m.free[:m.freeLen.Load()]
+	alloc := int(m.nodeCap.Load())
 	s := &ReorderSession{
 		m:       m,
 		start:   time.Now(),
 		before:  m.Size(),
-		ref:     make([]int32, len(m.nodes)),
-		pos:     make([]int32, len(m.nodes)),
-		free:    make([]uint64, (len(m.nodes)+63)/64),
-		tainted: make([]uint64, (len(m.nodes)+63)/64),
+		ref:     make([]int32, alloc),
+		pos:     make([]int32, alloc),
+		free:    make([]uint64, (alloc+63)/64),
+		tainted: make([]uint64, (alloc+63)/64),
 		bucket:  make([][]Ref, m.numVars),
-		uniq:    make(map[node]Ref, len(m.nodes)),
+		uniq:    make(map[node]Ref, alloc),
 	}
 	for _, f := range m.free {
 		s.free[f>>6] |= 1 << (uint(f) & 63)
 	}
-	for i := 1; i < len(m.nodes); i++ {
+	for i := 1; i < alloc; i++ {
 		r := Ref(i)
 		if s.isFree(r) {
 			continue
 		}
-		n := m.nodes[i]
-		s.ref[i] += m.refs[i]
+		n := *m.node(r)
+		s.ref[i] += *m.rcPtr(r)
 		s.ref[n.low]++
 		s.ref[regular(n.high)]++
 		s.uniq[n] = r
 		s.addToBucket(r, int(n.level))
 	}
 	m.session = s
+	m.inSession.Store(true)
 	return s
 }
 
@@ -183,7 +200,7 @@ func (m *Manager) swapLevels(s *ReorderSession, level int) {
 
 	// Phase 0.
 	for _, g := range s.sb {
-		n := m.nodes[g]
+		n := *m.node(g)
 		if s.uniq[n] == g {
 			delete(s.uniq, n)
 		}
@@ -192,34 +209,36 @@ func (m *Manager) swapLevels(s *ReorderSession, level int) {
 	// Phase 1.
 	s.inter = s.inter[:0]
 	for _, f := range s.sa {
-		n := m.nodes[f]
-		if m.nodes[n.low].level == lv1 || m.nodes[regular(n.high)].level == lv1 {
+		np := m.node(f)
+		n := *np
+		if m.levelOf(n.low) == lv1 || m.levelOf(regular(n.high)) == lv1 {
 			s.inter = append(s.inter, f)
 			continue
 		}
 		delete(s.uniq, n)
 		s.removeFromBucket(f, int(l))
 		n.level = lv1
-		m.nodes[f] = n
+		*np = n
 		s.uniq[n] = f
 		s.addToBucket(f, int(lv1))
 	}
 
 	// Phase 2.
 	for _, f := range s.inter {
-		n := m.nodes[f]
+		np := m.node(f)
+		n := *np
 		f0, f1 := n.low, n.high
 		var f00, f01 Ref
-		if m.nodes[f0].level == lv1 {
-			b := m.nodes[f0]
+		if m.levelOf(f0) == lv1 {
+			b := *m.node(f0)
 			f00, f01 = b.low, b.high
 		} else {
 			f00, f01 = f0, f0
 		}
 		r1, c := regular(f1), f1&compBit
 		var f10, f11 Ref
-		if m.nodes[r1].level == lv1 {
-			b := m.nodes[r1]
+		if m.levelOf(r1) == lv1 {
+			b := *m.node(r1)
 			f10, f11 = b.low^c, b.high^c
 		} else {
 			f10, f11 = f1, f1
@@ -234,7 +253,7 @@ func (m *Manager) swapLevels(s *ReorderSession, level int) {
 			delete(s.uniq, n)
 		}
 		n = node{level: l, low: g0, high: g1}
-		m.nodes[f] = n
+		*m.node(f) = n
 		s.uniq[n] = f
 	}
 
@@ -242,9 +261,10 @@ func (m *Manager) swapLevels(s *ReorderSession, level int) {
 	for _, g := range s.sb {
 		if s.ref[g] > 0 {
 			s.removeFromBucket(g, int(lv1))
-			n := m.nodes[g]
+			np := m.node(g)
+			n := *np
 			n.level = l
-			m.nodes[g] = n
+			*np = n
 			s.uniq[n] = g
 			s.addToBucket(g, int(l))
 		} else {
@@ -282,31 +302,29 @@ func (s *ReorderSession) swapMkNode(level int32, low, high Ref) Ref {
 	if len(m.free) > 0 {
 		r = m.free[len(m.free)-1]
 		m.free = m.free[:len(m.free)-1]
+		m.freeLen.Store(int64(len(m.free)))
 		s.free[r>>6] &^= 1 << (uint(r) & 63) // taint, if set, stays set
-		m.nodes[r] = key
-		m.refs[r] = 0
+		*m.node(r) = key
+		*m.rcPtr(r) = 0
 		s.ref[r] = 0
 	} else {
-		r = Ref(len(m.nodes))
-		m.nodes = append(m.nodes, key)
-		m.refs = append(m.refs, 0)
+		i := m.nodeCap.Add(1) - 1
+		m.ensureChunk(i)
+		r = Ref(i)
+		*m.node(r) = key
 		s.ref = append(s.ref, 0)
 		s.pos = append(s.pos, 0)
-		for len(s.free)*64 < len(m.nodes) {
+		for len(s.free)*64 < int(i)+1 {
 			s.free = append(s.free, 0)
 			s.tainted = append(s.tainted, 0)
 		}
-		if len(m.nodes) > m.peakNodes {
-			m.peakNodes = len(m.nodes)
-		}
+		maxStore(&m.peakNodes, i+1)
 	}
 	s.ref[low]++
 	s.ref[regular(high)]++
 	s.uniq[key] = r
 	s.addToBucket(r, int(level))
-	if sz := m.Size(); sz > m.peakLive {
-		m.peakLive = sz
-	}
+	maxStore(&m.peakLive, int64(m.Size()))
 	return r
 }
 
@@ -318,7 +336,7 @@ func (s *ReorderSession) release(g Ref) {
 	for len(stack) > 0 {
 		r := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := m.nodes[r]
+		n := *m.node(r)
 		if s.uniq[n] == r {
 			delete(s.uniq, n)
 		}
@@ -326,6 +344,7 @@ func (s *ReorderSession) release(g Ref) {
 		s.free[r>>6] |= 1 << (uint(r) & 63)
 		s.tainted[r>>6] |= 1 << (uint(r) & 63)
 		m.free = append(m.free, r)
+		m.freeLen.Store(int64(len(m.free)))
 		for _, ch := range [2]Ref{n.low, regular(n.high)} {
 			if ch == 0 {
 				continue
@@ -338,32 +357,29 @@ func (s *ReorderSession) release(g Ref) {
 	s.relStack = stack[:0]
 }
 
-// Close ends the session: it rebuilds the open-addressing unique table
-// for the new order, sweeps operation-cache entries that name a slot
-// freed during the session, and records the reorder statistics. The
-// manager is fully operational again afterwards.
+// Close ends the session: it rebuilds the sharded unique table for the
+// new order, sweeps operation-cache entries that name a slot freed
+// during the session, and records the reorder statistics. The manager is
+// fully operational again afterwards.
 func (s *ReorderSession) Close() {
 	m := s.m
 	if m.session != s {
 		panic("bdd: Close on an inactive reorder session")
 	}
 	m.session = nil
-	need := len(m.table)
-	for 10*m.Size() > 7*need {
-		need *= 2
+	for i := range m.shards {
+		sh := &m.shards[i]
+		clear(sh.slots)
+		sh.count = 0
 	}
-	if need != len(m.table) {
-		m.table = make([]int32, need)
-		m.tableMask = uint64(need - 1)
-	} else {
-		clear(m.table)
-	}
-	for i := 1; i < len(m.nodes); i++ {
+	alloc := int(m.nodeCap.Load())
+	for i := 1; i < alloc; i++ {
 		r := Ref(i)
 		if !s.isFree(r) {
 			m.tableInsert(r)
 		}
 	}
+	m.freeLen.Store(int64(len(m.free)))
 	m.sweepCachesTainted(s.tainted)
 	m.statReorders++
 	m.statReorderSwaps += uint64(s.swaps)
@@ -371,12 +387,16 @@ func (s *ReorderSession) Close() {
 	m.reorderBefore = s.before
 	m.reorderAfter = m.Size()
 	if t := telemetry.T(); t != nil {
-		telemetry.PublishNodes(m.Size(), m.peakLive)
+		telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
 		t.Emit("bdd.reorder_end",
 			telemetry.Int("swaps", s.swaps),
 			telemetry.Int("before", s.before),
 			telemetry.Int("after", m.Size()),
 			telemetry.I64("elapsed_us", time.Since(s.start).Microseconds()))
+	}
+	m.inSession.Store(false)
+	if m.par {
+		m.stw.Unlock()
 	}
 }
 
@@ -446,6 +466,13 @@ func (m *Manager) GroupVars(vars []int) {
 	if len(vars) < 2 {
 		return
 	}
+	// A concurrent reorder session reads m.groups through VarGroups
+	// while holding the stop-the-world lock, so registration takes it
+	// exclusively (registration is cold: variable-creation time only).
+	if m.par {
+		m.stw.Lock()
+		defer m.stw.Unlock()
+	}
 	merged := append([]int(nil), vars...)
 	for _, v := range merged {
 		if v < 0 || v >= m.numVars {
@@ -490,8 +517,8 @@ func (m *Manager) VarGroups() [][]int { return m.groups }
 func (m *Manager) SetReorderPolicy(p ReorderPolicy) {
 	m.reorderPolicy = p
 	if p != ReorderAuto {
-		m.reorderPending = false
-		m.reorderAt = 0
+		m.reorderPending.Store(false)
+		m.reorderAt.Store(0)
 	} else if m.reorderFn != nil {
 		m.armReorder()
 	}
@@ -509,10 +536,10 @@ func (m *Manager) SetAutoReorder(grow float64, minNodes int, fn func(*Manager)) 
 	m.reorderFn = fn
 	m.reorderGrow = grow
 	m.reorderMin = minNodes
-	m.reorderPending = false
+	m.reorderPending.Store(false)
 	if fn == nil {
 		m.reorderPolicy = ReorderOff
-		m.reorderAt = 0
+		m.reorderAt.Store(0)
 		return
 	}
 	m.reorderPolicy = ReorderAuto
@@ -524,14 +551,17 @@ func (m *Manager) armReorder() {
 	if at < m.reorderMin {
 		at = m.reorderMin
 	}
-	m.reorderAt = at
+	m.reorderAt.Store(int64(at))
 }
 
 // ReorderPending reports whether an automatic reorder is armed and due.
 // Fixpoint loops test it before paying to protect their live Refs for a
-// MaybeReorder call.
+// MaybeReorder call. Inside a ParallelDo section it reports false:
+// sibling tasks hold unprotected Refs, so the safe point is deferred to
+// the orchestrator.
 func (m *Manager) ReorderPending() bool {
-	return m.reorderPending && m.reorderFn != nil && m.session == nil
+	return m.reorderPending.Load() && m.reorderFn != nil &&
+		!m.inSession.Load() && m.sections.Load() == 0
 }
 
 // MaybeReorder runs the automatic reordering hook if its growth trigger
@@ -543,7 +573,9 @@ func (m *Manager) MaybeReorder() bool {
 	if !m.ReorderPending() {
 		return false
 	}
-	m.reorderPending = false
+	if !m.reorderPending.CompareAndSwap(true, false) {
+		return false
+	}
 	m.reorderFn(m)
 	m.armReorder()
 	return true
@@ -553,22 +585,26 @@ func (m *Manager) MaybeReorder() bool {
 // canonical-low edges, strictly increasing levels, no freed children or
 // duplicate triples, exact unique-table membership, and no operation
 // cache entry naming a freed slot. It exists for tests and debugging;
-// it is O(nodes + cache entries).
+// it is O(nodes + cache entries). It takes no locks (the sift driver
+// may call it mid-session), so in parallel mode run it only at
+// quiescent points.
 func (m *Manager) CheckInvariants() error {
-	free := make(map[Ref]bool, len(m.free))
-	for _, f := range m.free {
+	freeList := m.free[:m.freeLen.Load()]
+	free := make(map[Ref]bool, len(freeList))
+	for _, f := range freeList {
 		if free[f] {
 			return fmt.Errorf("slot %d appears twice on the free list", f)
 		}
 		free[f] = true
 	}
-	seen := make(map[node]Ref, len(m.nodes))
-	for i := 1; i < len(m.nodes); i++ {
+	alloc := int(m.nodeCap.Load())
+	seen := make(map[node]Ref, alloc)
+	for i := 1; i < alloc; i++ {
 		r := Ref(i)
 		if free[r] {
 			continue
 		}
-		n := m.nodes[i]
+		n := *m.node(r)
 		if isComp(n.low) {
 			return fmt.Errorf("node %d has a complemented low edge", i)
 		}
@@ -583,36 +619,42 @@ func (m *Manager) CheckInvariants() error {
 		}
 		seen[n] = r
 		if m.session == nil {
-			h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.tableMask
+			h := hash3(uint64(n.level), uint64(n.low), uint64(n.high))
+			sh := &m.shards[h>>(64-shardBits)]
+			hh := h & sh.mask
 			for {
-				idx := m.table[h]
+				idx := sh.slots[hh]
 				if idx == 0 {
 					return fmt.Errorf("node %d missing from the unique table", i)
 				}
 				if Ref(idx-1) == r {
 					break
 				}
-				h = (h + 1) & m.tableMask
+				hh = (hh + 1) & sh.mask
 			}
 		}
 	}
 	bad := func(f Ref) bool { return free[regular(f)] }
-	for _, e := range m.ite {
+	for i := range m.ite {
+		e := &m.ite[i]
 		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.h) || bad(e.res)) {
 			return fmt.Errorf("ite cache entry names a freed slot")
 		}
 	}
-	for _, e := range m.binop {
+	for i := range m.binop {
+		e := &m.binop[i]
 		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.res)) {
 			return fmt.Errorf("binop cache entry names a freed slot")
 		}
 	}
-	for _, e := range m.quant {
+	for i := range m.quant {
+		e := &m.quant[i]
 		if e.f != 0 && (bad(e.f) || bad(e.cube) || bad(e.res)) {
 			return fmt.Errorf("quant cache entry names a freed slot")
 		}
 	}
-	for _, e := range m.aex {
+	for i := range m.aex {
+		e := &m.aex[i]
 		if e.f != 0 && (bad(e.f) || bad(e.g) || bad(e.cube) || bad(e.res)) {
 			return fmt.Errorf("andexists cache entry names a freed slot")
 		}
@@ -623,11 +665,11 @@ func (m *Manager) CheckInvariants() error {
 // PeakLive returns the largest live node count observed (allocated minus
 // free at each allocation), the number dynamic reordering exists to
 // shrink.
-func (m *Manager) PeakLive() int { return m.peakLive }
+func (m *Manager) PeakLive() int { return int(m.peakLive.Load()) }
 
 // ResetPeaks restarts peak tracking from the current state, so a
 // measurement can isolate one phase.
 func (m *Manager) ResetPeaks() {
-	m.peakNodes = len(m.nodes)
-	m.peakLive = m.Size()
+	m.peakNodes.Store(m.nodeCap.Load())
+	m.peakLive.Store(int64(m.Size()))
 }

@@ -8,66 +8,8 @@ import "testing"
 // duplicate triples, and no operation-cache entry naming a freed slot.
 func checkKernelInvariants(t *testing.T, m *Manager) {
 	t.Helper()
-	free := make(map[Ref]bool, len(m.free))
-	for _, f := range m.free {
-		if free[f] {
-			t.Fatalf("slot %d appears twice on the free list", f)
-		}
-		free[f] = true
-	}
-	seen := make(map[node]Ref, len(m.nodes))
-	for i := 1; i < len(m.nodes); i++ {
-		r := Ref(i)
-		if free[r] {
-			continue
-		}
-		n := m.nodes[i]
-		if isComp(n.low) {
-			t.Fatalf("node %d has a complemented low edge", i)
-		}
-		if free[n.low] || free[regular(n.high)] {
-			t.Fatalf("node %d has a freed child", i)
-		}
-		if m.levelOf(n.low) <= n.level || m.levelOf(regular(n.high)) <= n.level {
-			t.Fatalf("node %d (level %d) has a child at level <= its own", i, n.level)
-		}
-		if prev, dup := seen[n]; dup {
-			t.Fatalf("nodes %d and %d store the same triple %+v", prev, i, n)
-		}
-		seen[n] = r
-		// The unique table must resolve the triple back to this slot.
-		h := hash3(uint64(n.level), uint64(n.low), uint64(n.high)) & m.tableMask
-		for {
-			idx := m.table[h]
-			if idx == 0 {
-				t.Fatalf("node %d missing from the unique table", i)
-			}
-			if Ref(idx-1) == r {
-				break
-			}
-			h = (h + 1) & m.tableMask
-		}
-	}
-	badRef := func(f Ref) bool { return free[regular(f)] }
-	for _, e := range m.ite {
-		if e.f != 0 && (badRef(e.f) || badRef(e.g) || badRef(e.h) || badRef(e.res)) {
-			t.Fatal("ite cache entry names a freed slot")
-		}
-	}
-	for _, e := range m.binop {
-		if e.f != 0 && (badRef(e.f) || badRef(e.g) || badRef(e.res)) {
-			t.Fatal("binop cache entry names a freed slot")
-		}
-	}
-	for _, e := range m.quant {
-		if e.f != 0 && (badRef(e.f) || badRef(e.cube) || badRef(e.res)) {
-			t.Fatal("quant cache entry names a freed slot")
-		}
-	}
-	for _, e := range m.aex {
-		if e.f != 0 && (badRef(e.f) || badRef(e.g) || badRef(e.cube) || badRef(e.res)) {
-			t.Fatal("andexists cache entry names a freed slot")
-		}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

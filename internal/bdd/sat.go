@@ -14,6 +14,8 @@ import "sort"
 // sub-space's size and must ensure f's support lies within it).
 func (m *Manager) SatCount(f Ref, nvars int) float64 {
 	m.check(f)
+	m.rlock()
+	defer m.runlock()
 	memo := make(map[Ref]float64)
 	// fraction of the full space satisfying f, times 2^nvars
 	frac := m.satFrac(f, memo)
@@ -39,7 +41,7 @@ func (m *Manager) satFrac(f Ref, memo map[Ref]float64) float64 {
 	if v, ok := memo[f]; ok {
 		return v
 	}
-	n := m.nodes[f]
+	n := m.node(f)
 	v := (m.satFrac(n.low, memo) + m.satFrac(n.high, memo)) / 2
 	memo[f] = v
 	return v
@@ -59,6 +61,8 @@ func (m *Manager) AnySat(f Ref) ([]Literal, bool) {
 	if f == False {
 		return nil, false
 	}
+	m.rlock()
+	defer m.runlock()
 	var out []Literal
 	for f != True {
 		level, low, high := m.top(f)
@@ -79,6 +83,8 @@ func (m *Manager) AnySat(f Ref) ([]Literal, bool) {
 // -1 (don't care). Iteration stops early if fn returns false.
 func (m *Manager) AllSat(f Ref, fn func(cube []int8) bool) {
 	m.check(f)
+	m.rlock()
+	defer m.runlock()
 	cube := make([]int8, m.numVars)
 	for i := range cube {
 		cube[i] = -1
@@ -112,6 +118,8 @@ func (m *Manager) allSatRec(f Ref, cube []int8, fn func([]int8) bool) bool {
 // Eval evaluates f under a complete assignment indexed by variable ID.
 func (m *Manager) Eval(f Ref, assignment []bool) bool {
 	m.check(f)
+	m.rlock()
+	defer m.runlock()
 	for !m.IsTerminal(f) {
 		level, low, high := m.top(f)
 		if assignment[m.level2var[level]] {
@@ -126,6 +134,8 @@ func (m *Manager) Eval(f Ref, assignment []bool) bool {
 // Support returns the sorted variable IDs f depends on.
 func (m *Manager) Support(f Ref) []int {
 	m.check(f)
+	m.rlock()
+	defer m.runlock()
 	seen := make(map[Ref]bool)
 	vars := make(map[int]bool)
 	m.supportRec(f, seen, vars)
@@ -143,7 +153,7 @@ func (m *Manager) supportRec(f Ref, seen map[Ref]bool, vars map[int]bool) {
 		return
 	}
 	seen[f] = true
-	n := m.nodes[f]
+	n := m.node(f)
 	vars[int(m.level2var[n.level])] = true
 	m.supportRec(n.low, seen, vars)
 	m.supportRec(n.high, seen, vars)
@@ -153,6 +163,8 @@ func (m *Manager) supportRec(f Ref, seen map[Ref]bool, vars map[int]bool) {
 // terminal when it is reachable. f and ¬f have the same count.
 func (m *Manager) NodeCount(f Ref) int {
 	m.check(f)
+	m.rlock()
+	defer m.runlock()
 	seen := make(map[Ref]bool)
 	m.countRec(f, seen)
 	return len(seen)
@@ -161,6 +173,8 @@ func (m *Manager) NodeCount(f Ref) int {
 // NodeCountMulti returns the number of distinct stored nodes in the
 // shared forest rooted at the given functions.
 func (m *Manager) NodeCountMulti(fs []Ref) int {
+	m.rlock()
+	defer m.runlock()
 	seen := make(map[Ref]bool)
 	for _, f := range fs {
 		m.check(f)
@@ -178,7 +192,7 @@ func (m *Manager) countRec(f Ref, seen map[Ref]bool) {
 	if f == False {
 		return
 	}
-	n := m.nodes[f]
+	n := m.node(f)
 	m.countRec(n.low, seen)
 	m.countRec(n.high, seen)
 }

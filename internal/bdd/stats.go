@@ -41,6 +41,14 @@ type Statistics struct {
 	CacheGrowths          int
 	CacheEntriesKept      int
 
+	// Parallel kernel: the configured worker count, subproblems forked
+	// onto the pool, futures executed off the forking call path, and
+	// contention events (shard-lock waits plus lost cache publications).
+	Workers    int
+	Forks      uint64
+	Steals     uint64
+	Contention uint64
+
 	// Dynamic variable reordering: number of sifting runs, total
 	// adjacent-level swaps, cumulative time spent reordering, the node
 	// counts around the most recent run, and the peak live node count
@@ -79,6 +87,11 @@ func (s Statistics) String() string {
 			s.Reorders, s.ReorderSwaps, s.ReorderTime.Round(time.Millisecond),
 			s.ReorderNodesBefore, s.ReorderNodesAfter)
 	}
+	if s.Workers > 1 {
+		out += fmt.Sprintf(
+			"\nbdd: parallel: %d workers, %d forks, %d steals, %d contention events",
+			s.Workers, s.Forks, s.Steals, s.Contention)
+	}
 	return out
 }
 
@@ -110,6 +123,11 @@ func (s Statistics) WriteTable(w io.Writer) {
 	row("andexists cache", "%.1f%% of %d calls (%d entries)",
 		100*ratio(s.AndExistsHits, s.AndExistsCalls), s.AndExistsCalls, s.AndExistsCacheEntries)
 	row("cache growths/kept", "%d / %d", s.CacheGrowths, s.CacheEntriesKept)
+	if s.Workers > 1 {
+		row("workers", "%d", s.Workers)
+		row("forks/steals", "%d / %d", s.Forks, s.Steals)
+		row("contention", "%d", s.Contention)
+	}
 	if s.Reorders > 0 {
 		row("reorders", "%d (%d swaps in %v; last %d -> %d nodes)",
 			s.Reorders, s.ReorderSwaps, s.ReorderTime.Round(time.Millisecond),
@@ -148,6 +166,10 @@ func (s Statistics) TelemetryFields() []telemetry.Field {
 		telemetry.F64("quant_hit_rate", s.QuantHitRate()),
 		telemetry.F64("apply_hit_rate", ratio(s.ApplyHits, s.ApplyCalls)),
 		telemetry.F64("ite_hit_rate", ratio(s.ITEHits, s.ITECalls)),
+		telemetry.Int("workers", s.Workers),
+		telemetry.I64("forks", int64(s.Forks)),
+		telemetry.I64("steals", int64(s.Steals)),
+		telemetry.I64("contention", int64(s.Contention)),
 	}
 }
 
@@ -156,8 +178,11 @@ func (s Statistics) TelemetryFields() []telemetry.Field {
 // mid-rewrite, so Stats returns the coherent snapshot taken at the
 // session boundary instead of reading half-swapped state — telemetry
 // samples and shell commands never observe a partially reordered level.
+// In parallel mode every counter read is atomic, so Stats is safe to
+// call concurrently with operations (counts from operations still in
+// flight appear when they complete).
 func (m *Manager) Stats() Statistics {
-	if m.session != nil {
+	if m.inSession.Load() {
 		return m.statsSnap
 	}
 	return m.statsNow()
@@ -166,34 +191,44 @@ func (m *Manager) Stats() Statistics {
 // statsNow collects the counters directly; callers must ensure no
 // reorder session is rewriting the arena.
 func (m *Manager) statsNow() Statistics {
+	if !m.par {
+		// Fold the resident sequential context into the totals so the
+		// snapshot reflects every completed operation exactly.
+		m.seqCtx.flush(m)
+	}
 	return Statistics{
-		ApplyCalls:     m.statApplyCalls,
-		ApplyHits:      m.statApplyHits,
-		ITECalls:       m.statITECalls,
-		ITEHits:        m.statITEHits,
-		QuantCalls:     m.statQuantCalls,
-		QuantHits:      m.statQuantHits,
-		AndExistsCalls: m.statAexCalls,
-		AndExistsHits:  m.statAexHits,
+		ApplyCalls:     m.statApplyCalls.Load(),
+		ApplyHits:      m.statApplyHits.Load(),
+		ITECalls:       m.statITECalls.Load(),
+		ITEHits:        m.statITEHits.Load(),
+		QuantCalls:     m.statQuantCalls.Load(),
+		QuantHits:      m.statQuantHits.Load(),
+		AndExistsCalls: m.statAexCalls.Load(),
+		AndExistsHits:  m.statAexHits.Load(),
 		GCs:            m.GCCount,
 		LiveNodes:      m.Size(),
-		AllocatedNodes: len(m.nodes),
-		PeakNodes:      m.peakNodes,
+		AllocatedNodes: int(m.nodeCap.Load()),
+		PeakNodes:      int(m.peakNodes.Load()),
 		Variables:      m.numVars,
 
-		ComplementShared:      m.statCompShared,
+		ComplementShared:      m.statCompShared.Load(),
 		ITECacheEntries:       len(m.ite),
 		ApplyCacheEntries:     len(m.binop),
 		QuantCacheEntries:     len(m.quant),
 		AndExistsCacheEntries: len(m.aex),
-		CacheGrowths:          m.statCacheGrowths,
+		CacheGrowths:          int(m.statCacheGrowths.Load()),
 		CacheEntriesKept:      m.statCacheKept,
+
+		Workers:    m.workers,
+		Forks:      m.statForks.Load(),
+		Steals:     m.statSteals.Load(),
+		Contention: m.statContention.Load(),
 
 		Reorders:           m.statReorders,
 		ReorderSwaps:       m.statReorderSwaps,
 		ReorderTime:        m.statReorderTime,
 		ReorderNodesBefore: m.reorderBefore,
 		ReorderNodesAfter:  m.reorderAfter,
-		PeakLive:           m.peakLive,
+		PeakLive:           int(m.peakLive.Load()),
 	}
 }

@@ -160,5 +160,5 @@ func (n *Network) BuildAsyncT(tree *Synchrony) (bdd.Ref, error) {
 func (n *Network) SetT(t bdd.Ref) {
 	n.mgr.DecRef(n.T)
 	n.T = n.mgr.IncRef(t)
-	n.tBuilt = true
+	n.tBuilt.Store(true)
 }

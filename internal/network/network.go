@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"hsis/internal/bdd"
 	"hsis/internal/blifmv"
@@ -95,9 +97,13 @@ type Network struct {
 	T    bdd.Ref
 	Init bdd.Ref
 
-	heur   quant.Heuristic
-	naive  bool
-	tBuilt bool
+	heur  quant.Heuristic
+	naive bool
+
+	// tMu serializes the lazy EnsureT build; tBuilt is atomic so
+	// concurrent property checks may poll TBuilt without the lock.
+	tMu    sync.Mutex
+	tBuilt atomic.Bool
 }
 
 // Build compiles a flat model. The model must contain at least one latch
@@ -313,17 +319,33 @@ func (n *Network) buildPartitionedBuffers() {
 
 // ImageOperands returns the conjunct list (every table relation plus the
 // present-state set s) and the quantification variables for one
-// partitioned image call. The returned slices are buffers owned by the
-// network, valid until the next ImageOperands call.
+// partitioned image call. In sequential mode the returned slices are
+// buffers owned by the network, valid until the next ImageOperands
+// call; in parallel mode each call gets its own snapshot, so concurrent
+// fixpoints never scribble over each other's seed slot.
 func (n *Network) ImageOperands(s bdd.Ref) ([]quant.Conjunct, []int) {
-	n.imgConjs[len(n.imgConjs)-1] = quant.Conjunct{F: s, Support: n.psBits}
+	seed := quant.Conjunct{F: s, Support: n.psBits}
+	if n.mgr.Workers() > 1 {
+		conjs := make([]quant.Conjunct, len(n.imgConjs))
+		copy(conjs, n.imgConjs)
+		conjs[len(conjs)-1] = seed
+		return conjs, n.imgQVars
+	}
+	n.imgConjs[len(n.imgConjs)-1] = seed
 	return n.imgConjs, n.imgQVars
 }
 
 // PreimageOperands is the next-state counterpart of ImageOperands; sNext
 // must already live on the NS rail (SwapRails applied).
 func (n *Network) PreimageOperands(sNext bdd.Ref) ([]quant.Conjunct, []int) {
-	n.preConjs[len(n.preConjs)-1] = quant.Conjunct{F: sNext, Support: n.nsBits}
+	seed := quant.Conjunct{F: sNext, Support: n.nsBits}
+	if n.mgr.Workers() > 1 {
+		conjs := make([]quant.Conjunct, len(n.preConjs))
+		copy(conjs, n.preConjs)
+		conjs[len(conjs)-1] = seed
+		return conjs, n.preQVars
+	}
+	n.preConjs[len(n.preConjs)-1] = seed
 	return n.preConjs, n.preQVars
 }
 
@@ -340,7 +362,7 @@ func (n *Network) ClusterConjuncts() []quant.Conjunct { return n.clusters }
 
 // TBuilt reports whether the monolithic product transition relation has
 // been built (false until EnsureT on a SkipMonolithic network).
-func (n *Network) TBuilt() bool { return n.tBuilt }
+func (n *Network) TBuilt() bool { return n.tBuilt.Load() }
 
 func (n *Network) buildT() {
 	switch {
@@ -354,13 +376,17 @@ func (n *Network) buildT() {
 	default:
 		n.T = quant.AndExists(n.mgr, n.conjuncts, n.nonState, n.heur)
 	}
-	n.tBuilt = true
+	n.tBuilt.Store(true)
 }
 
 // EnsureT builds the monolithic product transition relation on demand
-// when the network was created with SkipMonolithic. It is idempotent.
+// when the network was created with SkipMonolithic. It is idempotent
+// and safe to call from concurrent property checks: the first caller
+// builds, later callers wait on the mutex and see the finished T.
 func (n *Network) EnsureT() {
-	if n.tBuilt {
+	n.tMu.Lock()
+	defer n.tMu.Unlock()
+	if n.tBuilt.Load() {
 		return
 	}
 	n.mgr.DecRef(n.T)

@@ -1,0 +1,111 @@
+package hsis
+
+// Determinism of the parallel kernel: BDD canonicity guarantees that a
+// function has exactly one node regardless of which thread built it, so
+// every worker count must produce the same reachable set, the same
+// verdict for every property, and the same state counts. Automaton
+// rail variables may be created in a different order under concurrent
+// compilation, so the comparison sticks to semantic results plus the
+// node count of the design-rail reached set (design variables are
+// created sequentially at load, before any parallel section).
+
+import (
+	"fmt"
+	"testing"
+
+	"hsis/internal/core"
+	"hsis/internal/designs"
+	"hsis/internal/reach"
+)
+
+// designRun is the observable outcome of loading one design and
+// verifying everything at a given worker count.
+type designRun struct {
+	states     float64
+	reachNodes int
+	iterations int
+	verdicts   map[string]bool
+}
+
+func runDesign(t *testing.T, name string, workers int) designRun {
+	t.Helper()
+	d, err := designs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.LoadVerilogString(d.Verilog, name+".v", d.Top, core.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddPIFString(d.PIF, name+".pif"); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Net.Manager()
+	defer m.SetWorkers(1) // shut the pool down before the next run
+	res := reach.Forward(w.Net, reach.Options{})
+	if !res.Converged {
+		t.Fatalf("%s: reachability diverged at workers=%d", name, workers)
+	}
+	run := designRun{
+		states:     w.Net.NumStates(res.Reached),
+		reachNodes: m.NodeCount(res.Reached),
+		iterations: res.Steps,
+		verdicts:   make(map[string]bool),
+	}
+	for _, r := range w.VerifyAll() {
+		if r.Err != nil {
+			t.Fatalf("%s/%s: workers=%d: %v", name, r.Name, workers, r.Err)
+		}
+		key := string(r.Kind) + "/" + r.Name
+		if _, dup := run.verdicts[key]; dup {
+			t.Fatalf("%s: duplicate property key %q", name, key)
+		}
+		run.verdicts[key] = r.Pass
+	}
+	return run
+}
+
+// TestWorkersDeterminism checks parallel ≡ sequential over every
+// bundled design: the reach fixpoint (state count, iteration count,
+// and reached-set BDD size), every CTL verdict, and every
+// language-containment emptiness verdict must match at workers = 1, 2
+// and 8.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, name := range designs.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && (name == "scheduler" || name == "mdlc2") {
+				t.Skip("skipping large design in -short mode")
+			}
+			base := runDesign(t, name, 1)
+			for _, wk := range []int{2, 8} {
+				wk := wk
+				t.Run(fmt.Sprintf("workers=%d", wk), func(t *testing.T) {
+					got := runDesign(t, name, wk)
+					if got.states != base.states {
+						t.Errorf("states: got %v at workers=%d, want %v", got.states, wk, base.states)
+					}
+					if got.iterations != base.iterations {
+						t.Errorf("iterations: got %d at workers=%d, want %d", got.iterations, wk, base.iterations)
+					}
+					if got.reachNodes != base.reachNodes {
+						t.Errorf("reached-set nodes: got %d at workers=%d, want %d", got.reachNodes, wk, base.reachNodes)
+					}
+					if len(got.verdicts) != len(base.verdicts) {
+						t.Fatalf("property count: got %d, want %d", len(got.verdicts), len(base.verdicts))
+					}
+					for key, want := range base.verdicts {
+						gotPass, ok := got.verdicts[key]
+						if !ok {
+							t.Errorf("property %q missing at workers=%d", key, wk)
+							continue
+						}
+						if gotPass != want {
+							t.Errorf("property %q: pass=%v at workers=%d, want %v", key, gotPass, wk, want)
+						}
+					}
+				})
+			}
+		})
+	}
+}
