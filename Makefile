@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-parallel bench-smoke trace-smoke bench bench-reorder bench-parallel bench-all
+.PHONY: check vet build test test-parallel bench-smoke bench-iso-smoke trace-smoke bench bench-reorder bench-parallel bench-iso bench-all
 
-check: vet build test test-parallel bench-smoke trace-smoke
+check: vet build test test-parallel bench-smoke bench-iso-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -79,6 +79,23 @@ bench-parallel:
 	$(GO) test -bench='BenchmarkImageParallel|BenchmarkParallelAndExists' -benchtime=1x -timeout=30m -run='^$$' . \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson > BENCH_parallel.json
+
+# One cold iteration of the iso-vs-clustered contest on the generated
+# philos-16: catches an isomorphism-detection or permutation-instantiation
+# regression without paying for the full scaled sweep.
+bench-iso-smoke:
+	$(GO) test -bench='BenchmarkIso/philos-16' -benchtime=1x -run='^$$' .
+
+# Isomorphism-exploiting image computation vs the clustered pipeline on
+# the parameterized ring designs (philos-16/64, scheduler-32) and the
+# bundled low-replication designs, recorded to BENCH_iso.json. benchjson
+# adds a speedup-vs-clustered ratio to every iso row. Cold single
+# iterations for the same reason as bench-parallel: the compile phase is
+# the contest.
+bench-iso:
+	$(GO) test -bench='BenchmarkIso$$' -benchtime=1x -timeout=30m -run='^$$' . \
+		| tee /dev/stderr \
+		| $(GO) run ./internal/tools/benchjson > BENCH_iso.json
 
 # The full Table-1 regeneration and ablation suite.
 bench-all:

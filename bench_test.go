@@ -360,6 +360,62 @@ func BenchmarkImage(b *testing.B) {
 	}
 }
 
+// BenchmarkIso compares the isomorphism-exploiting engine against the
+// clustered pipeline it extends: full forward reachability plus a
+// preimage of the fixpoint, over scaled ring designs where every latch
+// cone is a replica (philos-N, scheduler-N) and over bundled designs
+// with little (mdlc2: three pairs) or no (gigamax) replication, where
+// iso must not regress. Both engines run with the monolithic relation
+// skipped — the contest is cluster compilation + schedule replay, and
+// iso's edge is compiling each class once and instantiating replicas by
+// variable permutation. Run with -benchtime=1x: the warm op caches make
+// repeat iterations nearly free, so only a cold run measures the
+// compile phase honestly. benchjson derives a speedup-vs-clustered
+// ratio for every design from the paired rows of BENCH_iso.json.
+func BenchmarkIso(b *testing.B) {
+	for _, name := range []string{"philos-16", "philos-64", "scheduler-32", "mdlc2", "gigamax"} {
+		name := name
+		for _, eng := range []struct {
+			label string
+			kind  reach.EngineKind
+		}{
+			{"clustered", reach.EngineClustered},
+			{"iso", reach.EngineIso},
+		} {
+			eng := eng
+			b.Run(name+"/"+eng.label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					w := load(b, name, core.Options{Image: eng.label})
+					n := w.Net
+					b.StartTimer()
+					res := reach.Forward(n, reach.Options{Engine: eng.kind})
+					if !res.Converged {
+						b.Fatal("diverged")
+					}
+					e := reach.Engine(n, eng.kind)
+					if e.Preimage(res.Reached) == bdd.False {
+						b.Fatal("empty preimage of reached set")
+					}
+					b.StopTimer()
+					st := n.Manager().Stats()
+					for metric, v := range st.BenchMetrics() {
+						b.ReportMetric(v, metric)
+					}
+					if eng.kind == reach.EngineIso {
+						s := n.IsoSummaryInfo()
+						b.ReportMetric(float64(s.Classes), "iso-classes")
+						b.ReportMetric(float64(s.Replicated), "iso-latches")
+						b.ReportMetric(float64(st.PermCalls), "perm-calls")
+						b.ReportMetric(100*st.PermHitRate(), "perm-hit-%")
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkNegationHeavy exercises the negation-dominated access pattern
 // of the backward verification algorithms: alternating image/preimage
 // sweeps where every round clips the frontier against the complement of

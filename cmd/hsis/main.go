@@ -27,7 +27,12 @@
 //	workers [n]                     show or set the BDD worker count
 //	quit
 //
-// Flags: -reorder off|manual|auto selects the dynamic-reordering policy
+// Flags: -image auto|monolithic|partitioned|clustered|iso selects the
+// image-computation engine (iso compiles clusters once per class of
+// isomorphic latch cones and instantiates replicas by variable
+// permutation; auto picks it whenever a design has enough replication
+// and the monolithic relation was not built); -reorder off|manual|auto selects
+// the dynamic-reordering policy
 // for designs loaded afterwards; -order <file> seeds the variable order
 // from a saved .order file (written by write_order); -workers <n>
 // selects the BDD kernel's worker count (default GOMAXPROCS; 1 = the
@@ -78,6 +83,8 @@ func main() {
 		"print BDD operation statistics after every checking command")
 	reorderFlag := flag.String("reorder", "off",
 		"dynamic variable reordering policy: off, manual or auto")
+	imageFlag := flag.String("image", "auto",
+		"image-computation engine: auto, monolithic, partitioned, clustered or iso")
 	orderFlag := flag.String("order", "",
 		"seed the variable order from a saved .order file (see write_order)")
 	workersFlag := flag.Int("workers", 0,
@@ -94,7 +101,8 @@ func main() {
 	sh := &shell{
 		out:   bufio.NewWriter(os.Stdout),
 		stats: *statsFlag,
-		opts:  core.Options{Reorder: *reorderFlag, OrderFile: *orderFlag, Workers: workers},
+		opts: core.Options{Reorder: *reorderFlag, OrderFile: *orderFlag,
+			Image: *imageFlag, Workers: workers},
 	}
 	defer sh.out.Flush()
 	if *traceFlag != "" {
@@ -281,6 +289,10 @@ func (sh *shell) exec(line string) error {
 		fmt.Fprintf(sh.out, "design %s: %d latches, %d state bits, %d tables, %d BDD nodes in manager\n",
 			sh.w.Name, len(n.Latches()), len(n.PSBits()), len(n.Conjuncts()), n.Manager().Size())
 		fmt.Fprintf(sh.out, "transition relation: %d BDD nodes\n", n.Manager().NodeCount(n.T))
+		if s := n.IsoSummaryInfo(); s.Classes > 0 {
+			fmt.Fprintf(sh.out, "isomorphic cones: %d classes covering %d/%d latches, sizes %v\n",
+				s.Classes, s.Replicated, len(n.Latches()), s.Sizes)
+		}
 		n.Manager().Stats().WriteTable(sh.out)
 		if t := telemetry.T(); t != nil {
 			fmt.Fprintf(sh.out, "  %-22s %d events\n", "telemetry", t.Events())

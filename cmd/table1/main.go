@@ -89,6 +89,8 @@ func main() {
 	noFast := flag.Bool("no-invariant-fastpath", false, "disable the AG(prop) fast path (Ablation B)")
 	coi := flag.Bool("coi", false, "cone-of-influence abstraction per property (Ablation G)")
 	reorderPolicy := flag.String("reorder", "off", "dynamic variable reordering policy: off, manual or auto")
+	imageFlag := flag.String("image", "auto",
+		"image-computation engine: auto, monolithic, partitioned, clustered or iso")
 	workersFlag := flag.Int("workers", 0,
 		"BDD kernel workers: 0 = GOMAXPROCS, 1 = sequential, n >= 2 = parallel kernel")
 	traceFlag := flag.String("trace", "", "write a JSONL telemetry trace of the run to this file")
@@ -130,6 +132,7 @@ func main() {
 		DisableInvariantFastPath: *noFast,
 		ConeOfInfluence:          *coi,
 		Reorder:                  *reorderPolicy,
+		Image:                    *imageFlag,
 		Workers:                  *workersFlag,
 	}
 	if opts.Workers <= 0 {
@@ -149,10 +152,13 @@ func main() {
 
 	fmt.Printf("%-10s %8s %8s %12s %12s %5s %12s %5s %12s\n",
 		"example", "#linesV", "#linesMV", "read(ms)", "#states", "#lc", "lc(ms)", "#ctl", "mc(ms)")
-	for _, name := range designs.Names() {
-		if *only != "" && *only != name {
-			continue
-		}
+	names := designs.Names()
+	if *only != "" {
+		// A single -design may also name a generated scaled instance
+		// ("philos-64") outside the bundled Table-1 set.
+		names = []string{*only}
+	}
+	for _, name := range names {
 		r, err := measure(name, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "table1:", err)

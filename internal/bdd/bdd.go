@@ -192,6 +192,7 @@ type Manager struct {
 	statQuantCalls, statQuantHits atomic.Uint64
 	statAexCalls, statAexHits     atomic.Uint64
 	statCompShared                atomic.Uint64 // mk results re-rooted onto a complement-shared node
+	statPermCalls, statPermHits   atomic.Uint64 // Permuter node visits / persistent-memo hits
 	statCacheGrowths              atomic.Int64
 	statCacheKept                 int // op-cache entries that survived the last GC
 
@@ -305,7 +306,7 @@ func New() *Manager {
 		aexMask:     initAexCache - 1,
 		cacheBudget: defaultCacheBudget,
 		gcEnabled:   true,
-		autoGCAt:    1 << 20,
+		autoGCAt:    1 << 19,
 		workers:     1,
 	}
 	for i := range m.shards {

@@ -193,6 +193,15 @@ func (m *Manager) MaybeGC() bool {
 	return true
 }
 
+// GCPending reports whether the next MaybeGC call would collect — the
+// node count has crossed the adaptive threshold and no ParallelDo
+// section defers collection. Fixpoint loops use it to gate the IncRef
+// traffic that protects their loop state across a safe point, the same
+// way ReorderPending gates reorder protection.
+func (m *Manager) GCPending() bool {
+	return m.gcEnabled && m.Size() >= m.autoGCAt && m.sections.Load() == 0
+}
+
 // SetGCThreshold sets the node count at which MaybeGC collects.
 func (m *Manager) SetGCThreshold(n int) { m.autoGCAt = n }
 

@@ -1,0 +1,109 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPerm builds a random permutation over n variable IDs.
+func randPerm(n int, rng *rand.Rand) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+// TestPermuteCommutesWithOps pins the complement-edge algebra of
+// variable permutation: π(¬f) = ¬π(f) and π(f∧g) = π(f)∧π(g), for both
+// the per-call Permute and the persistent Permuter. Random functions are
+// negation-heavy so complement marks appear throughout the inputs.
+func TestPermuteCommutesWithOps(t *testing.T) {
+	m := New()
+	vs := m.NewVars(6)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		perm := randPerm(6, rng)
+		p := m.NewPermuter(perm)
+		f := randomBDD(m, vs, rng, 4)
+		g := randomBDD(m, vs, rng, 4)
+		if m.Permute(m.Not(f), perm) != m.Not(m.Permute(f, perm)) {
+			t.Fatalf("trial %d: Permute does not commute with Not", trial)
+		}
+		if m.Permute(m.And(f, g), perm) != m.And(m.Permute(f, perm), m.Permute(g, perm)) {
+			t.Fatalf("trial %d: Permute does not commute with And", trial)
+		}
+		if p.Permute(m.Not(f)) != m.Not(p.Permute(f)) {
+			t.Fatalf("trial %d: Permuter does not commute with Not", trial)
+		}
+		if p.Permute(m.And(f, g)) != m.And(p.Permute(f), p.Permute(g)) {
+			t.Fatalf("trial %d: Permuter does not commute with And", trial)
+		}
+		// Permuter and Permute agree node for node.
+		if p.Permute(f) != m.Permute(f, perm) {
+			t.Fatalf("trial %d: Permuter disagrees with Permute", trial)
+		}
+	}
+}
+
+// TestPermuterSurvivesGCAndReorder drives one Permuter across a garbage
+// collection and a reorder session: the persistent memo must be
+// discarded (no stale Refs served) while results stay canonical — the
+// permutation is variable-ID based, so a level shuffle must not change
+// what it computes.
+func TestPermuterSurvivesGCAndReorder(t *testing.T) {
+	m := New()
+	vs := m.NewVars(6)
+	rng := rand.New(rand.NewSource(23))
+	perm := []int{5, 4, 3, 2, 1, 0}
+	p := m.NewPermuter(perm)
+
+	roots := make([]Ref, 0, 8)
+	for i := 0; i < 8; i++ {
+		f := randomBDD(m, vs, rng, 5)
+		m.IncRef(f)
+		roots = append(roots, f)
+	}
+	want := make([]Ref, len(roots))
+	for i, f := range roots {
+		want[i] = p.Permute(f)
+		m.IncRef(want[i])
+	}
+	if calls := m.Stats().PermCalls; calls == 0 {
+		t.Fatal("Permuter did not count node visits")
+	}
+
+	// GC: memo values were unreferenced and may be recycled; the next
+	// call must rebuild rather than serve stale Refs.
+	m.GC()
+	for i, f := range roots {
+		if got := p.Permute(f); got != want[i] {
+			t.Fatalf("root %d: Permuter changed its result across GC", i)
+		}
+	}
+
+	// Reorder session: shuffle levels in place, then verify both that
+	// results are identical Refs (canonical under the new order) and
+	// that a fresh Permute agrees.
+	s := m.StartReorder()
+	for _, l := range []int{0, 2, 4, 1, 3, 2, 0} {
+		s.Swap(l)
+	}
+	s.Close()
+	checkKernelInvariants(t, m)
+	for i, f := range roots {
+		if got := p.Permute(f); got != want[i] {
+			t.Fatalf("root %d: Permuter changed its result across reorder", i)
+		}
+		if got := m.Permute(f, perm); got != want[i] {
+			t.Fatalf("root %d: Permute changed its result across reorder", i)
+		}
+	}
+
+	// Warm repeat on an unchanged manager must hit the persistent memo.
+	before := m.Stats()
+	for _, f := range roots {
+		p.Permute(f)
+	}
+	after := m.Stats()
+	if after.PermHits == before.PermHits {
+		t.Fatal("persistent memo produced no hits on a warm repeat")
+	}
+}

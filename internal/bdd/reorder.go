@@ -667,6 +667,12 @@ func (m *Manager) CheckInvariants() error {
 // shrink.
 func (m *Manager) PeakLive() int { return int(m.peakLive.Load()) }
 
+// ReorderCount returns the number of completed reorder sessions. Plan
+// caches (the network's compiled quantification schedules) stamp
+// themselves with it and recompile when it moves, so a sift never
+// leaves a schedule tuned for the dead variable order in service.
+func (m *Manager) ReorderCount() int { return m.statReorders }
+
 // ResetPeaks restarts peak tracking from the current state, so a
 // measurement can isolate one phase.
 func (m *Manager) ResetPeaks() {

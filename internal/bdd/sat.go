@@ -1,6 +1,9 @@
 package bdd
 
-import "sort"
+import (
+	"math/big"
+	"sort"
+)
 
 // Satisfiability utilities: counting, witness extraction, support and
 // structural metrics. Traversals either push the complement mark onto
@@ -12,37 +15,47 @@ import "sort"
 // given number of variables (typically Manager.NumVars(), but callers
 // counting over a sub-space, e.g. state variables only, pass that
 // sub-space's size and must ensure f's support lies within it).
+// Fractions are accumulated in exact binary floating point (one mantissa
+// bit per variable plus headroom): in float64 the complement identity
+// 1 − (1 − x) cancels to zero for any set smaller than 2^-52 of the
+// space, which is every individual state once a design has more than 52
+// state bits. Only the final count is rounded to float64.
 func (m *Manager) SatCount(f Ref, nvars int) float64 {
 	m.check(f)
 	m.rlock()
 	defer m.runlock()
-	memo := make(map[Ref]float64)
+	prec := uint(m.numVars) + 64
+	memo := make(map[Ref]*big.Float)
 	// fraction of the full space satisfying f, times 2^nvars
-	frac := m.satFrac(f, memo)
-	total := frac
-	for i := 0; i < nvars; i++ {
-		total *= 2
+	frac := m.satFrac(f, memo, prec)
+	if frac.Sign() == 0 {
+		return 0
 	}
-	return total
+	total := new(big.Float).SetPrec(prec).SetMantExp(frac, nvars)
+	out, _ := total.Float64()
+	return out
 }
 
 // satFrac returns the fraction of all assignments satisfying f. The memo
 // keys on regular nodes; complement marks become 1 − x on the way out.
-func (m *Manager) satFrac(f Ref, memo map[Ref]float64) float64 {
+func (m *Manager) satFrac(f Ref, memo map[Ref]*big.Float, prec uint) *big.Float {
 	if f == False {
-		return 0
+		return new(big.Float).SetPrec(prec)
 	}
 	if f == True {
-		return 1
+		return new(big.Float).SetPrec(prec).SetInt64(1)
 	}
 	if isComp(f) {
-		return 1 - m.satFrac(neg(f), memo)
+		one := new(big.Float).SetPrec(prec).SetInt64(1)
+		return one.Sub(one, m.satFrac(neg(f), memo, prec))
 	}
 	if v, ok := memo[f]; ok {
 		return v
 	}
 	n := m.node(f)
-	v := (m.satFrac(n.low, memo) + m.satFrac(n.high, memo)) / 2
+	v := new(big.Float).SetPrec(prec)
+	v.Add(m.satFrac(n.low, memo, prec), m.satFrac(n.high, memo, prec))
+	v.SetMantExp(v, -1)
 	memo[f] = v
 	return v
 }

@@ -31,6 +31,13 @@ type Statistics struct {
 	// where f and ¬f ended up sharing storage.
 	ComplementShared uint64
 
+	// Persistent permutation cache (Permuter): node visits and
+	// cross-call memo hits. The isomorphism-exploiting image pipeline
+	// instantiates replica cluster plans through Permuters, so a high
+	// hit rate here means replica plans were near-free.
+	PermCalls uint64
+	PermHits  uint64
+
 	// Adaptive cache layer: current per-cache sizes (entries, after any
 	// adaptive growth), how many times a cache doubled, and how many
 	// entries survived the most recent GC sweep.
@@ -102,6 +109,12 @@ func (s Statistics) QuantHitRate() float64 {
 	return ratio(s.QuantHits+s.AndExistsHits, s.QuantCalls+s.AndExistsCalls)
 }
 
+// PermHitRate returns the hit rate of the persistent permutation cache
+// (Permuter), the number the iso image pipeline benchmarks report.
+func (s Statistics) PermHitRate() float64 {
+	return ratio(s.PermHits, s.PermCalls)
+}
+
 // WriteTable renders the statistics as an aligned name/value table —
 // the one formatter behind the shell's print_stats, the CLIs' -stats
 // output and the telemetry summary's statistics block.
@@ -123,6 +136,10 @@ func (s Statistics) WriteTable(w io.Writer) {
 	row("andexists cache", "%.1f%% of %d calls (%d entries)",
 		100*ratio(s.AndExistsHits, s.AndExistsCalls), s.AndExistsCalls, s.AndExistsCacheEntries)
 	row("cache growths/kept", "%d / %d", s.CacheGrowths, s.CacheEntriesKept)
+	if s.PermCalls > 0 {
+		row("perm cache", "%.1f%% of %d calls",
+			100*ratio(s.PermHits, s.PermCalls), s.PermCalls)
+	}
 	if s.Workers > 1 {
 		row("workers", "%d", s.Workers)
 		row("forks/steals", "%d / %d", s.Forks, s.Steals)
@@ -166,6 +183,7 @@ func (s Statistics) TelemetryFields() []telemetry.Field {
 		telemetry.F64("quant_hit_rate", s.QuantHitRate()),
 		telemetry.F64("apply_hit_rate", ratio(s.ApplyHits, s.ApplyCalls)),
 		telemetry.F64("ite_hit_rate", ratio(s.ITEHits, s.ITECalls)),
+		telemetry.F64("perm_hit_rate", s.PermHitRate()),
 		telemetry.Int("workers", s.Workers),
 		telemetry.I64("forks", int64(s.Forks)),
 		telemetry.I64("steals", int64(s.Steals)),
@@ -212,6 +230,8 @@ func (m *Manager) statsNow() Statistics {
 		Variables:      m.numVars,
 
 		ComplementShared:      m.statCompShared.Load(),
+		PermCalls:             m.statPermCalls.Load(),
+		PermHits:              m.statPermHits.Load(),
 		ITECacheEntries:       len(m.ite),
 		ApplyCacheEntries:     len(m.binop),
 		QuantCacheEntries:     len(m.quant),

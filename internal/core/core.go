@@ -55,6 +55,13 @@ type Options struct {
 	// .order file if it exists and matches the model; otherwise the
 	// static interacting-FSM order is used. SaveOrder writes the file.
 	OrderFile string
+	// Image selects the image-computation engine for reachability and
+	// invariance checking: "" or "auto" (monolithic when T is built, iso
+	// when the design has replicated latch cones, clustered otherwise),
+	// "monolithic", "partitioned", "clustered", or "iso" (falls back to
+	// clustered on designs with no replication). Any engine other than
+	// auto/monolithic also skips the eager product-relation build.
+	Image string
 	// Workers selects the BDD kernel's execution mode for every manager
 	// the workspace builds (including cone-of-influence reductions):
 	// 0 or 1 is the classic sequential kernel, n >= 2 enables the
@@ -72,6 +79,9 @@ type Workspace struct {
 
 	CTLProps []pif.CTLProp
 	Automata []*pif.AutSpec
+
+	// engine is the parsed Options.Image selection.
+	engine reach.EngineKind
 
 	// fairSpecs keeps the syntactic fairness constraints so abstracted
 	// (cone-of-influence) networks can recompile them.
@@ -141,14 +151,20 @@ func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown reorder policy %q (want off, manual or auto)", opts.Reorder)
 	}
+	engine, ok := reach.ParseEngineKind(opts.Image)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown image engine %q (want auto, monolithic, partitioned, clustered or iso)", opts.Image)
+	}
 	nopts := network.Options{
 		Heuristic:           opts.Heuristic,
 		NaiveQuantification: opts.NaiveQuantification,
 		// With per-property cone-of-influence abstraction the full
 		// product transition relation may never be needed; build it
-		// lazily (EnsureT) only when a property cannot be reduced.
-		SkipMonolithic: opts.ConeOfInfluence,
-		AutoReorder:    opts.Reorder == "auto",
+		// lazily (EnsureT) only when a property cannot be reduced. The
+		// same goes when an explicit engine avoids T by construction.
+		SkipMonolithic: opts.ConeOfInfluence ||
+			(engine != reach.EngineAuto && engine != reach.EngineMonolithic),
+		AutoReorder: opts.Reorder == "auto",
 	}
 	if opts.AppendedOrder {
 		nopts.Order = appendedOrder(flat)
@@ -176,6 +192,7 @@ func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
 		Name:        design.Root,
 		Net:         net,
 		FC:          &fair.Constraints{},
+		engine:      engine,
 		BlifmvLines: countLines(src),
 		ReadTime:    time.Since(start),
 		opts:        opts,
@@ -267,6 +284,7 @@ func (w *Workspace) coneWorkspace(observed []string) (*Workspace, *abstract.Resu
 		Name:      w.Name + "+coi",
 		Net:       net,
 		FC:        fc,
+		engine:    w.engine,
 		fairSpecs: w.fairSpecs,
 		opts:      w.opts,
 	}
@@ -343,10 +361,13 @@ func (w *Workspace) SaveOrder(path string) error {
 // ReachableStates computes (and caches via the checker) the reachable
 // state count — the paper's "# reached states" column.
 func (w *Workspace) ReachableStates() float64 {
-	// EngineAuto: the clustered pipeline when T was skipped, T otherwise.
-	res := reach.Forward(w.Net, reach.Options{})
+	res := reach.Forward(w.Net, reach.Options{Engine: w.engine})
 	return w.Net.NumStates(res.Reached)
 }
+
+// Engine reports the workspace's image-engine selection (parsed from
+// Options.Image).
+func (w *Workspace) Engine() reach.EngineKind { return w.engine }
 
 // CheckCTL verifies one CTL property.
 func (w *Workspace) CheckCTL(p pif.CTLProp) *PropertyResult {
@@ -362,9 +383,11 @@ func (w *Workspace) CheckCTL(p pif.CTLProp) *PropertyResult {
 		// reduction unavailable or vacuous: fall through to the full model
 	}
 	// No EnsureT: invariance properties run entirely on the image engine
-	// (clustered when the monolithic T was skipped); the fair-CTL route
-	// builds T lazily when it first needs an edge-restricted operator.
+	// (iso or clustered when the monolithic T was skipped); the fair-CTL
+	// route builds T lazily when it first needs an edge-restricted
+	// operator.
 	checker := ctl.NewForNetwork(w.Net, w.FC)
+	checker.Engine = w.engine
 	out := &PropertyResult{Name: p.Name, Kind: KindCTL, Formula: p.Formula}
 	f := p.Formula
 	if w.opts.DisableInvariantFastPath {

@@ -44,8 +44,13 @@ func Names() []string {
 	return out
 }
 
-// Get loads one design by name.
+// Get loads one design by name. Names with a "-N" suffix ("philos-64",
+// "scheduler-8") are synthesized by the parameterized generator instead
+// of loaded from the embedded data.
 func Get(name string) (*Design, error) {
+	if _, _, ok := parseScaled(name); ok {
+		return Generate(name)
+	}
 	for _, c := range catalog {
 		if c.name != name {
 			continue

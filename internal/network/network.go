@@ -75,12 +75,31 @@ type Network struct {
 	conjuncts []quant.Conjunct // table relations + auxiliary equalities
 	nonState  []int            // BDD variable IDs quantified out of T
 
-	// Clustered image pipeline, compiled once at Build time: the
+	// Conjunct provenance, used by isomorphism detection to partition the
+	// conjuncts by owning latch cone: tableConj[ti] is the conjunct index
+	// of model table ti, latchConj[li] lists the extra conjunct indices
+	// (auxiliary equality, domain constraint) of latch li.
+	tableConj []int
+	latchConj [][]int
+
+	// Isomorphism-exploiting image pipeline (see iso.go), detected and
+	// compiled lazily like the clustered plans.
+	iso   *isoState
+	isoMu sync.Mutex
+
+	// Clustered image pipeline, compiled lazily on first use: the
 	// conjuncts merged into size-bounded clusters, and one frozen
-	// multiply-and-quantify plan per direction.
-	clusters []quant.Conjunct
-	imgPlan  *quant.CompiledPlan
-	prePlan  *quant.CompiledPlan
+	// multiply-and-quantify plan per direction. The plans are stamped
+	// with the manager's reorder epoch; after a sift session changes the
+	// variable order the stale schedule (cluster sizes and step order
+	// were tuned for the old order) is released and re-derived.
+	clusters     []quant.Conjunct
+	imgPlan      *quant.CompiledPlan
+	prePlan      *quant.CompiledPlan
+	planMu       sync.Mutex
+	plansBuilt   bool
+	planEpoch    int // Manager.ReorderCount() when the plans were compiled
+	clusterLimit int
 
 	// Reusable operand buffers for the per-call partitioned engine, so
 	// ImagePartitioned/PreimagePartitioned allocate nothing per call.
@@ -241,12 +260,15 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		if err != nil {
 			return nil, fmt.Errorf("network: table %d of %s: %w", ti, flat.Name, err)
 		}
+		n.tableConj = append(n.tableConj, len(n.conjuncts))
 		n.conjuncts = append(n.conjuncts, quant.Conjunct{F: rel, Support: sup})
 	}
-	for _, l := range n.latches {
+	n.latchConj = make([][]int, len(n.latches))
+	for li, l := range n.latches {
 		if l.Aux {
 			in := n.space.ByName(l.Src.Input)
 			eq := l.NS.EqVar(in)
+			n.latchConj[li] = append(n.latchConj[li], len(n.conjuncts))
 			n.conjuncts = append(n.conjuncts, quant.Conjunct{
 				F:       eq,
 				Support: append(append([]int(nil), l.NS.Bits()...), in.Bits()...),
@@ -255,6 +277,7 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		// Keep next states inside the variable's domain even when the
 		// latch input is an unconstrained primary input.
 		if dom := l.NS.Domain(); dom != bdd.True {
+			n.latchConj[li] = append(n.latchConj[li], len(n.conjuncts))
 			n.conjuncts = append(n.conjuncts, quant.Conjunct{F: dom, Support: l.NS.Bits()})
 		}
 	}
@@ -271,10 +294,11 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		n.Init = n.mgr.And(n.Init, l.PS.In(l.Src.Init))
 	}
 
-	// Clustered image pipeline: merge the conjuncts into size-bounded
-	// clusters and freeze one quantification schedule per direction, so
-	// Image/Preimage become pure replay of a precompiled plan.
-	n.buildPlans(opts.ClusterLimit)
+	// The clustered image pipeline (size-bounded clusters plus one frozen
+	// quantification schedule per direction) is compiled lazily by
+	// ensurePlans on first use, so a run that only ever touches the
+	// monolithic or per-call partitioned engines never pays for it.
+	n.clusterLimit = opts.ClusterLimit
 	n.buildPartitionedBuffers()
 
 	// Product transition relation.
@@ -289,12 +313,30 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 	return n, nil
 }
 
-// buildPlans compiles the clustered image pipeline. Non-state variables
-// are pre-quantified during clustering when local to one cluster; the
+// ensurePlans compiles the clustered image pipeline on first use and
+// recompiles it when a reorder session has run since: cluster merging is
+// bounded by BDD node counts, which a sift changes, so a schedule tuned
+// for the old variable order is stale. Non-state variables are
+// pre-quantified during clustering when local to one cluster; the
 // remaining schedule (which variables die at which cluster) is computed
-// once here and merely replayed by every image/preimage call.
-func (n *Network) buildPlans(limit int) {
-	n.clusters = quant.Clusters(n.mgr, n.conjuncts, n.nonState, limit)
+// here and merely replayed by every image/preimage call.
+func (n *Network) ensurePlans() {
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	epoch := n.mgr.ReorderCount()
+	if n.plansBuilt && n.planEpoch == epoch {
+		return
+	}
+	if n.plansBuilt {
+		// Superseded by a reorder session: release the stale schedule
+		// before re-deriving it under the new order.
+		n.imgPlan.Release(n.mgr)
+		n.prePlan.Release(n.mgr)
+		for _, c := range n.clusters {
+			n.mgr.DecRef(c.F)
+		}
+	}
+	n.clusters = quant.Clusters(n.mgr, n.conjuncts, n.nonState, n.clusterLimit)
 	for _, c := range n.clusters {
 		n.mgr.IncRef(c.F)
 	}
@@ -304,6 +346,8 @@ func (n *Network) buildPlans(limit int) {
 	n.prePlan = quant.Compile(n.mgr, n.clusters, n.nsBits, preQ)
 	n.imgPlan.Retain(n.mgr)
 	n.prePlan.Retain(n.mgr)
+	n.plansBuilt = true
+	n.planEpoch = epoch
 }
 
 // buildPartitionedBuffers preallocates the operand slices the
@@ -349,31 +393,46 @@ func (n *Network) PreimageOperands(sNext bdd.Ref) ([]quant.Conjunct, []int) {
 	return n.preConjs, n.preQVars
 }
 
-// ImagePlan returns the precompiled clustered image schedule.
-func (n *Network) ImagePlan() *quant.CompiledPlan { return n.imgPlan }
+// ImagePlan returns the precompiled clustered image schedule, compiling
+// (or, after a reorder session, recompiling) it on demand.
+func (n *Network) ImagePlan() *quant.CompiledPlan {
+	n.ensurePlans()
+	return n.imgPlan
+}
 
-// PreimagePlan returns the precompiled clustered preimage schedule.
-func (n *Network) PreimagePlan() *quant.CompiledPlan { return n.prePlan }
+// PreimagePlan returns the precompiled clustered preimage schedule,
+// compiling it on demand like ImagePlan.
+func (n *Network) PreimagePlan() *quant.CompiledPlan {
+	n.ensurePlans()
+	return n.prePlan
+}
 
 // ClusterConjuncts returns the clustered partitioned transition relation
-// (non-state variables local to one cluster already quantified out).
-// Callers must not mutate the slice.
-func (n *Network) ClusterConjuncts() []quant.Conjunct { return n.clusters }
+// (non-state variables local to one cluster already quantified out),
+// compiling it on demand. Callers must not mutate the slice and must not
+// hold it across a reorder session (it is re-derived then).
+func (n *Network) ClusterConjuncts() []quant.Conjunct {
+	n.ensurePlans()
+	return n.clusters
+}
 
 // TBuilt reports whether the monolithic product transition relation has
 // been built (false until EnsureT on a SkipMonolithic network).
 func (n *Network) TBuilt() bool { return n.tBuilt.Load() }
 
 func (n *Network) buildT() {
-	switch {
-	case n.naive:
+	if n.naive {
 		n.T = quant.Naive(n.mgr, n.conjuncts, n.nonState)
-	case n.clusters != nil:
+		n.tBuilt.Store(true)
+		return
+	}
+	n.ensurePlans()
+	if n.clusters != nil {
 		// The clusters already absorbed the locally-quantifiable
 		// non-state variables; finish from them instead of redoing the
 		// full schedule over raw conjuncts.
 		n.T = quant.AndExists(n.mgr, n.clusters, n.nonState, n.heur)
-	default:
+	} else {
 		n.T = quant.AndExists(n.mgr, n.conjuncts, n.nonState, n.heur)
 	}
 	n.tBuilt.Store(true)

@@ -308,3 +308,13 @@ func (p *CompiledPlan) Retain(m *bdd.Manager) {
 	}
 	m.IncRef(p.Tail)
 }
+
+// Release drops the references Retain took, so a superseded plan (e.g.
+// one recompiled after a reorder session) can be collected.
+func (p *CompiledPlan) Release(m *bdd.Manager) {
+	for _, st := range p.Steps {
+		m.DecRef(st.F)
+		m.DecRef(st.Cube)
+	}
+	m.DecRef(p.Tail)
+}

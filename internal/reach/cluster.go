@@ -20,7 +20,9 @@ type EngineKind int
 // Engine kinds.
 const (
 	// EngineAuto picks monolithic when the product transition relation
-	// is already built, clustered otherwise.
+	// is already built; otherwise iso when the network's isomorphic
+	// latch-cone replication saves enough cluster compiles to pay for
+	// itself (network.IsoWorthwhile), clustered if not.
 	EngineAuto EngineKind = iota
 	// EngineMonolithic uses the product transition relation T (building
 	// it on first use if necessary).
@@ -30,6 +32,10 @@ const (
 	EnginePartitioned
 	// EngineClustered replays the precompiled per-network plan.
 	EngineClustered
+	// EngineIso replays the isomorphism-compiled plan: clusters built
+	// once per equivalence class of replicated latch cones and
+	// instantiated per replica by variable permutation.
+	EngineIso
 )
 
 func (k EngineKind) String() string {
@@ -40,8 +46,29 @@ func (k EngineKind) String() string {
 		return "partitioned"
 	case EngineClustered:
 		return "clustered"
+	case EngineIso:
+		return "iso"
 	default:
 		return "auto"
+	}
+}
+
+// ParseEngineKind resolves a CLI engine name; empty and "auto" both map
+// to EngineAuto.
+func ParseEngineKind(s string) (EngineKind, bool) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, true
+	case "monolithic":
+		return EngineMonolithic, true
+	case "partitioned":
+		return EnginePartitioned, true
+	case "clustered":
+		return EngineClustered, true
+	case "iso":
+		return EngineIso, true
+	default:
+		return EngineAuto, false
 	}
 }
 
@@ -55,19 +82,29 @@ type ImageEngine interface {
 
 // Engine binds an engine of the given kind to a network. EngineAuto
 // resolves to monolithic when T is already built (it is paid for; reuse
-// it) and to the clustered pipeline otherwise, so SkipMonolithic
-// networks never multiply out the product relation just to take images.
+// it); otherwise to iso when the network has enough replicated latch
+// cones to profit from per-class compilation, and to the clustered
+// pipeline if not — SkipMonolithic networks never multiply out the
+// product relation just to take images.
 func Engine(n *network.Network, kind EngineKind) ImageEngine {
 	if kind == EngineAuto {
-		if n.TBuilt() {
+		switch {
+		case n.TBuilt():
 			kind = EngineMonolithic
-		} else {
+		case n.IsoWorthwhile():
+			kind = EngineIso
+		default:
 			kind = EngineClustered
 		}
 	}
 	switch kind {
 	case EnginePartitioned:
 		return partitionedEngine{n}
+	case EngineIso:
+		if n.IsoImagePlan() != nil {
+			return isoEngine{n}
+		}
+		fallthrough // no replication detected: degrade to clustered
 	case EngineClustered:
 		if n.ImagePlan() != nil {
 			return clusteredEngine{n}
@@ -101,6 +138,17 @@ type clusteredEngine struct{ n *network.Network }
 func (e clusteredEngine) Kind() EngineKind           { return EngineClustered }
 func (e clusteredEngine) Image(s bdd.Ref) bdd.Ref    { return ImageClustered(e.n, s) }
 func (e clusteredEngine) Preimage(s bdd.Ref) bdd.Ref { return PreimageClustered(e.n, s) }
+
+type isoEngine struct{ n *network.Network }
+
+func (e isoEngine) Kind() EngineKind { return EngineIso }
+func (e isoEngine) Image(s bdd.Ref) bdd.Ref {
+	next := e.n.IsoImagePlan().Run(e.n.Manager(), s)
+	return e.n.SwapRails(next)
+}
+func (e isoEngine) Preimage(s bdd.Ref) bdd.Ref {
+	return e.n.IsoPreimagePlan().Run(e.n.Manager(), e.n.SwapRails(s))
+}
 
 // ImageClustered computes successors by replaying the network's
 // precompiled clustered plan: one AndExists per cluster, each with a

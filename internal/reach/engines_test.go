@@ -1,8 +1,9 @@
 package reach_test
 
 // Property-style engine-equivalence tests: the monolithic, partitioned,
-// and clustered image engines must compute identical successor and
-// predecessor sets on every bundled Table-1 design, for every
+// clustered, and iso image engines must compute identical successor and
+// predecessor sets on every bundled Table-1 design (plus a generated
+// philos-16, where isomorphism detection covers every latch), for every
 // reachability ring, and Backward must agree across engines under
 // non-trivial care sets.
 
@@ -38,14 +39,29 @@ var engineKinds = []reach.EngineKind{
 	reach.EngineMonolithic,
 	reach.EnginePartitioned,
 	reach.EngineClustered,
+	reach.EngineIso,
 }
 
-func TestEnginesAgreeOnAllDesigns(t *testing.T) {
+// equivalenceDesigns is the bundled Table-1 suite plus one generated
+// philos instance, so every latch of at least one design sits in an
+// isomorphism class. The scale is a parameter because backward
+// fixpoints from deep rings cost minutes at N=16 under the partitioned
+// engine; the image test affords the full philos-16.
+func equivalenceDesigns(t *testing.T, scaled string) []*designs.Design {
+	t.Helper()
 	all, err := designs.All()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range all {
+	gen, err := designs.Get(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(all, gen)
+}
+
+func TestEnginesAgreeOnAllDesigns(t *testing.T) {
+	for _, d := range equivalenceDesigns(t, "philos-16") {
 		d := d
 		t.Run(d.Name, func(t *testing.T) {
 			n := buildNet(t, d, network.Options{})
@@ -66,23 +82,20 @@ func TestEnginesAgreeOnAllDesigns(t *testing.T) {
 			for i := 0; i < len(res.Rings); i += step {
 				sets = append(sets, res.Rings[i])
 			}
-			mono := reach.Engine(n, reach.EngineMonolithic)
-			part := reach.Engine(n, reach.EnginePartitioned)
-			clus := reach.Engine(n, reach.EngineClustered)
+			engines := make([]reach.ImageEngine, len(engineKinds))
+			for j, kind := range engineKinds {
+				engines[j] = reach.Engine(n, kind)
+			}
 			for i, s := range sets {
-				img := mono.Image(s)
-				if got := part.Image(s); got != img {
-					t.Fatalf("set %d: partitioned image differs", i)
-				}
-				if got := clus.Image(s); got != img {
-					t.Fatalf("set %d: clustered image differs", i)
-				}
-				pre := mono.Preimage(s)
-				if got := part.Preimage(s); got != pre {
-					t.Fatalf("set %d: partitioned preimage differs", i)
-				}
-				if got := clus.Preimage(s); got != pre {
-					t.Fatalf("set %d: clustered preimage differs", i)
+				img := engines[0].Image(s)
+				pre := engines[0].Preimage(s)
+				for j, e := range engines[1:] {
+					if got := e.Image(s); got != img {
+						t.Fatalf("set %d: %v image differs", i, engineKinds[j+1])
+					}
+					if got := e.Preimage(s); got != pre {
+						t.Fatalf("set %d: %v preimage differs", i, engineKinds[j+1])
+					}
 				}
 			}
 			// A SkipMonolithic network never builds T; EngineAuto resolves
@@ -104,11 +117,7 @@ func TestEnginesAgreeOnAllDesigns(t *testing.T) {
 }
 
 func TestBackwardEnginesAgreeWithCareSets(t *testing.T) {
-	all, err := designs.All()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, d := range all {
+	for _, d := range equivalenceDesigns(t, "philos-8") {
 		d := d
 		t.Run(d.Name, func(t *testing.T) {
 			n := buildNet(t, d, network.Options{})
@@ -121,13 +130,20 @@ func TestBackwardEnginesAgreeWithCareSets(t *testing.T) {
 			if len(res.Rings) > 2 {
 				cares = append(cares, m.Diff(res.Reached, res.Rings[len(res.Rings)/2]))
 			}
+			// Backward is a fixpoint with GC safe points: everything held
+			// across its calls must be referenced per the GC contract.
+			m.IncRef(target)
+			for _, care := range cares {
+				m.IncRef(care)
+			}
 			for ci, care := range cares {
-				want := reach.Backward(n, target, care, reach.EngineMonolithic)
+				want := m.IncRef(reach.Backward(n, target, care, reach.EngineMonolithic))
 				for _, kind := range engineKinds[1:] {
 					if got := reach.Backward(n, target, care, kind); got != want {
 						t.Fatalf("care %d: %v backward differs from monolithic", ci, kind)
 					}
 				}
+				m.DecRef(want)
 			}
 		})
 	}

@@ -51,7 +51,8 @@ type Options struct {
 	// Early failure detection runs with a small bound (paper §5.4).
 	MaxSteps int
 	// Engine selects the image-computation strategy (EngineAuto picks
-	// monolithic when T is built, clustered otherwise).
+	// monolithic when T is built, otherwise iso on sufficiently
+	// replicated designs, clustered if not).
 	Engine EngineKind
 	// Partitioned selects the per-call-scheduled partitioned engine
 	// (legacy knob, equivalent to Engine: EnginePartitioned).
@@ -125,16 +126,21 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 			sp = t.Start("reach.iter")
 		}
 		// Safe point: between image steps every Ref the loop still needs
-		// is known, so an armed auto-reorder can run here under the GC
-		// protection contract. ReorderPending gates the IncRef traffic to
-		// the (rare) iterations where a sift actually fires.
-		if m.ReorderPending() {
+		// is known, so an armed auto-reorder or a due garbage collection
+		// can run here under the GC protection contract. The pending
+		// checks gate the IncRef traffic to the (rare) iterations where
+		// a sift or collection actually fires. Without the periodic GC
+		// the partitioned engines' transient recursion garbage
+		// accumulates across the whole fixpoint — on mdlc2's clustered
+		// pipeline that alone was a 1.9M-node high-water mark for a live
+		// set under 100k.
+		if m.ReorderPending() || m.GCPending() {
 			m.IncRef(res.Reached)
 			m.IncRef(frontier)
 			for _, r := range res.Rings {
 				m.IncRef(r)
 			}
-			m.MaybeReorder()
+			m.MaybeGC() // drains a pending reorder first, then collects
 			for _, r := range res.Rings {
 				m.DecRef(r)
 			}
@@ -185,11 +191,11 @@ func Backward(n *network.Network, target, care bdd.Ref, kind EngineKind) bdd.Ref
 			sp = t.Start("reach.back.iter")
 		}
 		// Safe point (see ForwardFrom).
-		if m.ReorderPending() {
+		if m.ReorderPending() || m.GCPending() {
 			m.IncRef(reached)
 			m.IncRef(frontier)
 			m.IncRef(care)
-			m.MaybeReorder()
+			m.MaybeGC()
 			m.DecRef(care)
 			m.DecRef(frontier)
 			m.DecRef(reached)

@@ -25,6 +25,31 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// addSpeedups derives a speedup-vs-clustered metric on every ".../iso"
+// benchmark row that has a ".../clustered" twin (same name with the
+// engine segment swapped), so BENCH_iso.json carries the per-design
+// ratio directly instead of leaving readers to divide ns/op pairs.
+func addSpeedups(results []result) {
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	for i := range results {
+		r := &results[i]
+		if !strings.Contains(r.Name, "/iso") || r.NsPerOp == 0 {
+			continue
+		}
+		base, ok := byName[strings.Replace(r.Name, "/iso", "/clustered", 1)]
+		if !ok {
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics["speedup-vs-clustered"] = base / r.NsPerOp
+	}
+}
+
 func main() {
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
@@ -65,6 +90,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	addSpeedups(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

@@ -538,8 +538,87 @@ func (p *parser) stmt() (Stmt, error) {
 	}
 }
 
-// constInt evaluates a compile-time constant (number or parameter).
+// constInt evaluates a compile-time constant expression over numbers and
+// previously defined parameters, with +, -, *, /, % and parentheses —
+// enough for derived parameters ("parameter LAST = N - 1;") and
+// parameterized ranges ("input [N-1:0] x;"), the idioms the scaled
+// design generator emits.
 func (p *parser) constInt(m *Module) (int, error) {
+	return p.constSum(m)
+}
+
+func (p *parser) constSum(m *Module) (int, error) {
+	v, err := p.constProd(m)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.acceptSym("+"):
+			w, err := p.constProd(m)
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case p.acceptSym("-"):
+			w, err := p.constProd(m)
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *parser) constProd(m *Module) (int, error) {
+	v, err := p.constAtom(m)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSym("*"):
+			op = "*"
+		case p.acceptSym("/"):
+			op = "/"
+		case p.acceptSym("%"):
+			op = "%"
+		default:
+			return v, nil
+		}
+		w, err := p.constAtom(m)
+		if err != nil {
+			return 0, err
+		}
+		if w == 0 && op != "*" {
+			return 0, p.errf("division by zero in constant expression")
+		}
+		switch op {
+		case "*":
+			v *= w
+		case "/":
+			v /= w
+		case "%":
+			v %= w
+		}
+	}
+}
+
+func (p *parser) constAtom(m *Module) (int, error) {
+	if p.acceptSym("(") {
+		v, err := p.constSum(m)
+		if err != nil {
+			return 0, err
+		}
+		return v, p.expectSym(")")
+	}
+	if p.acceptSym("-") {
+		v, err := p.constAtom(m)
+		return -v, err
+	}
 	t := p.cur()
 	switch t.kind {
 	case tkNumber:

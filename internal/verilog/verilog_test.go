@@ -230,6 +230,34 @@ func TestParameterWidth(t *testing.T) {
 	}
 }
 
+const paramExprV = `
+module pexpr(clk, q);
+  parameter N = 8;
+  parameter LAST = N - 1;
+  parameter BITS = (N / 2) - 1;
+  input clk;
+  output [BITS:0] q;
+  reg [2*2-1 : 0] q;
+  initial q = 0;
+  always @(posedge clk) q <= q + 1;
+endmodule
+`
+
+// Parameters may be defined by constant expressions over earlier
+// parameters, and ranges may use the same arithmetic — the idioms the
+// scaled design generator emits.
+func TestParameterConstExpr(t *testing.T) {
+	n := compileNet(t, paramExprV, "pexpr")
+	q := n.VarByName("q")
+	if q.Card() != 16 {
+		t.Fatalf("const-expr width: card = %d, want 16", q.Card())
+	}
+	res := reach.Forward(n, reach.Options{})
+	if got := n.NumStates(res.Reached); got != 16 {
+		t.Fatalf("reached %v states, want 16", got)
+	}
+}
+
 func TestOperatorsAgainstSemantics(t *testing.T) {
 	src := `
 module ops(clk, a, b, x);
