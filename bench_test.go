@@ -594,25 +594,56 @@ endmodule
 `
 
 // BenchmarkReorder measures dynamic variable reordering digging a run
-// out of a deliberately bad initial order: every design is loaded with
-// the naive appended order, then forward reachability runs with sifting
+// out of a deliberately bad initial order: scheduler-8 and mdlc2 are
+// loaded with the naive appended order (philos-16 with its default
+// order — see below), then forward reachability runs with sifting
 // off versus growth-triggered auto sifting at the fixpoint safe points.
-// A GC and a peak reset after the build discard the build phase's
-// garbage, so peak-live-nodes isolates the reachability phase that
-// reordering can actually influence.
+// The auto-naive configuration runs the same auto sifting with every
+// acceleration disabled (-reorder-accel none) — the pre-acceleration
+// Rudell sifter — so sift-ms auto vs auto-naive is the acceleration
+// speedup and swaps auto vs auto-naive the swap reduction; benchjson
+// derives both ratios into BENCH_reorder.json. A GC and a peak reset
+// after the build discard the build phase's garbage, so peak-live-nodes
+// isolates the reachability phase that reordering can influence.
 func BenchmarkReorder(b *testing.B) {
-	for _, design := range []string{"scheduler", "mdlc2", "gigamax"} {
+	type reorderCfg struct {
+		label string
+		opts  core.Options
+	}
+	for _, design := range []string{"scheduler-8", "mdlc2", "philos-16"} {
 		design := design
-		for _, cfg := range []struct {
-			label string
-			opts  core.Options
-		}{
-			{"off", core.Options{AppendedOrder: true, Reorder: "off"}},
-			{"auto", core.Options{AppendedOrder: true, Reorder: "auto"}},
-		} {
+		scramble := design != "philos-16"
+		cfgs := []reorderCfg{
+			{"auto", core.Options{AppendedOrder: scramble, Reorder: "auto"}},
+			{"auto-naive", core.Options{AppendedOrder: scramble, Reorder: "auto", ReorderAccel: "none"}},
+		}
+		if scramble {
+			cfgs = append([]reorderCfg{{"off", core.Options{AppendedOrder: true, Reorder: "off"}}}, cfgs...)
+		} else {
+			// philos-16 runs from the default interleaved order: from the
+			// appended order reachability exceeds 30 minutes and 5 GB on
+			// the reference container with sifting off OR on — the order
+			// is unrecoverable once the intermediate sets blow up. The
+			// default-order rows instead measure the sift tax in a
+			// realistic run, where growth triggers still fire during
+			// reachability (the parameterized-suite scenario that
+			// motivated the accelerations).
+		}
+		if design == "mdlc2" {
+			// Single-acceleration ablations on the one design where
+			// reordering dominates (EXPERIMENTS.md ablation H): each row
+			// disables exactly one acceleration.
+			cfgs = append(cfgs,
+				reorderCfg{"auto-nointer", core.Options{AppendedOrder: true, Reorder: "auto", ReorderAccel: "lowerbound,symmetry"}},
+				reorderCfg{"auto-nolb", core.Options{AppendedOrder: true, Reorder: "auto", ReorderAccel: "interaction,symmetry"}},
+				reorderCfg{"auto-nosym", core.Options{AppendedOrder: true, Reorder: "auto", ReorderAccel: "interaction,lowerbound"}},
+			)
+		}
+		for _, cfg := range cfgs {
 			cfg := cfg
 			b.Run(design+"/"+cfg.label, func(b *testing.B) {
-				var peak, reorders int
+				var st bdd.Statistics
+				var peak int
 				for i := 0; i < b.N; i++ {
 					w := load(b, design, cfg.opts)
 					m := w.Net.Manager()
@@ -623,10 +654,16 @@ func BenchmarkReorder(b *testing.B) {
 						b.Fatal("diverged")
 					}
 					peak = m.PeakLive()
-					reorders = m.Stats().Reorders
+					st = m.Stats()
 				}
 				b.ReportMetric(float64(peak), "peak-live-nodes")
-				b.ReportMetric(float64(reorders), "reorders")
+				b.ReportMetric(float64(st.Reorders), "reorders")
+				b.ReportMetric(float64(st.ReorderTime.Milliseconds()), "sift-ms")
+				b.ReportMetric(float64(st.ReorderSwaps), "swaps")
+				b.ReportMetric(float64(st.ReorderInterSkips), "interaction-skips")
+				b.ReportMetric(float64(st.ReorderLBAborts), "lb-aborts")
+				b.ReportMetric(float64(st.ReorderSymPairs), "sym-pairs")
+				b.ReportMetric(float64(st.ReorderNodesAfter), "final-live-nodes")
 			})
 		}
 	}

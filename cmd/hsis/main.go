@@ -33,7 +33,11 @@
 // permutation; auto picks it whenever a design has enough replication
 // and the monolithic relation was not built); -reorder off|manual|auto selects
 // the dynamic-reordering policy
-// for designs loaded afterwards; -order <file> seeds the variable order
+// for designs loaded afterwards; -reorder-accel all|none|<list> toggles
+// the sifting accelerations (interaction-matrix fast swaps, lower-bound
+// aborts, symmetric-pair gluing), -reorder-max-growth and
+// -reorder-trigger tune the sift growth bound and the auto trigger
+// factor; -order <file> seeds the variable order
 // from a saved .order file (written by write_order); -workers <n>
 // selects the BDD kernel's worker count (default GOMAXPROCS; 1 = the
 // sequential kernel) — with two or more workers large conjunctions fork
@@ -83,6 +87,12 @@ func main() {
 		"print BDD operation statistics after every checking command")
 	reorderFlag := flag.String("reorder", "off",
 		"dynamic variable reordering policy: off, manual or auto")
+	reorderAccelFlag := flag.String("reorder-accel", "all",
+		"sifting accelerations: all, none, or a comma list of interaction, lowerbound, symmetry")
+	reorderMaxGrowthFlag := flag.Float64("reorder-max-growth", 0,
+		"abort a sift direction when nodes exceed this factor of the best size (0 = default 1.2)")
+	reorderTriggerFlag := flag.Float64("reorder-trigger", 0,
+		"auto-sift when live nodes exceed this factor of the size at the last arming (0 = default 2)")
 	imageFlag := flag.String("image", "auto",
 		"image-computation engine: auto, monolithic, partitioned, clustered or iso")
 	orderFlag := flag.String("order", "",
@@ -102,7 +112,10 @@ func main() {
 		out:   bufio.NewWriter(os.Stdout),
 		stats: *statsFlag,
 		opts: core.Options{Reorder: *reorderFlag, OrderFile: *orderFlag,
-			Image: *imageFlag, Workers: workers},
+			ReorderAccel:     *reorderAccelFlag,
+			ReorderMaxGrowth: *reorderMaxGrowthFlag,
+			ReorderTrigger:   *reorderTriggerFlag,
+			Image:            *imageFlag, Workers: workers},
 	}
 	defer sh.out.Flush()
 	if *traceFlag != "" {
@@ -470,8 +483,9 @@ func (sh *shell) exec(line string) error {
 			return err
 		}
 		res := sh.w.SiftNow()
-		fmt.Fprintf(sh.out, "sifted: %d -> %d live nodes (%d swaps, %d passes)\n",
-			res.Before, res.After, res.Swaps, res.Passes)
+		fmt.Fprintf(sh.out, "sifted: %d -> %d live nodes (%d swaps, %d passes; %d fast-swaps, %d lb-aborts, %d sym-pairs)\n",
+			res.Before, res.After, res.Swaps, res.Passes,
+			res.InteractionSkips, res.LowerBoundAborts, res.SymmetricPairs)
 		return nil
 	case "write_order":
 		if err := sh.need(); err != nil {

@@ -89,6 +89,12 @@ func main() {
 	noFast := flag.Bool("no-invariant-fastpath", false, "disable the AG(prop) fast path (Ablation B)")
 	coi := flag.Bool("coi", false, "cone-of-influence abstraction per property (Ablation G)")
 	reorderPolicy := flag.String("reorder", "off", "dynamic variable reordering policy: off, manual or auto")
+	reorderAccel := flag.String("reorder-accel", "all",
+		"sifting accelerations: all, none, or a comma list of interaction, lowerbound, symmetry")
+	reorderMaxGrowth := flag.Float64("reorder-max-growth", 0,
+		"abort a sift direction when nodes exceed this factor of the best size (0 = default 1.2)")
+	reorderTrigger := flag.Float64("reorder-trigger", 0,
+		"auto-sift when live nodes exceed this factor of the size at the last arming (0 = default 2)")
 	imageFlag := flag.String("image", "auto",
 		"image-computation engine: auto, monolithic, partitioned, clustered or iso")
 	workersFlag := flag.Int("workers", 0,
@@ -132,6 +138,9 @@ func main() {
 		DisableInvariantFastPath: *noFast,
 		ConeOfInfluence:          *coi,
 		Reorder:                  *reorderPolicy,
+		ReorderAccel:             *reorderAccel,
+		ReorderMaxGrowth:         *reorderMaxGrowth,
+		ReorderTrigger:           *reorderTrigger,
 		Image:                    *imageFlag,
 		Workers:                  *workersFlag,
 	}

@@ -94,8 +94,17 @@ const terminalLevel = int32(1 << 30)
 
 // node is one stored BDD node. The low edge is always regular (the
 // canonical-form invariant); the high edge may carry a complement mark.
+//
+// The node stores its *variable ID*, not its level: the level is read
+// through var2level (see levelOf). IDs are stable across reordering
+// while levels are not, so exchanging two adjacent levels whose
+// variables do not interact is a pure order-map update that touches no
+// node — the O(1) swap fast path dynamic reordering is built on. The
+// variable/level bijection makes the triple (varID, low, high) exactly
+// as canonical as (level, low, high), so the unique table keys on the
+// stored triple directly.
 type node struct {
-	level int32 // level in the variable order (not the variable ID)
+	varID int32 // variable ID (terminalLevel for the terminal node)
 	low   Ref   // else-branch (variable = 0), never complemented
 	high  Ref   // then-branch (variable = 1)
 }
@@ -240,6 +249,9 @@ type Manager struct {
 
 	statReorders     int
 	statReorderSwaps uint64
+	statInterSkips   uint64 // swaps taken as non-interacting relabels
+	statLBAborts     uint64 // sift directions cut by the lower bound
+	statSymPairs     int    // symmetric pairs glued into blocks
 	statReorderTime  time.Duration
 	reorderBefore    int // manager size entering the last reorder
 	reorderAfter     int // manager size leaving the last reorder
@@ -319,7 +331,7 @@ func New() *Manager {
 	m.chunks[0].Store(new(chunk))
 	m.nodeCap.Store(1)
 	t := m.node(0)
-	t.level = terminalLevel
+	t.varID = terminalLevel
 	*m.rcPtr(0) = 1 // permanently referenced
 	return m
 }
@@ -442,10 +454,10 @@ func (m *Manager) VarOf(f Ref) int {
 	m.rlock()
 	defer m.runlock()
 	n := m.node(f)
-	if n.level == terminalLevel {
+	if n.varID == terminalLevel {
 		panic("bdd: VarOf on terminal")
 	}
-	return int(m.level2var[n.level])
+	return int(n.varID)
 }
 
 // IsTerminal reports whether f is one of the two constants.
@@ -462,11 +474,20 @@ func (m *Manager) High(f Ref) Ref { return m.node(f).high ^ (f & compBit) }
 func (m *Manager) top(f Ref) (level int32, low, high Ref) {
 	n := m.node(f)
 	c := f & compBit
-	return n.level, n.low ^ c, n.high ^ c
+	return m.nodeLevel(n), n.low ^ c, n.high ^ c
+}
+
+// nodeLevel maps a stored node to its current level. The terminal's
+// varID is the terminalLevel sentinel, above every var2level index.
+func (m *Manager) nodeLevel(n *node) int32 {
+	if n.varID == terminalLevel {
+		return terminalLevel
+	}
+	return m.var2level[n.varID]
 }
 
 // levelOf returns the root level of f (terminalLevel for constants).
-func (m *Manager) levelOf(f Ref) int32 { return m.node(f).level }
+func (m *Manager) levelOf(f Ref) int32 { return m.nodeLevel(m.node(f)) }
 
 // mk returns the canonical ref for the triple (level, low, high),
 // applying the reduction rules: equal children collapse, structurally
@@ -484,15 +505,18 @@ func (m *Manager) mk(c *kctx, level int32, low, high Ref) Ref {
 	return m.mkNode(c, level, low, high)
 }
 
-// mkNode finds or allocates the stored node (level, low, high); low must
-// already be regular. In parallel mode the probe and insert run under
+// mkNode finds or allocates the stored node for the variable at the
+// given level; low must already be regular. The table keys on the
+// variable ID (what nodes store), so the level is translated exactly
+// once per probe. In parallel mode the probe and insert run under
 // the shard lock selected by the top hash bits; node fields are written
 // before the slot index is published, so the shard mutex (for same-shard
 // lookups) or any later synchronized hand-off of the Ref (cache
 // publication, future completion) orders the field writes before every
 // reader.
 func (m *Manager) mkNode(c *kctx, level int32, low, high Ref) Ref {
-	h := hash3(uint64(level), uint64(low), uint64(high))
+	vid := m.level2var[level]
+	h := hash3(uint64(vid), uint64(low), uint64(high))
 	sh := &m.shards[h>>(64-shardBits)]
 	if c.par {
 		if !sh.mu.TryLock() {
@@ -509,7 +533,7 @@ func (m *Manager) mkNode(c *kctx, level int32, low, high Ref) Ref {
 			break
 		}
 		n := m.node(Ref(idx - 1))
-		if n.level == level && n.low == low && n.high == high {
+		if n.varID == vid && n.low == low && n.high == high {
 			if c.par {
 				sh.mu.Unlock()
 			}
@@ -521,7 +545,7 @@ func (m *Manager) mkNode(c *kctx, level int32, low, high Ref) Ref {
 	// this key, so insert there directly instead of rehashing.
 	r := m.allocSlot(c)
 	n := m.node(r)
-	n.level, n.low, n.high = level, low, high
+	n.varID, n.low, n.high = vid, low, high
 	sh.slots[hh] = int32(r) + 1
 	sh.count++
 	if 10*sh.count > 7*len(sh.slots) {
@@ -630,7 +654,7 @@ func (m *Manager) afterAlloc(c *kctx) {
 // reorder Close).
 func (m *Manager) tableInsert(r Ref) {
 	n := m.node(r)
-	h := hash3(uint64(n.level), uint64(n.low), uint64(n.high))
+	h := hash3(uint64(n.varID), uint64(n.low), uint64(n.high))
 	sh := &m.shards[h>>(64-shardBits)]
 	hh := h & sh.mask
 	for sh.slots[hh] != 0 {
@@ -656,7 +680,7 @@ func (sh *tableShard) grow(m *Manager) {
 			continue
 		}
 		nd := m.node(Ref(idx - 1))
-		h := hash3(uint64(nd.level), uint64(nd.low), uint64(nd.high)) & sh.mask
+		h := hash3(uint64(nd.varID), uint64(nd.low), uint64(nd.high)) & sh.mask
 		for sh.slots[h] != 0 {
 			h = (h + 1) & sh.mask
 		}

@@ -51,7 +51,7 @@ func (m *Manager) WriteDot(w io.Writer, names []string, roots map[string]Ref) er
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	for _, f := range ordered {
 		n := *m.node(f)
-		v := int(m.level2var[n.level])
+		v := int(n.varID)
 		name := fmt.Sprintf("v%d", v)
 		if v < len(names) && names[v] != "" {
 			name = names[v]

@@ -95,7 +95,7 @@ func runFuzzProgram(m *Manager, prog []byte) []fuzzEntry {
 		return e
 	}
 	for pc := 0; pc < len(prog); pc++ {
-		op := prog[pc] % 13
+		op := prog[pc] % 14
 		arg := 0
 		if pc+1 < len(prog) {
 			arg = int(prog[pc+1]) % fuzzVars
@@ -164,10 +164,24 @@ func runFuzzProgram(m *Manager, prog []byte) []fuzzEntry {
 			for k := 0; k < 4; k++ {
 				s.Swap((arg + k) % (fuzzVars - 1))
 			}
+			// Probe a pair for symmetry (the verdict is irrelevant; the
+			// probe must not disturb anything) and take one O(span) jump
+			// across the first non-interacting adjacent pair, if any.
+			s.ProbeSymmetry(arg % (fuzzVars - 1))
+			for l := 0; l+1 < fuzzVars; l++ {
+				if !s.Interacts(m.VarAtLevel(l), m.VarAtLevel(l+1)) {
+					s.MoveBlock(l, 1, 1)
+					break
+				}
+			}
 			s.Close()
 			for _, e := range stack {
 				m.DecRef(e.f)
 			}
+			pc++
+		case op == 13: // register the adjacent pair at a level as a group
+			l := arg % (fuzzVars - 1)
+			m.GroupVars([]int{m.VarAtLevel(l), m.VarAtLevel(l + 1)})
 			pc++
 		}
 	}
@@ -201,6 +215,9 @@ func FuzzComplementKernel(f *testing.F) {
 	// Reordering interleaved with construction, quantification and GC.
 	f.Add([]byte{0, 3, 0, 5, 3, 12, 0, 0, 4, 3, 12, 4, 8, 2})
 	f.Add([]byte{0, 1, 0, 2, 12, 8, 3, 11, 0, 6, 12, 0, 7, 7, 12, 1})
+	// Symmetric-group registration interleaved with ops, swaps and GC.
+	f.Add([]byte{0, 2, 0, 3, 3, 13, 2, 12, 2, 0, 4, 5, 13, 5, 11, 12, 0})
+	f.Add([]byte{13, 0, 0, 0, 1, 5, 3, 12, 4, 13, 8, 11, 0, 6, 7, 12, 9})
 	f.Fuzz(func(t *testing.T, prog []byte) {
 		if len(prog) > 256 {
 			t.Skip("long programs add time, not coverage")
@@ -234,6 +251,8 @@ func TestFuzzCorpus(t *testing.T) {
 		{0, 3, 0, 5, 3, 12, 0, 0, 4, 3, 12, 4, 8, 2},
 		{0, 1, 0, 2, 12, 8, 3, 11, 0, 6, 12, 0, 7, 7, 12, 1},
 		{12, 0, 0, 0, 5, 12, 9, 3, 7, 12, 2, 11, 12, 5, 10},
+		{0, 2, 0, 3, 3, 13, 2, 12, 2, 0, 4, 5, 13, 5, 11, 12, 0},
+		{13, 0, 0, 0, 1, 5, 3, 12, 4, 13, 8, 11, 0, 6, 7, 12, 9},
 	}
 	for _, prog := range progs {
 		m := New()

@@ -62,7 +62,7 @@ func (m *Manager) WriteBDDs(w io.Writer, roots map[string]Ref) error {
 	}
 	for _, f := range order {
 		n := *m.node(f)
-		fmt.Fprintf(bw, "n %d %d %s %s\n", int(f), int(m.level2var[n.level]), enc(n.low), enc(n.high))
+		fmt.Fprintf(bw, "n %d %d %s %s\n", int(f), int(n.varID), enc(n.low), enc(n.high))
 	}
 	for _, name := range names {
 		if strings.ContainsAny(name, " \t\n") {

@@ -85,7 +85,7 @@ func (m *Manager) permuterRec(c *kctx, f Ref, p *Permuter) Ref {
 		return r ^ cm
 	}
 	n := *m.node(f)
-	v := int(m.level2var[n.level])
+	v := int(n.varID)
 	low := m.permuterRec(c, n.low, p)
 	high := m.permuterRec(c, n.high, p)
 	target := v

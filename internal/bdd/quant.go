@@ -106,7 +106,7 @@ func (m *Manager) existsRec(c *kctx, f, cube Ref, depth int32) Ref {
 	}
 	lf, f0, f1 := m.top(f)
 	// Skip cube variables above f's top variable.
-	for cube != True && m.node(cube).level < lf {
+	for cube != True && m.levelOf(cube) < lf {
 		cube = m.node(cube).high
 	}
 	if cube == True {
@@ -125,7 +125,7 @@ func (m *Manager) existsRec(c *kctx, f, cube Ref, depth int32) Ref {
 	}
 	nc := m.node(cube)
 	var r Ref
-	if lf == nc.level {
+	if lf == m.var2level[nc.varID] {
 		low := m.existsRec(c, f0, nc.high, depth+1)
 		if low == True {
 			r = True
@@ -171,7 +171,7 @@ func (m *Manager) andExistsRec(c *kctx, f, g, cube Ref, depth int32) Ref {
 	if lg < top {
 		top = lg
 	}
-	for cube != True && m.node(cube).level < top {
+	for cube != True && m.levelOf(cube) < top {
 		cube = m.node(cube).high
 	}
 	if cube == True {
@@ -196,7 +196,7 @@ func (m *Manager) andExistsRec(c *kctx, f, g, cube Ref, depth int32) Ref {
 	}
 	nc := m.node(cube)
 	var r Ref
-	if nc.level == top {
+	if m.var2level[nc.varID] == top {
 		low := m.andExistsRec(c, f0, g0, nc.high, depth+1)
 		if low == True {
 			r = True

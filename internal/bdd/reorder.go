@@ -14,7 +14,7 @@ package bdd
 // one at l+1, a node f = (u, F0, F1) whose cofactors depend on v is
 // rewritten in place as f = (v, G0, G1) with G0 = (u, F00, F10) and
 // G1 = (u, F01, F11): the stored slot keeps its index (so parents and
-// external Refs are untouched) while the node it holds changes level.
+// external Refs are untouched) while the node it holds changes label.
 // Complement edges add two wrinkles. First, cofactoring F1 through a
 // complemented high edge pushes the mark onto F1's children (F10, F11
 // pick up the mark). Second, the canonical low-edge-never-complemented
@@ -24,10 +24,42 @@ package bdd
 // may carry the mark — swapMk re-roots exactly like mk does, returning
 // the complement of the flipped twin.
 //
-// During a session the unique table is stale (Close rebuilds it), so no
-// mk/mkNode may run; the session keeps its own exact (level, low, high)
-// index instead. Per-level node populations are maintained incrementally
-// in bucket lists, which doubles as the level-size signal sifting uses.
+// Nodes store variable IDs, not levels (see the node type), which is
+// what makes swaps cheap. A u-node with no v-child keeps its triple
+// verbatim and "moves" purely through the final order-map update; a
+// v-node is never visited at all — it either survives untouched or is
+// released when a rewrite severs its last reference. Only the nodes
+// that genuinely couple the two variables are rewritten. When the two
+// variables do not interact anywhere there is nothing to rewrite and
+// the swap degenerates to exchanging two order-map entries: O(1),
+// independent of the populations. MoveBlock extends that to whole
+// non-interacting spans in a single order-map rotation.
+//
+// During a session the sharded unique table is stale (Close rebuilds
+// it), so no mk/mkNode may run; the session keeps its own exact index
+// instead — a map keyed on the stored triple (varID, low, high), which
+// relabel-free moves never touch. A rewritten node's new (v, G0, G1)
+// key cannot collide with a stale (v, b0, b1) one: a rewritten node
+// keeps its dependence on u, so at least one of G0, G1 is an inner
+// u-node — a slot the stale keys, whose children all lie strictly below
+// the pair, cannot mention at that position. Per-variable node
+// populations are maintained incrementally in bucket lists, which
+// doubles as the level-size signal sifting uses (a variable occupies
+// exactly one level).
+//
+// StartReorder also computes the variable interaction matrix: bit v of
+// row u is set when u and v co-occur in the support of some live
+// function (protected or garbage — the walk starts from every parentless
+// node, so a session opened without a prior GC is still covered). Two
+// facts make it load-bearing. A node's own variable and its children's
+// variables all lie in the support of any function reaching it, so
+// "u and v do not interact" implies no u-node has a v-child or vice
+// versa; and swaps preserve every function (garbage included — rewrites
+// are function-preserving, releases only drop whole functions), so the
+// matrix stays valid for the life of the session. When the two levels
+// being swapped do not interact, swapLevels degenerates to relabeling
+// the two buckets: no snapshot, no map traffic, no cofactoring, no
+// allocation or release — the driver counts these as interaction skips.
 // Operation caches are function-keyed, so surviving entries stay
 // semantically correct across swaps; the only invalid entries are those
 // naming a slot freed during the session (possibly since reused), which
@@ -83,25 +115,51 @@ type ReorderSession struct {
 	// is how unprotected garbage melts away as its levels are swapped).
 	ref []int32
 
-	// bucket[l] lists exactly the slots stored at level l; pos[i] is
-	// slot i's index within its bucket (swap-remove bookkeeping).
+	// bucket[v] lists exactly the slots labeled with variable v; pos[i]
+	// is slot i's index within its bucket (swap-remove bookkeeping).
 	bucket [][]Ref
 	pos    []int32
 
 	// uniq replaces the (stale) open-addressing unique table for the
-	// duration of the session.
+	// duration of the session, keyed on the stored triple directly:
+	// nodes carry variable IDs, which are stable across swaps, so moves
+	// that rewrite nothing never touch the map.
 	uniq map[node]Ref
 
 	free    []uint64 // slots currently on the free list
 	tainted []uint64 // slots freed at any point during the session (sticky across reuse)
 
 	relStack []Ref
-	sa, sb   []Ref // per-swap bucket snapshots, reused across swaps
-	inter    []Ref
+	sa       []Ref   // per-swap upper-bucket snapshot, reused across swaps
+	inter    []Ref   // per-swap deferred-release candidates, reused
+	rot      []int32 // MoveBlock rotation scratch
 
-	swaps  int
-	before int
-	start  time.Time
+	// imat is the variable interaction matrix (numVars rows of imatW
+	// words): bit v of row u set iff u,v co-occur in a live support.
+	// useInter gates the fast-path swap (ablation switch).
+	imat     []uint64
+	imatW    int
+	useInter bool
+
+	// symNeg caches failed symmetry probes, one bit per ordered variable
+	// pair (imat's shape, allocated on first probe). Positive symmetry is
+	// a property of the represented functions, which swaps preserve, so a
+	// failed probe stays failed for the session — except that garbage
+	// melting away can turn a blocked pair symmetric, which the cache
+	// (conservatively) ignores. arcCnt/arcStamp are the probe's
+	// lower-variable arc counters, epoch-stamped so probes reuse them
+	// without clearing.
+	symNeg   []uint64
+	arcCnt   []int32
+	arcStamp []int32
+	arcEpoch int32
+
+	swaps      int
+	interSkips int // crossings taken as pure order-map relabels (fast-path swaps and MoveBlock spans)
+	lbAborts   int // sift directions cut short by the lower bound (driver-counted)
+	symPairs   int // symmetric pairs glued into blocks (driver-counted)
+	before     int
+	start      time.Time
 }
 
 // StartReorder opens a reordering session. It panics if one is already
@@ -136,7 +194,10 @@ func (m *Manager) StartReorder() *ReorderSession {
 		free:    make([]uint64, (alloc+63)/64),
 		tainted: make([]uint64, (alloc+63)/64),
 		bucket:  make([][]Ref, m.numVars),
-		uniq:    make(map[node]Ref, alloc),
+		// Size the map by the live count, not the arena: after the GC a
+		// sifting driver runs first, live is typically a small fraction
+		// of alloc, and map presizing is O(capacity).
+		uniq: make(map[node]Ref, m.Size()+m.Size()/4),
 	}
 	for _, f := range m.free {
 		s.free[f>>6] |= 1 << (uint(f) & 63)
@@ -151,12 +212,103 @@ func (m *Manager) StartReorder() *ReorderSession {
 		s.ref[n.low]++
 		s.ref[regular(n.high)]++
 		s.uniq[n] = r
-		s.addToBucket(r, int(n.level))
+		s.addToBucket(r, int(n.varID))
 	}
+	s.buildInteractions(alloc)
+	s.useInter = true
 	m.session = s
 	m.inSession.Store(true)
 	return s
 }
+
+// buildInteractions computes the interaction matrix. Every allocated
+// node is reachable from some parentless top (the parent relation is a
+// finite DAG), so walking the support of each node whose session ref
+// count equals its external count — no allocated parent — covers
+// protected roots and garbage alike.
+func (s *ReorderSession) buildInteractions(alloc int) {
+	m := s.m
+	nv := m.numVars
+	s.imatW = (nv + 63) / 64
+	s.imat = make([]uint64, nv*s.imatW)
+	visited := make([]int32, alloc) // epoch stamps: one DFS per top, no clearing
+	varSeen := make([]int32, nv)
+	mask := make([]uint64, s.imatW)
+	var stack []Ref
+	var support []int32
+	epoch := int32(0)
+	for i := 1; i < alloc; i++ {
+		r := Ref(i)
+		if s.isFree(r) || s.ref[i] != *m.rcPtr(r) {
+			continue
+		}
+		epoch++
+		support = support[:0]
+		visited[r] = epoch
+		stack = append(stack[:0], r)
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n := *m.node(f)
+			if v := n.varID; varSeen[v] != epoch {
+				varSeen[v] = epoch
+				support = append(support, v)
+			}
+			for _, ch := range [2]Ref{n.low, regular(n.high)} {
+				if ch != 0 && visited[ch] != epoch {
+					visited[ch] = epoch
+					stack = append(stack, ch)
+				}
+			}
+		}
+		if len(support) < 2 {
+			continue
+		}
+		for j := range mask {
+			mask[j] = 0
+		}
+		for _, v := range support {
+			mask[v>>6] |= 1 << (uint(v) & 63)
+		}
+		for _, v := range support {
+			row := s.imat[int(v)*s.imatW : (int(v)+1)*s.imatW]
+			for j, w := range mask {
+				row[j] |= w
+			}
+		}
+	}
+}
+
+func (s *ReorderSession) interacts(u, v int) bool {
+	return s.imat[u*s.imatW+(v>>6)]&(1<<(uint(v)&63)) != 0
+}
+
+// Interacts reports whether variables u and v co-occur in the support
+// of any live function (the interaction matrix frozen at StartReorder).
+func (s *ReorderSession) Interacts(u, v int) bool { return s.interacts(u, v) }
+
+// SetInteractionFastPath toggles the non-interacting relabel fast path
+// in Swap; it exists so ablation runs can measure the full-cost swap.
+func (s *ReorderSession) SetInteractionFastPath(on bool) { s.useInter = on }
+
+// InteractionSkips returns the number of swaps taken as pure relabels.
+func (s *ReorderSession) InteractionSkips() int { return s.interSkips }
+
+// NoteLowerBoundAbort records a sift direction cut short by the
+// lower-bound estimate; LowerBoundAborts reads the tally. The search
+// strategy lives in internal/reorder, the counter here so Close can
+// fold it into the manager statistics with the rest.
+func (s *ReorderSession) NoteLowerBoundAbort() { s.lbAborts++ }
+
+// LowerBoundAborts returns the recorded lower-bound aborts.
+func (s *ReorderSession) LowerBoundAborts() int { return s.lbAborts }
+
+// NoteSymmetricPair records a variable pair glued into a symmetry
+// block; SymmetricPairs reads the tally.
+func (s *ReorderSession) NoteSymmetricPair() { s.symPairs++ }
+
+// SymmetricPairs returns the recorded symmetric-pair detections.
+func (s *ReorderSession) SymmetricPairs() int { return s.symPairs }
 
 // Swap exchanges the variables at level and level+1, rewriting the
 // affected nodes in place.
@@ -166,26 +318,36 @@ func (s *ReorderSession) Swap(level int) { s.m.swapLevels(s, level) }
 func (s *ReorderSession) Swaps() int { return s.swaps }
 
 // LevelSize returns the number of nodes currently stored at the given
-// level (the per-level population sifting minimizes).
-func (s *ReorderSession) LevelSize(level int) int { return len(s.bucket[level]) }
+// level (the per-level population sifting minimizes). A variable
+// occupies exactly one level, so this is its bucket's length.
+func (s *ReorderSession) LevelSize(level int) int {
+	return len(s.bucket[s.m.level2var[level]])
+}
 
 // Manager returns the manager this session reorders.
 func (s *ReorderSession) Manager() *Manager { return s.m }
 
-// swapLevels is the kernel swap primitive. Phases:
+// swapLevels is the kernel swap primitive. When the two variables do
+// not interact the swap is the O(1) fast path: exchanging the two
+// order-map entries moves both whole populations at once, because nodes
+// store variable IDs and read their level through var2level — no node
+// is touched, no bucket scanned. Otherwise the Rudell exchange runs,
+// reduced by ID-labeling to a single pass over the upper variable's
+// bucket:
 //
-//  0. unindex every old level-(l+1) node — their keys are about to be
-//     reused by rewritten nodes and must not satisfy lookups;
-//  1. relabel level-l nodes independent of the level-(l+1) variable
-//     (both children below l+1): only their level field changes;
-//  2. rewrite each interacting level-l node in place onto the
-//     level-(l+1) variable, building its new cofactors with swapMk
-//     (which shares or allocates inner level-(l+1) nodes). Edge
-//     accounting is numeric only; no slot is freed yet, because later
-//     rewrites in the same phase still read the old children;
-//  3. relabel the old level-(l+1) nodes that retained a reason to live
-//     down to level l, and release the rest (cascading to children
-//     whose last edge this severs).
+//  1. a u-node with no v-child keeps its triple verbatim — its level
+//     changes implicitly with the final order-map update;
+//  2. a u-node with a v-child is rewritten in place onto variable v,
+//     its new cofactors built with swapMk (which shares or allocates
+//     inner u-nodes). Old-child reference drops are recorded but not
+//     settled — later rewrites in the same pass still read the old
+//     children, so no slot may be freed or reused yet;
+//  3. the recorded drops are settled: nodes left with no external
+//     reference and no parent are released (cascading).
+//
+// v-nodes are never visited: a live one keeps its triple and moves up
+// implicitly with the maps, a dead one is exactly a recorded drop
+// settled in step 3.
 func (m *Manager) swapLevels(s *ReorderSession, level int) {
 	if m.session != s {
 		panic("bdd: Swap on an inactive reorder session")
@@ -195,106 +357,144 @@ func (m *Manager) swapLevels(s *ReorderSession, level int) {
 	}
 	l := int32(level)
 	lv1 := l + 1
-	s.sa = append(s.sa[:0], s.bucket[l]...)
-	s.sb = append(s.sb[:0], s.bucket[lv1]...)
+	u, v := m.level2var[l], m.level2var[lv1]
 
-	// Phase 0.
-	for _, g := range s.sb {
-		n := *m.node(g)
-		if s.uniq[n] == g {
-			delete(s.uniq, n)
-		}
+	if s.useInter && !s.interacts(int(u), int(v)) {
+		m.level2var[l], m.level2var[lv1] = v, u
+		m.var2level[u], m.var2level[v] = lv1, l
+		s.swaps++
+		s.interSkips++
+		return
 	}
 
-	// Phase 1.
-	s.inter = s.inter[:0]
+	s.sa = append(s.sa[:0], s.bucket[u]...)
+	dead := s.inter[:0]
 	for _, f := range s.sa {
 		np := m.node(f)
 		n := *np
-		if m.levelOf(n.low) == lv1 || m.levelOf(regular(n.high)) == lv1 {
-			s.inter = append(s.inter, f)
-			continue
-		}
-		delete(s.uniq, n)
-		s.removeFromBucket(f, int(l))
-		n.level = lv1
-		*np = n
-		s.uniq[n] = f
-		s.addToBucket(f, int(lv1))
-	}
-
-	// Phase 2.
-	for _, f := range s.inter {
-		np := m.node(f)
-		n := *np
 		f0, f1 := n.low, n.high
+		r1, c := regular(f1), f1&compBit
+		d0 := m.node(f0).varID == v
+		d1 := m.node(r1).varID == v
+		if !d0 && !d1 {
+			continue // no v-child: triple unchanged, moves with the maps
+		}
 		var f00, f01 Ref
-		if m.levelOf(f0) == lv1 {
+		if d0 {
 			b := *m.node(f0)
 			f00, f01 = b.low, b.high
 		} else {
 			f00, f01 = f0, f0
 		}
-		r1, c := regular(f1), f1&compBit
 		var f10, f11 Ref
-		if m.levelOf(r1) == lv1 {
+		if d1 {
 			b := *m.node(r1)
 			f10, f11 = b.low^c, b.high^c
 		} else {
 			f10, f11 = f1, f1
 		}
-		g0 := s.swapMk(lv1, f00, f10)
-		g1 := s.swapMk(lv1, f01, f11)
+		g0 := s.swapMk(u, f00, f10)
+		g1 := s.swapMk(u, f01, f11)
 		s.ref[regular(g0)]++
 		s.ref[regular(g1)]++
-		s.ref[f0]--
-		s.ref[r1]--
 		if s.uniq[n] == f {
 			delete(s.uniq, n)
 		}
-		n = node{level: l, low: g0, high: g1}
-		*m.node(f) = n
-		s.uniq[n] = f
+		*np = node{varID: v, low: g0, high: g1}
+		s.uniq[*np] = f
+		s.removeFromBucket(f, int(u))
+		s.addToBucket(f, int(v))
+		if s.ref[f0]--; s.ref[f0] == 0 && f0 != 0 {
+			dead = append(dead, f0)
+		}
+		if s.ref[r1]--; s.ref[r1] == 0 && r1 != 0 {
+			dead = append(dead, r1)
+		}
 	}
-
-	// Phase 3.
-	for _, g := range s.sb {
-		if s.ref[g] > 0 {
-			s.removeFromBucket(g, int(lv1))
-			np := m.node(g)
-			n := *np
-			n.level = l
-			*np = n
-			s.uniq[n] = g
-			s.addToBucket(g, int(l))
-		} else {
+	// Settle the drops. A candidate may have been re-referenced by a
+	// later rewrite (as a shared cofactor) or already released through
+	// an earlier candidate's cascade — both are skipped.
+	for _, g := range dead {
+		if s.ref[g] == 0 && !s.isFree(g) {
 			s.release(g)
 		}
 	}
-
-	u, v := m.level2var[l], m.level2var[lv1]
+	s.inter = dead[:0]
 	m.level2var[l], m.level2var[lv1] = v, u
 	m.var2level[u], m.var2level[v] = lv1, l
 	s.swaps++
+}
+
+// MoveBlock moves the block of width adjacent levels starting at level
+// across span further levels — downward past the next span levels for
+// span > 0, upward for span < 0 — in one order-map rotation, provided
+// no crossed variable interacts with any block variable (it panics
+// otherwise; callers gate on Interacts). Because nodes store variable
+// IDs, nothing but the two order maps is touched, and every function is
+// preserved exactly as if the width×|span| adjacent swaps had run; the
+// session counts those avoided swaps as interaction skips. This is what
+// lets the sifting driver cross a whole span of unrelated variables in
+// O(span) instead of O(span × population).
+func (s *ReorderSession) MoveBlock(level, width, span int) {
+	m := s.m
+	if m.session != s {
+		panic("bdd: MoveBlock on an inactive reorder session")
+	}
+	if span == 0 || width == 0 {
+		return
+	}
+	lo, hi := level, level+width+span // rotation window [lo, hi)
+	if span < 0 {
+		lo, hi = level+span, level+width
+	}
+	if lo < 0 || hi > m.numVars {
+		panic(fmt.Sprintf("bdd: MoveBlock(%d,%d,%d) out of range [0,%d)", level, width, span, m.numVars))
+	}
+	for bl := level; bl < level+width; bl++ {
+		b := int(m.level2var[bl])
+		for k := lo; k < hi; k++ {
+			if k >= level && k < level+width {
+				continue
+			}
+			if s.interacts(b, int(m.level2var[k])) {
+				panic("bdd: MoveBlock across an interacting variable")
+			}
+		}
+	}
+	s.rot = append(s.rot[:0], m.level2var[level:level+width]...)
+	if span > 0 {
+		copy(m.level2var[level:], m.level2var[level+width:level+width+span])
+		copy(m.level2var[level+span:level+span+width], s.rot)
+	} else {
+		copy(m.level2var[level+span+width:level+width], m.level2var[level+span:level])
+		copy(m.level2var[level+span:level+span+width], s.rot)
+	}
+	for k := lo; k < hi; k++ {
+		m.var2level[m.level2var[k]] = int32(k)
+	}
+	if span < 0 {
+		span = -span
+	}
+	s.interSkips += width * span
 }
 
 // swapMk is the session's mk: reduction, canonical-low re-rooting, and
 // find-or-allocate against the session index. low is a cofactor of a
 // stored node, so it is regular unless it inherited a pushed-down
 // complement mark from a complemented high edge.
-func (s *ReorderSession) swapMk(level int32, low, high Ref) Ref {
+func (s *ReorderSession) swapMk(varID int32, low, high Ref) Ref {
 	if low == high {
 		return low
 	}
 	if isComp(low) {
-		return neg(s.swapMkNode(level, neg(low), neg(high)))
+		return neg(s.swapMkNode(varID, neg(low), neg(high)))
 	}
-	return s.swapMkNode(level, low, high)
+	return s.swapMkNode(varID, low, high)
 }
 
-func (s *ReorderSession) swapMkNode(level int32, low, high Ref) Ref {
+func (s *ReorderSession) swapMkNode(varID int32, low, high Ref) Ref {
 	m := s.m
-	key := node{level: level, low: low, high: high}
+	key := node{varID: varID, low: low, high: high}
 	if r, ok := s.uniq[key]; ok {
 		return r
 	}
@@ -323,9 +523,101 @@ func (s *ReorderSession) swapMkNode(level int32, low, high Ref) Ref {
 	s.ref[low]++
 	s.ref[regular(high)]++
 	s.uniq[key] = r
-	s.addToBucket(r, int(level))
+	s.addToBucket(r, int(varID))
 	maxStore(&m.peakLive, int64(m.Size()))
 	return r
+}
+
+// ProbeSymmetry reports whether the variable at level and the one at
+// level+1 are positively symmetric in every live function: exchanging
+// the two leaves every function unchanged. The check is the classic
+// structural one on the two populations. Writing u for the upper and v
+// for the lower variable, every real u-node f must satisfy f01 == f10
+// (its "u=0,v=1" and "u=1,v=0" cofactors agree), and every v-node must
+// be referenced only from the u level — an external reference or a
+// parent above u means some function sees v without passing through u
+// and cannot be u,v-symmetric. The projection node of each variable is
+// infrastructure, not a function — NewVar pins one per variable forever
+// — so u's is skipped in the scan and v's expected reference count is
+// discounted by its permanent pin. A false positive is impossible for
+// protected functions; gluing is only a heuristic hint anyway, since
+// block moves preserve all functions regardless.
+func (s *ReorderSession) ProbeSymmetry(level int) bool {
+	m := s.m
+	if level < 0 || level+1 >= m.numVars {
+		return false
+	}
+	u, v := m.level2var[level], m.level2var[level+1]
+	if s.symNeg == nil {
+		s.symNeg = make([]uint64, m.numVars*s.imatW)
+	}
+	if s.symNeg[int(u)*s.imatW+int(v)>>6]&(1<<(uint(v)&63)) != 0 {
+		return false
+	}
+	if s.probePair(u, v) {
+		return true
+	}
+	s.symNeg[int(u)*s.imatW+int(v)>>6] |= 1 << (uint(v) & 63)
+	s.symNeg[int(v)*s.imatW+int(u)>>6] |= 1 << (uint(u) & 63)
+	return false
+}
+
+// probePair runs the structural check with u adjacent above v.
+func (s *ReorderSession) probePair(u, v int32) bool {
+	m := s.m
+	if len(s.arcStamp) < len(s.ref) {
+		s.arcCnt = make([]int32, len(s.ref))
+		s.arcStamp = make([]int32, len(s.ref))
+		s.arcEpoch = 0
+	}
+	s.arcEpoch++
+	ep := s.arcEpoch
+	real := false
+	for _, f := range s.bucket[u] {
+		n := *m.node(f)
+		if n.low == False && n.high == True {
+			continue // projection node of the upper variable
+		}
+		real = true
+		f0 := n.low
+		r1, c := regular(n.high), n.high&compBit
+		f01, f10 := f0, n.high
+		if m.node(f0).varID == v {
+			f01 = m.node(f0).high
+			if s.arcStamp[f0] != ep {
+				s.arcStamp[f0], s.arcCnt[f0] = ep, 0
+			}
+			s.arcCnt[f0]++
+		}
+		if m.node(r1).varID == v {
+			f10 = m.node(r1).low ^ c
+			if s.arcStamp[r1] != ep {
+				s.arcStamp[r1], s.arcCnt[r1] = ep, 0
+			}
+			s.arcCnt[r1]++
+		}
+		if f01 != f10 {
+			return false
+		}
+	}
+	if !real {
+		return false
+	}
+	for _, g := range s.bucket[v] {
+		n := *m.node(g)
+		want := s.ref[g]
+		if n.low == False && n.high == True {
+			want-- // the projection node's permanent NewVar pin
+		}
+		got := int32(0)
+		if s.arcStamp[g] == ep {
+			got = s.arcCnt[g]
+		}
+		if got != want {
+			return false
+		}
+	}
+	return true
 }
 
 // release frees a node whose last reason to live is gone, cascading to
@@ -340,7 +632,7 @@ func (s *ReorderSession) release(g Ref) {
 		if s.uniq[n] == r {
 			delete(s.uniq, n)
 		}
-		s.removeFromBucket(r, int(n.level))
+		s.removeFromBucket(r, int(n.varID))
 		s.free[r>>6] |= 1 << (uint(r) & 63)
 		s.tainted[r>>6] |= 1 << (uint(r) & 63)
 		m.free = append(m.free, r)
@@ -383,6 +675,9 @@ func (s *ReorderSession) Close() {
 	m.sweepCachesTainted(s.tainted)
 	m.statReorders++
 	m.statReorderSwaps += uint64(s.swaps)
+	m.statInterSkips += uint64(s.interSkips)
+	m.statLBAborts += uint64(s.lbAborts)
+	m.statSymPairs += s.symPairs
 	m.statReorderTime += time.Since(s.start)
 	m.reorderBefore = s.before
 	m.reorderAfter = m.Size()
@@ -390,6 +685,9 @@ func (s *ReorderSession) Close() {
 		telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
 		t.Emit("bdd.reorder_end",
 			telemetry.Int("swaps", s.swaps),
+			telemetry.Int("inter_skips", s.interSkips),
+			telemetry.Int("lb_aborts", s.lbAborts),
+			telemetry.Int("sym_pairs", s.symPairs),
 			telemetry.Int("before", s.before),
 			telemetry.Int("after", m.Size()),
 			telemetry.I64("elapsed_us", time.Since(s.start).Microseconds()))
@@ -404,18 +702,18 @@ func (s *ReorderSession) isFree(r Ref) bool {
 	return s.free[r>>6]&(1<<(uint(r)&63)) != 0
 }
 
-func (s *ReorderSession) addToBucket(r Ref, level int) {
-	s.bucket[level] = append(s.bucket[level], r)
-	s.pos[r] = int32(len(s.bucket[level]) - 1)
+func (s *ReorderSession) addToBucket(r Ref, v int) {
+	s.bucket[v] = append(s.bucket[v], r)
+	s.pos[r] = int32(len(s.bucket[v]) - 1)
 }
 
-func (s *ReorderSession) removeFromBucket(r Ref, level int) {
-	b := s.bucket[level]
+func (s *ReorderSession) removeFromBucket(r Ref, v int) {
+	b := s.bucket[v]
 	i := s.pos[r]
 	last := b[len(b)-1]
 	b[i] = last
 	s.pos[last] = i
-	s.bucket[level] = b[:len(b)-1]
+	s.bucket[v] = b[:len(b)-1]
 }
 
 // sweepCachesTainted drops every operation-cache entry mentioning a slot
@@ -468,8 +766,10 @@ func (m *Manager) GroupVars(vars []int) {
 	}
 	// A concurrent reorder session reads m.groups through VarGroups
 	// while holding the stop-the-world lock, so registration takes it
-	// exclusively (registration is cold: variable-creation time only).
-	if m.par {
+	// exclusively (registration is cold: variable-creation time, plus
+	// symmetric-pair glues during sifting). During a session the caller
+	// IS the session's orchestrator and already holds the lock.
+	if m.par && m.session == nil {
 		m.stw.Lock()
 		defer m.stw.Unlock()
 	}
@@ -546,6 +846,17 @@ func (m *Manager) SetAutoReorder(grow float64, minNodes int, fn func(*Manager)) 
 	m.armReorder()
 }
 
+// SetReorderGrowth replaces the growth factor of the armed automatic
+// trigger without touching the hook or the floor. The auto-sift hook's
+// back-off policy calls it after an unproductive pass, before
+// MaybeReorder re-arms the trigger, so the raised factor takes effect
+// immediately; it has no effect until the next (re-)arming otherwise.
+func (m *Manager) SetReorderGrowth(grow float64) {
+	if grow > 1 {
+		m.reorderGrow = grow
+	}
+}
+
 func (m *Manager) armReorder() {
 	at := int(m.reorderGrow * float64(m.Size()))
 	if at < m.reorderMin {
@@ -611,15 +922,16 @@ func (m *Manager) CheckInvariants() error {
 		if free[n.low] || free[regular(n.high)] {
 			return fmt.Errorf("node %d has a freed child", i)
 		}
-		if m.levelOf(n.low) <= n.level || m.levelOf(regular(n.high)) <= n.level {
-			return fmt.Errorf("node %d (level %d) has a child at level <= its own", i, n.level)
+		ln := m.nodeLevel(&n)
+		if m.levelOf(n.low) <= ln || m.levelOf(regular(n.high)) <= ln {
+			return fmt.Errorf("node %d (level %d) has a child at level <= its own", i, ln)
 		}
 		if prev, dup := seen[n]; dup {
 			return fmt.Errorf("nodes %d and %d store the same triple", prev, i)
 		}
 		seen[n] = r
 		if m.session == nil {
-			h := hash3(uint64(n.level), uint64(n.low), uint64(n.high))
+			h := hash3(uint64(n.varID), uint64(n.low), uint64(n.high))
 			sh := &m.shards[h>>(64-shardBits)]
 			hh := h & sh.mask
 			for {

@@ -179,6 +179,161 @@ func TestSwapReclaimsUnprotected(t *testing.T) {
 	}
 }
 
+// TestInteractionMatrix pins the matrix built at StartReorder: variables
+// co-occurring in the support of any root — protected or garbage — are
+// marked interacting, disjoint pairs are not. Garbage counts because
+// swaps must preserve every allocated node until it melts.
+func TestInteractionMatrix(t *testing.T) {
+	m := New()
+	vars := m.NewVars(6)
+	m.IncRef(m.And(vars[0], vars[1]))
+	m.IncRef(m.Xor(vars[2], vars[3]))
+	_ = m.And(vars[4], vars[5]) // deliberately unprotected
+	s := m.StartReorder()
+	defer s.Close()
+	for _, p := range [][2]int{{0, 1}, {1, 0}, {2, 3}, {4, 5}} {
+		if !s.Interacts(p[0], p[1]) {
+			t.Fatalf("co-occurring pair %v not marked interacting", p)
+		}
+	}
+	for _, p := range [][2]int{{0, 2}, {0, 3}, {1, 2}, {0, 4}, {3, 5}, {2, 5}} {
+		if s.Interacts(p[0], p[1]) {
+			t.Fatalf("disjoint pair %v marked interacting", p)
+		}
+	}
+	for v := 0; v < 6; v++ {
+		if s.Interacts(v, v) != true {
+			// A variable trivially co-occurs with itself wherever it
+			// appears in a support of size >= 2.
+			t.Fatalf("variable %d not marked self-interacting", v)
+		}
+	}
+}
+
+// TestSwapNonInteractingFastPath checks the O(1) relabel: swapping two
+// levels whose variables never co-occur must leave every node untouched
+// (same count, same functions) while still counting as a swap and as an
+// interaction skip.
+func TestSwapNonInteractingFastPath(t *testing.T) {
+	m := New()
+	vars := m.NewVars(4)
+	f := m.IncRef(m.And(vars[0], vars[1]))
+	g := m.IncRef(m.Or(vars[2], vars[3]))
+	wf, wg := evalAll(m, f, 4), evalAll(m, g, 4)
+	before := m.Size()
+	s := m.StartReorder()
+	// Levels 1 and 2 hold variables 1 and 2, which never co-occur.
+	s.Swap(1)
+	if s.InteractionSkips() != 1 || s.Swaps() != 1 {
+		t.Fatalf("fast path not taken: skips=%d swaps=%d", s.InteractionSkips(), s.Swaps())
+	}
+	s.Close()
+	if m.Size() != before {
+		t.Fatalf("pure relabel changed the node count %d -> %d", before, m.Size())
+	}
+	if m.VarAtLevel(1) != 2 || m.VarAtLevel(2) != 1 {
+		t.Fatal("order maps not updated by the fast path")
+	}
+	checkKernelInvariants(t, m)
+	for a := range wf {
+		if got := evalAll(m, f, 4); got[a] != wf[a] {
+			t.Fatalf("f changed function at assignment %04b", a)
+		}
+		if got := evalAll(m, g, 4); got[a] != wg[a] {
+			t.Fatalf("g changed function at assignment %04b", a)
+		}
+	}
+}
+
+// TestMoveBlockSpanJump crosses a span of non-interacting variables in
+// one rotation and checks the order maps, the counter split (skips, not
+// swaps), function preservation, and the interacting-crossing panic.
+func TestMoveBlockSpanJump(t *testing.T) {
+	m := New()
+	vars := m.NewVars(6)
+	f := m.IncRef(m.And(vars[0], vars[5]))
+	parity := vars[1]
+	for _, v := range vars[2:5] {
+		parity = m.Xor(parity, v)
+	}
+	m.IncRef(parity)
+	wf, wp := evalAll(m, f, 6), evalAll(m, parity, 6)
+	s := m.StartReorder()
+	// Variable 0 interacts with 5 only; jump it past variables 1..4.
+	s.MoveBlock(0, 1, 4)
+	if s.Swaps() != 0 || s.InteractionSkips() != 4 {
+		t.Fatalf("jump counted wrong: swaps=%d skips=%d", s.Swaps(), s.InteractionSkips())
+	}
+	if m.Level(0) != 4 {
+		t.Fatalf("variable 0 at level %d after jump, want 4", m.Level(0))
+	}
+	for v := 1; v <= 4; v++ {
+		if m.Level(v) != v-1 {
+			t.Fatalf("variable %d at level %d after jump, want %d", v, m.Level(v), v-1)
+		}
+	}
+	// Crossing the interacting variable 5 must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("MoveBlock across an interacting variable did not panic")
+			}
+		}()
+		s.MoveBlock(4, 1, 1)
+	}()
+	// Jump back up (negative span) and close.
+	s.MoveBlock(4, 1, -4)
+	if s.InteractionSkips() != 8 {
+		t.Fatalf("negative-span jump not counted: skips=%d", s.InteractionSkips())
+	}
+	s.Close()
+	if m.Level(0) != 0 {
+		t.Fatalf("variable 0 at level %d after round trip, want 0", m.Level(0))
+	}
+	checkKernelInvariants(t, m)
+	for a := range wf {
+		if got := evalAll(m, f, 6); got[a] != wf[a] {
+			t.Fatalf("f changed function at assignment %06b", a)
+		}
+		if got := evalAll(m, parity, 6); got[a] != wp[a] {
+			t.Fatalf("parity changed function at assignment %06b", a)
+		}
+	}
+}
+
+// TestProbeSymmetry pins the structural symmetry check on known
+// positives (x0 and x1, x0 xor x1 — both symmetric in {0,1}) and a known
+// negative (x0 and not x1).
+func TestProbeSymmetry(t *testing.T) {
+	build := []struct {
+		name string
+		mk   func(m *Manager, a, b Ref) Ref
+		want bool
+	}{
+		{"and", func(m *Manager, a, b Ref) Ref { return m.And(a, b) }, true},
+		{"xor", func(m *Manager, a, b Ref) Ref { return m.Xor(a, b) }, true},
+		{"andnot", func(m *Manager, a, b Ref) Ref { return m.And(a, m.Not(b)) }, false},
+	}
+	for _, tc := range build {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New()
+			vars := m.NewVars(2)
+			m.IncRef(tc.mk(m, vars[0], vars[1]))
+			s := m.StartReorder()
+			if got := s.ProbeSymmetry(0); got != tc.want {
+				t.Fatalf("ProbeSymmetry(0) = %v, want %v", got, tc.want)
+			}
+			// The verdict must be stable on a re-probe (negative results
+			// are cached per variable pair).
+			if got := s.ProbeSymmetry(0); got != tc.want {
+				t.Fatalf("re-probe flipped to %v", got)
+			}
+			s.Close()
+			checkKernelInvariants(t, m)
+		})
+	}
+}
+
 func TestGroupVarsMerge(t *testing.T) {
 	m := New()
 	m.NewVars(6)

@@ -124,14 +124,15 @@ func (m *Manager) restrictRec(kc *kctx, f, c Ref, memo map[pairKey]Ref) Ref {
 		return r
 	}
 	nf := *m.node(f)
+	lf := m.var2level[nf.varID]
 	lc, c0, c1 := m.top(c)
 	var r Ref
-	if lc < nf.level {
+	if lc < lf {
 		// The care set constrains a variable f does not depend on:
 		// drop it by existential quantification to stay in f's support.
 		cc := m.or(kc, c0, c1, 0)
 		r = m.restrictRec(kc, f, cc, memo)
-	} else if lc == nf.level {
+	} else if lc == lf {
 		switch {
 		case c1 == False:
 			r = m.restrictRec(kc, nf.low, c0, memo)
@@ -140,12 +141,12 @@ func (m *Manager) restrictRec(kc *kctx, f, c Ref, memo map[pairKey]Ref) Ref {
 		default:
 			low := m.restrictRec(kc, nf.low, c0, memo)
 			high := m.restrictRec(kc, nf.high, c1, memo)
-			r = m.mk(kc, nf.level, low, high)
+			r = m.mk(kc, lf, low, high)
 		}
 	} else {
 		low := m.restrictRec(kc, nf.low, c, memo)
 		high := m.restrictRec(kc, nf.high, c, memo)
-		r = m.mk(kc, nf.level, low, high)
+		r = m.mk(kc, lf, low, high)
 	}
 	memo[key] = r
 	return r

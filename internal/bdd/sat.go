@@ -167,7 +167,7 @@ func (m *Manager) supportRec(f Ref, seen map[Ref]bool, vars map[int]bool) {
 	}
 	seen[f] = true
 	n := m.node(f)
-	vars[int(m.level2var[n.level])] = true
+	vars[int(n.varID)] = true
 	m.supportRec(n.low, seen, vars)
 	m.supportRec(n.high, seen, vars)
 }

@@ -59,9 +59,17 @@ type Statistics struct {
 	// Dynamic variable reordering: number of sifting runs, total
 	// adjacent-level swaps, cumulative time spent reordering, the node
 	// counts around the most recent run, and the peak live node count
-	// (the quantity reordering exists to bound).
+	// (the quantity reordering exists to bound). The acceleration
+	// counters break the swap total down: InterSkips counts swaps that
+	// degenerated to pure relabels because the two variables never
+	// co-occur in a live support, LBAborts counts sift directions cut
+	// short by the lower-bound estimate, and SymPairs counts variable
+	// pairs detected positively symmetric and glued into atomic blocks.
 	Reorders           int
 	ReorderSwaps       uint64
+	ReorderInterSkips  uint64
+	ReorderLBAborts    uint64
+	ReorderSymPairs    int
 	ReorderTime        time.Duration
 	ReorderNodesBefore int
 	ReorderNodesAfter  int
@@ -90,9 +98,10 @@ func (s Statistics) String() string {
 		s.CacheGrowths, s.CacheEntriesKept)
 	if s.Reorders > 0 {
 		out += fmt.Sprintf(
-			"\nbdd: reorders: %d (%d swaps in %v; last %d -> %d nodes)",
+			"\nbdd: reorders: %d (%d swaps in %v; last %d -> %d nodes; %d fast-swaps, %d lb-aborts, %d sym-pairs)",
 			s.Reorders, s.ReorderSwaps, s.ReorderTime.Round(time.Millisecond),
-			s.ReorderNodesBefore, s.ReorderNodesAfter)
+			s.ReorderNodesBefore, s.ReorderNodesAfter,
+			s.ReorderInterSkips, s.ReorderLBAborts, s.ReorderSymPairs)
 	}
 	if s.Workers > 1 {
 		out += fmt.Sprintf(
@@ -149,6 +158,8 @@ func (s Statistics) WriteTable(w io.Writer) {
 		row("reorders", "%d (%d swaps in %v; last %d -> %d nodes)",
 			s.Reorders, s.ReorderSwaps, s.ReorderTime.Round(time.Millisecond),
 			s.ReorderNodesBefore, s.ReorderNodesAfter)
+		row("reorder accel", "%d interaction-skips, %d lb-aborts, %d symmetric-pairs",
+			s.ReorderInterSkips, s.ReorderLBAborts, s.ReorderSymPairs)
 	}
 }
 
@@ -246,6 +257,9 @@ func (m *Manager) statsNow() Statistics {
 
 		Reorders:           m.statReorders,
 		ReorderSwaps:       m.statReorderSwaps,
+		ReorderInterSkips:  m.statInterSkips,
+		ReorderLBAborts:    m.statLBAborts,
+		ReorderSymPairs:    m.statSymPairs,
 		ReorderTime:        m.statReorderTime,
 		ReorderNodesBefore: m.reorderBefore,
 		ReorderNodesAfter:  m.reorderAfter,

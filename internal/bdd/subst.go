@@ -99,7 +99,7 @@ func (m *Manager) permuteRecMap(c *kctx, f Ref, perm []int, memo map[Ref]Ref) Re
 		return r ^ cm
 	}
 	n := *m.node(f)
-	v := int(m.level2var[n.level])
+	v := int(n.varID)
 	low := m.permuteRecMap(c, n.low, perm, memo)
 	high := m.permuteRecMap(c, n.high, perm, memo)
 	target := v
@@ -121,7 +121,7 @@ func (m *Manager) permuteRec(c *kctx, f Ref, perm []int) Ref {
 		return m.memoVal[f] ^ cm
 	}
 	n := *m.node(f)
-	v := int(m.level2var[n.level])
+	v := int(n.varID)
 	low := m.permuteRec(c, n.low, perm)
 	high := m.permuteRec(c, n.high, perm)
 	target := v
@@ -171,7 +171,7 @@ func (m *Manager) composeRecMap(c *kctx, f Ref, level int32, g Ref, memo map[Ref
 	}
 	n := *m.node(f)
 	var r Ref
-	if n.level == level {
+	if m.var2level[n.varID] == level {
 		r = m.iteRec(c, g, n.high, n.low, 0)
 	} else {
 		low := m.composeRecMap(c, n.low, level, g, memo)
@@ -179,7 +179,7 @@ func (m *Manager) composeRecMap(c *kctx, f Ref, level int32, g Ref, memo map[Ref
 		// The substituted function g may depend on variables above
 		// f's root, so rebuild with ITE on the root variable rather
 		// than mk.
-		r = m.iteRec(c, m.mk(c, n.level, False, True), high, low, 0)
+		r = m.iteRec(c, m.varRef(c, int(n.varID)), high, low, 0)
 	}
 	memo[f] = r
 	return r ^ cm
@@ -196,12 +196,12 @@ func (m *Manager) composeRec(c *kctx, f Ref, level int32, g Ref) Ref {
 	}
 	n := *m.node(f)
 	var r Ref
-	if n.level == level {
+	if m.var2level[n.varID] == level {
 		r = m.iteRec(c, g, n.high, n.low, 0)
 	} else {
 		low := m.composeRec(c, n.low, level, g)
 		high := m.composeRec(c, n.high, level, g)
-		r = m.iteRec(c, m.mk(c, n.level, False, True), high, low, 0)
+		r = m.iteRec(c, m.varRef(c, int(n.varID)), high, low, 0)
 	}
 	m.memoStamp[f] = m.memoEpoch
 	m.memoVal[f] = r
@@ -251,9 +251,9 @@ func (m *Manager) vectorComposeRecMap(c *kctx, f Ref, byLevel map[int32]Ref, mem
 	n := *m.node(f)
 	low := m.vectorComposeRecMap(c, n.low, byLevel, memo)
 	high := m.vectorComposeRecMap(c, n.high, byLevel, memo)
-	g, ok := byLevel[n.level]
+	g, ok := byLevel[m.var2level[n.varID]]
 	if !ok {
-		g = m.mk(c, n.level, False, True)
+		g = m.varRef(c, int(n.varID))
 	}
 	r := m.iteRec(c, g, high, low, 0)
 	memo[f] = r
@@ -272,9 +272,9 @@ func (m *Manager) vectorComposeRec(c *kctx, f Ref, byLevel map[int32]Ref) Ref {
 	n := *m.node(f)
 	low := m.vectorComposeRec(c, n.low, byLevel)
 	high := m.vectorComposeRec(c, n.high, byLevel)
-	g, ok := byLevel[n.level]
+	g, ok := byLevel[m.var2level[n.varID]]
 	if !ok {
-		g = m.mk(c, n.level, False, True)
+		g = m.varRef(c, int(n.varID))
 	}
 	r := m.iteRec(c, g, high, low, 0)
 	m.memoStamp[f] = m.memoEpoch

@@ -51,6 +51,21 @@ type Options struct {
 	// "off" (none), "manual" (only explicit SiftNow calls), "auto"
 	// (growth-triggered block sifting at reachability safe points).
 	Reorder string
+	// ReorderMaxGrowth bounds how far the node count may rise above the
+	// best size seen while one block is in motion before the move
+	// aborts in that direction (<= 1 keeps the default 1.2).
+	ReorderMaxGrowth float64
+	// ReorderTrigger scales the automatic sifting trigger: a sift fires
+	// when live nodes exceed this factor times the size at the last
+	// (re-)arming (<= 1 keeps the default 2; the auto hook's back-off
+	// policy may raise the effective factor after unproductive passes).
+	ReorderTrigger float64
+	// ReorderAccel selects which sifting accelerations run: "" or "all"
+	// (everything), "none" (the plain Rudell sifter, for ablations), or
+	// a comma list drawn from "interaction" (interaction-matrix fast
+	// swaps), "lowerbound" (lower-bound direction aborts), "symmetry"
+	// (symmetric-pair gluing) enabling just those.
+	ReorderAccel string
 	// OrderFile, when non-empty, seeds the variable order from a saved
 	// .order file if it exists and matches the model; otherwise the
 	// static interacting-FSM order is used. SaveOrder writes the file.
@@ -102,7 +117,35 @@ type Workspace struct {
 	BlifmvLines  int
 	ReadTime     time.Duration // parse BLIF-MV + build transition relation
 
-	opts Options
+	opts  Options
+	ropts reorder.Options // parsed reorder tuning, shared by auto sifts and SiftNow
+}
+
+// parseReorderOptions translates the string-typed reorder tuning in
+// Options into the sift driver's Options. Auto and manual sifts share
+// the result, so a CLI ablation flag governs both.
+func parseReorderOptions(opts Options) (reorder.Options, error) {
+	ropts := reorder.Options{MaxGrowth: opts.ReorderMaxGrowth, Converge: true}
+	switch strings.TrimSpace(opts.ReorderAccel) {
+	case "", "all":
+	case "none":
+		ropts.NoInteraction, ropts.NoLowerBound, ropts.NoSymmetry = true, true, true
+	default:
+		ropts.NoInteraction, ropts.NoLowerBound, ropts.NoSymmetry = true, true, true
+		for _, tok := range strings.Split(opts.ReorderAccel, ",") {
+			switch strings.TrimSpace(tok) {
+			case "interaction":
+				ropts.NoInteraction = false
+			case "lowerbound":
+				ropts.NoLowerBound = false
+			case "symmetry":
+				ropts.NoSymmetry = false
+			default:
+				return ropts, fmt.Errorf("core: unknown reorder acceleration %q (want all, none, or a comma list of interaction, lowerbound, symmetry)", strings.TrimSpace(tok))
+			}
+		}
+	}
+	return ropts, nil
 }
 
 // LoadVerilogString compiles Verilog source text into a workspace.
@@ -155,6 +198,10 @@ func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown image engine %q (want auto, monolithic, partitioned, clustered or iso)", opts.Image)
 	}
+	ropts, err := parseReorderOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	nopts := network.Options{
 		Heuristic:           opts.Heuristic,
 		NaiveQuantification: opts.NaiveQuantification,
@@ -164,7 +211,9 @@ func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
 		// same goes when an explicit engine avoids T by construction.
 		SkipMonolithic: opts.ConeOfInfluence ||
 			(engine != reach.EngineAuto && engine != reach.EngineMonolithic),
-		AutoReorder: opts.Reorder == "auto",
+		AutoReorder:    opts.Reorder == "auto",
+		ReorderOpts:    ropts,
+		ReorderTrigger: opts.ReorderTrigger,
 	}
 	if opts.AppendedOrder {
 		nopts.Order = appendedOrder(flat)
@@ -196,6 +245,7 @@ func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
 		BlifmvLines: countLines(src),
 		ReadTime:    time.Since(start),
 		opts:        opts,
+		ropts:       ropts,
 	}, nil
 }
 
@@ -268,6 +318,8 @@ func (w *Workspace) coneWorkspace(observed []string) (*Workspace, *abstract.Resu
 		Heuristic:           w.opts.Heuristic,
 		NaiveQuantification: w.opts.NaiveQuantification,
 		AutoReorder:         w.opts.Reorder == "auto",
+		ReorderOpts:         w.ropts,
+		ReorderTrigger:      w.opts.ReorderTrigger,
 	}
 	net, err := network.Build(res.Model, nopts)
 	if err != nil {
@@ -349,7 +401,7 @@ type PropertyResult struct {
 // returns its before/after statistics. It follows the GC protection
 // contract, which every long-lived Ref in the workspace satisfies.
 func (w *Workspace) SiftNow() reorder.Result {
-	return reorder.Sift(w.Net.Manager(), reorder.Options{Converge: true})
+	return reorder.Sift(w.Net.Manager(), w.ropts)
 }
 
 // SaveOrder writes the current variable order (post-sifting, if any) to

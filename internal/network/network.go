@@ -53,6 +53,12 @@ type Options struct {
 	// nodes grow past the adaptive threshold, the next reachability safe
 	// point runs a converging block sift.
 	AutoReorder bool
+	// ReorderOpts tunes the automatic sift runs (growth bound and the
+	// acceleration ablation switches); Converge is forced on.
+	ReorderOpts reorder.Options
+	// ReorderTrigger overrides the auto-sift growth trigger factor
+	// (<= 1 keeps the default 2).
+	ReorderTrigger float64
 }
 
 // Latch pairs a source latch with its present/next-state variables.
@@ -237,7 +243,9 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		n.mgr.GroupVars(append(append([]int(nil), l.PS.Bits()...), l.NS.Bits()...))
 	}
 	if opts.AutoReorder {
-		reorder.EnableAuto(n.mgr, 0, 0, reorder.Options{Converge: true})
+		ropts := opts.ReorderOpts
+		ropts.Converge = true
+		reorder.EnableAuto(n.mgr, opts.ReorderTrigger, 0, ropts)
 	}
 
 	// Non-state variables: everything not on the PS or NS rail.

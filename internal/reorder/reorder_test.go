@@ -129,6 +129,89 @@ func TestAutoSiftAtSafePoints(t *testing.T) {
 	}
 }
 
+// TestSiftGluesSymmetricPair sifts a totally symmetric function
+// (majority of three) mixed with an order-sensitive one: sifting must
+// detect at least one symmetric pair, glue it into a registered group,
+// and preserve both functions.
+func TestSiftGluesSymmetricPair(t *testing.T) {
+	const n = 8
+	m := bdd.New()
+	vars := m.NewVars(n)
+	maj := m.Or(m.Or(m.And(vars[5], vars[6]), m.And(vars[5], vars[7])), m.And(vars[6], vars[7]))
+	m.IncRef(maj)
+	f := m.IncRef(achilles(m, vars[:4]))
+	wantM, wantF := evalAll(m, maj, n), evalAll(m, f, n)
+
+	res := Sift(m, Options{Converge: true})
+	if res.SymmetricPairs == 0 {
+		t.Fatalf("no symmetric pair detected in a majority function: %+v", res)
+	}
+	if len(m.VarGroups()) == 0 {
+		t.Fatal("symmetric pair was not registered as a group")
+	}
+	gotM, gotF := evalAll(m, maj, n), evalAll(m, f, n)
+	for a := range wantM {
+		if gotM[a] != wantM[a] || gotF[a] != wantF[a] {
+			t.Fatalf("function changed at assignment %d after symmetric glue", a)
+		}
+	}
+	// A glued group must survive a second run intact.
+	groups := len(m.VarGroups())
+	Sift(m, Options{})
+	if len(m.VarGroups()) < groups {
+		t.Fatal("second sift lost a registered symmetry group")
+	}
+}
+
+// TestLowerBoundIsQualityNeutral pins the soundness of the pruning: the
+// lower bound may only abort directions that provably cannot beat the
+// best position, so enabling it must reach exactly the final size of the
+// unpruned search on the same input.
+func TestLowerBoundIsQualityNeutral(t *testing.T) {
+	const n = 12
+	build := func() *bdd.Manager {
+		m := bdd.New()
+		vars := m.NewVars(n)
+		m.IncRef(achilles(m, vars))
+		m.IncRef(m.And(vars[1], m.Xor(vars[4], vars[9])))
+		return m
+	}
+	a := Sift(build(), Options{Converge: true, NoSymmetry: true})
+	b := Sift(build(), Options{Converge: true, NoSymmetry: true, NoLowerBound: true})
+	if a.After != b.After {
+		t.Fatalf("lower bound changed the result: %d with, %d without", a.After, b.After)
+	}
+	if a.LowerBoundAborts == 0 {
+		t.Fatalf("lower bound never fired on an order-sensitive input: %+v", a)
+	}
+}
+
+// TestSiftSpanJumpsDisjointSupports sifts two groups of functions over
+// disjoint variable sets: crossings between the groups must ride the
+// O(span) jumps (interaction skips), not materialize as swaps.
+func TestSiftSpanJumpsDisjointSupports(t *testing.T) {
+	const n = 12
+	m := bdd.New()
+	vars := m.NewVars(n)
+	f := m.IncRef(achilles(m, vars[:6]))
+	g := m.IncRef(achilles(m, vars[6:]))
+	wantF, wantG := evalAll(m, f, n), evalAll(m, g, n)
+
+	res := Sift(m, Options{Converge: true})
+	if res.InteractionSkips == 0 {
+		t.Fatalf("no span jumps across disjoint supports: %+v", res)
+	}
+	gotF, gotG := evalAll(m, f, n), evalAll(m, g, n)
+	for a := range wantF {
+		if gotF[a] != wantF[a] || gotG[a] != wantG[a] {
+			t.Fatalf("function changed at assignment %d", a)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSiftRandomized cross-checks sifting against evaluation snapshots
 // over randomized DAGs and option combinations.
 func TestSiftRandomized(t *testing.T) {
@@ -169,8 +252,11 @@ func TestSiftRandomized(t *testing.T) {
 			want[i] = evalAll(m, f, n)
 		}
 		res := Sift(m, Options{
-			MaxGrowth: 1.1 + float64(seed%3)/10,
-			Converge:  seed%2 == 0,
+			MaxGrowth:     1.1 + float64(seed%3)/10,
+			Converge:      seed%2 == 0,
+			NoInteraction: seed%3 == 0,
+			NoLowerBound:  seed%5 == 0,
+			NoSymmetry:    seed%7 == 0,
 		})
 		if res.After > res.Before {
 			t.Fatalf("seed %d: sifting grew the manager %d -> %d", seed, res.Before, res.After)

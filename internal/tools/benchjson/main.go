@@ -7,6 +7,14 @@
 // BENCH_*.json records the peak-live and hit-rate trajectories
 // alongside ns/op. `make bench` pipes through it to record
 // BENCH_bdd.json.
+//
+// Rows with twin configurations get derived ratios: every ".../iso" row
+// with a ".../clustered" twin gains speedup-vs-clustered, and every
+// ".../auto" reorder row with an ".../auto-naive" twin (the same auto
+// sifting with all accelerations disabled) gains sift-speedup-vs-naive
+// (naive sift-ms over accelerated sift-ms) and swaps-saved-% (the share
+// of the naive sifter's adjacent-level swaps the accelerations
+// avoided), plus speedup-vs-off against the no-reordering twin.
 package main
 
 import (
@@ -47,6 +55,61 @@ func addSpeedups(results []result) {
 			r.Metrics = make(map[string]float64)
 		}
 		r.Metrics["speedup-vs-clustered"] = base / r.NsPerOp
+	}
+}
+
+// addReorderMetrics derives the sifting-acceleration ratios on every
+// ".../auto" row from its ".../auto-naive" and ".../off" twins. Names
+// are compared with any "-<procs>" suffix `go test -bench` appends at
+// GOMAXPROCS > 1 stripped.
+func addReorderMetrics(results []result) {
+	stripProcs := func(name string) string {
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				return name[:i]
+			}
+		}
+		return name
+	}
+	byBase := make(map[string]*result, len(results))
+	for i := range results {
+		byBase[stripProcs(results[i].Name)] = &results[i]
+	}
+	for i := range results {
+		r := &results[i]
+		base := stripProcs(r.Name)
+		if base[strings.LastIndex(base, "/")+1:] != "auto" {
+			continue
+		}
+		set := func(k string, v float64) {
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[k] = v
+		}
+		if naive, ok := byBase[base+"-naive"]; ok && naive.Metrics != nil && r.Metrics != nil {
+			if nms, ams := naive.Metrics["sift-ms"], r.Metrics["sift-ms"]; ams > 0 {
+				set("sift-speedup-vs-naive", nms/ams)
+			}
+			if nsw, asw := naive.Metrics["swaps"], r.Metrics["swaps"]; nsw > 0 {
+				set("swaps-saved-%", 100*(1-asw/nsw))
+			}
+		}
+		// A ".../auto-prechange" twin is a row replayed from the revision
+		// before the acceleration work (the Makefile splices the recorded
+		// raw lines into the stream); derive the end-to-end speedup over
+		// that sifter too.
+		if pre, ok := byBase[base+"-prechange"]; ok && pre.Metrics != nil && r.Metrics != nil {
+			if pms, ams := pre.Metrics["sift-ms"], r.Metrics["sift-ms"]; ams > 0 {
+				set("sift-speedup-vs-prechange", pms/ams)
+			}
+			if psw, asw := pre.Metrics["swaps"], r.Metrics["swaps"]; psw > 0 {
+				set("swaps-saved-vs-prechange-%", 100*(1-asw/psw))
+			}
+		}
+		if off, ok := byBase[strings.TrimSuffix(base, "auto")+"off"]; ok && off.NsPerOp > 0 && r.NsPerOp > 0 {
+			set("speedup-vs-off", off.NsPerOp/r.NsPerOp)
+		}
 	}
 }
 
@@ -91,6 +154,7 @@ func main() {
 		os.Exit(1)
 	}
 	addSpeedups(results)
+	addReorderMetrics(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
