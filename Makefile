@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-parallel bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke bench bench-reorder bench-parallel bench-iso bench-all
+.PHONY: check vet build test test-parallel test-server bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke bench bench-reorder bench-parallel bench-iso bench-all
 
-check: vet build test test-parallel bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke
+check: vet build test test-parallel test-server bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,14 @@ test:
 # auto-reorder epochs armed.
 test-parallel:
 	$(GO) test -race -run 'Parallel|Concurrent|Workers' ./internal/bdd .
+
+# The daemon shard: the hsisd job server under -race — fair-queue
+# dispatch, admission control (429), artifact-cache sharing across
+# concurrent jobs, mid-fixpoint deadline/cancel interrupts — plus the
+# binary smoke test (boot on an ephemeral port, drive a job through the
+# HTTP API, SIGTERM to a clean exit).
+test-server:
+	$(GO) test -race -count=1 ./internal/server ./cmd/hsisd
 
 # End-to-end traced run: reachability plus a property check on a bundled
 # design with -trace, verifying the shell emits a parseable JSONL trace

@@ -316,7 +316,7 @@ func (sh *shell) exec(line string) error {
 		if err := sh.need(); err != nil {
 			return err
 		}
-		fmt.Fprintf(sh.out, "# reached states: %.0f\n", sh.w.ReachableStates())
+		fmt.Fprintf(sh.out, "# reached states: %s\n", sh.w.ReachableStatesExact())
 		sh.maybeStats()
 		return nil
 	case "check_ctl":
@@ -414,7 +414,11 @@ func (sh *shell) exec(line string) error {
 			if v == nil {
 				return bdd.False, fmt.Errorf("unknown variable %q", name)
 			}
-			idx := n.Model().Var(name).ValueIndex(value)
+			mv := n.Model().Var(name)
+			if mv == nil {
+				return bdd.False, fmt.Errorf("%q is not a model variable", name)
+			}
+			idx := mv.ValueIndex(value)
 			if idx < 0 {
 				return bdd.False, fmt.Errorf("%q is not a value of %s", value, name)
 			}

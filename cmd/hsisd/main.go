@@ -1,0 +1,123 @@
+// Command hsisd is the verification-as-a-service daemon: an HTTP JSON
+// job API in front of the HSIS verification flow. Each job verifies in
+// its own workspace (private BDD manager), parsed designs are shared
+// through a content-addressed artifact cache, and a bounded queue with
+// weighted fair scheduling keeps tenants from starving each other.
+//
+// Quick start:
+//
+//	hsisd -addr :8080 &
+//	curl -s -X POST localhost:8080/jobs \
+//	     -d '{"builtin": "pingpong", "options": {"reach": true}}'
+//	curl -s localhost:8080/jobs/job-000001
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hsis/internal/server"
+)
+
+// tenantWeights implements flag.Value for repeatable -tenant-weight
+// name=weight flags.
+type tenantWeights map[string]int
+
+func (t tenantWeights) String() string {
+	var parts []string
+	for k, v := range t {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t tenantWeights) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=weight, got %q", s)
+	}
+	w, err := strconv.Atoi(val)
+	if err != nil || w < 1 {
+		return fmt.Errorf("weight must be a positive integer, got %q", val)
+	}
+	t[name] = w
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hsisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("hsisd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "job worker pool size (concurrent verifications)")
+	queueCap := fs.Int("queue", 32, "admission queue capacity (beyond it: HTTP 429)")
+	cacheEntries := fs.Int("cache", 64, "artifact cache capacity (designs)")
+	spool := fs.String("spool", "", "trace spool directory (default: a temp dir)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
+	maxTimeout := fs.Duration("max-timeout", 0, "deadline ceiling (default: -timeout)")
+	weights := tenantWeights{}
+	fs.Var(weights, "tenant-weight", "tenant dispatch weight as name=weight (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueCapacity:  *queueCap,
+		CacheEntries:   *cacheEntries,
+		SpoolDir:       *spool,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		TenantWeights:  weights,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Resolve after Listen so ":0" reports the picked port — the smoke
+	// test (and humans scripting against an ephemeral port) parse this.
+	fmt.Fprintf(out, "hsisd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(out, "hsisd: %v, shutting down\n", sig)
+	case err := <-errc:
+		s.Close()
+		return err
+	}
+
+	// Graceful shutdown: stop accepting, interrupt running jobs, drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	s.Close()
+	fmt.Fprintln(out, "hsisd: bye")
+	return nil
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const smokeDesign = `
+// a request/grant handshake with a nondeterministic requester
+module handshake(clk, req, gnt);
+  input clk;
+  output req, gnt;
+  reg req, gnt;
+  initial req = 0;
+  always @(posedge clk)
+    if (!req) req <= $ND(0, 1);
+    else if (gnt) req <= 0;
+  initial gnt = 0;
+  always @(posedge clk)
+    gnt <= req && !gnt;
+endmodule
+`
+
+const smokeProps = `
+ctl response AG(req=1 -> AF gnt=1)
+
+automaton short_grants {
+  states A G B
+  init A
+  edge A A gnt=0
+  edge A G gnt=1
+  edge G A gnt=0
+  edge G B gnt=1
+  rabin avoid { B } recur { A G }
+}
+`
+
+// TestDaemonSmoke builds the hsisd binary, boots it on an ephemeral
+// port, drives a full job through the HTTP API (submit the quickstart
+// handshake, poll to a passing verdict, check /metrics), then shuts the
+// daemon down with SIGTERM and expects a clean exit.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "hsisd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the resolved listen address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("daemon produced no output: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len(marker):])
+	go func() { // drain the rest so the daemon never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+
+	// Submit the quickstart handshake with its two properties.
+	body, _ := json.Marshal(map[string]any{
+		"verilog": smokeDesign,
+		"top":     "handshake",
+		"pif":     smokeProps,
+		"options": map[string]any{"reach": true},
+	})
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, sub.ID)
+	}
+
+	// Poll to a terminal verdict.
+	var job struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Result *struct {
+			Properties []struct {
+				Name string `json:"name"`
+				Pass bool   `json:"pass"`
+			} `json:"properties"`
+			ReachedStates string `json:"reached_states"`
+		} `json:"result"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Status != "queued" && job.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if job.Status != "done" {
+		t.Fatalf("job ended %s (%s), want done", job.Status, job.Error)
+	}
+	if n := len(job.Result.Properties); n != 2 {
+		t.Fatalf("verified %d properties, want 2", n)
+	}
+	for _, p := range job.Result.Properties {
+		if !p.Pass {
+			t.Errorf("property %s failed; quickstart properties all pass", p.Name)
+		}
+	}
+	if job.Result.ReachedStates != "3" {
+		t.Errorf("reached states %q, want 3", job.Result.ReachedStates)
+	}
+
+	var metrics struct {
+		JobsCompleted int64 `json:"jobs_completed"`
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.JobsCompleted != 1 {
+		t.Errorf("jobs_completed = %d, want 1", metrics.JobsCompleted)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within 15s of SIGTERM")
+	}
+}
+
+func TestTenantWeightFlag(t *testing.T) {
+	w := tenantWeights{}
+	if err := w.Set("alpha=2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set("beta=1"); err != nil {
+		t.Fatal(err)
+	}
+	if w["alpha"] != 2 || w["beta"] != 1 {
+		t.Fatalf("weights %v", w)
+	}
+	for _, bad := range []string{"alpha", "alpha=0", "alpha=-1", "alpha=x"} {
+		if err := w.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if s := w.String(); !strings.Contains(s, "alpha=2") {
+		t.Errorf("String() = %q", s)
+	}
+	_ = fmt.Sprint(w)
+}

@@ -209,6 +209,11 @@ type Manager struct {
 	statSteals     atomic.Uint64 // futures executed off the forking call path
 	statContention atomic.Uint64 // shard-lock waits + cache-publication conflicts
 
+	// interrupted is the cooperative-cancellation flag (interrupt.go):
+	// set by Interrupt from any goroutine, polled by the fixpoint
+	// drivers' CheckInterrupt calls at their safe points.
+	interrupted atomic.Bool
+
 	gcEnabled bool
 	autoGCAt  int // node count that triggers an automatic GC on allocation
 	GCCount   int // number of garbage collections performed

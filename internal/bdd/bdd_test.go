@@ -1,6 +1,7 @@
 package bdd
 
 import (
+	"math/big"
 	"math/rand"
 	"strings"
 	"testing"
@@ -296,6 +297,34 @@ func TestSatCount(t *testing.T) {
 	}
 	if got := m.SatCount(m.AndN(vs...), 4); got != 1 {
 		t.Fatalf("SatCount(a&b&c&d) = %v, want 1", got)
+	}
+}
+
+func TestSatCountExact(t *testing.T) {
+	m := New()
+	vs := m.NewVars(60)
+	if got := m.SatCountExact(False, 60).Sign(); got != 0 {
+		t.Fatalf("SatCountExact(False) sign = %d, want 0", got)
+	}
+	if got := m.SatCountExact(m.AndN(vs[:4]...), 4); got.Int64() != 1 {
+		t.Fatalf("SatCountExact(a&b&c&d) = %v, want 1", got)
+	}
+	// Small counts agree with the float path exactly.
+	f := m.Xor(vs[0], vs[1])
+	if got, want := m.SatCountExact(f, 4), m.SatCount(f, 4); float64(got.Int64()) != want {
+		t.Fatalf("SatCountExact(a^b) = %v, float path %v", got, want)
+	}
+	// All assignments but one over 60 variables: 2^60 − 1 has 60
+	// significant bits, beyond float64's 53-bit mantissa — the float
+	// path rounds to 2^60, the exact path must not.
+	g := m.Not(m.AndN(vs...))
+	want := new(big.Int).Lsh(big.NewInt(1), 60)
+	want.Sub(want, big.NewInt(1))
+	if got := m.SatCountExact(g, 60); got.Cmp(want) != 0 {
+		t.Fatalf("SatCountExact(¬(v0..v59)) = %v, want %v", got, want)
+	}
+	if rounded := m.SatCount(g, 60); rounded != float64(1)*(1<<60) {
+		t.Fatalf("float SatCount(¬(v0..v59)) = %v, want it rounded to 2^60", rounded)
 	}
 }
 

@@ -65,11 +65,27 @@ func (m *Manager) ParallelDo(tasks ...func()) {
 	defer m.sections.Add(-1)
 	sem := make(chan struct{}, m.workers)
 	var wg sync.WaitGroup
+	// A task that panics (notably CheckInterrupt's ErrInterrupted when a
+	// job is cancelled) must not kill its goroutine silently or crash the
+	// process: the first panic value is captured and re-raised on the
+	// calling goroutine after every sibling finishes, preserving the
+	// section invariant that all tasks have quiesced before return.
+	var (
+		panicMu  sync.Mutex
+		panicVal any
+	)
 	for _, t := range tasks {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(fn func()) {
 			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
 				<-sem
 				wg.Done()
 			}()
@@ -77,4 +93,7 @@ func (m *Manager) ParallelDo(tasks ...func()) {
 		}(t)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }

@@ -36,6 +36,34 @@ func (m *Manager) SatCount(f Ref, nvars int) float64 {
 	return out
 }
 
+// SatCountExact returns the exact number of satisfying assignments of f
+// over nvars variables as a math/big integer. It shares SatCount's
+// exact dyadic accumulation; the difference is purely the final
+// rounding — SatCount rounds to float64 (silently losing precision once
+// the count exceeds 2^53), while SatCountExact keeps every digit. The
+// mantissa budget covers the worst case: frac is a dyadic rational with
+// denominator at most 2^numVars, so frac·2^nvars is an integer needing
+// at most numVars significant bits.
+func (m *Manager) SatCountExact(f Ref, nvars int) *big.Int {
+	m.check(f)
+	m.rlock()
+	defer m.runlock()
+	prec := uint(m.numVars) + 64
+	memo := make(map[Ref]*big.Float)
+	frac := m.satFrac(f, memo, prec)
+	if frac.Sign() == 0 {
+		return new(big.Int)
+	}
+	total := new(big.Float).SetPrec(prec).SetMantExp(frac, nvars)
+	out, acc := total.Int(nil)
+	if acc != big.Exact {
+		// Cannot happen under the precision argument above; fail loudly
+		// rather than return a silently rounded "exact" count.
+		panic("bdd: SatCountExact lost precision")
+	}
+	return out
+}
+
 // satFrac returns the fraction of all assignments satisfying f. The memo
 // keys on regular nodes; complement marks become 1 − x on the way out.
 func (m *Manager) satFrac(f Ref, memo map[Ref]*big.Float, prec uint) *big.Float {

@@ -13,6 +13,7 @@ package bisim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hsis/internal/bdd"
 	"hsis/internal/mdd"
@@ -33,7 +34,9 @@ type Relation struct {
 	tShadow     bdd.Ref
 }
 
-var shadowCounter int
+// shadowCounter disambiguates shadow-rail variable names. Atomic: the
+// daemon builds independent workspaces concurrently.
+var shadowCounter atomic.Int64
 
 // Compute derives the coarsest bisimulation that distinguishes the given
 // observation sets (BDDs over the PS rail). Typical observations are the
@@ -41,14 +44,14 @@ var shadowCounter int
 // every latch's value labels for classical machine equivalence.
 func Compute(n *network.Network, obs []bdd.Ref) *Relation {
 	m := n.Manager()
-	shadowCounter++
+	id := shadowCounter.Add(1)
 	r := &Relation{N: n}
 	// Shadow rails.
 	for _, v := range n.PSVars() {
-		r.shPS = append(r.shPS, n.Space().NewVar(shadowName(v.Name(), "ps"), v.Card()))
+		r.shPS = append(r.shPS, n.Space().NewVar(shadowName(v.Name(), "ps", id), v.Card()))
 	}
 	for _, v := range n.NSVars() {
-		r.shNS = append(r.shNS, n.Space().NewVar(shadowName(v.Name(), "ns"), v.Card()))
+		r.shNS = append(r.shNS, n.Space().NewVar(shadowName(v.Name(), "ns", id), v.Card()))
 	}
 	all := append(append([]*mdd.Var(nil), n.PSVars()...), n.NSVars()...)
 	shAll := append(append([]*mdd.Var(nil), r.shPS...), r.shNS...)
@@ -89,8 +92,8 @@ func Compute(n *network.Network, obs []bdd.Ref) *Relation {
 	return r
 }
 
-func shadowName(base, rail string) string {
-	return fmt.Sprintf("%s$bisim%s%d", base, rail, shadowCounter)
+func shadowName(base, rail string, id int64) string {
+	return fmt.Sprintf("%s$bisim%s%d", base, rail, id)
 }
 
 // toShadowSet maps a PS-rail set onto the shadow rail.

@@ -39,6 +39,11 @@ type Model struct {
 	// <value>"), e.g. the "src" namespace mapping variables back to HDL
 	// source locations for source-level debugging (paper §8 item 7).
 	Attrs map[string]map[string]string
+
+	// sealed marks the model immutable (see Seal): Var stops creating
+	// variables on lookup, making every read path safe for concurrent
+	// use. Set once by Seal, never cleared.
+	sealed bool
 }
 
 // SetAttr records an annotation for a variable.
@@ -156,15 +161,55 @@ type Subckt struct {
 
 // Var returns the variable named n, creating it as binary if absent.
 // BLIF-MV treats undeclared variables as binary with values 0/1.
+// On a sealed model no creation happens: unknown names return nil,
+// which is also how a stale saved-order name is told apart from a real
+// variable (an unsealed model would silently mint a binary variable
+// for it).
 func (m *Model) Var(n string) *Variable {
 	if v, ok := m.Vars[n]; ok {
 		return v
+	}
+	if m.sealed {
+		return nil
 	}
 	v := &Variable{Name: n, Card: 2, Values: []string{"0", "1"}}
 	m.Vars[n] = v
 	m.VarDecl = append(m.VarDecl, n)
 	return v
 }
+
+// Seal materializes every variable the model references (inputs,
+// outputs, table columns, latch ports) and then freezes the model:
+// subsequent Var lookups never mutate it, so a sealed model is a
+// read-only artifact that any number of goroutines may compile
+// networks from concurrently. Sealing is idempotent.
+func (m *Model) Seal() {
+	if m.sealed {
+		return
+	}
+	for _, n := range m.Inputs {
+		m.Var(n)
+	}
+	for _, n := range m.Outputs {
+		m.Var(n)
+	}
+	for _, t := range m.Tables {
+		for _, n := range t.Inputs {
+			m.Var(n)
+		}
+		for _, n := range t.Outputs {
+			m.Var(n)
+		}
+	}
+	for _, l := range m.Latches {
+		m.Var(l.Input)
+		m.Var(l.Output)
+	}
+	m.sealed = true
+}
+
+// Sealed reports whether Seal has run.
+func (m *Model) Sealed() bool { return m.sealed }
 
 // IsInput reports whether name is a primary input of the model.
 func (m *Model) IsInput(name string) bool {

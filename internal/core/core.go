@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math/big"
 	"os"
 	"strings"
 	"sync"
@@ -149,22 +150,14 @@ func parseReorderOptions(opts Options) (reorder.Options, error) {
 }
 
 // LoadVerilogString compiles Verilog source text into a workspace.
+// It is CompileVerilog + Instantiate in one step, for callers that do
+// not need to share the frontend artifact across workspaces.
 func LoadVerilogString(src, file, top string, opts Options) (*Workspace, error) {
-	design, err := verilogToBlifmv(src, file, top)
+	d, err := CompileVerilog(src, file, top)
 	if err != nil {
 		return nil, err
 	}
-	var sb strings.Builder
-	if err := blifmv.Write(&sb, design); err != nil {
-		return nil, err
-	}
-	w, err := LoadBlifMVString(sb.String(), file+".mv", opts)
-	if err != nil {
-		return nil, err
-	}
-	w.Name = top
-	w.VerilogLines = countLines(src)
-	return w, nil
+	return d.Instantiate(opts)
 }
 
 // LoadVerilogFile compiles a .v file into a workspace.
@@ -178,75 +171,15 @@ func LoadVerilogFile(path, top string, opts Options) (*Workspace, error) {
 
 // LoadBlifMVString parses BLIF-MV text, flattens it and compiles the
 // symbolic network, timing the read+build phase as the paper's
-// "time read blif mv" column does.
+// "time read blif mv" column does. It is CompileBlifMV + Instantiate in
+// one step, for callers that do not need to share the frontend artifact
+// across workspaces.
 func LoadBlifMVString(src, file string, opts Options) (*Workspace, error) {
-	start := time.Now()
-	design, err := blifmv.ParseString(src, file)
+	d, err := CompileBlifMV(src, file)
 	if err != nil {
 		return nil, err
 	}
-	flat, err := blifmv.Flatten(design)
-	if err != nil {
-		return nil, err
-	}
-	switch opts.Reorder {
-	case "", "off", "manual", "auto":
-	default:
-		return nil, fmt.Errorf("core: unknown reorder policy %q (want off, manual or auto)", opts.Reorder)
-	}
-	engine, ok := reach.ParseEngineKind(opts.Image)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown image engine %q (want auto, monolithic, partitioned, clustered or iso)", opts.Image)
-	}
-	ropts, err := parseReorderOptions(opts)
-	if err != nil {
-		return nil, err
-	}
-	nopts := network.Options{
-		Heuristic:           opts.Heuristic,
-		NaiveQuantification: opts.NaiveQuantification,
-		// With per-property cone-of-influence abstraction the full
-		// product transition relation may never be needed; build it
-		// lazily (EnsureT) only when a property cannot be reduced. The
-		// same goes when an explicit engine avoids T by construction.
-		SkipMonolithic: opts.ConeOfInfluence ||
-			(engine != reach.EngineAuto && engine != reach.EngineMonolithic),
-		AutoReorder:    opts.Reorder == "auto",
-		ReorderOpts:    ropts,
-		ReorderTrigger: opts.ReorderTrigger,
-	}
-	if opts.AppendedOrder {
-		nopts.Order = appendedOrder(flat)
-	} else if opts.OrderFile != "" {
-		if entries, err := order.LoadFile(opts.OrderFile); err == nil {
-			// A stale file (renamed variables, changed cardinalities)
-			// falls back to the static order; a missing file just means
-			// no order has been saved yet.
-			if names, err := order.Apply(flat, entries); err == nil {
-				nopts.Order = names
-				nopts.ExactOrder = true
-			}
-		} else if !os.IsNotExist(err) {
-			return nil, err
-		}
-	}
-	net, err := network.Build(flat, nopts)
-	if err != nil {
-		return nil, err
-	}
-	if opts.Workers > 1 {
-		net.Manager().SetWorkers(opts.Workers)
-	}
-	return &Workspace{
-		Name:        design.Root,
-		Net:         net,
-		FC:          &fair.Constraints{},
-		engine:      engine,
-		BlifmvLines: countLines(src),
-		ReadTime:    time.Since(start),
-		opts:        opts,
-		ropts:       ropts,
-	}, nil
+	return d.Instantiate(opts)
 }
 
 // LoadBlifMVFile loads a .mv file.
@@ -415,6 +348,30 @@ func (w *Workspace) SaveOrder(path string) error {
 func (w *Workspace) ReachableStates() float64 {
 	res := reach.Forward(w.Net, reach.Options{Engine: w.engine})
 	return w.Net.NumStates(res.Reached)
+}
+
+// ReachableStatesExact is ReachableStates without the float64 rounding:
+// the exact math/big reachable-state count. float64 silently loses
+// precision once a space exceeds 2^53 states, which parameterized
+// designs (philos-64 and up) do comfortably.
+func (w *Workspace) ReachableStatesExact() *big.Int {
+	res := reach.Forward(w.Net, reach.Options{Engine: w.engine})
+	return w.Net.NumStatesExact(res.Reached)
+}
+
+// Interrupt requests cooperative cancellation of whatever verification
+// is running on this workspace (and on any cone-of-influence reductions
+// derived from it): the running fixpoint unwinds with
+// bdd.ErrInterrupted at its next safe point. Safe to call from any
+// goroutine; the caller that owns the computation recovers the panic
+// (see bdd.RecoverInterrupt).
+func (w *Workspace) Interrupt() {
+	w.Net.Manager().Interrupt()
+	w.coneMu.Lock()
+	for _, sub := range w.coneCache {
+		sub.Net.Manager().Interrupt()
+	}
+	w.coneMu.Unlock()
 }
 
 // Engine reports the workspace's image-engine selection (parsed from

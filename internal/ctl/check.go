@@ -256,6 +256,7 @@ func (c *Checker) satEU(l, r Formula) (bdd.Ref, error) {
 	t := telemetry.T()
 	iter := 0
 	for {
+		m.CheckInterrupt() // cancellation safe point
 		var sp telemetry.Span
 		if t != nil {
 			sp = t.Start("ctl.eu.iter")

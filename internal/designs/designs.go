@@ -13,6 +13,7 @@ package designs
 import (
 	"embed"
 	"fmt"
+	"strings"
 )
 
 //go:embed data
@@ -65,7 +66,8 @@ func Get(name string) (*Design, error) {
 		}
 		return &Design{Name: c.name, Top: c.top, Verilog: string(v), PIF: string(p)}, nil
 	}
-	return nil, fmt.Errorf("designs: unknown design %q", name)
+	return nil, fmt.Errorf("designs: unknown design %q (valid names: %s; scalable designs also accept a -N suffix, e.g. %q)",
+		name, strings.Join(Names(), ", "), ScalableNames()[0]+"-16")
 }
 
 // All loads every design.

@@ -1,6 +1,7 @@
 package designs
 
 import (
+	"strings"
 	"testing"
 
 	"hsis/internal/blifmv"
@@ -23,6 +24,25 @@ var wantCounts = map[string]struct{ lc, ctl int }{
 	"scheduler": {2, 1},
 	"dcnew":     {1, 7},
 	"mdlc2":     {1, 1},
+}
+
+func TestGetUnknownDesign(t *testing.T) {
+	_, err := Get("no-such-design")
+	if err == nil {
+		t.Fatal("expected an error for an unknown design")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-design"`) {
+		t.Errorf("error does not name the bad design: %q", msg)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list valid design %q: %q", name, msg)
+		}
+	}
+	if !strings.Contains(msg, "-N") && !strings.Contains(msg, "-16") {
+		t.Errorf("error does not mention the scaled-name form: %q", msg)
+	}
 }
 
 func TestAllDesignsCompile(t *testing.T) {

@@ -29,6 +29,7 @@ func EG(s sys.System, z bdd.Ref) bdd.Ref {
 	m := s.Manager()
 	y := z
 	for {
+		m.CheckInterrupt() // cancellation safe point
 		ny := m.And(z, s.Pre(y))
 		ny = m.And(ny, y)
 		if ny == y {
@@ -44,6 +45,7 @@ func EU(s sys.System, z, target bdd.Ref) bdd.Ref {
 	m := s.Manager()
 	y := m.And(target, z)
 	for {
+		m.CheckInterrupt() // cancellation safe point
 		ny := m.Or(y, m.And(z, s.Pre(y)))
 		if ny == y {
 			return y
@@ -72,6 +74,7 @@ func FairStates(s sys.System, fc *fair.Constraints, restrict bdd.Ref) Result {
 	iter := 0
 	t := telemetry.T()
 	for {
+		m.CheckInterrupt() // cancellation safe point
 		iter++
 		old := z
 		var sp telemetry.Span

@@ -2,6 +2,7 @@ package lc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hsis/internal/bdd"
 	"hsis/internal/ctl"
@@ -36,14 +37,16 @@ type Product struct {
 	engine           reach.EngineKind
 }
 
-var productCounter int
+// productCounter disambiguates product state-variable names. Atomic:
+// independent workspaces (one per daemon job) build products
+// concurrently with no shared lock between them.
+var productCounter atomic.Int64
 
 // NewProduct builds the product system. It extends the design's BDD
 // manager with two fresh automaton state variables.
 func NewProduct(n *network.Network, a *Automaton) *Product {
 	m := n.Manager()
-	productCounter++
-	base := fmt.Sprintf("_aut%d_%s", productCounter, a.Name)
+	base := fmt.Sprintf("_aut%d_%s", productCounter.Add(1), a.Name)
 	aps := n.Space().NewVar(base, len(a.States))
 	ans := n.Space().NewVar(base+"$ns", len(a.States))
 

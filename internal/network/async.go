@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hsis/internal/bdd"
 	"hsis/internal/mdd"
@@ -49,7 +50,9 @@ func Interleaving(n *Network) *Synchrony {
 	return root
 }
 
-var asyncCounter int
+// asyncCounter disambiguates selector-variable names. Atomic: the
+// daemon builds independent workspaces concurrently.
+var asyncCounter atomic.Int64
 
 // BuildAsyncT compiles the extended-c/s transition relation for the
 // given synchrony tree over this network: the latches selected by the
@@ -70,7 +73,7 @@ func (n *Network) BuildAsyncT(tree *Synchrony) (bdd.Ref, error) {
 		byOutput[l.Src.Output] = l
 	}
 	// selected(l): BDD over fresh selector variables, per latch.
-	asyncCounter++
+	asyncID := asyncCounter.Add(1)
 	selected := make(map[*Latch]bdd.Ref, len(n.latches))
 	var selectorBits []int
 	var walk func(t *Synchrony, path bdd.Ref) error
@@ -105,7 +108,7 @@ func (n *Network) BuildAsyncT(tree *Synchrony) (bdd.Ref, error) {
 		}
 		// A node: a fresh selector variable picks one child.
 		selN++
-		sel := n.space.NewVar(fmt.Sprintf("_sel%d_%d", asyncCounter, selN), len(t.Children))
+		sel := n.space.NewVar(fmt.Sprintf("_sel%d_%d", asyncID, selN), len(t.Children))
 		selectorBits = append(selectorBits, sel.Bits()...)
 		for i, c := range t.Children {
 			if err := walk(c, m.And(path, sel.Eq(i))); err != nil {
@@ -133,7 +136,7 @@ func (n *Network) BuildAsyncT(tree *Synchrony) (bdd.Ref, error) {
 	var auxConjs []quant.Conjunct
 	var quantifyExtra []int
 	for i, l := range n.latches {
-		y := n.space.NewVar(fmt.Sprintf("_async%d_ns_%d", asyncCounter, i), l.PS.Card())
+		y := n.space.NewVar(fmt.Sprintf("_async%d_ns_%d", asyncID, i), l.PS.Card())
 		aux[i] = y
 		inVar := l.NS // synchronous next-state carrier (input or aux)
 		upd := m.And(selected[l], y.EqVar(inVar))

@@ -14,6 +14,7 @@ package network
 
 import (
 	"fmt"
+	"math/big"
 	"sort"
 	"strings"
 	"sync"
@@ -589,6 +590,12 @@ func (n *Network) NumStates(set bdd.Ref) float64 {
 	return n.mgr.SatCount(set, len(n.psBits))
 }
 
+// NumStatesExact is NumStates without the float64 rounding: the exact
+// math/big count of states in a set over the present-state rail.
+func (n *Network) NumStatesExact(set bdd.Ref) *big.Int {
+	return n.mgr.SatCountExact(set, len(n.psBits))
+}
+
 // LabelEq returns the present-state label of the condition
 // <name> == <value>. For a state variable this is the plain equality;
 // for a combinational or input variable it is the set of states where
@@ -601,6 +608,11 @@ func (n *Network) LabelEq(name, value string) (bdd.Ref, error) {
 		return bdd.False, fmt.Errorf("network: unknown variable %q", name)
 	}
 	mv := n.model.Var(name)
+	if mv == nil {
+		// Only auxiliary $ns rail variables exist in the space but not in
+		// a sealed model; properties cannot meaningfully observe them.
+		return bdd.False, fmt.Errorf("network: %q is not a model variable", name)
+	}
 	idx := mv.ValueIndex(value)
 	if idx < 0 {
 		return bdd.False, fmt.Errorf("network: %q is not a value of %s", value, name)

@@ -121,6 +121,10 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 		if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
 			return res
 		}
+		// Cancellation check at the same safe point the reorder/GC
+		// machinery uses: a cancelled or timed-out job unwinds here via
+		// ErrInterrupted instead of finishing the fixpoint.
+		m.CheckInterrupt()
 		var sp telemetry.Span
 		if t != nil {
 			sp = t.Start("reach.iter")
@@ -186,6 +190,7 @@ func Backward(n *network.Network, target, care bdd.Ref, kind EngineKind) bdd.Ref
 	t := telemetry.T()
 	step := 0
 	for frontier != bdd.False {
+		m.CheckInterrupt() // cancellation safe point (see ForwardFrom)
 		var sp telemetry.Span
 		if t != nil {
 			sp = t.Start("reach.back.iter")

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// JobView is the JSON rendering of a job for GET /jobs/{id} and the
+// POST /jobs acknowledgement.
+type JobView struct {
+	ID       string  `json:"id"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Status   Status  `json:"status"`
+	Design   string  `json:"design,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+	Created  string  `json:"created"`
+	Started  string  `json:"started,omitempty"`
+	Finished string  `json:"finished,omitempty"`
+	Trace    string  `json:"trace,omitempty"` // trace endpoint path, when traced
+}
+
+func (s *Server) view(j *Job) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		Tenant:  j.Tenant,
+		Status:  j.status,
+		Design:  j.req.Builtin,
+		Error:   j.errMsg,
+		Result:  j.result,
+		Created: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.tracePath != "" {
+		v.Trace = "/jobs/" + j.ID + "/trace"
+	}
+	return v
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs            submit a job (202, or 429 + Retry-After)
+//	GET    /jobs/{id}       job status and result
+//	DELETE /jobs/{id}       cancel a queued or running job
+//	GET    /jobs/{id}/trace stream the job's telemetry JSONL
+//	GET    /metrics         server metrics snapshot
+//	GET    /healthz         liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, 32<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, s.view(j))
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue is full")
+	case errors.Is(err, errQueueClosed):
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Cancel(id) {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, s.view(j))
+}
+
+// handleTrace streams the job's JSONL telemetry spool, following the
+// file (tail -f style) until the job reaches a terminal status and the
+// spool is fully drained.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if j.tracePath == "" {
+		writeError(w, http.StatusNotFound, "job was not submitted with options.trace")
+		return
+	}
+	// The spool file appears when the job starts executing; wait for it
+	// (or for the job to die first, e.g. cancelled while queued).
+	var f *os.File
+	for {
+		var err error
+		f, err = os.Open(j.tracePath)
+		if err == nil {
+			break
+		}
+		if j.Status().Terminal() {
+			writeError(w, http.StatusNotFound, "no trace was recorded")
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err == io.EOF {
+			if j.Status().Terminal() {
+				// One final read after the terminal transition picks up
+				// the tracer's closing flush.
+				if n2, _ := f.Read(buf); n2 > 0 {
+					w.Write(buf[:n2])
+					continue
+				}
+				return
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-j.Done():
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

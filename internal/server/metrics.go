@@ -1,0 +1,73 @@
+package server
+
+// KernelTotals aggregates BDD kernel counters across every job the
+// server has executed (each job's manager is read once, at job end).
+type KernelTotals struct {
+	ApplyCalls  uint64 `json:"apply_calls"`
+	ApplyHits   uint64 `json:"apply_hits"`
+	ITECalls    uint64 `json:"ite_calls"`
+	ITEHits     uint64 `json:"ite_hits"`
+	QuantCalls  uint64 `json:"quant_calls"` // Exists/ForAll + AndExists
+	QuantHits   uint64 `json:"quant_hits"`
+	GCs         int64  `json:"gcs"`
+	Reorders    int64  `json:"reorders"`
+	MaxPeakLive int64  `json:"max_peak_live_nodes"`
+}
+
+// CacheMetrics reports the artifact cache's effectiveness.
+type CacheMetrics struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Metrics is the GET /metrics snapshot.
+type Metrics struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_capacity"`
+	Running    int `json:"running_jobs"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsTimedOut  int64 `json:"jobs_timed_out"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+
+	TracesWritten int64 `json:"traces_written"`
+	TraceFailures int64 `json:"trace_failures"`
+
+	ArtifactCache CacheMetrics `json:"artifact_cache"`
+	Kernel        KernelTotals `json:"kernel"`
+}
+
+// Metrics snapshots the server's observable state.
+func (s *Server) Metrics() Metrics {
+	entries, hits, misses, evictions := s.cache.stats()
+	s.kernelMu.Lock()
+	kernel := s.kernelTotals
+	s.kernelMu.Unlock()
+	return Metrics{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.queue.depth(),
+		QueueCap:      s.cfg.QueueCapacity,
+		Running:       int(s.running.Load()),
+		JobsSubmitted: s.submitted.Load(),
+		JobsRejected:  s.rejected.Load(),
+		JobsCompleted: s.completed.Load(),
+		JobsFailed:    s.failed.Load(),
+		JobsTimedOut:  s.timedOut.Load(),
+		JobsCancelled: s.cancelled.Load(),
+		TracesWritten: s.tracesWritten.Load(),
+		TraceFailures: s.traceFailures.Load(),
+		ArtifactCache: CacheMetrics{
+			Entries:   entries,
+			Hits:      hits,
+			Misses:    misses,
+			Evictions: evictions,
+		},
+		Kernel: kernel,
+	}
+}

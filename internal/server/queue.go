@@ -1,0 +1,152 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull rejects a submission when the bounded queue is at
+// capacity; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("server: job queue is full")
+
+// errQueueClosed tells workers to exit.
+var errQueueClosed = errors.New("server: job queue closed")
+
+// tenantQ is one tenant's FIFO plus its stride-scheduling state.
+type tenantQ struct {
+	name string
+	jobs []*Job
+	// pass is the tenant's virtual time: it advances by 1/weight per
+	// dispatched job, so a weight-2 tenant's pass advances half as fast
+	// and it gets twice the dispatch share under contention.
+	pass   float64
+	weight float64
+}
+
+// jobQueue is the bounded admission queue with weighted fair dispatch.
+// Jobs enqueue into per-tenant FIFOs; dispatch picks the non-empty
+// tenant with the smallest pass (stride scheduling). A tenant going
+// from idle to active has its pass clamped up to the current virtual
+// time, so saved-up idle credit cannot let it monopolize the workers.
+type jobQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cap     int
+	size    int
+	tenants map[string]*tenantQ
+	weights map[string]float64
+	// vtime tracks the pass of the last dispatched tenant — the queue's
+	// global virtual time, used as the activation clamp.
+	vtime  float64
+	closed bool
+}
+
+func newJobQueue(capacity int, weights map[string]int) *jobQueue {
+	q := &jobQueue{
+		cap:     capacity,
+		tenants: make(map[string]*tenantQ),
+		weights: make(map[string]float64),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for name, w := range weights {
+		if w > 0 {
+			q.weights[name] = float64(w)
+		}
+	}
+	return q
+}
+
+// push admits a job or rejects with ErrQueueFull.
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if q.size >= q.cap {
+		return ErrQueueFull
+	}
+	t := q.tenants[j.Tenant]
+	if t == nil {
+		w := q.weights[j.Tenant]
+		if w == 0 {
+			w = 1
+		}
+		t = &tenantQ{name: j.Tenant, weight: w, pass: q.vtime}
+		q.tenants[j.Tenant] = t
+	}
+	if len(t.jobs) == 0 && t.pass < q.vtime {
+		t.pass = q.vtime
+	}
+	t.jobs = append(t.jobs, j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (skipping jobs cancelled while
+// queued) or the queue closes, in which case it returns errQueueClosed.
+func (q *jobQueue) pop() (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for q.size == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.size == 0 && q.closed {
+			return nil, errQueueClosed
+		}
+		// Stride pick: non-empty tenant with the smallest pass; ties
+		// break by name for determinism.
+		var best *tenantQ
+		for _, t := range q.tenants {
+			if len(t.jobs) == 0 {
+				continue
+			}
+			if best == nil || t.pass < best.pass ||
+				(t.pass == best.pass && t.name < best.name) {
+				best = t
+			}
+		}
+		j := best.jobs[0]
+		best.jobs = best.jobs[1:]
+		q.size--
+		q.vtime = best.pass
+		best.pass += 1 / best.weight
+		// Lazy cancellation: a job cancelled while queued is already
+		// terminal — drop it and pick again.
+		if j.Status().Terminal() {
+			continue
+		}
+		return j, nil
+	}
+}
+
+// depth reports how many jobs are waiting.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// close wakes all poppers; queued jobs drain as errQueueClosed after
+// the backlog empties (Server.Close cancels the backlog first).
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// drain marks every queued job cancelled and empties the queue.
+func (q *jobQueue) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*Job
+	for _, t := range q.tenants {
+		out = append(out, t.jobs...)
+		t.jobs = nil
+	}
+	q.size = 0
+	return out
+}

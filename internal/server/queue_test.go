@@ -1,0 +1,106 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func qjob(tenant string) *Job {
+	return &Job{Tenant: tenant, status: StatusQueued, done: make(chan struct{})}
+}
+
+// popAll drains n jobs and returns the tenant dispatch sequence.
+func popAll(t *testing.T, q *jobQueue, n int) string {
+	t.Helper()
+	var seq []string
+	for i := 0; i < n; i++ {
+		j, err := q.pop()
+		if err != nil {
+			t.Fatalf("pop %d: %v", i, err)
+		}
+		seq = append(seq, j.Tenant)
+	}
+	return strings.Join(seq, "")
+}
+
+func TestQueueFairInterleaving(t *testing.T) {
+	q := newJobQueue(16, nil)
+	// Tenant a bursts first, then tenant b: equal weights must still
+	// interleave them 1:1 rather than draining a's backlog first.
+	for i := 0; i < 4; i++ {
+		if err := q.push(qjob("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := q.push(qjob("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := popAll(t, q, 8), "abababab"; got != want {
+		t.Errorf("dispatch order %q, want %q", got, want)
+	}
+}
+
+func TestQueueWeightedShares(t *testing.T) {
+	q := newJobQueue(16, map[string]int{"a": 2})
+	for i := 0; i < 6; i++ {
+		if err := q.push(qjob("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.push(qjob("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stride with weight a=2, b=1: a is dispatched twice per b.
+	if got, want := popAll(t, q, 9), "abaabaaba"; got != want {
+		t.Errorf("dispatch order %q, want %q", got, want)
+	}
+}
+
+func TestQueueActivationClamp(t *testing.T) {
+	q := newJobQueue(16, nil)
+	// Tenant a runs alone for a while, building up virtual time.
+	for i := 0; i < 4; i++ {
+		if err := q.push(qjob("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	popAll(t, q, 4)
+	// Tenant b arrives late: its pass must clamp up to the current
+	// virtual time, not replay the history it missed — so a and b now
+	// alternate instead of b monopolizing the workers.
+	for i := 0; i < 3; i++ {
+		q.push(qjob("a"))
+		q.push(qjob("b"))
+	}
+	got := popAll(t, q, 6)
+	if strings.Count(got[:4], "b") > 2 {
+		t.Errorf("late tenant monopolized dispatch: %q", got)
+	}
+	if !strings.Contains(got, "a") || !strings.Contains(got, "b") {
+		t.Errorf("a tenant starved: %q", got)
+	}
+}
+
+func TestQueueCapacityAndCancelSkip(t *testing.T) {
+	q := newJobQueue(2, nil)
+	j1, j2 := qjob("a"), qjob("a")
+	if err := q.push(j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(j2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("a")); err != ErrQueueFull {
+		t.Fatalf("over-capacity push: got %v, want ErrQueueFull", err)
+	}
+	// Cancel j1 while queued: pop must skip it.
+	j1.finish(StatusCancelled, nil, "test")
+	j, err := q.pop()
+	if err != nil || j != j2 {
+		t.Fatalf("pop after cancel: got %v (%v), want j2", j, err)
+	}
+}

@@ -116,6 +116,7 @@ func Reached(s System) bdd.Ref {
 	t := telemetry.T()
 	step := 0
 	for frontier != bdd.False {
+		m.CheckInterrupt() // cancellation safe point (see internal/reach)
 		var sp telemetry.Span
 		if t != nil {
 			sp = t.Start("sys.reach.iter")
