@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-parallel test-server bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke bench bench-reorder bench-parallel bench-iso bench-all
+.PHONY: check vet build test test-parallel test-server lint-metrics bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke bench bench-server bench-reorder bench-parallel bench-iso bench-all
 
-check: vet build test test-parallel test-server bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke
+check: vet build test test-parallel test-server lint-metrics bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,12 @@ test-parallel:
 test-server:
 	$(GO) test -race -count=1 ./internal/server ./cmd/hsisd
 
+# Metrics-name lint: walks the live registry of a freshly built server
+# and asserts every exported series name matches hsis_[a-z_]+ and is
+# registered exactly once (duplicates also panic at construction).
+lint-metrics:
+	$(GO) test -run 'TestMetricsNameLint' -count=1 ./internal/server
+
 # End-to-end traced run: reachability plus a property check on a bundled
 # design with -trace, verifying the shell emits a parseable JSONL trace
 # and a summary without disturbing the verification result.
@@ -62,10 +68,19 @@ bench-smoke:
 # the unified Statistics.BenchMetrics set (peak-live-nodes,
 # peak-bdd-nodes, cache-hit-%), so benchjson lands the telemetry
 # summary's headline numbers in the JSON alongside ns/op.
-bench:
+bench: bench-server
 	$(GO) test -bench='(BenchmarkImage|BenchmarkNegationHeavy)$$' -benchmem -benchtime=3x -run='^$$' . \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson > BENCH_bdd.json
+
+# Daemon throughput and latency: batches of jobs through the full
+# admission/dispatch/verify path at 1/4/8 workers, recorded to
+# BENCH_server.json with end-to-end jobs/s plus the queue-wait and
+# execution p50/p99 read back from the server's own histograms.
+bench-server:
+	$(GO) test -bench='BenchmarkServer$$' -benchtime=1x -run='^$$' ./internal/server \
+		| tee /dev/stderr \
+		| $(GO) run ./internal/tools/benchjson > BENCH_server.json
 
 # One cold iteration of accelerated auto sifting on scrambled mdlc2:
 # exercises the interaction-matrix fast path, the lower-bound abort and

@@ -118,6 +118,13 @@ func main() {
 			Image:            *imageFlag, Workers: workers},
 	}
 	defer sh.out.Flush()
+	if *statsFlag {
+		// -stats arms a metrics-only default scope: the kernel and the
+		// fixpoint drivers feed the latency histograms (GC pause,
+		// iteration, image, reorder) that WriteTable renders — the same
+		// pipeline the daemon uses per job.
+		telemetry.SetDefault(telemetry.NewScope(nil).WithMetrics(telemetry.NewMetricSet()))
+	}
 	if *traceFlag != "" {
 		if err := sh.traceOn(*traceFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "hsis:", err)
@@ -631,8 +638,10 @@ func (sh *shell) maybeStats() {
 	}
 }
 
-// traceOn arms the process-wide telemetry layer, writing JSONL events to
-// path and sampling live-node gauges in the background.
+// traceOn arms the process-default telemetry scope, writing JSONL
+// events to path and sampling live-node gauges in the background. A
+// MetricSet already armed by -stats carries over, so its histograms
+// keep accumulating across trace on/off.
 func (sh *shell) traceOn(path string) error {
 	if telemetry.Enabled() {
 		return fmt.Errorf("tracing is already on (trace off first)")
@@ -641,19 +650,33 @@ func (sh *shell) traceOn(path string) error {
 	if err != nil {
 		return err
 	}
-	tr.StartSampler(0)
-	telemetry.Arm(tr)
+	sc := telemetry.NewScope(tr)
+	if old := telemetry.Default(); old != nil && old.Metrics() != nil {
+		sc.WithMetrics(old.Metrics())
+	}
+	sc.StartSampler(0)
+	telemetry.SetDefault(sc)
 	fmt.Fprintf(sh.out, "tracing to %s\n", path)
 	return nil
 }
 
 // traceOff disarms the tracer, stamps the final BDD statistics into the
-// trace, prints the end-of-run summary and closes the trace file.
+// trace, prints the end-of-run summary and closes the trace file. When
+// -stats armed a MetricSet, a metrics-only scope stays armed so later
+// work keeps feeding the histograms.
 func (sh *shell) traceOff() error {
-	tr := telemetry.Disarm()
-	if tr == nil {
+	sc := telemetry.SetDefault(nil)
+	if sc == nil || sc.Tracer() == nil {
+		if sc != nil {
+			telemetry.SetDefault(sc)
+		}
 		return fmt.Errorf("tracing is not on")
 	}
+	sc.StopSampler()
+	if ms := sc.Metrics(); ms != nil {
+		telemetry.SetDefault(telemetry.NewScope(nil).WithMetrics(ms))
+	}
+	tr := sc.Tracer()
 	statsBlock := ""
 	if sh.w != nil {
 		st := sh.w.Net.Manager().Stats()

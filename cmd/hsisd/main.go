@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,6 +71,8 @@ func run(args []string, out *os.File) error {
 	spool := fs.String("spool", "", "trace spool directory (default: a temp dir)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
 	maxTimeout := fs.Duration("max-timeout", 0, "deadline ceiling (default: -timeout)")
+	debugAddr := fs.String("debug-addr", "",
+		"listen address for the pprof debug server (disabled when empty; keep it private)")
 	weights := tenantWeights{}
 	fs.Var(weights, "tenant-weight", "tenant dispatch weight as name=weight (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +90,25 @@ func run(args []string, out *os.File) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// The pprof surface lives on its own listener so the profiling
+	// endpoints are never reachable through the public job API address.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		fmt.Fprintf(out, "hsisd: debug (pprof) on %s\n", dln.Addr())
+		go debugSrv.Serve(dln)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -116,6 +138,9 @@ func run(args []string, out *os.File) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		httpSrv.Close()
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	s.Close()
 	fmt.Fprintln(out, "hsisd: bye")

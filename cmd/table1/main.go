@@ -109,10 +109,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "table1:", err)
 			os.Exit(1)
 		}
-		tr.StartSampler(0)
-		telemetry.Arm(tr)
+		sc := telemetry.NewScope(tr)
+		sc.StartSampler(0)
+		telemetry.SetDefault(sc)
 		defer func() {
-			telemetry.Disarm()
+			telemetry.SetDefault(nil)
+			sc.StopSampler()
 			fmt.Print(tr.Summary(""))
 			if err := tr.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "table1:", err)

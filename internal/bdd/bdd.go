@@ -265,6 +265,31 @@ type Manager struct {
 	// session opens; Stats() serves it while the session is rewriting the
 	// arena (see stats.go).
 	statsSnap Statistics
+
+	// scope is the manager's observability endpoint: every kernel
+	// instrumentation site (GC, cache growth, reorder sessions, gauge
+	// publication) and every fixpoint driver working on this manager
+	// reports through Telemetry(). Nil falls back to the process
+	// default, which keeps the single-manager CLI behaviour; the daemon
+	// sets one scope per job so concurrent jobs never share a sink.
+	scope atomic.Pointer[telemetry.Scope]
+}
+
+// SetTelemetry installs sc as this manager's observability scope (nil
+// reverts to the process default). Safe to call at any time; sites
+// read the pointer atomically.
+func (m *Manager) SetTelemetry(sc *telemetry.Scope) {
+	m.scope.Store(sc)
+}
+
+// Telemetry returns the scope instrumentation on this manager should
+// use: the instance scope if set, else the process default, else nil
+// (the disarmed case — two atomic loads and a branch, no allocation).
+func (m *Manager) Telemetry() *telemetry.Scope {
+	if sc := m.scope.Load(); sc != nil {
+		return sc
+	}
+	return telemetry.Default()
 }
 
 // Cache entries. The seq word is the per-slot sequence lock used by the
@@ -624,8 +649,8 @@ func (m *Manager) afterAlloc(c *kctx) {
 		if c.sinceAdapt >= cacheAdaptEvery {
 			c.sinceAdapt = 0
 			m.adaptPending.Store(true)
-			if telemetry.Enabled() {
-				telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
+			if sc := m.Telemetry(); sc != nil {
+				sc.PublishNodes(m.Size(), int(m.peakLive.Load()))
 			}
 		}
 		return
@@ -649,8 +674,8 @@ func (m *Manager) afterAlloc(c *kctx) {
 		c.sinceAdapt = 0
 		c.flush(m)
 		m.adaptCaches()
-		if telemetry.Enabled() {
-			telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
+		if sc := m.Telemetry(); sc != nil {
+			sc.PublishNodes(m.Size(), int(m.peakLive.Load()))
 		}
 	}
 }

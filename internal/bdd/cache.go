@@ -224,8 +224,8 @@ func (m *Manager) growCache(id cacheID) {
 		}
 	}
 	m.statCacheGrowths.Add(1)
-	if t := telemetry.T(); t != nil {
-		t.Emit("bdd.cache_grow",
+	if sc := m.Telemetry(); sc != nil {
+		sc.Emit("bdd.cache_grow",
 			telemetry.Str("cache", id.String()),
 			telemetry.Int("entries", m.cacheLen(id)),
 			telemetry.Int("total_entries", m.totalCacheEntries()))

@@ -59,7 +59,7 @@ func (m *Manager) GC() {
 		panic("bdd: GC during an active reorder session")
 	}
 	var gcStart time.Time
-	if telemetry.Enabled() {
+	if m.Telemetry() != nil {
 		gcStart = time.Now()
 	}
 	m.seqCtx.flush(m)
@@ -137,13 +137,12 @@ func (m *Manager) GC() {
 	}
 	m.adaptPending.Store(false)
 	m.adaptCaches()
-	if t := telemetry.T(); t != nil {
-		telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
-		t.Emit("bdd.gc",
+	if sc := m.Telemetry(); sc != nil {
+		sc.PublishNodes(m.Size(), int(m.peakLive.Load()))
+		sc.EmitElapsed("bdd.gc", time.Since(gcStart),
 			telemetry.Int("live", live),
 			telemetry.Int("dead", alloc-live),
-			telemetry.Int("kept_cache_entries", m.statCacheKept),
-			telemetry.I64("elapsed_us", time.Since(gcStart).Microseconds()))
+			telemetry.Int("kept_cache_entries", m.statCacheKept))
 	}
 	if m.OnGC != nil {
 		m.OnGC(live, alloc-live)

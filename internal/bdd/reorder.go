@@ -177,8 +177,8 @@ func (m *Manager) StartReorder() *ReorderSession {
 	// Freeze a coherent Statistics snapshot before the session starts
 	// rewriting the arena; Stats() serves it until Close.
 	m.statsSnap = m.statsNow()
-	if t := telemetry.T(); t != nil {
-		t.Emit("bdd.reorder_start", telemetry.Int("live", m.Size()))
+	if sc := m.Telemetry(); sc != nil {
+		sc.Emit("bdd.reorder_start", telemetry.Int("live", m.Size()))
 	}
 	// Parallel free-list pops consume the tail without shrinking the
 	// slice; re-establish len(m.free) == freeLen for the session, which
@@ -681,16 +681,15 @@ func (s *ReorderSession) Close() {
 	m.statReorderTime += time.Since(s.start)
 	m.reorderBefore = s.before
 	m.reorderAfter = m.Size()
-	if t := telemetry.T(); t != nil {
-		telemetry.PublishNodes(m.Size(), int(m.peakLive.Load()))
-		t.Emit("bdd.reorder_end",
+	if sc := m.Telemetry(); sc != nil {
+		sc.PublishNodes(m.Size(), int(m.peakLive.Load()))
+		sc.EmitElapsed("bdd.reorder_end", time.Since(s.start),
 			telemetry.Int("swaps", s.swaps),
 			telemetry.Int("inter_skips", s.interSkips),
 			telemetry.Int("lb_aborts", s.lbAborts),
 			telemetry.Int("sym_pairs", s.symPairs),
 			telemetry.Int("before", s.before),
-			telemetry.Int("after", m.Size()),
-			telemetry.I64("elapsed_us", time.Since(s.start).Microseconds()))
+			telemetry.Int("after", m.Size()))
 	}
 	m.inSession.Store(false)
 	if m.par {

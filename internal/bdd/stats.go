@@ -74,6 +74,13 @@ type Statistics struct {
 	ReorderNodesBefore int
 	ReorderNodesAfter  int
 	PeakLive           int
+
+	// Latency histograms, present when the manager's telemetry scope
+	// carries a MetricSet (armed by `hsis -stats` and by every daemon
+	// job): fixpoint iteration, image, GC pause and reorder-session
+	// durations, rendered by WriteTable as count/p50/p99 rows. Empty
+	// snapshots (Count == 0) are skipped when rendering.
+	Latency []telemetry.HistogramSnapshot
 }
 
 func ratio(hits, calls uint64) float64 {
@@ -161,6 +168,15 @@ func (s Statistics) WriteTable(w io.Writer) {
 		row("reorder accel", "%d interaction-skips, %d lb-aborts, %d symmetric-pairs",
 			s.ReorderInterSkips, s.ReorderLBAborts, s.ReorderSymPairs)
 	}
+	for _, h := range s.Latency {
+		if h.Count == 0 {
+			continue
+		}
+		row(h.Name+" latency", "%d obs, p50 %v, p99 %v",
+			h.Count,
+			time.Duration(h.P50US())*time.Microsecond,
+			time.Duration(h.P99US())*time.Microsecond)
+	}
 }
 
 // Table returns WriteTable's rendering as a string.
@@ -211,10 +227,18 @@ func (s Statistics) TelemetryFields() []telemetry.Field {
 // call concurrently with operations (counts from operations still in
 // flight appear when they complete).
 func (m *Manager) Stats() Statistics {
+	var s Statistics
 	if m.inSession.Load() {
-		return m.statsSnap
+		s = m.statsSnap
+	} else {
+		s = m.statsNow()
 	}
-	return m.statsNow()
+	// Latency snapshots come from the scope, not the frozen snapshot:
+	// the histograms are lock-free and coherent at any time.
+	if ms := m.Telemetry().Metrics(); ms != nil {
+		s.Latency = ms.Snapshots()
+	}
+	return s
 }
 
 // statsNow collects the counters directly; callers must ensure no

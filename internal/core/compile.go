@@ -152,6 +152,7 @@ func (d *CompiledDesign) Instantiate(opts Options) (*Workspace, error) {
 		ReorderOpts:    ropts,
 		ReorderTrigger: opts.ReorderTrigger,
 		Order:          d.staticOrder,
+		Telemetry:      opts.Telemetry,
 	}
 	if opts.AppendedOrder {
 		nopts.Order = d.appendedOrder()

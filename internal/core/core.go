@@ -84,6 +84,13 @@ type Options struct {
 	// concurrent kernel with an n-worker fork/join pool and makes
 	// VerifyAll check independent properties in parallel.
 	Workers int
+	// Telemetry, when non-nil, is installed as the observability scope
+	// of every manager the workspace builds (including cone-of-influence
+	// sub-workspaces), so traces, latency histograms and the flight
+	// recorder attach to this workspace instead of the process default.
+	// The daemon sets one scope per job; the CLIs leave it nil and arm
+	// the process default.
+	Telemetry *telemetry.Scope
 }
 
 // Workspace is a loaded design together with its properties.
@@ -253,6 +260,7 @@ func (w *Workspace) coneWorkspace(observed []string) (*Workspace, *abstract.Resu
 		AutoReorder:         w.opts.Reorder == "auto",
 		ReorderOpts:         w.ropts,
 		ReorderTrigger:      w.opts.ReorderTrigger,
+		Telemetry:           w.opts.Telemetry,
 	}
 	net, err := network.Build(res.Model, nopts)
 	if err != nil {
@@ -413,13 +421,14 @@ func (w *Workspace) CheckCTL(p pif.CTLProp) *PropertyResult {
 	}
 	out.Pass = v.Pass
 	out.UsedInvariantPath = v.UsedInvariantPath
-	emitPropCheck(out)
+	w.emitPropCheck(out)
 	return out
 }
 
-// emitPropCheck reports one finished property check to the armed tracer.
-func emitPropCheck(r *PropertyResult) {
-	if t := telemetry.T(); t != nil {
+// emitPropCheck reports one finished property check to the workspace
+// manager's telemetry scope.
+func (w *Workspace) emitPropCheck(r *PropertyResult) {
+	if t := w.Net.Manager().Telemetry(); t != nil {
 		t.Emit("prop.check",
 			telemetry.Str("name", r.Name),
 			telemetry.Str("kind", string(r.Kind)),
@@ -477,7 +486,7 @@ func (w *Workspace) CheckLC(spec *pif.AutSpec) *PropertyResult {
 		}
 	}
 	out.Time = time.Since(start)
-	emitPropCheck(out)
+	w.emitPropCheck(out)
 	return out
 }
 

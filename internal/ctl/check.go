@@ -253,7 +253,7 @@ func (c *Checker) satEU(l, r Formula) (bdd.Ref, error) {
 		return bdd.False, err
 	}
 	y := m.And(q, c.Fair())
-	t := telemetry.T()
+	t := m.Telemetry()
 	iter := 0
 	for {
 		m.CheckInterrupt() // cancellation safe point

@@ -72,7 +72,7 @@ func FairStates(s sys.System, fc *fair.Constraints, restrict bdd.Ref) Result {
 	m := s.Manager()
 	z := restrict
 	iter := 0
-	t := telemetry.T()
+	t := m.Telemetry()
 	for {
 		m.CheckInterrupt() // cancellation safe point
 		iter++

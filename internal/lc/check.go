@@ -91,7 +91,7 @@ func boundedReached(s sys.System, k int) bdd.Ref {
 	m := s.Manager()
 	reached := s.Init()
 	frontier := reached
-	t := telemetry.T()
+	t := m.Telemetry()
 	for i := 0; i < k && frontier != bdd.False; i++ {
 		var sp telemetry.Span
 		if t != nil {

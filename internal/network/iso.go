@@ -433,7 +433,7 @@ func (n *Network) detectIso() {
 	sort.Ints(st.sharedLocal)
 	st.sharedLocal = dedupInts(st.sharedLocal)
 
-	if t := telemetry.T(); t != nil {
+	if t := n.Manager().Telemetry(); t != nil {
 		repl := 0
 		for _, cls := range st.classes {
 			repl += len(cls.Latches)
@@ -491,7 +491,7 @@ func (n *Network) ensureIsoPlans() *isoState {
 		}
 		st.clusters = nil
 	}
-	t := telemetry.T()
+	t := m.Telemetry()
 	var all []quant.Conjunct
 	for ci, cls := range st.classes {
 		var sp telemetry.Span

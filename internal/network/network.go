@@ -26,6 +26,7 @@ import (
 	"hsis/internal/order"
 	"hsis/internal/quant"
 	"hsis/internal/reorder"
+	"hsis/internal/telemetry"
 )
 
 // Options configures symbolic compilation.
@@ -60,6 +61,11 @@ type Options struct {
 	// ReorderTrigger overrides the auto-sift growth trigger factor
 	// (<= 1 keeps the default 2).
 	ReorderTrigger float64
+	// Telemetry, when non-nil, becomes the new manager's observability
+	// scope (Manager.SetTelemetry) before any node is built, so even
+	// construction-time GC and cache-growth events land in the right
+	// per-job sink.
+	Telemetry *telemetry.Scope
 }
 
 // Latch pairs a source latch with its present/next-state variables.
@@ -142,6 +148,9 @@ func Build(flat *blifmv.Model, opts Options) (*Network, error) {
 		mgr:   bdd.New(),
 		model: flat,
 		heur:  opts.Heuristic,
+	}
+	if opts.Telemetry != nil {
+		n.mgr.SetTelemetry(opts.Telemetry)
 	}
 	n.space = mdd.NewSpace(n.mgr)
 

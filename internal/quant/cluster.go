@@ -272,7 +272,7 @@ func Compile(m *bdd.Manager, clusters []Conjunct, seedSupport []int, quantify []
 // Run replays the plan: conjoin the seed with each step's cluster,
 // quantifying that step's cube in the same AndExists pass.
 func (p *CompiledPlan) Run(m *bdd.Manager, seed bdd.Ref) bdd.Ref {
-	t := telemetry.T()
+	t := m.Telemetry()
 	if t == nil {
 		r := seed
 		for _, st := range p.Steps {

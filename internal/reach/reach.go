@@ -98,7 +98,7 @@ func ForwardFrom(n *network.Network, from bdd.Ref, opts Options) *Result {
 	img := eng.Image
 	res := &Result{Reached: from}
 	frontier := from
-	t := telemetry.T()
+	t := m.Telemetry()
 	if t != nil {
 		t.Emit("reach.start",
 			telemetry.Str("engine", eng.Kind().String()),
@@ -187,7 +187,7 @@ func Backward(n *network.Network, target, care bdd.Ref, kind EngineKind) bdd.Ref
 	pre := Engine(n, kind).Preimage
 	reached := m.And(target, care)
 	frontier := reached
-	t := telemetry.T()
+	t := m.Telemetry()
 	step := 0
 	for frontier != bdd.False {
 		m.CheckInterrupt() // cancellation safe point (see ForwardFrom)

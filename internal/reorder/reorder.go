@@ -254,7 +254,7 @@ func interacting(m *bdd.Manager, s *bdd.ReorderSession, a, b block) bool {
 // blocks probe for positive symmetry and glue the pair into one block.
 func siftBlock(m *bdd.Manager, s *bdd.ReorderSession, st *siftState, idx int, growth float64, opts Options) {
 	var sp telemetry.Span
-	if t := telemetry.T(); t != nil {
+	if t := m.Telemetry(); t != nil {
 		sp = t.Start("reorder.sift_block")
 	}
 	fromLevel := st.blocks[idx].level

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkServer drives batches of jobs through the full daemon path
+// (admission queue, fair dispatch, artifact cache, per-job workspace)
+// at several worker-pool sizes, reporting end-to-end throughput plus
+// the queue-wait and execution latency percentiles from the server's
+// own histograms. `make bench-server` records the rows to
+// BENCH_server.json via benchjson.
+func BenchmarkServer(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			s, err := New(Config{
+				Workers:       workers,
+				QueueCapacity: 64,
+				SpoolDir:      b.TempDir(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			// One warm-up job takes the artifact-cache miss out of the
+			// measured window: the contest is job flow, not the frontend.
+			warm, err := s.Submit(Request{Builtin: "pingpong", PIF: "-"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-warm.Done()
+
+			const batch = 24
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*Job, 0, batch)
+				for k := 0; k < batch; k++ {
+					j, err := s.Submit(Request{Builtin: "pingpong", PIF: "-"})
+					if err != nil {
+						b.Fatal(err)
+					}
+					jobs = append(jobs, j)
+				}
+				for _, j := range jobs {
+					<-j.Done()
+					if st := j.Status(); st != StatusDone {
+						_, msg := j.Result()
+						b.Fatalf("job %s: %s (%s)", j.ID, st, msg)
+					}
+				}
+				total += batch
+			}
+			b.StopTimer()
+
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "jobs/s")
+			tm := s.Metrics().Tenants["default"]
+			b.ReportMetric(tm.QueueWait.P50MS, "queue-wait-p50-ms")
+			b.ReportMetric(tm.QueueWait.P99MS, "queue-wait-p99-ms")
+			b.ReportMetric(tm.Exec.P50MS, "exec-p50-ms")
+			b.ReportMetric(tm.Exec.P99MS, "exec-p99-ms")
+		})
+	}
+}

@@ -22,6 +22,9 @@ type JobView struct {
 	Started  string  `json:"started,omitempty"`
 	Finished string  `json:"finished,omitempty"`
 	Trace    string  `json:"trace,omitempty"` // trace endpoint path, when traced
+	// FlightRecord holds the job's last telemetry events (canonical
+	// JSONL lines, oldest first) when it ended failed/timeout/cancelled.
+	FlightRecord []string `json:"flight_record,omitempty"`
 }
 
 func (s *Server) view(j *Job) JobView {
@@ -45,6 +48,7 @@ func (s *Server) view(j *Job) JobView {
 	if j.tracePath != "" {
 		v.Trace = "/jobs/" + j.ID + "/trace"
 	}
+	v.FlightRecord = j.flight
 	return v
 }
 
@@ -54,7 +58,8 @@ func (s *Server) view(j *Job) JobView {
 //	GET    /jobs/{id}       job status and result
 //	DELETE /jobs/{id}       cancel a queued or running job
 //	GET    /jobs/{id}/trace stream the job's telemetry JSONL
-//	GET    /metrics         server metrics snapshot
+//	GET    /metrics         JSON metrics snapshot (?format=prom for
+//	                        Prometheus text exposition)
 //	GET    /healthz         liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -193,5 +198,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
 }

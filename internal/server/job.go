@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"hsis/internal/core"
+	"hsis/internal/telemetry"
 )
 
 // JobOptions tunes one verification job. The zero value is a sane
@@ -53,9 +54,9 @@ type JobOptions struct {
 	// Reach additionally computes the exact reachable-state count.
 	Reach bool `json:"reach,omitempty"`
 	// Trace records the job's kernel telemetry to a per-job JSONL spool
-	// file, streamed by GET /jobs/{id}/trace. The telemetry substrate is
-	// process-wide, so a traced job runs solo: it waits for running jobs
-	// to drain and blocks new ones while it runs.
+	// file, streamed by GET /jobs/{id}/trace. Telemetry is scoped to the
+	// job's own manager, so traced jobs run — and stream — concurrently
+	// with each other and with untraced work.
 	Trace bool `json:"trace,omitempty"`
 }
 
@@ -157,6 +158,16 @@ type Job struct {
 	ws atomic.Pointer[core.Workspace]
 
 	tracePath string // JSONL spool file, when Options.Trace is set
+
+	// scope is the job's telemetry (tracer when traced, flight recorder
+	// and metric set always). Written and read only on the job's worker
+	// goroutine, between setRunning and finish.
+	scope *telemetry.Scope
+
+	// flight holds the flight-recorder dump (canonical JSONL lines) of a
+	// job that ended failed/timeout/cancelled; nil otherwise. Guarded by
+	// mu, like the rest of the terminal state.
+	flight []string
 }
 
 // Status returns the job's current lifecycle state.
@@ -199,6 +210,13 @@ func (j *Job) setRunning() bool {
 	j.status = StatusRunning
 	j.started = time.Now()
 	return true
+}
+
+// setFlightRecord stashes the flight-recorder dump for the job view.
+func (j *Job) setFlightRecord(lines []string) {
+	j.mu.Lock()
+	j.flight = lines
+	j.mu.Unlock()
 }
 
 // finish transitions to a terminal status (idempotent: the first

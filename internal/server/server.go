@@ -56,11 +56,6 @@ type Server struct {
 	wg      sync.WaitGroup
 	closing atomic.Bool
 
-	// execGate serializes traced jobs against everything else: the
-	// telemetry substrate is process-wide, so a traced job takes the
-	// write lock (runs solo) while untraced jobs share the read lock.
-	execGate sync.RWMutex
-
 	// counters (atomic; surfaced by /metrics)
 	submitted, rejected          atomic.Int64
 	completed, failed            atomic.Int64
@@ -69,6 +64,18 @@ type Server struct {
 	kernelMu                     sync.Mutex
 	kernelTotals                 KernelTotals
 	tracesWritten, traceFailures atomic.Int64
+
+	// reg exports every hsis_* series (Prometheus text + JSON summaries);
+	// the histogram families below are its members (see metrics.go).
+	reg          *telemetry.Registry
+	queueWait    *telemetry.HistogramVec // by tenant: admission → execution start
+	jobDuration  *telemetry.HistogramVec // by tenant: admission → terminal status
+	jobExec      *telemetry.HistogramVec // by tenant: execution start → terminal
+	fixpointIter *telemetry.HistogramVec // by engine: one fixpoint frontier extension
+	imageTime    *telemetry.HistogramVec // by engine: one full image computation
+	gcPause      *telemetry.HistogramVec // by engine: one kernel GC
+	reorderTime  *telemetry.HistogramVec // by engine: one reordering session
+	cacheLookup  *telemetry.HistogramVec // by result (hit/miss): artifact lookup
 }
 
 // New builds a server and starts its worker pool. Close shuts it down.
@@ -103,6 +110,7 @@ func New(cfg Config) (*Server, error) {
 		cache: newArtifactCache(cfg.CacheEntries),
 		jobs:  make(map[string]*Job),
 	}
+	s.initRegistry()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -251,6 +259,7 @@ func (s *Server) worker() {
 		if !j.setRunning() {
 			continue // cancelled between push and pop
 		}
+		s.queueWait.With(tenantLabel(j.Tenant)).Observe(time.Since(j.created))
 		if s.cfg.testHookRunning != nil {
 			s.cfg.testHookRunning(j)
 		}
@@ -268,40 +277,52 @@ func (s *Server) execute(j *Job) {
 	if j.cancelRequested.Load() {
 		j.finish(StatusCancelled, nil, "cancelled before start")
 		s.cancelled.Add(1)
+		s.observeJobDone(j)
 		return
 	}
 
-	// Trace isolation: process-wide telemetry means a traced job must
-	// run solo. Untraced jobs share the gate.
+	// Per-job telemetry scope: a flight recorder and metric set always,
+	// plus a JSONL tracer when the job asked for one. The scope is
+	// threaded into the job's private manager through core.Options, so
+	// any number of traced jobs run (and stream) concurrently.
 	var tracer *telemetry.Tracer
 	if j.req.Options.Trace {
-		s.execGate.Lock()
-		defer s.execGate.Unlock()
 		t, err := telemetry.OpenTrace(j.tracePath)
 		if err != nil {
 			j.finish(StatusFailed, nil, "trace spool: "+err.Error())
 			s.failed.Add(1)
+			s.observeJobDone(j)
 			return
 		}
 		tracer = t
-		telemetry.Arm(tracer)
-	} else {
-		s.execGate.RLock()
-		defer s.execGate.RUnlock()
+	}
+	j.scope = telemetry.NewScope(tracer).
+		WithRecorder(telemetry.NewRecorder()).
+		WithMetrics(telemetry.NewMetricSet())
+	if tracer != nil {
+		j.scope.StartSampler(0)
 	}
 
 	st, res, msg := s.runWithDeadline(j, start)
 
 	// The tracer must flush and close before the job turns terminal:
 	// trace followers stop at (terminal status, EOF), so a late flush
-	// would truncate their stream.
+	// would truncate their stream. Scope.Close stops the sampler first.
+	err := j.scope.Close()
 	if tracer != nil {
-		telemetry.Disarm()
-		if tracer.Close() != nil {
+		if err != nil {
 			s.traceFailures.Add(1)
 		} else {
 			s.tracesWritten.Add(1)
 		}
+	}
+	s.foldJobMetrics(engineLabel(j.req.Options.Image), j.scope.Metrics())
+
+	// A job that dies abnormally keeps its last moments: the flight
+	// recorder's ring is dumped into the job view, so post-mortems don't
+	// need a re-run with tracing on.
+	if st != StatusDone {
+		j.setFlightRecord(j.scope.Recorder().Dump())
 	}
 
 	j.finish(st, res, msg)
@@ -315,6 +336,47 @@ func (s *Server) execute(j *Job) {
 	default:
 		s.failed.Add(1)
 	}
+	s.observeJobDone(j)
+}
+
+// observeJobDone records the job's admission-to-terminal latency (and,
+// for jobs that actually ran, its execution latency) into the
+// per-tenant histograms. Called on the worker goroutine that ran the
+// job, so reading j.started without the lock is safe.
+func (s *Server) observeJobDone(j *Job) {
+	tenant := tenantLabel(j.Tenant)
+	s.jobDuration.With(tenant).Observe(time.Since(j.created))
+	if !j.started.IsZero() {
+		s.jobExec.With(tenant).Observe(time.Since(j.started))
+	}
+}
+
+// foldJobMetrics merges a finished job's kernel latency histograms into
+// the server-lifetime per-engine families.
+func (s *Server) foldJobMetrics(engine string, ms *telemetry.MetricSet) {
+	if ms == nil {
+		return
+	}
+	s.fixpointIter.With(engine).Merge(ms.FixpointIter.Snapshot())
+	s.imageTime.With(engine).Merge(ms.Image.Snapshot())
+	s.gcPause.With(engine).Merge(ms.GCPause.Snapshot())
+	s.reorderTime.With(engine).Merge(ms.Reorder.Snapshot())
+}
+
+// tenantLabel maps the empty tenant to its display name.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// engineLabel maps the image-engine option to its metrics label.
+func engineLabel(image string) string {
+	if image == "" {
+		return "auto"
+	}
+	return image
 }
 
 // runWithDeadline arms the job's deadline and maps the verification
@@ -366,6 +428,7 @@ func (s *Server) runVerification(j *Job) (res *Result, err error) {
 		}
 	}()
 
+	lookupStart := time.Now()
 	d, hit, err := s.cache.getOrCompile(j.key, func() (*core.CompiledDesign, error) {
 		var d *core.CompiledDesign
 		var cerr error
@@ -384,6 +447,11 @@ func (s *Server) runVerification(j *Job) (res *Result, err error) {
 		}
 		return d, nil
 	})
+	lookupResult := "miss"
+	if hit {
+		lookupResult = "hit"
+	}
+	s.cacheLookup.With(lookupResult).Observe(time.Since(lookupStart))
 	if err != nil {
 		return nil, err
 	}
@@ -393,6 +461,7 @@ func (s *Server) runVerification(j *Job) (res *Result, err error) {
 		Image:           j.req.Options.Image,
 		Reorder:         j.req.Options.Reorder,
 		ConeOfInfluence: j.req.Options.ConeOfInfluence,
+		Telemetry:       j.scope,
 	})
 	if err != nil {
 		return nil, err

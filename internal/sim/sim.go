@@ -69,7 +69,7 @@ func (s *Simulator) StepWith(constraint bdd.Ref) {
 
 // emitStep reports one simulator advance to the armed tracer.
 func (s *Simulator) emitStep(constrained bool) {
-	if t := telemetry.T(); t != nil {
+	if t := s.N.Manager().Telemetry(); t != nil {
 		t.Emit("sim.step",
 			telemetry.Int("step", s.steps),
 			telemetry.Int("current_nodes", s.N.Manager().NodeCount(s.current)),

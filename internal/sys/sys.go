@@ -113,7 +113,7 @@ func Reached(s System) bdd.Ref {
 	m := s.Manager()
 	reached := s.Init()
 	frontier := reached
-	t := telemetry.T()
+	t := m.Telemetry()
 	step := 0
 	for frontier != bdd.False {
 		m.CheckInterrupt() // cancellation safe point (see internal/reach)

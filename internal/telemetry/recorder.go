@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Flight recorder: a fixed-size ring of the most recent telemetry
+// events, kept even when tracing is off, so a failed/timed-out/
+// cancelled job can dump its last moments into the job result without
+// a re-run under -trace.
+//
+// The ring is allocation-free in steady state: events are copied into
+// preallocated slots (Field is a plain value struct — copying it
+// copies string headers, not their bytes), and fields beyond the
+// per-event cap are counted but dropped. The cost of an armed recorder
+// site is one short mutex hold and a few word copies.
+
+// RecorderEvents is the ring capacity: the last N events survive.
+const RecorderEvents = 256
+
+// recorderFields caps the fields kept per event; the taxonomy's widest
+// events (bdd.reorder_end) carry 8.
+const recorderFields = 8
+
+// RecEvent is one recorded event slot.
+type RecEvent struct {
+	Kind      string
+	TUs       int64 // microseconds since the recorder started
+	ElapsedUs int64 // span duration, 0 for plain events
+	NFields   int   // fields present (may exceed len(Fields) if truncated)
+	Fields    [recorderFields]Field
+}
+
+// Recorder is the fixed ring. Safe for concurrent use.
+type Recorder struct {
+	start time.Time
+	mu    sync.Mutex
+	ring  [RecorderEvents]RecEvent
+	next  int   // next slot to overwrite
+	total int64 // events ever recorded
+}
+
+// NewRecorder builds an empty flight recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// record copies one event into the ring.
+func (r *Recorder) record(kind string, elapsed time.Duration, fields []Field) {
+	tus := time.Since(r.start).Microseconds()
+	r.mu.Lock()
+	ev := &r.ring[r.next]
+	ev.Kind = kind
+	ev.TUs = tus
+	ev.ElapsedUs = elapsed.Microseconds()
+	ev.NFields = len(fields)
+	n := copy(ev.Fields[:], fields)
+	for i := n; i < recorderFields; i++ {
+		ev.Fields[i] = Field{}
+	}
+	r.next = (r.next + 1) % RecorderEvents
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many events have ever been recorded (not just the
+// ones still in the ring).
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dump renders the ring's events, oldest first, as canonical JSONL
+// lines (same encoding as the tracer, so post-mortem tooling parses
+// both). Truncated events gain a "fields_dropped" count.
+func (r *Recorder) Dump() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int(r.total)
+	if n > RecorderEvents {
+		n = RecorderEvents
+	}
+	out := make([]string, 0, n)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		// Oldest event: when the ring wrapped, it's at next; otherwise
+		// the ring starts at slot 0.
+		idx := i
+		if r.total > RecorderEvents {
+			idx = (r.next + i) % RecorderEvents
+		}
+		ev := &r.ring[idx]
+		nf := ev.NFields
+		fields := ev.Fields[:]
+		if nf <= recorderFields {
+			fields = ev.Fields[:nf]
+		}
+		buf = appendEvent(buf[:0], ev.Kind, ev.TUs, time.Duration(ev.ElapsedUs)*time.Microsecond, fields)
+		line := string(buf[:len(buf)-1]) // strip trailing newline
+		if nf > recorderFields {
+			// Splice a marker before the closing brace.
+			line = line[:len(line)-1] + `,"fields_dropped":` + itoa(nf-recorderFields) + "}"
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 && i > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderKeepsLastEvents(t *testing.T) {
+	r := NewRecorder()
+	sc := NewScope(nil).WithRecorder(r)
+	for i := 0; i < RecorderEvents+10; i++ {
+		sc.Emit("ring.ev", Int("i", i))
+	}
+	if got := r.Total(); got != RecorderEvents+10 {
+		t.Fatalf("total = %d, want %d", got, RecorderEvents+10)
+	}
+	lines := r.Dump()
+	if len(lines) != RecorderEvents {
+		t.Fatalf("dump has %d lines, want %d", len(lines), RecorderEvents)
+	}
+	// Oldest surviving event is number 10; newest is the last emitted.
+	var first, last map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("first line not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("last line not JSON: %v", err)
+	}
+	if first["i"] != 10.0 {
+		t.Fatalf("oldest event i = %v, want 10", first["i"])
+	}
+	if last["i"] != float64(RecorderEvents+9) {
+		t.Fatalf("newest event i = %v, want %d", last["i"], RecorderEvents+9)
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder()
+	sc := NewScope(nil).WithRecorder(r)
+	sc.Emit("a", Str("k", "v"))
+	sc.EmitElapsed("b", 3*time.Millisecond, Int("n", 1))
+	lines := r.Dump()
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], `{"ev":"a","t_us":`) {
+		t.Fatalf("bad first line: %s", lines[0])
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if ev["elapsed_us"] != 3000.0 || ev["n"] != 1.0 {
+		t.Fatalf("timed event lost data: %v", ev)
+	}
+}
+
+func TestRecorderTruncatesWideEvents(t *testing.T) {
+	r := NewRecorder()
+	sc := NewScope(nil).WithRecorder(r)
+	fields := make([]Field, recorderFields+3)
+	for i := range fields {
+		fields[i] = Int("f"+itoa(i), i)
+	}
+	sc.Emit("wide", fields...)
+	lines := r.Dump()
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("truncated line not JSON: %v: %s", err, lines[0])
+	}
+	if ev["fields_dropped"] != 3.0 {
+		t.Fatalf("fields_dropped = %v, want 3", ev["fields_dropped"])
+	}
+}
+
+// TestRecorderSteadyStateAllocs pins the flight-recorder contract: an
+// armed recorder-only scope records events without allocating once the
+// ring is warm (the fields arrays are preallocated slots).
+func TestRecorderSteadyStateAllocs(t *testing.T) {
+	r := NewRecorder()
+	fields := []Field{Int("a", 1), I64("b", 2)}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.record("steady", 0, fields)
+	})
+	if allocs != 0 {
+		t.Fatalf("recorder allocates %v per event, want 0", allocs)
+	}
+}

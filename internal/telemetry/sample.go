@@ -1,41 +1,33 @@
 package telemetry
 
-import (
-	"sync/atomic"
-	"time"
-)
-
-// Live-node gauges. The BDD kernel is single-threaded and its Manager
-// must never be read from another goroutine, so the kernel *publishes*
-// its node counts into these process-wide atomics at points where the
-// numbers are coherent (garbage collections, the periodic allocation
-// checkpoint, reorder-session boundaries), and the background sampler
-// reads only the atomics. That keeps live-node sampling race-free under
-// -race without putting a lock anywhere near the kernel hot path.
+// Live-node gauges and the background sampler live on the Scope (see
+// scope.go): the kernel *publishes* its node counts into the owning
+// scope's atomics at points where the numbers are coherent (garbage
+// collections, the periodic allocation checkpoint, reorder-session
+// boundaries), and the sampler goroutine reads only the atomics. That
+// keeps live-node sampling race-free under -race without putting a
+// lock anywhere near the kernel hot path, and — now that gauges are
+// per-scope — keeps concurrent jobs' node curves separate.
 //
-// With several managers alive at once (e.g. cone-of-influence
-// sub-workspaces) the gauges track whichever manager published last —
-// the one currently doing the work, which is the one worth watching.
-var (
-	gaugeLive atomic.Int64
-	gaugePeak atomic.Int64
-)
+// The package-level helpers below act on the process-default scope and
+// exist for the CLIs and tests; kernel code publishes through the
+// manager's own scope.
 
-// PublishNodes records the current and peak live node counts of the
-// active BDD manager. Callers guard with Enabled(); the sampled timeline
-// also picks the publication up immediately (without emitting an event),
-// so GC cliffs appear in the timeline even between sampler ticks.
+// PublishNodes records live/peak node counts on the default scope.
+// No-op when no default scope is armed.
 func PublishNodes(live, peak int) {
-	gaugeLive.Store(int64(live))
-	gaugePeak.Store(int64(peak))
-	if t := T(); t != nil {
-		t.record(int64(live), int64(peak), false)
+	if sc := Default(); sc != nil {
+		sc.PublishNodes(live, peak)
 	}
 }
 
-// LiveNodes returns the last published live/peak node counts.
+// LiveNodes returns the default scope's last published live/peak node
+// counts (zeros when no default scope is armed).
 func LiveNodes() (live, peak int64) {
-	return gaugeLive.Load(), gaugePeak.Load()
+	if sc := Default(); sc != nil {
+		return sc.LiveNodes()
+	}
+	return 0, 0
 }
 
 // RecordSample appends one explicit point to the node-growth timeline
@@ -43,53 +35,4 @@ func LiveNodes() (live, peak int64) {
 // state even when the kernel never crossed a publish checkpoint.
 func (t *Tracer) RecordSample(live, peak int64) {
 	t.record(live, peak, false)
-}
-
-// StartSampler launches a background goroutine that appends a timeline
-// sample and emits a "bdd.sample" event every interval, reading only the
-// published gauges. It is a no-op if a sampler is already running; zero
-// published state (no kernel activity yet) is skipped. StopSampler (or
-// Close) terminates it.
-func (t *Tracer) StartSampler(interval time.Duration) {
-	if interval <= 0 {
-		interval = 100 * time.Millisecond
-	}
-	t.mu.Lock()
-	if t.samplerStop != nil {
-		t.mu.Unlock()
-		return
-	}
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	t.samplerStop, t.samplerDone = stop, done
-	t.mu.Unlock()
-	go func() {
-		defer close(done)
-		tick := time.NewTicker(interval)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				if live := gaugeLive.Load(); live > 0 {
-					t.record(live, gaugePeak.Load(), true)
-				}
-			}
-		}
-	}()
-}
-
-// StopSampler terminates the background sampler, if one is running, and
-// waits for it to exit.
-func (t *Tracer) StopSampler() {
-	t.mu.Lock()
-	stop, done := t.samplerStop, t.samplerDone
-	t.samplerStop, t.samplerDone = nil, nil
-	t.mu.Unlock()
-	if stop == nil {
-		return
-	}
-	close(stop)
-	<-done
 }

@@ -1,18 +1,33 @@
-// Package telemetry is the process-wide observability substrate of the
-// verification stack: an event sink with spans and counters that every
-// hot layer (the BDD kernel, the fixpoint drivers, the image pipeline,
-// the simulator) reports into, and that is a strict no-op unless armed.
+// Package telemetry is the observability substrate of the verification
+// stack: event tracing (JSONL spans and counters), latency histograms,
+// a per-job flight recorder, and live-node gauges that every hot layer
+// (the BDD kernel, the fixpoint drivers, the image pipeline, the
+// simulator) reports into — and that is a strict no-op unless armed.
 //
-// The disabled-path contract is the whole design: instrumentation sites
-// guard every emission with
+// # Scopes
 //
-//	if t := telemetry.T(); t != nil { ... t.Emit(...) ... }
+// The unit of arming is the Scope: an instance-scoped bundle of an
+// optional Tracer (JSONL sink), an optional flight Recorder, an
+// optional MetricSet (latency histograms), and the live-node gauges.
+// Every bdd.Manager carries a Scope pointer; instrumentation sites ask
+// the manager (not the process) for their sink:
 //
-// so a disarmed process pays one atomic pointer load and a predicted
-// branch per site — no field construction, no time syscalls, no
-// allocation (BenchmarkDisabledSite verifies the cost). The package
-// deliberately imports nothing from this repository, so any layer down
-// to the BDD kernel may emit without an import cycle.
+//	if sc := m.Telemetry(); sc != nil { ... sc.Emit(...) ... }
+//
+// so any number of managers — one per daemon job — can be traced
+// concurrently without sharing a stream. A process-wide *default*
+// scope exists purely as a CLI convenience (one process, one
+// verification, `-trace`/`-stats` flags): a manager with no instance
+// scope falls back to Default(). The daemon never arms the default
+// scope; it hands each job its own.
+//
+// The disabled-path contract is unchanged from the original design: a
+// disarmed site pays one or two atomic pointer loads and a predicted
+// branch — no field construction, no time syscalls, no allocation
+// (BenchmarkDisabledSite and BenchmarkDisabledScopeSite verify the
+// cost). The package deliberately imports nothing from this
+// repository, so any layer down to the BDD kernel may emit without an
+// import cycle.
 //
 // An armed Tracer appends one JSON object per event to its sink (a
 // JSONL trace file under the CLIs' -trace flag), aggregates per-kind
@@ -37,21 +52,49 @@ import (
 	"time"
 )
 
-// active is the process-wide armed tracer; nil means telemetry is off.
-var active atomic.Pointer[Tracer]
+// def is the process-default scope; nil means no default observability
+// is armed. Instance scopes (one per daemon job) never touch it.
+var def atomic.Pointer[Scope]
 
-// T returns the armed tracer, or nil when telemetry is disabled. Every
-// instrumentation site starts with this nil check.
-func T() *Tracer { return active.Load() }
+// Default returns the process-default scope, or nil when none is
+// armed. Managers without an instance scope fall back to it.
+func Default() *Scope { return def.Load() }
 
-// Enabled reports whether a tracer is armed.
-func Enabled() bool { return active.Load() != nil }
+// SetDefault installs sc as the process-default scope (nil disarms)
+// and returns the previous default.
+func SetDefault(sc *Scope) *Scope { return def.Swap(sc) }
 
-// Arm installs t as the process-wide tracer. Passing nil disarms.
-func Arm(t *Tracer) { active.Store(t) }
+// T returns the default scope's tracer, or nil when no default tracer
+// is armed. CLI-era instrumentation and tests use this; kernel sites
+// go through Manager.Telemetry instead.
+func T() *Tracer {
+	if sc := def.Load(); sc != nil {
+		return sc.Tracer()
+	}
+	return nil
+}
 
-// Disarm removes and returns the armed tracer (nil if none was armed).
-func Disarm() *Tracer { return active.Swap(nil) }
+// Enabled reports whether a default-scope tracer is armed.
+func Enabled() bool { return T() != nil }
+
+// Arm installs t as the process-default tracer (wrapped in a fresh
+// tracer-only scope). Passing nil disarms the default scope.
+func Arm(t *Tracer) {
+	if t == nil {
+		def.Store(nil)
+		return
+	}
+	def.Store(NewScope(t))
+}
+
+// Disarm removes the default scope and returns its tracer (nil if none
+// was armed).
+func Disarm() *Tracer {
+	if sc := def.Swap(nil); sc != nil {
+		return sc.Tracer()
+	}
+	return nil
+}
 
 // fieldKind discriminates the value held by a Field.
 type fieldKind byte
@@ -94,6 +137,38 @@ func Bool(k string, v bool) Field {
 	return f
 }
 
+// appendEvent encodes one event onto b in the canonical JSONL form:
+// "ev" first, "t_us" second, the fields in call order, then
+// "elapsed_us" when elapsed > 0. Shared by the tracer sink and the
+// flight-recorder dump so both render identical lines.
+func appendEvent(b []byte, kind string, tus int64, elapsed time.Duration, fields []Field) []byte {
+	b = append(b, `{"ev":"`...)
+	b = append(b, kind...)
+	b = append(b, `","t_us":`...)
+	b = strconv.AppendInt(b, tus, 10)
+	for _, f := range fields {
+		b = append(b, ',', '"')
+		b = append(b, f.Key...)
+		b = append(b, '"', ':')
+		switch f.kind {
+		case fieldInt:
+			b = strconv.AppendInt(b, f.i, 10)
+		case fieldStr:
+			b = strconv.AppendQuote(b, f.s)
+		case fieldFloat:
+			b = strconv.AppendFloat(b, f.f, 'g', -1, 64)
+		case fieldBool:
+			b = strconv.AppendBool(b, f.i != 0)
+		}
+	}
+	if elapsed > 0 {
+		b = append(b, `,"elapsed_us":`...)
+		b = strconv.AppendInt(b, elapsed.Microseconds(), 10)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
 // kindStat aggregates one event kind for the summary table.
 type kindStat struct {
 	count int64
@@ -108,8 +183,8 @@ type Sample struct {
 }
 
 // Tracer is an armed event sink. All methods are safe for concurrent
-// use: the kernel emits from the verification goroutine while the
-// background sampler emits from its ticker goroutine.
+// use: with per-job scopes several goroutines of one job (the
+// verification goroutine, the background sampler) may emit at once.
 type Tracer struct {
 	start time.Time
 
@@ -121,9 +196,6 @@ type Tracer struct {
 	agg     map[string]*kindStat
 	samples []Sample
 	err     error // first sink write error, reported by Close
-
-	samplerStop chan struct{}
-	samplerDone chan struct{}
 }
 
 // New builds a tracer writing JSONL events to w. The caller owns w; use
@@ -154,28 +226,23 @@ func (t *Tracer) Emit(kind string, fields ...Field) {
 	t.emit(kind, 0, fields)
 }
 
-// Span is an in-flight timed event, created by Start and finished by
-// End. The zero Span is valid and End on it is a no-op, so call sites
-// can hold one unconditionally.
+// Span is an in-flight timed event, created by Scope.Start and
+// finished by End. The zero Span is valid and End on it is a no-op, so
+// call sites can hold one unconditionally.
 type Span struct {
-	t     *Tracer
+	sc    *Scope
 	kind  string
 	begin time.Time
 }
 
-// Start opens a span of the given kind. End emits the event with an
-// elapsed_us field and adds the duration to the kind's summary total.
-func (t *Tracer) Start(kind string) Span {
-	return Span{t: t, kind: kind, begin: time.Now()}
-}
-
 // End finishes the span, emitting its event with the given fields plus
-// elapsed_us.
+// elapsed_us, and feeding the duration into the scope's histogram for
+// the span's kind (when a MetricSet is armed).
 func (sp Span) End(fields ...Field) {
-	if sp.t == nil {
+	if sp.sc == nil {
 		return
 	}
-	sp.t.emit(sp.kind, time.Since(sp.begin), fields)
+	sp.sc.emit(sp.kind, time.Since(sp.begin), fields)
 }
 
 func (t *Tracer) emit(kind string, elapsed time.Duration, fields []Field) {
@@ -191,31 +258,7 @@ func (t *Tracer) emit(kind string, elapsed time.Duration, fields []Field) {
 	st.count++
 	st.total += elapsed
 
-	b := t.buf[:0]
-	b = append(b, `{"ev":"`...)
-	b = append(b, kind...)
-	b = append(b, `","t_us":`...)
-	b = strconv.AppendInt(b, tus, 10)
-	for _, f := range fields {
-		b = append(b, ',', '"')
-		b = append(b, f.Key...)
-		b = append(b, '"', ':')
-		switch f.kind {
-		case fieldInt:
-			b = strconv.AppendInt(b, f.i, 10)
-		case fieldStr:
-			b = strconv.AppendQuote(b, f.s)
-		case fieldFloat:
-			b = strconv.AppendFloat(b, f.f, 'g', -1, 64)
-		case fieldBool:
-			b = strconv.AppendBool(b, f.i != 0)
-		}
-	}
-	if elapsed > 0 {
-		b = append(b, `,"elapsed_us":`...)
-		b = strconv.AppendInt(b, elapsed.Microseconds(), 10)
-	}
-	b = append(b, '}', '\n')
+	b := appendEvent(t.buf[:0], kind, tus, elapsed, fields)
 	t.buf = b
 	if _, err := t.w.Write(b); err != nil && t.err == nil {
 		t.err = err
@@ -259,12 +302,11 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// Close stops the sampler (if running), flushes the sink and closes the
-// trace file when the tracer opened it. It returns the first write
-// error seen over the tracer's lifetime. A closed tracer must not be
-// armed.
+// Close flushes the sink and closes the trace file when the tracer
+// opened it. It returns the first write error seen over the tracer's
+// lifetime. A closed tracer must not be armed; a scope whose sampler
+// feeds this tracer must StopSampler (or Scope.Close) first.
 func (t *Tracer) Close() error {
-	t.StopSampler()
 	err := t.Flush()
 	if t.c != nil {
 		if cerr := t.c.Close(); cerr != nil && err == nil {

@@ -9,19 +9,18 @@ import (
 	"time"
 )
 
-// disarm resets the process-wide tracer and gauges after a test; tests
-// in this package share the global arming point.
+// disarm resets the process-default scope after a test; tests in this
+// package share the default arming point.
 func disarm(t *testing.T) {
 	t.Helper()
-	t.Cleanup(func() {
-		Disarm()
-		gaugeLive.Store(0)
-		gaugePeak.Store(0)
-	})
+	t.Cleanup(func() { SetDefault(nil) })
 }
 
 func TestDisarmedIsNil(t *testing.T) {
 	disarm(t)
+	if Default() != nil {
+		t.Fatal("Default() should be nil before arming")
+	}
 	if T() != nil {
 		t.Fatal("T() should be nil before arming")
 	}
@@ -51,9 +50,10 @@ func TestArmDisarm(t *testing.T) {
 func TestEmitJSONL(t *testing.T) {
 	var buf bytes.Buffer
 	tr := New(&buf)
+	sc := NewScope(tr)
 	tr.Emit("test.plain",
 		Int("a", 1), I64("b", -2), Str("s", `x"y`), F64("f", 0.5), Bool("yes", true))
-	sp := tr.Start("test.span")
+	sp := sc.Start("test.span")
 	time.Sleep(time.Millisecond)
 	sp.End(Int("n", 7))
 	if err := tr.Flush(); err != nil {
@@ -102,6 +102,7 @@ func TestPublishNodesAndSampler(t *testing.T) {
 	var buf bytes.Buffer
 	tr := New(&buf)
 	Arm(tr)
+	sc := Default()
 	PublishNodes(123, 456)
 	if live, peak := LiveNodes(); live != 123 || peak != 456 {
 		t.Fatalf("gauges = %d/%d, want 123/456", live, peak)
@@ -114,14 +115,75 @@ func TestPublishNodesAndSampler(t *testing.T) {
 		t.Fatalf("bad timeline: %v", s)
 	}
 	// The sampler reads the gauges and emits bdd.sample events.
-	tr.StartSampler(time.Millisecond)
+	sc.StartSampler(time.Millisecond)
 	deadline := time.Now().Add(2 * time.Second)
 	for tr.Count("bdd.sample") == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	tr.StopSampler()
+	sc.StopSampler()
 	if tr.Count("bdd.sample") == 0 {
 		t.Fatal("sampler emitted no bdd.sample events")
+	}
+}
+
+// TestScopeIsolation checks two scopes keep separate gauges and sinks —
+// the property that lets the daemon trace jobs concurrently.
+func TestScopeIsolation(t *testing.T) {
+	var buf1, buf2 bytes.Buffer
+	sc1 := NewScope(New(&buf1))
+	sc2 := NewScope(New(&buf2))
+	sc1.PublishNodes(10, 10)
+	sc2.PublishNodes(20, 30)
+	if live, _ := sc1.LiveNodes(); live != 10 {
+		t.Fatalf("scope 1 gauge = %d, want 10", live)
+	}
+	if live, peak := sc2.LiveNodes(); live != 20 || peak != 30 {
+		t.Fatalf("scope 2 gauges = %d/%d, want 20/30", live, peak)
+	}
+	sc1.Emit("only.one")
+	sc1.Close()
+	sc2.Close()
+	if !strings.Contains(buf1.String(), "only.one") {
+		t.Fatal("scope 1 sink missed its event")
+	}
+	if strings.Contains(buf2.String(), "only.one") {
+		t.Fatal("scope 2 sink saw scope 1's event")
+	}
+}
+
+// TestSamplerCloseRace drives a fast sampler against concurrent
+// publications and a racing StopSampler/Close — the shutdown-ordering
+// audit from the issue, meaningful under -race.
+func TestSamplerCloseRace(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		sc := NewScope(New(&buf))
+		sc.PublishNodes(1, 1)
+		sc.StartSampler(time.Millisecond)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sc.PublishNodes(j, j)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			sc.StopSampler() // concurrent with Close's own StopSampler
+		}()
+		time.Sleep(time.Millisecond)
+		if err := sc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		// After Close, the sampler goroutine has exited: no further
+		// events can appear.
+		n := sc.Tracer().Events()
+		time.Sleep(2 * time.Millisecond)
+		if got := sc.Tracer().Events(); got != n {
+			t.Fatalf("events after Close: %d -> %d", n, got)
+		}
 	}
 }
 
@@ -161,7 +223,8 @@ func TestConcurrentEmit(t *testing.T) {
 func TestSummaryBlocks(t *testing.T) {
 	var buf bytes.Buffer
 	tr := New(&buf)
-	sp := tr.Start("phase.a")
+	sc := NewScope(tr)
+	sp := sc.Start("phase.a")
 	sp.End()
 	tr.Emit("phase.b")
 	tr.RecordSample(10, 20)
@@ -210,6 +273,19 @@ func BenchmarkDisabledSite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if t := T(); t != nil {
 			t.Emit("never", Int("x", i))
+		}
+	}
+}
+
+// BenchmarkDisabledScopeSite is the same contract for the instance-
+// scoped form every kernel/fixpoint site now uses: a nil-scope check
+// must stay free.
+func BenchmarkDisabledScopeSite(b *testing.B) {
+	var sc *Scope
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sc != nil {
+			sc.Emit("never", Int("x", i))
 		}
 	}
 }
