@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-parallel test-server lint-metrics bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke bench bench-server bench-reorder bench-parallel bench-iso bench-all
+.PHONY: check vet build test test-parallel test-server lint-metrics parallel-smoke bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke bench bench-server bench-reorder bench-parallel bench-iso bench-all
 
-check: vet build test test-parallel test-server lint-metrics bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke
+check: vet build test test-parallel test-server lint-metrics parallel-smoke bench-smoke bench-iso-smoke bench-reorder-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,14 @@ test-server:
 lint-metrics:
 	$(GO) test -run 'TestMetricsNameLint' -count=1 ./internal/server
 
+# Parallel-kernel smoke gate: a short mdlc2 reachability at workers=1
+# and workers=4 must agree exactly, and on a multi-core host the
+# workers=4 run may not be >5% slower than workers=1 (the timing clause
+# is skipped under -short and on single-CPU runners, where workers>=2
+# measures scheduling overhead rather than speedup).
+parallel-smoke:
+	$(GO) test -run 'TestParallelSmoke' -count=1 .
+
 # End-to-end traced run: reachability plus a property check on a bundled
 # design with -trace, verifying the shell emits a parseable JSONL trace
 # and a summary without disturbing the verification result.
@@ -68,7 +76,7 @@ bench-smoke:
 # the unified Statistics.BenchMetrics set (peak-live-nodes,
 # peak-bdd-nodes, cache-hit-%), so benchjson lands the telemetry
 # summary's headline numbers in the JSON alongside ns/op.
-bench: bench-server
+bench: bench-server bench-parallel
 	$(GO) test -bench='(BenchmarkImage|BenchmarkNegationHeavy)$$' -benchmem -benchtime=3x -run='^$$' . \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson > BENCH_bdd.json

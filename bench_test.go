@@ -492,6 +492,9 @@ func BenchmarkImageParallel(b *testing.B) {
 				st := m.Stats()
 				b.ReportMetric(float64(st.Forks), "forks")
 				b.ReportMetric(float64(st.Steals), "steals")
+				b.ReportMetric(float64(st.L1Hits), "l1-hits")
+				b.ReportMetric(float64(st.L1Promotions), "l1-promotions")
+				b.ReportMetric(float64(st.GrainAdjusts), "grain-adjusts")
 				for metric, v := range st.BenchMetrics() {
 					b.ReportMetric(v, metric)
 				}
@@ -534,6 +537,9 @@ func BenchmarkParallelAndExists(b *testing.B) {
 			st := m.Stats()
 			b.ReportMetric(float64(st.Forks), "forks")
 			b.ReportMetric(float64(st.Steals), "steals")
+			b.ReportMetric(float64(st.L1Hits), "l1-hits")
+			b.ReportMetric(float64(st.L1Promotions), "l1-promotions")
+			b.ReportMetric(float64(st.GrainAdjusts), "grain-adjusts")
 			for metric, v := range st.BenchMetrics() {
 				b.ReportMetric(v, metric)
 			}

@@ -82,6 +82,22 @@ type shell struct {
 	opts  core.Options
 }
 
+// parseWorkers resolves the -workers flag: "auto" (or "0") picks a
+// GOMAXPROCS-wide kernel, an explicit count is used as given.
+func parseWorkers(v string) (int, error) {
+	if v == "auto" || v == "" {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid -workers %q (want auto or a non-negative count)", v)
+	}
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return n, nil
+}
+
 func main() {
 	statsFlag := flag.Bool("stats", false,
 		"print BDD operation statistics after every checking command")
@@ -97,16 +113,17 @@ func main() {
 		"image-computation engine: auto, monolithic, partitioned, clustered or iso")
 	orderFlag := flag.String("order", "",
 		"seed the variable order from a saved .order file (see write_order)")
-	workersFlag := flag.Int("workers", 0,
-		"BDD kernel workers: 0 = GOMAXPROCS, 1 = sequential, n >= 2 = parallel kernel")
+	workersFlag := flag.String("workers", "auto",
+		"BDD kernel workers: auto = GOMAXPROCS, 1 = sequential, n >= 2 = parallel kernel")
 	traceFlag := flag.String("trace", "",
 		"write a JSONL telemetry trace of the whole session to this file")
 	profileFlag := flag.String("profile", "",
 		"write cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
-	workers := *workersFlag
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hsis:", err)
+		os.Exit(2)
 	}
 	sh := &shell{
 		out:   bufio.NewWriter(os.Stdout),

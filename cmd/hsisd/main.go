@@ -65,7 +65,8 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("hsisd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	workers := fs.Int("workers", 2, "job worker pool size (concurrent verifications)")
+	workers := fs.String("workers", "auto",
+		"job worker pool size (concurrent verifications); auto sizes from the CPU count")
 	queueCap := fs.Int("queue", 32, "admission queue capacity (beyond it: HTTP 429)")
 	cacheEntries := fs.Int("cache", 64, "artifact cache capacity (designs)")
 	spool := fs.String("spool", "", "trace spool directory (default: a temp dir)")
@@ -79,8 +80,17 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
+	nWorkers := 0 // auto: server.New sizes from the CPU count
+	if *workers != "auto" && *workers != "" {
+		n, err := strconv.Atoi(*workers)
+		if err != nil || n < 0 {
+			return fmt.Errorf("invalid -workers %q (want auto or a non-negative count)", *workers)
+		}
+		nWorkers = n
+	}
+
 	s, err := server.New(server.Config{
-		Workers:        *workers,
+		Workers:        nWorkers,
 		QueueCapacity:  *queueCap,
 		CacheEntries:   *cacheEntries,
 		SpoolDir:       *spool,

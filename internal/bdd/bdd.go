@@ -209,6 +209,37 @@ type Manager struct {
 	statSteals     atomic.Uint64 // futures executed off the forking call path
 	statContention atomic.Uint64 // shard-lock waits + cache-publication conflicts
 
+	statL1Hits   atomic.Uint64 // probes answered by a private L1 cache
+	statL1Merges atomic.Uint64 // L1→L2 promotion drains (fork-join/op boundaries)
+	statL1Promos atomic.Uint64 // entries successfully published to the shared L2
+
+	statSiftZones     atomic.Uint64 // independent sift zones opened across sessions
+	statSiftParBlocks atomic.Uint64 // blocks sifted inside zoned sessions
+
+	statGrainAdjusts atomic.Uint64 // fork-depth moves by the grain controller
+
+	// l1Every overrides the L1 pending-buffer size (test knob; see
+	// SetL1MergeInterval). Zero means the default batch. Set only while
+	// the manager is quiescent.
+	l1Every int32
+
+	// cacheEpoch invalidates every private L1 op cache at once: it is
+	// bumped at each point that sweeps or clears the shared caches (GC,
+	// reorder Close). L1 entries carry the epoch they were stored under
+	// and fail validation after a bump, so the L1s need no sweeping.
+	cacheEpoch atomic.Uint32
+
+	// Concurrent-GC barrier state (gc.go). gcMarking is set for the
+	// concurrent mark phase; while it is set, every ref that surfaces
+	// from the unique table, an op cache, or IncRef below gcWatermark is
+	// pushed onto gcResq so the exclusive window can mark it before the
+	// sweep — the resurrection barrier.
+	gcActive    atomic.Bool
+	gcMarking   atomic.Bool
+	gcWatermark atomic.Int64
+	gcMu        sync.Mutex
+	gcResq      []Ref
+
 	// interrupted is the cooperative-cancellation flag (interrupt.go):
 	// set by Interrupt from any goroutine, polled by the fixpoint
 	// drivers' CheckInterrupt calls at their safe points.
@@ -244,6 +275,7 @@ type Manager struct {
 	// internal/reorder).
 	session        *ReorderSession // non-nil while a reorder is in progress
 	inSession      atomic.Bool     // lock-free mirror of session != nil
+	groupsMu       sync.Mutex      // guards groups: zone sifters glue concurrently
 	groups         [][]int         // atomic sifting blocks (variable IDs)
 	reorderPolicy  ReorderPolicy
 	reorderFn      func(*Manager) // automatic-reorder hook
@@ -566,6 +598,7 @@ func (m *Manager) mkNode(c *kctx, level int32, low, high Ref) Ref {
 		if n.varID == vid && n.low == low && n.high == high {
 			if c.par {
 				sh.mu.Unlock()
+				m.gcProtect(Ref(idx - 1))
 			}
 			return Ref(idx - 1)
 		}
@@ -583,9 +616,29 @@ func (m *Manager) mkNode(c *kctx, level int32, low, high Ref) Ref {
 	}
 	if c.par {
 		sh.mu.Unlock()
+		m.gcProtect(r)
 	}
 	m.afterAlloc(c)
 	return r
+}
+
+// gcProtect is the concurrent-GC resurrection barrier: while a mark
+// phase is in flight, any ref that surfaces from the unique table, an
+// operation cache, or IncRef — and whose slot predates the mark
+// snapshot — is queued for the collector, which marks it (transitively)
+// in the exclusive window before sweeping. Slots at or above the
+// watermark were allocated after the snapshot and are retained
+// wholesale. Off the mark phase this is one atomic load.
+func (m *Manager) gcProtect(f Ref) {
+	if !m.gcMarking.Load() {
+		return
+	}
+	if int64(regular(f)) >= m.gcWatermark.Load() {
+		return
+	}
+	m.gcMu.Lock()
+	m.gcResq = append(m.gcResq, f)
+	m.gcMu.Unlock()
 }
 
 // allocSlot pops a recycled slot or extends the arena. Free-list pushes

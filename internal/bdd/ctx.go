@@ -34,6 +34,18 @@ type kctx struct {
 	// adaptation checkpoint; unlike the fields above it is never flushed,
 	// so the cadence is cumulative across operations.
 	sinceAdapt uint64
+
+	// Private L1 op cache (parallel mode only; see l1cache.go). l1 is
+	// allocated lazily on the first parallel begin and kept across
+	// operations; l1Epoch is recaptured at every begin and at every
+	// future start, so a stale context cannot serve pre-GC entries.
+	l1        []l1Entry
+	l1Epoch   uint32
+	l1Pending []l1Pend
+	l1Cap     int
+	l1Hits    uint64
+	l1Merges  uint64
+	l1Promos  uint64
 }
 
 // flush folds the context's counters into the manager totals and zeroes
@@ -52,6 +64,9 @@ func (c *kctx) flush(m *Manager) {
 	addClear(&m.statForks, &c.forks)
 	addClear(&m.statSteals, &c.steals)
 	addClear(&m.statContention, &c.contention)
+	addClear(&m.statL1Hits, &c.l1Hits)
+	addClear(&m.statL1Merges, &c.l1Merges)
+	addClear(&m.statL1Promos, &c.l1Promos)
 }
 
 func addClear(dst *atomic.Uint64, src *uint64) {
@@ -72,9 +87,19 @@ func (m *Manager) begin() *kctx {
 	m.stw.RLock()
 	c := m.ctxFree.Get().(*kctx)
 	c.par = true
-	c.mayFork = m.pool != nil
+	// Forests below the fork floor never fork: the whole operation is
+	// cheaper than one dispatch, and the estimate costs one atomic load.
+	c.mayFork = m.pool != nil && m.nodeCap.Load() >= forkMinNodes
 	if c.mayFork {
-		c.depthLimit = m.pool.depthLimit
+		c.depthLimit = m.pool.depthLimit.Load()
+	}
+	if c.l1 == nil {
+		c.l1 = make([]l1Entry, l1Size)
+	}
+	c.l1Epoch = m.cacheEpoch.Load()
+	c.l1Cap = l1PendCap
+	if n := m.l1Every; n > 0 {
+		c.l1Cap = int(n)
 	}
 	return c
 }
@@ -84,11 +109,15 @@ func (m *Manager) end(c *kctx) {
 	if c == m.seqCtx {
 		return
 	}
+	c.drainL1() // promote private results while the read lock still holds
 	c.flush(m)
 	c.par = false
 	c.mayFork = false
 	m.ctxFree.Put(c)
 	m.stw.RUnlock()
+	if m.pool != nil {
+		m.pool.maybeTune(m)
+	}
 	// Drain a pending cache-adaptation request if the manager happens to
 	// be quiescent right now; otherwise a later end, MaybeGC or GC gets
 	// it. Resizing a cache requires the stop-the-world lock because

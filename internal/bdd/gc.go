@@ -2,6 +2,7 @@ package bdd
 
 import (
 	"math/bits"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -28,10 +29,14 @@ import (
 // because sibling tasks hold unprotected intermediate Refs by design.
 
 // IncRef marks f as externally referenced and returns f for chaining.
+// It is also a resurrection-barrier site: protecting a ref during a
+// concurrent mark phase queues it for the collector, so a root acquired
+// after the mark snapshot cannot be swept.
 func (m *Manager) IncRef(f Ref) Ref {
 	m.check(f)
 	m.rlock()
 	atomic.AddInt32(m.rcPtr(f), 1)
+	m.gcProtect(f)
 	m.runlock()
 	return f
 }
@@ -50,18 +55,22 @@ func (m *Manager) DecRef(f Ref) {
 // rebuilds the unique table. Operation-cache entries survive when every
 // node they mention is still live. All Refs not protected (directly or
 // transitively) by IncRef are invalidated.
+//
+// Sequential mode collects in one step. Parallel mode runs the
+// concurrent protocol in gcParallel: a brief pulse to snapshot the
+// arena, a mark phase that runs concurrently with kernel operations
+// (the pool workers help), and a short exclusive window for the sweep
+// and table rebuild — so a collection no longer stalls every in-flight
+// fixpoint for the full mark.
 func (m *Manager) GC() {
 	if m.par {
-		m.stw.Lock()
-		defer m.stw.Unlock()
+		m.gcParallel()
+		return
 	}
 	if m.session != nil {
 		panic("bdd: GC during an active reorder session")
 	}
-	var gcStart time.Time
-	if m.Telemetry() != nil {
-		gcStart = time.Now()
-	}
+	gcStart := time.Now()
 	m.seqCtx.flush(m)
 	alloc := int(m.nodeCap.Load())
 	m.resetMarks()
@@ -78,6 +87,155 @@ func (m *Manager) GC() {
 			}
 		}
 	}
+	markDur := time.Since(gcStart)
+	sweepStart := time.Now()
+	live := m.gcFinish(alloc, alloc)
+	if sc := m.Telemetry(); sc != nil {
+		sc.PublishNodes(m.Size(), int(m.peakLive.Load()))
+		sc.EmitElapsed("bdd.gc_mark", markDur,
+			telemetry.Int("live", live))
+		sc.EmitElapsed("bdd.gc", time.Since(sweepStart),
+			telemetry.Int("live", live),
+			telemetry.Int("dead", alloc-live),
+			telemetry.Int("kept_cache_entries", m.statCacheKept))
+	}
+	if m.OnGC != nil {
+		m.OnGC(live, alloc-live)
+	}
+}
+
+// gcParallel is the parallel-mode collection: concurrent mark, short
+// exclusive sweep.
+//
+// Phase A (pulse, exclusive): wait out in-flight operations, snapshot
+// the allocation watermark, reset the mark bitmap, and raise the
+// gcMarking flag. From here every operation routes table hits, L2/L1
+// cache hits, free-slot reuse and IncRef through gcProtect, which
+// queues refs below the watermark on gcResq.
+//
+// Phase B (concurrent): scan every pre-watermark slot for an external
+// reference count and mark reachable nodes, with CAS-set bits so the
+// pool workers can help via futMark tasks. Operations proceed freely:
+// any pre-watermark ref they can possibly surface comes from the table,
+// a cache, or IncRef — all barrier sites — and interior nodes are
+// covered transitively when the queue drains. Nodes at or above the
+// watermark are retained wholesale this cycle.
+//
+// Phase C (exclusive window): stop the world again, drop the flag,
+// extend the bitmap over post-snapshot allocations, mark them and the
+// queued refs, then sweep, rebuild the table, and resize the caches —
+// the only full stop, and it no longer includes the mark.
+func (m *Manager) gcParallel() {
+	if !m.gcActive.CompareAndSwap(false, true) {
+		return // a collection is already in flight
+	}
+	defer m.gcActive.Store(false)
+
+	// Phase A: pulse.
+	pulseStart := time.Now()
+	m.stw.Lock()
+	if m.session != nil {
+		m.stw.Unlock()
+		panic("bdd: GC during an active reorder session")
+	}
+	m.seqCtx.flush(m)
+	watermark := m.nodeCap.Load()
+	m.resetMarks()
+	m.setMark(0) // the terminal is always live
+	m.gcMu.Lock()
+	m.gcResq = m.gcResq[:0]
+	m.gcMu.Unlock()
+	m.gcWatermark.Store(watermark)
+	m.gcMarking.Store(true)
+	m.stw.Unlock()
+	pulseDur := time.Since(pulseStart)
+
+	// Phase B: concurrent mark. Chunk-sized ranges go to the pool; this
+	// goroutine scans alongside the workers and then joins its own
+	// futures — never helpOne, which could hand it an application future
+	// to run under the sequential context.
+	markStart := time.Now()
+	alloc := int(watermark)
+	if m.pool != nil && alloc > chunkSize {
+		var futs []*future
+		for base := chunkSize; base < alloc; base += chunkSize {
+			end := base + chunkSize
+			if end > alloc {
+				end = alloc
+			}
+			fu := &future{m: m, kind: futMark, f: Ref(base), g: Ref(end)}
+			futs = append(futs, fu)
+			m.pool.push(fu)
+		}
+		m.markRange(0, chunkSize)
+		for _, fu := range futs {
+			if runIfPending(fu, m.seqCtx) {
+				continue
+			}
+			for fu.state.Load() != futDone {
+				runtime.Gosched()
+			}
+		}
+	} else {
+		m.markRange(0, alloc)
+	}
+	markDur := time.Since(markStart)
+
+	// Phase C: exclusive window.
+	exStart := time.Now()
+	m.stw.Lock()
+	m.gcMarking.Store(false)
+	alloc = int(m.nodeCap.Load())
+	// Extend the bitmap over post-snapshot allocations and retain them
+	// wholesale (they are this cycle's floor, collected next time).
+	// Their children may sit below the watermark, so mark through them.
+	nw := (alloc + 63) / 64
+	if old := len(m.marks); nw > old {
+		if cap(m.marks) >= nw {
+			m.marks = m.marks[:nw]
+			clear(m.marks[old:])
+		} else {
+			grown := make([]uint64, nw)
+			copy(grown, m.marks)
+			m.marks = grown
+		}
+	}
+	for i := int(watermark); i < alloc; i++ {
+		m.setMark(Ref(i))
+		n := m.node(Ref(i))
+		m.mark(n.low)
+		m.mark(n.high)
+	}
+	// Drain the resurrection queue: every pre-watermark ref surfaced
+	// during the mark, marked transitively.
+	m.gcMu.Lock()
+	for _, f := range m.gcResq {
+		m.mark(f)
+	}
+	m.gcResq = m.gcResq[:0]
+	m.gcMu.Unlock()
+	live := m.gcFinish(alloc, alloc)
+	m.stw.Unlock()
+	if sc := m.Telemetry(); sc != nil {
+		sc.PublishNodes(m.Size(), int(m.peakLive.Load()))
+		sc.EmitElapsed("bdd.gc_mark", markDur,
+			telemetry.Int("live", live))
+		sc.EmitElapsed("bdd.gc", pulseDur+time.Since(exStart),
+			telemetry.Int("live", live),
+			telemetry.Int("dead", alloc-live),
+			telemetry.Int("kept_cache_entries", m.statCacheKept))
+	}
+	if m.OnGC != nil {
+		m.OnGC(live, alloc-live)
+	}
+}
+
+// gcFinish is the shared tail of both collectors: count the marked
+// nodes, rebuild the unique table, sweep the dead into the free list,
+// and resize/sweep the operation caches. The mark bitmap must cover
+// [0, alloc) and the caller must be at an exclusive point. It returns
+// the live count.
+func (m *Manager) gcFinish(alloc, scanned int) int {
 	live := 0
 	for _, w := range m.marks {
 		live += bits.OnesCount64(w)
@@ -130,23 +288,18 @@ func (m *Manager) GC() {
 	// so skip the scan, wipe, and shrink toward the live set. Then give
 	// each cache a chance to grow if its hit rate collapsed since the
 	// last check.
-	if 4*live >= alloc {
+	if 4*live >= scanned {
 		m.sweepCaches()
 	} else {
 		m.clearCaches(demand)
 	}
 	m.adaptPending.Store(false)
 	m.adaptCaches()
-	if sc := m.Telemetry(); sc != nil {
-		sc.PublishNodes(m.Size(), int(m.peakLive.Load()))
-		sc.EmitElapsed("bdd.gc", time.Since(gcStart),
-			telemetry.Int("live", live),
-			telemetry.Int("dead", alloc-live),
-			telemetry.Int("kept_cache_entries", m.statCacheKept))
-	}
-	if m.OnGC != nil {
-		m.OnGC(live, alloc-live)
-	}
+	// Invalidate every private L1 op cache: their entries may reference
+	// swept slots, and unlike the shared caches they are not sweepable
+	// from here.
+	m.cacheEpoch.Add(1)
+	return live
 }
 
 // mark sets the live bit on f's stored node and everything below it,
@@ -158,6 +311,58 @@ func (m *Manager) mark(f Ref) {
 		n := m.node(f)
 		m.mark(n.low)
 		f = regular(n.high)
+	}
+}
+
+// markRange scans arena slots [lo, hi) for externally referenced nodes
+// and marks everything reachable from them. It is the concurrent-mark
+// work unit: reference counts are read atomically (IncRef runs
+// concurrently) and bits are CAS-set, so any number of rangers —
+// futMark tasks on the pool plus the collecting goroutine — can share
+// the scan. It only ever touches pre-watermark slots, whose node fields
+// are immutable while the collection is in flight (free slots are
+// unreachable, and reused free slots are reached only via the
+// resurrection queue, after this phase).
+func (m *Manager) markRange(lo, hi int) {
+	for i := lo; i < hi; {
+		ch := m.chunks[i>>chunkShift].Load()
+		end := (i | chunkMask) + 1
+		if end > hi {
+			end = hi
+		}
+		for ; i < end; i++ {
+			if atomic.LoadInt32(&ch.refs[i&chunkMask]) > 0 {
+				m.markPar(Ref(i))
+			}
+		}
+	}
+}
+
+// markPar is mark with CAS-set bits, for the concurrent phase. The
+// terminal's bit is set before the phase starts, so traversal stops
+// there without a special case.
+func (m *Manager) markPar(f Ref) {
+	f = regular(f)
+	for m.setMarkAtomic(f) {
+		n := m.node(f)
+		m.markPar(n.low)
+		f = regular(n.high)
+	}
+}
+
+// setMarkAtomic CAS-sets f's live bit, reporting whether this call set
+// it (go 1.22 lacks atomic Or-fetch, hence the loop).
+func (m *Manager) setMarkAtomic(f Ref) bool {
+	w := &m.marks[f>>6]
+	bit := uint64(1) << (uint(f) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|bit) {
+			return true
+		}
 	}
 }
 

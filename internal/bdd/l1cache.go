@@ -1,0 +1,169 @@
+package bdd
+
+// Private L1 operation caches. In parallel mode every kernel context —
+// the per-operation contexts drawn in begin and the resident contexts
+// the pool workers own — carries a small direct-mapped cache probed
+// before the shared seqlock L2. The L1 is single-owner, so a probe is
+// two plain loads and a hit costs no atomics at all; under contention
+// the seqlock L2 loses published entries to CAS races (a dropped store
+// is legal, see cache.go), and before the L1 existed every lost entry
+// forced each worker to recompute hot subresults the others had already
+// finished. The L1 keeps those subresults worker-local.
+//
+// Results computed by the owner are installed in the L1 and appended to
+// a pending buffer instead of being published to the L2 inline; the
+// buffer is drained — each entry promoted to the L2 with a bounded
+// storePar retry — at fork-join boundaries (a future completing, before
+// its done-store) and when the operation ends. Both drain points run
+// while some operation holds the stop-the-world read lock, which is
+// what makes the L2 writes safe against cache resizes and GC.
+//
+// Coherence is by epoch, not by sweeping: entries carry the value of
+// Manager.cacheEpoch at store time, and every point that sweeps or
+// clears the shared caches (GC, reorder close) bumps the epoch, so all
+// L1 entries die at once. During a concurrent mark phase an L1 hit may
+// surface a ref stored before the mark snapshot; l1probe routes it
+// through the resurrection barrier like any table or L2 hit.
+
+const (
+	l1Bits = 12
+	l1Size = 1 << l1Bits
+	l1Mask = l1Size - 1
+
+	// l1PendCap is the default pending-buffer size: how many computed
+	// results a context holds privately before promoting them to the L2.
+	l1PendCap = 64
+)
+
+// L1 op kinds, packed into the high word of the first key half. Values
+// start at 1 so an empty entry (k0 == 0) can never match a probe.
+const (
+	l1And uint64 = iota + 1
+	l1Xor
+	l1ITE
+	l1Quant
+	l1Aex
+)
+
+// l1Entry is one direct-mapped slot: the packed operand key, the
+// result, and the cache epoch the entry was stored under.
+type l1Entry struct {
+	k0, k1 uint64
+	res    Ref
+	epoch  uint32
+}
+
+// l1Pend is one computed result awaiting promotion to the shared L2.
+type l1Pend struct {
+	id      cacheID
+	op      int32
+	f, g, h Ref
+	res     Ref
+}
+
+// l1key packs an op kind and its (already canonicalized) operands into
+// the two key words. Refs are 32-bit, so two words hold kind + three
+// operands exactly.
+func l1key(kind uint64, f, g, h Ref) (uint64, uint64) {
+	return kind<<32 | uint64(uint32(f)), uint64(uint32(g))<<32 | uint64(uint32(h))
+}
+
+// l1probe looks the operation up in the context's private cache. hash
+// is the same hash3 value the L2 probe uses, so a miss costs nothing
+// extra. A hit is routed through the concurrent-GC barrier: the entry
+// may predate an in-flight mark snapshot.
+func (c *kctx) l1probe(hash, kind uint64, f, g, h Ref) (Ref, bool) {
+	if c.l1 == nil {
+		return 0, false
+	}
+	e := &c.l1[hash&l1Mask]
+	k0, k1 := l1key(kind, f, g, h)
+	if e.epoch != c.l1Epoch || e.k0 != k0 || e.k1 != k1 {
+		return 0, false
+	}
+	c.l1Hits++
+	c.m.gcProtect(e.res)
+	return e.res, true
+}
+
+// l1put installs a result in the private cache without queueing it for
+// promotion — used for results that are already in the L2 (probe hits).
+func (c *kctx) l1put(hash, kind uint64, f, g, h, res Ref) {
+	if c.l1 == nil {
+		return
+	}
+	k0, k1 := l1key(kind, f, g, h)
+	c.l1[hash&l1Mask] = l1Entry{k0: k0, k1: k1, res: res, epoch: c.l1Epoch}
+}
+
+// l1store installs a freshly computed result and queues it for L2
+// promotion, draining the pending buffer when it fills.
+func (c *kctx) l1store(hash, kind uint64, id cacheID, op int32, f, g, h, res Ref) {
+	c.l1put(hash, kind, f, g, h, res)
+	c.l1Pending = append(c.l1Pending, l1Pend{id: id, op: op, f: f, g: g, h: h, res: res})
+	if len(c.l1Pending) >= c.l1Cap {
+		c.drainL1()
+	}
+}
+
+// drainL1 promotes every pending result to the shared L2, retrying each
+// seqlock publication a few times before giving up (a lost entry is a
+// recomputation, never wrongness). It must run while the stop-the-world
+// read lock is held by some operation — the call sites are the end of
+// an operation epoch and the completion of a future, both of which are
+// covered by the owning operation's lock.
+func (c *kctx) drainL1() {
+	if len(c.l1Pending) == 0 {
+		return
+	}
+	m := c.m
+	c.l1Merges++
+	for i := range c.l1Pending {
+		p := &c.l1Pending[i]
+		ok := false
+		switch p.id {
+		case cacheBinop:
+			slot := &m.binop[hash3(uint64(p.op), uint64(p.f), uint64(p.g))&m.binopMask]
+			v := binopEntry{op: p.op, f: p.f, g: p.g, res: p.res}
+			for try := 0; try < 4 && !ok; try++ {
+				ok = slot.storePar(v)
+			}
+		case cacheITE:
+			slot := &m.ite[hash3(uint64(p.f), uint64(p.g), uint64(p.h))&m.iteMask]
+			v := iteEntry{f: p.f, g: p.g, h: p.h, res: p.res}
+			for try := 0; try < 4 && !ok; try++ {
+				ok = slot.storePar(v)
+			}
+		case cacheQuant:
+			slot := &m.quant[hash3(uint64(p.f), uint64(p.g), 0x5eed)&m.quantMask]
+			v := quantEntry{f: p.f, cube: p.g, res: p.res}
+			for try := 0; try < 4 && !ok; try++ {
+				ok = slot.storePar(v)
+			}
+		case cacheAex:
+			slot := &m.aex[hash3(uint64(p.f), uint64(p.g), uint64(p.h))&m.aexMask]
+			v := aexEntry{f: p.f, g: p.g, cube: p.h, res: p.res}
+			for try := 0; try < 4 && !ok; try++ {
+				ok = slot.storePar(v)
+			}
+		}
+		if ok {
+			c.l1Promos++
+		} else {
+			c.contention++
+		}
+	}
+	c.l1Pending = c.l1Pending[:0]
+}
+
+// SetL1MergeInterval forces parallel contexts to promote their private
+// results to the shared cache every n computed entries instead of the
+// default batch. It is a test knob for the merge protocol (tiny n makes
+// promotion races constant under -race); n <= 0 restores the default.
+// Call only while the manager is quiescent.
+func (m *Manager) SetL1MergeInterval(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	m.l1Every = int32(n)
+}

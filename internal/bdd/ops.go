@@ -151,10 +151,17 @@ func (m *Manager) andRec(c *kctx, f, g Ref, depth int32) Ref {
 		f, g = g, f
 	}
 	c.applyCalls++
-	slot := &m.binop[hash3(opAnd, uint64(f), uint64(g))&m.binopMask]
+	h := hash3(opAnd, uint64(f), uint64(g))
+	slot := &m.binop[h&m.binopMask]
 	if c.par {
+		if r, ok := c.l1probe(h, l1And, f, g, 0); ok {
+			c.applyHits++
+			return r
+		}
 		if e, ok := slot.loadPar(); ok && e.op == opAnd && e.f == f && e.g == g {
 			c.applyHits++
+			m.gcProtect(e.res)
+			c.l1put(h, l1And, f, g, 0, e.res)
 			return e.res
 		}
 	} else if slot.op == opAnd && slot.f == f && slot.g == g {
@@ -184,9 +191,7 @@ func (m *Manager) andRec(c *kctx, f, g Ref, depth int32) Ref {
 	}
 	r := m.mk(c, level, low, high)
 	if c.par {
-		if !slot.storePar(binopEntry{op: opAnd, f: f, g: g, res: r}) {
-			c.contention++
-		}
+		c.l1store(h, l1And, cacheBinop, opAnd, f, g, 0, r)
 	} else {
 		*slot = binopEntry{op: opAnd, f: f, g: g, res: r}
 	}
@@ -218,10 +223,17 @@ func (m *Manager) xorRec(c *kctx, f, g Ref) Ref {
 		f, g = g, f
 	}
 	c.applyCalls++
-	slot := &m.binop[hash3(opXor, uint64(f), uint64(g))&m.binopMask]
+	h := hash3(opXor, uint64(f), uint64(g))
+	slot := &m.binop[h&m.binopMask]
 	if c.par {
+		if r, ok := c.l1probe(h, l1Xor, f, g, 0); ok {
+			c.applyHits++
+			return r ^ cm
+		}
 		if e, ok := slot.loadPar(); ok && e.op == opXor && e.f == f && e.g == g {
 			c.applyHits++
+			m.gcProtect(e.res)
+			c.l1put(h, l1Xor, f, g, 0, e.res)
 			return e.res ^ cm
 		}
 	} else if slot.op == opXor && slot.f == f && slot.g == g {
@@ -244,9 +256,7 @@ func (m *Manager) xorRec(c *kctx, f, g Ref) Ref {
 	high := m.xorRec(c, f1, g1)
 	r := m.mk(c, level, low, high)
 	if c.par {
-		if !slot.storePar(binopEntry{op: opXor, f: f, g: g, res: r}) {
-			c.contention++
-		}
+		c.l1store(h, l1Xor, cacheBinop, opXor, f, g, 0, r)
 	} else {
 		*slot = binopEntry{op: opXor, f: f, g: g, res: r}
 	}
@@ -302,10 +312,17 @@ func (m *Manager) iteRec(c *kctx, f, g, h Ref, depth int32) Ref {
 		g, h = neg(g), neg(h)
 	}
 	c.iteCalls++
-	slot := &m.ite[hash3(uint64(f), uint64(g), uint64(h))&m.iteMask]
+	hh := hash3(uint64(f), uint64(g), uint64(h))
+	slot := &m.ite[hh&m.iteMask]
 	if c.par {
+		if r, ok := c.l1probe(hh, l1ITE, f, g, h); ok {
+			c.iteHits++
+			return r ^ cm
+		}
 		if e, ok := slot.loadPar(); ok && e.f == f && e.g == g && e.h == h {
 			c.iteHits++
+			m.gcProtect(e.res)
+			c.l1put(hh, l1ITE, f, g, h, e.res)
 			return e.res ^ cm
 		}
 	} else if slot.f == f && slot.g == g && slot.h == h {
@@ -335,9 +352,7 @@ func (m *Manager) iteRec(c *kctx, f, g, h Ref, depth int32) Ref {
 	high := m.iteRec(c, f1, g1, h1, depth+1)
 	r := m.mk(c, level, low, high)
 	if c.par {
-		if !slot.storePar(iteEntry{f: f, g: g, h: h, res: r}) {
-			c.contention++
-		}
+		c.l1store(hh, l1ITE, cacheITE, 0, f, g, h, r)
 	} else {
 		*slot = iteEntry{f: f, g: g, h: h, res: r}
 	}

@@ -17,6 +17,14 @@ import (
 // phases). Results are unaffected by the mode: BDDs are canonical, so a
 // parallel run returns the same Refs the sequential kernel would.
 //
+// The parallel kernel layers four mechanisms on the sequential one:
+// each worker context carries a private L1 op cache drained into the
+// shared seqlock L2 at fork-join boundaries (l1cache.go), GC marks
+// concurrently on the pool and stops the world only for a short
+// sweep+rebuild window (gc.go), a grain controller retunes the fork
+// depth from steal-ratio feedback (pool.go), and reorder sessions sift
+// non-interacting variable zones concurrently (reorder_zones.go).
+//
 // GC and reordering keep their safe-point contract in parallel mode:
 // they still run only at explicit MaybeGC/MaybeReorder/GC calls, and
 // those calls must come from one orchestrating goroutine while no other

@@ -27,6 +27,10 @@ const (
 	futAnd futKind = iota
 	futExists
 	futAndExists
+	// futMark is a concurrent-GC mark task: scan a slot range of the
+	// arena for externally referenced roots and mark from them (gc.go).
+	// It carries no Refs — fu.f/fu.g encode the slot bounds.
+	futMark
 )
 
 // future states: a future is claimed exactly once, by the first
@@ -52,8 +56,18 @@ type future struct {
 // run executes the future's recursion with the given context and
 // publishes the result. The state store is the release barrier that
 // makes res (and every node the recursion built) visible to the joiner.
+// A future boundary is also an L1 safe point: the epoch is recaptured
+// on entry (a pooled worker context may have sat parked across a GC)
+// and the pending L1 entries are promoted before the done-store, while
+// the joining operation still holds the stop-the-world read lock.
 func (fu *future) run(c *kctx) {
 	m := fu.m
+	if fu.kind == futMark {
+		m.markRange(int(fu.f), int(fu.g))
+		fu.state.Store(futDone)
+		return
+	}
+	c.l1Epoch = m.cacheEpoch.Load()
 	var r Ref
 	switch fu.kind {
 	case futAnd:
@@ -64,6 +78,7 @@ func (fu *future) run(c *kctx) {
 		r = m.andExistsRec(c, fu.f, fu.g, fu.cube, fu.depth)
 	}
 	fu.res = r
+	c.drainL1()
 	fu.state.Store(futDone)
 }
 
@@ -71,7 +86,7 @@ func (fu *future) run(c *kctx) {
 // parallel mode, holding workers-1 persistent goroutines.
 type pool struct {
 	m          *Manager
-	depthLimit int32
+	depthLimit atomic.Int32 // adaptive fork-depth cutoff (grain controller)
 	head       atomic.Pointer[future]
 
 	mu     sync.Mutex
@@ -79,6 +94,18 @@ type pool struct {
 	parked atomic.Int32
 	stop   bool
 	wg     sync.WaitGroup
+
+	// Grain-controller state. maybeTune samples the fork/steal totals
+	// every few operations: a low steal ratio means forked subproblems
+	// are being executed inline by their owners anyway (the grain is too
+	// fine — coarsen), a high ratio means the workers drain everything
+	// offered and could use more (deepen). The window floor keeps noise
+	// from moving the cutoff.
+	tuneOps            atomic.Uint64
+	tuneMu             sync.Mutex
+	minDepth, maxDepth int32
+	lastForks          uint64
+	lastSteals         uint64
 }
 
 // forkDepth bounds how deep in the recursion forking may still happen:
@@ -97,14 +124,61 @@ func forkDepth(workers int) int32 {
 // subproblem over a handful of levels finishes faster than a fork.
 const forkHeadroom = 12
 
+// forkMinNodes is the forest-size floor below which begin disables
+// forking outright: an operation over a few thousand nodes finishes
+// faster than one future dispatch plus its join.
+const forkMinNodes = 4096
+
+// Grain-controller bounds and cadence.
+const (
+	minForkDepth  = 2   // never coarsen below: keeps the pool warm
+	tuneEveryMask = 255 // consider tuning every 256 completed operations
+	tuneWindow    = 64  // fork deltas below this yield no verdict
+)
+
 func newPool(m *Manager, workers int) *pool {
-	p := &pool{m: m, depthLimit: forkDepth(workers)}
+	p := &pool{m: m, minDepth: minForkDepth, maxDepth: forkDepth(workers) + 4}
+	p.depthLimit.Store(forkDepth(workers))
 	p.cond = sync.NewCond(&p.mu)
 	for i := 1; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
 	return p
+}
+
+// maybeTune runs one grain-controller step if it is due and the tune
+// lock is free. It is called from end, off the stop-the-world lock: it
+// reads only atomic totals and moves the atomic cutoff, so it never
+// blocks an operation.
+func (p *pool) maybeTune(m *Manager) {
+	if p.tuneOps.Add(1)&tuneEveryMask != 0 {
+		return
+	}
+	if !p.tuneMu.TryLock() {
+		return
+	}
+	defer p.tuneMu.Unlock()
+	forks, steals := m.statForks.Load(), m.statSteals.Load()
+	df, ds := forks-p.lastForks, steals-p.lastSteals
+	if df < tuneWindow {
+		return // not enough forking since the last verdict
+	}
+	p.lastForks, p.lastSteals = forks, steals
+	cur := p.depthLimit.Load()
+	ratio := float64(ds) / float64(df)
+	switch {
+	case ratio < 0.25 && cur > p.minDepth:
+		// Owners execute most of their own forks inline: the split is too
+		// fine for the pool to beat the owner to it. Coarsen.
+		p.depthLimit.Store(cur - 1)
+		m.statGrainAdjusts.Add(1)
+	case ratio > 0.75 && cur < p.maxDepth:
+		// Nearly everything offered is stolen: the workers are hungry.
+		// Split deeper to feed them.
+		p.depthLimit.Store(cur + 1)
+		m.statGrainAdjusts.Add(1)
+	}
 }
 
 // push publishes a future and wakes a parked worker if there is one.
@@ -158,18 +232,26 @@ func (p *pool) helpOne(c *kctx) bool {
 	if fu == nil {
 		return false
 	}
-	if runIfPending(fu, c) {
-		c.steals++
+	if runIfPending(fu, c) && fu.kind != futMark {
+		c.steals++ // mark tasks are GC work, not grain-controller signal
 	}
 	return true
 }
 
 func (p *pool) worker() {
 	defer p.wg.Done()
-	c := &kctx{m: p.m, par: true, mayFork: true, depthLimit: p.depthLimit}
+	c := &kctx{m: p.m, par: true, mayFork: true, l1: make([]l1Entry, l1Size), l1Cap: l1PendCap}
 	for {
 		if fu := p.pop(); fu != nil {
-			if runIfPending(fu, c) {
+			// Re-read the adaptive cutoff and the merge knob per future:
+			// the grain controller moves the former between operations.
+			c.depthLimit = p.depthLimit.Load()
+			if n := p.m.l1Every; n > 0 {
+				c.l1Cap = int(n)
+			} else {
+				c.l1Cap = l1PendCap
+			}
+			if runIfPending(fu, c) && fu.kind != futMark {
 				c.steals++
 			}
 			continue
@@ -178,6 +260,11 @@ func (p *pool) worker() {
 		// for a long time) and park. The parked.Add happens before the
 		// re-check of the stack, so a push that missed the parked counter
 		// is seen here, and a push that saw it signals under the mutex.
+		// Pending L1 entries were already promoted by the futures that
+		// produced them (run drains before its done-store); clearing here
+		// is defensive — a drain at park would write the shared caches
+		// without any stop-the-world cover.
+		c.l1Pending = c.l1Pending[:0]
 		c.flush(p.m)
 		p.mu.Lock()
 		if p.stop {
@@ -191,6 +278,15 @@ func (p *pool) worker() {
 		p.parked.Add(-1)
 		p.mu.Unlock()
 	}
+}
+
+// forkDepthNow reports the grain controller's current fork-depth
+// cutoff, zero in sequential mode.
+func (m *Manager) forkDepthNow() int {
+	if m.pool == nil {
+		return 0
+	}
+	return int(m.pool.depthLimit.Load())
 }
 
 // shutdown stops the workers and waits for them to exit. The pool must

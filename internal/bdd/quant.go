@@ -113,10 +113,17 @@ func (m *Manager) existsRec(c *kctx, f, cube Ref, depth int32) Ref {
 		return f
 	}
 	c.quantCalls++
-	slot := &m.quant[hash3(uint64(f), uint64(cube), 0x5eed)&m.quantMask]
+	h := hash3(uint64(f), uint64(cube), 0x5eed)
+	slot := &m.quant[h&m.quantMask]
 	if c.par {
+		if r, ok := c.l1probe(h, l1Quant, f, cube, 0); ok {
+			c.quantHits++
+			return r
+		}
 		if e, ok := slot.loadPar(); ok && e.f == f && e.cube == cube {
 			c.quantHits++
+			m.gcProtect(e.res)
+			c.l1put(h, l1Quant, f, cube, 0, e.res)
 			return e.res
 		}
 	} else if slot.f == f && slot.cube == cube {
@@ -144,9 +151,7 @@ func (m *Manager) existsRec(c *kctx, f, cube Ref, depth int32) Ref {
 		r = m.mk(c, lf, low, high)
 	}
 	if c.par {
-		if !slot.storePar(quantEntry{f: f, cube: cube, res: r}) {
-			c.contention++
-		}
+		c.l1store(h, l1Quant, cacheQuant, 0, f, cube, 0, r)
 	} else {
 		*slot = quantEntry{f: f, cube: cube, res: r}
 	}
@@ -178,10 +183,17 @@ func (m *Manager) andExistsRec(c *kctx, f, g, cube Ref, depth int32) Ref {
 		return m.andRec(c, f, g, depth)
 	}
 	c.aexCalls++
-	slot := &m.aex[hash3(uint64(f), uint64(g), uint64(cube))&m.aexMask]
+	h := hash3(uint64(f), uint64(g), uint64(cube))
+	slot := &m.aex[h&m.aexMask]
 	if c.par {
+		if r, ok := c.l1probe(h, l1Aex, f, g, cube); ok {
+			c.aexHits++
+			return r
+		}
 		if e, ok := slot.loadPar(); ok && e.f == f && e.g == g && e.cube == cube {
 			c.aexHits++
+			m.gcProtect(e.res)
+			c.l1put(h, l1Aex, f, g, cube, e.res)
 			return e.res
 		}
 	} else if slot.f == f && slot.g == g && slot.cube == cube {
@@ -215,9 +227,7 @@ func (m *Manager) andExistsRec(c *kctx, f, g, cube Ref, depth int32) Ref {
 		r = m.mk(c, top, low, high)
 	}
 	if c.par {
-		if !slot.storePar(aexEntry{f: f, g: g, cube: cube, res: r}) {
-			c.contention++
-		}
+		c.l1store(h, l1Aex, cacheAex, 0, f, g, cube, r)
 	} else {
 		*slot = aexEntry{f: f, g: g, cube: cube, res: r}
 	}

@@ -75,6 +75,7 @@ package bdd
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hsis/internal/telemetry"
@@ -120,19 +121,8 @@ type ReorderSession struct {
 	bucket [][]Ref
 	pos    []int32
 
-	// uniq replaces the (stale) open-addressing unique table for the
-	// duration of the session, keyed on the stored triple directly:
-	// nodes carry variable IDs, which are stable across swaps, so moves
-	// that rewrite nothing never touch the map.
-	uniq map[node]Ref
-
 	free    []uint64 // slots currently on the free list
 	tainted []uint64 // slots freed at any point during the session (sticky across reuse)
-
-	relStack []Ref
-	sa       []Ref   // per-swap upper-bucket snapshot, reused across swaps
-	inter    []Ref   // per-swap deferred-release candidates, reused
-	rot      []int32 // MoveBlock rotation scratch
 
 	// imat is the variable interaction matrix (numVars rows of imatW
 	// words): bit v of row u set iff u,v co-occur in a live support.
@@ -152,9 +142,16 @@ type ReorderSession struct {
 	symNeg   []uint64
 	arcCnt   []int32
 	arcStamp []int32
-	arcEpoch int32
 
-	swaps      int
+	// whole is the legacy whole-order zone every session starts with: it
+	// owns the unique index, the scratch buffers and the mutation
+	// counters, and the session-level primitives forward to it. OpenZones
+	// retires it (whole becomes nil) and installs zones instead; the
+	// zoned counters fold into the session totals at CloseZones.
+	whole *ReorderZone
+	zones []*ReorderZone
+
+	swaps      int // folded totals: packing phase plus closed zones
 	interSkips int // crossings taken as pure order-map relabels (fast-path swaps and MoveBlock spans)
 	lbAborts   int // sift directions cut short by the lower bound (driver-counted)
 	symPairs   int // symmetric pairs glued into blocks (driver-counted)
@@ -194,6 +191,12 @@ func (m *Manager) StartReorder() *ReorderSession {
 		free:    make([]uint64, (alloc+63)/64),
 		tainted: make([]uint64, (alloc+63)/64),
 		bucket:  make([][]Ref, m.numVars),
+	}
+	s.whole = &ReorderZone{
+		s:      s,
+		legacy: true,
+		lo:     0,
+		hi:     m.numVars - 1,
 		// Size the map by the live count, not the arena: after the GC a
 		// sifting driver runs first, live is typically a small fraction
 		// of alloc, and map presizing is O(capacity).
@@ -211,8 +214,9 @@ func (m *Manager) StartReorder() *ReorderSession {
 		s.ref[i] += *m.rcPtr(r)
 		s.ref[n.low]++
 		s.ref[regular(n.high)]++
-		s.uniq[n] = r
+		s.whole.uniq[n] = r
 		s.addToBucket(r, int(n.varID))
+		s.whole.pop++
 	}
 	s.buildInteractions(alloc)
 	s.useInter = true
@@ -292,30 +296,82 @@ func (s *ReorderSession) Interacts(u, v int) bool { return s.interacts(u, v) }
 func (s *ReorderSession) SetInteractionFastPath(on bool) { s.useInter = on }
 
 // InteractionSkips returns the number of swaps taken as pure relabels.
-func (s *ReorderSession) InteractionSkips() int { return s.interSkips }
+func (s *ReorderSession) InteractionSkips() int {
+	n := s.interSkips
+	if s.whole != nil {
+		n += s.whole.interSkips
+	}
+	return n
+}
+
+// wholeZone returns the legacy whole-order zone backing the
+// session-level mutation primitives; it panics while OpenZones zones
+// are active (mutations must go through the zones then).
+func (s *ReorderSession) wholeZone() *ReorderZone {
+	if s.whole == nil {
+		panic("bdd: whole-order session primitive while reorder zones are open")
+	}
+	return s.whole
+}
 
 // NoteLowerBoundAbort records a sift direction cut short by the
 // lower-bound estimate; LowerBoundAborts reads the tally. The search
 // strategy lives in internal/reorder, the counter here so Close can
 // fold it into the manager statistics with the rest.
-func (s *ReorderSession) NoteLowerBoundAbort() { s.lbAborts++ }
+func (s *ReorderSession) NoteLowerBoundAbort() { s.wholeZone().lbAborts++ }
 
 // LowerBoundAborts returns the recorded lower-bound aborts.
-func (s *ReorderSession) LowerBoundAborts() int { return s.lbAborts }
+func (s *ReorderSession) LowerBoundAborts() int {
+	n := s.lbAborts
+	if s.whole != nil {
+		n += s.whole.lbAborts
+	}
+	return n
+}
 
 // NoteSymmetricPair records a variable pair glued into a symmetry
 // block; SymmetricPairs reads the tally.
-func (s *ReorderSession) NoteSymmetricPair() { s.symPairs++ }
+func (s *ReorderSession) NoteSymmetricPair() { s.wholeZone().symPairs++ }
 
 // SymmetricPairs returns the recorded symmetric-pair detections.
-func (s *ReorderSession) SymmetricPairs() int { return s.symPairs }
+func (s *ReorderSession) SymmetricPairs() int {
+	n := s.symPairs
+	if s.whole != nil {
+		n += s.whole.symPairs
+	}
+	return n
+}
 
 // Swap exchanges the variables at level and level+1, rewriting the
-// affected nodes in place.
-func (s *ReorderSession) Swap(level int) { s.m.swapLevels(s, level) }
+// affected nodes in place. It forwards to the whole-order zone and may
+// not be used while OpenZones zones are active.
+func (s *ReorderSession) Swap(level int) { s.wholeZone().Swap(level) }
 
 // Swaps returns the number of adjacent-level swaps performed so far.
-func (s *ReorderSession) Swaps() int { return s.swaps }
+func (s *ReorderSession) Swaps() int {
+	n := s.swaps
+	if s.whole != nil {
+		n += s.whole.swaps
+	}
+	return n
+}
+
+// Pop returns the live node count the session minimizes — the global
+// Size. A ReorderZone's Pop scopes the same quantity to its own band;
+// the two implement one interface for the sift driver.
+func (s *ReorderSession) Pop() int { return s.m.Size() }
+
+// Headroom reports the remaining allocation budget; the whole-order
+// session grows the arena on demand, so it is unbounded (-1).
+func (s *ReorderSession) Headroom() int { return -1 }
+
+// MaxBucket returns 0 for the whole-order session: only zones, whose
+// allocation is budgeted, gate moves on bucket size.
+func (s *ReorderSession) MaxBucket() int { return 0 }
+
+// NoteBlockSifted is a no-op on the whole-order session; the
+// parallel-sift block counter only tracks zoned work.
+func (s *ReorderSession) NoteBlockSifted() {}
 
 // LevelSize returns the number of nodes currently stored at the given
 // level (the per-level population sifting minimizes). A variable
@@ -327,13 +383,9 @@ func (s *ReorderSession) LevelSize(level int) int {
 // Manager returns the manager this session reorders.
 func (s *ReorderSession) Manager() *Manager { return s.m }
 
-// swapLevels is the kernel swap primitive. When the two variables do
-// not interact the swap is the O(1) fast path: exchanging the two
-// order-map entries moves both whole populations at once, because nodes
-// store variable IDs and read their level through var2level — no node
-// is touched, no bucket scanned. Otherwise the Rudell exchange runs,
-// reduced by ID-labeling to a single pass over the upper variable's
-// bucket:
+// The swap primitive itself — the Rudell exchange adapted to complement
+// edges, reduced by ID-labeling to one pass over the upper variable's
+// bucket — lives on ReorderZone in reorder_zones.go:
 //
 //  1. a u-node with no v-child keeps its triple verbatim — its level
 //     changes implicitly with the final order-map update;
@@ -348,82 +400,6 @@ func (s *ReorderSession) Manager() *Manager { return s.m }
 // v-nodes are never visited: a live one keeps its triple and moves up
 // implicitly with the maps, a dead one is exactly a recorded drop
 // settled in step 3.
-func (m *Manager) swapLevels(s *ReorderSession, level int) {
-	if m.session != s {
-		panic("bdd: Swap on an inactive reorder session")
-	}
-	if level < 0 || level+1 >= m.numVars {
-		panic(fmt.Sprintf("bdd: Swap(%d) out of range [0,%d)", level, m.numVars-1))
-	}
-	l := int32(level)
-	lv1 := l + 1
-	u, v := m.level2var[l], m.level2var[lv1]
-
-	if s.useInter && !s.interacts(int(u), int(v)) {
-		m.level2var[l], m.level2var[lv1] = v, u
-		m.var2level[u], m.var2level[v] = lv1, l
-		s.swaps++
-		s.interSkips++
-		return
-	}
-
-	s.sa = append(s.sa[:0], s.bucket[u]...)
-	dead := s.inter[:0]
-	for _, f := range s.sa {
-		np := m.node(f)
-		n := *np
-		f0, f1 := n.low, n.high
-		r1, c := regular(f1), f1&compBit
-		d0 := m.node(f0).varID == v
-		d1 := m.node(r1).varID == v
-		if !d0 && !d1 {
-			continue // no v-child: triple unchanged, moves with the maps
-		}
-		var f00, f01 Ref
-		if d0 {
-			b := *m.node(f0)
-			f00, f01 = b.low, b.high
-		} else {
-			f00, f01 = f0, f0
-		}
-		var f10, f11 Ref
-		if d1 {
-			b := *m.node(r1)
-			f10, f11 = b.low^c, b.high^c
-		} else {
-			f10, f11 = f1, f1
-		}
-		g0 := s.swapMk(u, f00, f10)
-		g1 := s.swapMk(u, f01, f11)
-		s.ref[regular(g0)]++
-		s.ref[regular(g1)]++
-		if s.uniq[n] == f {
-			delete(s.uniq, n)
-		}
-		*np = node{varID: v, low: g0, high: g1}
-		s.uniq[*np] = f
-		s.removeFromBucket(f, int(u))
-		s.addToBucket(f, int(v))
-		if s.ref[f0]--; s.ref[f0] == 0 && f0 != 0 {
-			dead = append(dead, f0)
-		}
-		if s.ref[r1]--; s.ref[r1] == 0 && r1 != 0 {
-			dead = append(dead, r1)
-		}
-	}
-	// Settle the drops. A candidate may have been re-referenced by a
-	// later rewrite (as a shared cofactor) or already released through
-	// an earlier candidate's cascade — both are skipped.
-	for _, g := range dead {
-		if s.ref[g] == 0 && !s.isFree(g) {
-			s.release(g)
-		}
-	}
-	s.inter = dead[:0]
-	m.level2var[l], m.level2var[lv1] = v, u
-	m.var2level[u], m.var2level[v] = lv1, l
-	s.swaps++
-}
 
 // MoveBlock moves the block of width adjacent levels starting at level
 // across span further levels — downward past the next span levels for
@@ -434,98 +410,10 @@ func (m *Manager) swapLevels(s *ReorderSession, level int) {
 // preserved exactly as if the width×|span| adjacent swaps had run; the
 // session counts those avoided swaps as interaction skips. This is what
 // lets the sifting driver cross a whole span of unrelated variables in
-// O(span) instead of O(span × population).
+// O(span) instead of O(span × population). It forwards to the
+// whole-order zone; during zoned sifting each zone has its own.
 func (s *ReorderSession) MoveBlock(level, width, span int) {
-	m := s.m
-	if m.session != s {
-		panic("bdd: MoveBlock on an inactive reorder session")
-	}
-	if span == 0 || width == 0 {
-		return
-	}
-	lo, hi := level, level+width+span // rotation window [lo, hi)
-	if span < 0 {
-		lo, hi = level+span, level+width
-	}
-	if lo < 0 || hi > m.numVars {
-		panic(fmt.Sprintf("bdd: MoveBlock(%d,%d,%d) out of range [0,%d)", level, width, span, m.numVars))
-	}
-	for bl := level; bl < level+width; bl++ {
-		b := int(m.level2var[bl])
-		for k := lo; k < hi; k++ {
-			if k >= level && k < level+width {
-				continue
-			}
-			if s.interacts(b, int(m.level2var[k])) {
-				panic("bdd: MoveBlock across an interacting variable")
-			}
-		}
-	}
-	s.rot = append(s.rot[:0], m.level2var[level:level+width]...)
-	if span > 0 {
-		copy(m.level2var[level:], m.level2var[level+width:level+width+span])
-		copy(m.level2var[level+span:level+span+width], s.rot)
-	} else {
-		copy(m.level2var[level+span+width:level+width], m.level2var[level+span:level])
-		copy(m.level2var[level+span:level+span+width], s.rot)
-	}
-	for k := lo; k < hi; k++ {
-		m.var2level[m.level2var[k]] = int32(k)
-	}
-	if span < 0 {
-		span = -span
-	}
-	s.interSkips += width * span
-}
-
-// swapMk is the session's mk: reduction, canonical-low re-rooting, and
-// find-or-allocate against the session index. low is a cofactor of a
-// stored node, so it is regular unless it inherited a pushed-down
-// complement mark from a complemented high edge.
-func (s *ReorderSession) swapMk(varID int32, low, high Ref) Ref {
-	if low == high {
-		return low
-	}
-	if isComp(low) {
-		return neg(s.swapMkNode(varID, neg(low), neg(high)))
-	}
-	return s.swapMkNode(varID, low, high)
-}
-
-func (s *ReorderSession) swapMkNode(varID int32, low, high Ref) Ref {
-	m := s.m
-	key := node{varID: varID, low: low, high: high}
-	if r, ok := s.uniq[key]; ok {
-		return r
-	}
-	var r Ref
-	if len(m.free) > 0 {
-		r = m.free[len(m.free)-1]
-		m.free = m.free[:len(m.free)-1]
-		m.freeLen.Store(int64(len(m.free)))
-		s.free[r>>6] &^= 1 << (uint(r) & 63) // taint, if set, stays set
-		*m.node(r) = key
-		*m.rcPtr(r) = 0
-		s.ref[r] = 0
-	} else {
-		i := m.nodeCap.Add(1) - 1
-		m.ensureChunk(i)
-		r = Ref(i)
-		*m.node(r) = key
-		s.ref = append(s.ref, 0)
-		s.pos = append(s.pos, 0)
-		for len(s.free)*64 < int(i)+1 {
-			s.free = append(s.free, 0)
-			s.tainted = append(s.tainted, 0)
-		}
-		maxStore(&m.peakNodes, i+1)
-	}
-	s.ref[low]++
-	s.ref[regular(high)]++
-	s.uniq[key] = r
-	s.addToBucket(r, int(varID))
-	maxStore(&m.peakLive, int64(m.Size()))
-	return r
+	s.wholeZone().MoveBlock(level, width, span)
 }
 
 // ProbeSymmetry reports whether the variable at level and the one at
@@ -541,112 +429,10 @@ func (s *ReorderSession) swapMkNode(varID int32, low, high Ref) Ref {
 // — so u's is skipped in the scan and v's expected reference count is
 // discounted by its permanent pin. A false positive is impossible for
 // protected functions; gluing is only a heuristic hint anyway, since
-// block moves preserve all functions regardless.
+// block moves preserve all functions regardless. The probe itself lives
+// on ReorderZone; this forwards to the whole-order zone.
 func (s *ReorderSession) ProbeSymmetry(level int) bool {
-	m := s.m
-	if level < 0 || level+1 >= m.numVars {
-		return false
-	}
-	u, v := m.level2var[level], m.level2var[level+1]
-	if s.symNeg == nil {
-		s.symNeg = make([]uint64, m.numVars*s.imatW)
-	}
-	if s.symNeg[int(u)*s.imatW+int(v)>>6]&(1<<(uint(v)&63)) != 0 {
-		return false
-	}
-	if s.probePair(u, v) {
-		return true
-	}
-	s.symNeg[int(u)*s.imatW+int(v)>>6] |= 1 << (uint(v) & 63)
-	s.symNeg[int(v)*s.imatW+int(u)>>6] |= 1 << (uint(u) & 63)
-	return false
-}
-
-// probePair runs the structural check with u adjacent above v.
-func (s *ReorderSession) probePair(u, v int32) bool {
-	m := s.m
-	if len(s.arcStamp) < len(s.ref) {
-		s.arcCnt = make([]int32, len(s.ref))
-		s.arcStamp = make([]int32, len(s.ref))
-		s.arcEpoch = 0
-	}
-	s.arcEpoch++
-	ep := s.arcEpoch
-	real := false
-	for _, f := range s.bucket[u] {
-		n := *m.node(f)
-		if n.low == False && n.high == True {
-			continue // projection node of the upper variable
-		}
-		real = true
-		f0 := n.low
-		r1, c := regular(n.high), n.high&compBit
-		f01, f10 := f0, n.high
-		if m.node(f0).varID == v {
-			f01 = m.node(f0).high
-			if s.arcStamp[f0] != ep {
-				s.arcStamp[f0], s.arcCnt[f0] = ep, 0
-			}
-			s.arcCnt[f0]++
-		}
-		if m.node(r1).varID == v {
-			f10 = m.node(r1).low ^ c
-			if s.arcStamp[r1] != ep {
-				s.arcStamp[r1], s.arcCnt[r1] = ep, 0
-			}
-			s.arcCnt[r1]++
-		}
-		if f01 != f10 {
-			return false
-		}
-	}
-	if !real {
-		return false
-	}
-	for _, g := range s.bucket[v] {
-		n := *m.node(g)
-		want := s.ref[g]
-		if n.low == False && n.high == True {
-			want-- // the projection node's permanent NewVar pin
-		}
-		got := int32(0)
-		if s.arcStamp[g] == ep {
-			got = s.arcCnt[g]
-		}
-		if got != want {
-			return false
-		}
-	}
-	return true
-}
-
-// release frees a node whose last reason to live is gone, cascading to
-// children left with no external reference and no parent.
-func (s *ReorderSession) release(g Ref) {
-	m := s.m
-	stack := append(s.relStack[:0], g)
-	for len(stack) > 0 {
-		r := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := *m.node(r)
-		if s.uniq[n] == r {
-			delete(s.uniq, n)
-		}
-		s.removeFromBucket(r, int(n.varID))
-		s.free[r>>6] |= 1 << (uint(r) & 63)
-		s.tainted[r>>6] |= 1 << (uint(r) & 63)
-		m.free = append(m.free, r)
-		m.freeLen.Store(int64(len(m.free)))
-		for _, ch := range [2]Ref{n.low, regular(n.high)} {
-			if ch == 0 {
-				continue
-			}
-			if s.ref[ch]--; s.ref[ch] == 0 {
-				stack = append(stack, ch)
-			}
-		}
-	}
-	s.relStack = stack[:0]
+	return s.wholeZone().ProbeSymmetry(level)
 }
 
 // Close ends the session: it rebuilds the sharded unique table for the
@@ -657,6 +443,14 @@ func (s *ReorderSession) Close() {
 	m := s.m
 	if m.session != s {
 		panic("bdd: Close on an inactive reorder session")
+	}
+	s.CloseZones() // tolerate a driver that panicked out of the zone phase
+	if w := s.whole; w != nil {
+		s.swaps += w.swaps
+		s.interSkips += w.interSkips
+		s.lbAborts += w.lbAborts
+		s.symPairs += w.symPairs
+		s.whole = nil
 	}
 	m.session = nil
 	for i := range m.shards {
@@ -673,6 +467,9 @@ func (s *ReorderSession) Close() {
 	}
 	m.freeLen.Store(int64(len(m.free)))
 	m.sweepCachesTainted(s.tainted)
+	// Per-worker L1 caches may hold entries naming tainted slots too;
+	// bumping the epoch invalidates them all at their next safe point.
+	m.cacheEpoch.Add(1)
 	m.statReorders++
 	m.statReorderSwaps += uint64(s.swaps)
 	m.statInterSkips += uint64(s.interSkips)
@@ -697,8 +494,10 @@ func (s *ReorderSession) Close() {
 	}
 }
 
+// isFree reads the free bitmap atomically: one 64-slot word can span
+// slots owned by different concurrent zones.
 func (s *ReorderSession) isFree(r Ref) bool {
-	return s.free[r>>6]&(1<<(uint(r)&63)) != 0
+	return atomic.LoadUint64(&s.free[r>>6])&(1<<(uint(r)&63)) != 0
 }
 
 func (s *ReorderSession) addToBucket(r Ref, v int) {
@@ -772,6 +571,10 @@ func (m *Manager) GroupVars(vars []int) {
 		m.stw.Lock()
 		defer m.stw.Unlock()
 	}
+	// Concurrent sift zones glue symmetric pairs from their own
+	// goroutines; the registry itself gets a dedicated mutex.
+	m.groupsMu.Lock()
+	defer m.groupsMu.Unlock()
 	merged := append([]int(nil), vars...)
 	for _, v := range merged {
 		if v < 0 || v >= m.numVars {

@@ -1,0 +1,637 @@
+package bdd
+
+// Reorder zones: the kernel half of parallel sifting. A ReorderZone is
+// an interaction-closed set of variables occupying a contiguous band of
+// levels inside an open reorder session. Because no variable in the
+// zone interacts with any variable outside it, no zone node has an
+// out-of-zone child and no out-of-zone node has a zone child — so every
+// structure a swap touches (the rewritten nodes, the session unique
+// index entries for the zone's variables, their buckets, their
+// reference counts, the order-map entries of the band) is private to
+// the zone, and zones can sift concurrently with no locking on the hot
+// path. The only state physically shared between zones is bitmap words
+// (a 64-slot free/tainted word can span slots owned by different
+// zones), which the accessors below touch atomically, and the group
+// registry, which GroupVars guards with its own mutex.
+//
+// Slot allocation is the one resource a naive split would contend on.
+// Each zone therefore runs as a closed system: OpenZones hands it a
+// private free list — recycled slots off the global free list first,
+// then a deterministic run of fresh arena slots — sized at 3·growth×
+// its population plus a constant, which covers the transient worst case
+// of a sift bounded by the driver's growth factor. Slots a zone
+// releases return to its own list and are reused by it alone, so the
+// slots backing a zone's nodes, and hence every Ref printed or probed,
+// are a deterministic function of the zone's own swap sequence — the
+// same at any worker count. The driver additionally budget-gates on
+// Headroom before committing to a move; exhausting the quota anyway is
+// a kernel bug and panics.
+//
+// The whole-order session of StartReorder is itself a zone (legacy:
+// band covering every level, allocation against the global free list
+// and the growable arena). Session-level Swap/MoveBlock/ProbeSymmetry
+// forward to it, so single-zone and pre-zone behavior is unchanged.
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// ReorderZone is one independently siftable slice of an open reorder
+// session. Methods on different zones of the same session may be called
+// concurrently; methods on one zone must be called from one goroutine
+// at a time.
+type ReorderZone struct {
+	s      *ReorderSession
+	legacy bool // the whole-order zone: global free list, growable arena
+
+	lo, hi int     // inclusive level band owned by the zone
+	vars   []int32 // variable IDs owned by the zone (nil for legacy)
+	pop    int     // live nodes labeled with the zone's variables
+
+	// uniq is the zone's slice of the session unique index: exactly the
+	// triples labeled with the zone's variables.
+	uniq map[node]Ref
+
+	// free is the zone's private slot budget (unused for legacy).
+	free []Ref
+
+	relStack []Ref
+	sa       []Ref
+	inter    []Ref
+	rot      []int32
+	arcEpoch int32
+
+	swaps        int
+	interSkips   int
+	lbAborts     int
+	symPairs     int
+	blocksSifted int
+}
+
+// Zone accessors for the sift driver.
+
+// Pop returns the zone's live node count — the quantity its sifting
+// minimizes. Unlike Manager.Size it is exact during concurrent zone
+// execution and independent of every other zone.
+func (z *ReorderZone) Pop() int { return z.pop }
+
+// Headroom returns the remaining private slot budget; the legacy
+// whole-order zone reports -1 (unbounded — it grows the arena).
+func (z *ReorderZone) Headroom() int {
+	if z.legacy {
+		return -1
+	}
+	return len(z.free)
+}
+
+// MaxBucket returns the largest single-level population in the zone,
+// the unit the driver's budget gate multiplies by.
+func (z *ReorderZone) MaxBucket() int {
+	mx := 0
+	for _, v := range z.vars {
+		if n := len(z.s.bucket[v]); n > mx {
+			mx = n
+		}
+	}
+	return mx
+}
+
+// Lo and Hi bound the zone's level band (inclusive).
+func (z *ReorderZone) Lo() int { return z.lo }
+func (z *ReorderZone) Hi() int { return z.hi }
+
+// LevelSize returns the population of one level inside the band.
+func (z *ReorderZone) LevelSize(level int) int { return z.s.LevelSize(level) }
+
+// NoteLowerBoundAbort and NoteSymmetricPair record driver events
+// against the zone; CloseZones folds them into the session totals.
+func (z *ReorderZone) NoteLowerBoundAbort() { z.lbAborts++ }
+func (z *ReorderZone) NoteSymmetricPair()   { z.symPairs++ }
+
+// NoteBlockSifted records one completed block sift (the parallel-sift
+// throughput statistic).
+func (z *ReorderZone) NoteBlockSifted() { z.blocksSifted++ }
+
+// Atomic bitmap accessors: free/tainted words may be shared between
+// zones, so all session-concurrent paths go through these.
+
+func orBit(w *uint64, b uint64) {
+	for {
+		old := atomic.LoadUint64(w)
+		if old&b != 0 || atomic.CompareAndSwapUint64(w, old, old|b) {
+			return
+		}
+	}
+}
+
+func andNotBit(w *uint64, b uint64) {
+	for {
+		old := atomic.LoadUint64(w)
+		if old&b == 0 || atomic.CompareAndSwapUint64(w, old, old&^b) {
+			return
+		}
+	}
+}
+
+func (s *ReorderSession) setFreeBit(r Ref)   { orBit(&s.free[r>>6], 1<<(uint(r)&63)) }
+func (s *ReorderSession) clearFreeBit(r Ref) { andNotBit(&s.free[r>>6], 1<<(uint(r)&63)) }
+func (s *ReorderSession) setTaintBit(r Ref)  { orBit(&s.tainted[r>>6], 1<<(uint(r)&63)) }
+
+// Swap exchanges the variables at level and level+1 inside the zone's
+// band, rewriting the affected nodes in place (see the package comment
+// in reorder.go for the exchange itself).
+func (z *ReorderZone) Swap(level int) {
+	s := z.s
+	m := s.m
+	if m.session != s {
+		panic("bdd: Swap on an inactive reorder session")
+	}
+	if level < z.lo || level+1 > z.hi {
+		panic(fmt.Sprintf("bdd: Swap(%d) outside zone band [%d,%d]", level, z.lo, z.hi))
+	}
+	l := int32(level)
+	lv1 := l + 1
+	u, v := m.level2var[l], m.level2var[lv1]
+
+	if s.useInter && !s.interacts(int(u), int(v)) {
+		m.level2var[l], m.level2var[lv1] = v, u
+		m.var2level[u], m.var2level[v] = lv1, l
+		z.swaps++
+		z.interSkips++
+		return
+	}
+
+	z.sa = append(z.sa[:0], s.bucket[u]...)
+	dead := z.inter[:0]
+	for _, f := range z.sa {
+		np := m.node(f)
+		n := *np
+		f0, f1 := n.low, n.high
+		r1, c := regular(f1), f1&compBit
+		d0 := m.node(f0).varID == v
+		d1 := m.node(r1).varID == v
+		if !d0 && !d1 {
+			continue // no v-child: triple unchanged, moves with the maps
+		}
+		var f00, f01 Ref
+		if d0 {
+			b := *m.node(f0)
+			f00, f01 = b.low, b.high
+		} else {
+			f00, f01 = f0, f0
+		}
+		var f10, f11 Ref
+		if d1 {
+			b := *m.node(r1)
+			f10, f11 = b.low^c, b.high^c
+		} else {
+			f10, f11 = f1, f1
+		}
+		g0 := z.swapMk(u, f00, f10)
+		g1 := z.swapMk(u, f01, f11)
+		// Terminal reference counts are never consulted; skipping slot 0
+		// keeps the counter zone-private (the word is shared otherwise).
+		if rg := regular(g0); rg != 0 {
+			s.ref[rg]++
+		}
+		if rg := regular(g1); rg != 0 {
+			s.ref[rg]++
+		}
+		if z.uniq[n] == f {
+			delete(z.uniq, n)
+		}
+		*np = node{varID: v, low: g0, high: g1}
+		z.uniq[*np] = f
+		s.removeFromBucket(f, int(u))
+		s.addToBucket(f, int(v))
+		if f0 != 0 {
+			if s.ref[f0]--; s.ref[f0] == 0 {
+				dead = append(dead, f0)
+			}
+		}
+		if r1 != 0 {
+			if s.ref[r1]--; s.ref[r1] == 0 {
+				dead = append(dead, r1)
+			}
+		}
+	}
+	// Settle the drops. A candidate may have been re-referenced by a
+	// later rewrite (as a shared cofactor) or already released through
+	// an earlier candidate's cascade — both are skipped.
+	for _, g := range dead {
+		if s.ref[g] == 0 && !s.isFree(g) {
+			z.release(g)
+		}
+	}
+	z.inter = dead[:0]
+	m.level2var[l], m.level2var[lv1] = v, u
+	m.var2level[u], m.var2level[v] = lv1, l
+	z.swaps++
+}
+
+// MoveBlock moves the block of width adjacent levels starting at level
+// across span further levels in one order-map rotation, provided the
+// rotation window stays inside the zone band and no crossed variable
+// interacts with any block variable (it panics otherwise; callers gate
+// on Interacts). See the session-level description in reorder.go.
+func (z *ReorderZone) MoveBlock(level, width, span int) {
+	s := z.s
+	m := s.m
+	if m.session != s {
+		panic("bdd: MoveBlock on an inactive reorder session")
+	}
+	if span == 0 || width == 0 {
+		return
+	}
+	lo, hi := level, level+width+span // rotation window [lo, hi)
+	if span < 0 {
+		lo, hi = level+span, level+width
+	}
+	if lo < z.lo || hi > z.hi+1 {
+		panic(fmt.Sprintf("bdd: MoveBlock(%d,%d,%d) outside zone band [%d,%d]", level, width, span, z.lo, z.hi))
+	}
+	for bl := level; bl < level+width; bl++ {
+		b := int(m.level2var[bl])
+		for k := lo; k < hi; k++ {
+			if k >= level && k < level+width {
+				continue
+			}
+			if s.interacts(b, int(m.level2var[k])) {
+				panic("bdd: MoveBlock across an interacting variable")
+			}
+		}
+	}
+	z.rot = append(z.rot[:0], m.level2var[level:level+width]...)
+	if span > 0 {
+		copy(m.level2var[level:], m.level2var[level+width:level+width+span])
+		copy(m.level2var[level+span:level+span+width], z.rot)
+	} else {
+		copy(m.level2var[level+span+width:level+width], m.level2var[level+span:level])
+		copy(m.level2var[level+span:level+span+width], z.rot)
+	}
+	for k := lo; k < hi; k++ {
+		m.var2level[m.level2var[k]] = int32(k)
+	}
+	if span < 0 {
+		span = -span
+	}
+	z.interSkips += width * span
+}
+
+// swapMk is the zone's mk: reduction, canonical-low re-rooting, and
+// find-or-allocate against the zone's slice of the session index.
+func (z *ReorderZone) swapMk(varID int32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	if isComp(low) {
+		return neg(z.swapMkNode(varID, neg(low), neg(high)))
+	}
+	return z.swapMkNode(varID, low, high)
+}
+
+func (z *ReorderZone) swapMkNode(varID int32, low, high Ref) Ref {
+	s := z.s
+	m := s.m
+	key := node{varID: varID, low: low, high: high}
+	if r, ok := z.uniq[key]; ok {
+		return r
+	}
+	var r Ref
+	switch {
+	case !z.legacy:
+		if len(z.free) == 0 {
+			// The driver's Headroom gate makes this unreachable; reaching
+			// it means the budget model is wrong, not the workload big.
+			panic("bdd: reorder zone slot budget exhausted")
+		}
+		r = z.free[len(z.free)-1]
+		z.free = z.free[:len(z.free)-1]
+		s.clearFreeBit(r) // taint, if set, stays set
+		*m.node(r) = key
+		*m.rcPtr(r) = 0
+		s.ref[r] = 0
+	case len(m.free) > 0:
+		r = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.freeLen.Store(int64(len(m.free)))
+		s.clearFreeBit(r)
+		*m.node(r) = key
+		*m.rcPtr(r) = 0
+		s.ref[r] = 0
+	default:
+		i := m.nodeCap.Add(1) - 1
+		m.ensureChunk(i)
+		r = Ref(i)
+		*m.node(r) = key
+		s.ref = append(s.ref, 0)
+		s.pos = append(s.pos, 0)
+		for len(s.free)*64 < int(i)+1 {
+			s.free = append(s.free, 0)
+			s.tainted = append(s.tainted, 0)
+		}
+		maxStore(&m.peakNodes, i+1)
+	}
+	if low != 0 {
+		s.ref[low]++
+	}
+	if rh := regular(high); rh != 0 {
+		s.ref[rh]++
+	}
+	z.uniq[key] = r
+	s.addToBucket(r, int(varID))
+	z.pop++
+	if z.legacy {
+		// Zone mode skips the peak update: Size() reads the stale global
+		// free length there; CloseZones records the final peak instead.
+		maxStore(&m.peakLive, int64(m.Size()))
+	}
+	return r
+}
+
+// ProbeSymmetry reports whether the variables at level and level+1 are
+// positively symmetric in every live function; see the session-level
+// description in reorder.go. symNeg rows are per-variable and the
+// variables are zone-owned, so concurrent probes never share a row.
+func (z *ReorderZone) ProbeSymmetry(level int) bool {
+	s := z.s
+	m := s.m
+	if level < z.lo || level+1 > z.hi {
+		return false
+	}
+	u, v := m.level2var[level], m.level2var[level+1]
+	if s.symNeg == nil {
+		s.symNeg = make([]uint64, m.numVars*s.imatW)
+	}
+	if s.symNeg[int(u)*s.imatW+int(v)>>6]&(1<<(uint(v)&63)) != 0 {
+		return false
+	}
+	if z.probePair(u, v) {
+		return true
+	}
+	s.symNeg[int(u)*s.imatW+int(v)>>6] |= 1 << (uint(v) & 63)
+	s.symNeg[int(v)*s.imatW+int(u)>>6] |= 1 << (uint(u) & 63)
+	return false
+}
+
+// probePair runs the structural symmetry check with u adjacent above v.
+// The arc counters are epoch-stamped per zone; zones stamp disjoint
+// slots, so sharing the arrays is safe without clearing.
+func (z *ReorderZone) probePair(u, v int32) bool {
+	s := z.s
+	m := s.m
+	if len(s.arcStamp) < len(s.ref) {
+		s.arcCnt = make([]int32, len(s.ref))
+		s.arcStamp = make([]int32, len(s.ref))
+		z.arcEpoch = 0
+	}
+	z.arcEpoch++
+	ep := z.arcEpoch
+	real := false
+	for _, f := range s.bucket[u] {
+		n := *m.node(f)
+		if n.low == False && n.high == True {
+			continue // projection node of the upper variable
+		}
+		real = true
+		f0 := n.low
+		r1, c := regular(n.high), n.high&compBit
+		f01, f10 := f0, n.high
+		if m.node(f0).varID == v {
+			f01 = m.node(f0).high
+			if s.arcStamp[f0] != ep {
+				s.arcStamp[f0], s.arcCnt[f0] = ep, 0
+			}
+			s.arcCnt[f0]++
+		}
+		if m.node(r1).varID == v {
+			f10 = m.node(r1).low ^ c
+			if s.arcStamp[r1] != ep {
+				s.arcStamp[r1], s.arcCnt[r1] = ep, 0
+			}
+			s.arcCnt[r1]++
+		}
+		if f01 != f10 {
+			return false
+		}
+	}
+	if !real {
+		return false
+	}
+	for _, g := range s.bucket[v] {
+		n := *m.node(g)
+		want := s.ref[g]
+		if n.low == False && n.high == True {
+			want-- // the projection node's permanent NewVar pin
+		}
+		got := int32(0)
+		if s.arcStamp[g] == ep {
+			got = s.arcCnt[g]
+		}
+		if got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// release frees a node whose last reason to live is gone, cascading to
+// children left with no external reference and no parent. Children of a
+// zone node are zone nodes or terminal, so the cascade never leaves the
+// zone.
+func (z *ReorderZone) release(g Ref) {
+	s := z.s
+	m := s.m
+	stack := append(z.relStack[:0], g)
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := *m.node(r)
+		if z.uniq[n] == r {
+			delete(z.uniq, n)
+		}
+		s.removeFromBucket(r, int(n.varID))
+		s.setFreeBit(r)
+		s.setTaintBit(r)
+		if z.legacy {
+			m.free = append(m.free, r)
+			m.freeLen.Store(int64(len(m.free)))
+		} else {
+			z.free = append(z.free, r)
+		}
+		z.pop--
+		for _, ch := range [2]Ref{n.low, regular(n.high)} {
+			if ch == 0 {
+				continue
+			}
+			if s.ref[ch]--; s.ref[ch] == 0 {
+				stack = append(stack, ch)
+			}
+		}
+	}
+	z.relStack = stack[:0]
+}
+
+// OpenZones splits the open session into independently siftable zones,
+// one per variable set. Each set must be interaction-closed (no member
+// interacts with a non-member — OpenZones verifies this against the
+// matrix) and must occupy a contiguous band of levels (the driver packs
+// components first). growth is the driver's max-growth bound; it sizes
+// each zone's private slot budget. After OpenZones the session-level
+// mutation primitives panic until CloseZones; zones may then run
+// concurrently, one goroutine per zone.
+func (s *ReorderSession) OpenZones(varSets [][]int, growth float64) []*ReorderZone {
+	m := s.m
+	if m.session != s {
+		panic("bdd: OpenZones on an inactive reorder session")
+	}
+	if s.whole == nil {
+		panic("bdd: OpenZones with zones already open")
+	}
+	if len(varSets) == 0 {
+		return nil
+	}
+	if growth < 1 {
+		growth = 1
+	}
+	w := s.whole
+	zoneOf := make([]int32, m.numVars)
+	for i := range zoneOf {
+		zoneOf[i] = -1
+	}
+	zones := make([]*ReorderZone, len(varSets))
+	mask := make([]uint64, s.imatW)
+	for zi, set := range varSets {
+		z := &ReorderZone{s: s, lo: m.numVars, hi: -1, arcEpoch: w.arcEpoch}
+		for j := range mask {
+			mask[j] = 0
+		}
+		for _, v := range set {
+			if v < 0 || v >= m.numVars || zoneOf[v] >= 0 {
+				panic("bdd: OpenZones: variable out of range or claimed twice")
+			}
+			zoneOf[v] = int32(zi)
+			z.vars = append(z.vars, int32(v))
+			mask[v>>6] |= 1 << (uint(v) & 63)
+			if l := int(m.var2level[v]); l < z.lo {
+				z.lo = l
+			}
+			if l := int(m.var2level[v]); l > z.hi {
+				z.hi = l
+			}
+			z.pop += len(s.bucket[v])
+		}
+		if z.hi-z.lo+1 != len(set) {
+			panic("bdd: OpenZones: zone levels not contiguous")
+		}
+		for _, v := range z.vars {
+			row := s.imat[int(v)*s.imatW : (int(v)+1)*s.imatW]
+			for j, rw := range row {
+				if rw&^mask[j] != 0 {
+					panic("bdd: OpenZones: zone is not interaction-closed")
+				}
+			}
+		}
+		z.uniq = make(map[node]Ref, z.pop+z.pop/4)
+		zones[zi] = z
+	}
+	// Private slot budgets: recycled slots off the global free list
+	// first (so repeated sifts do not grow the arena without bound),
+	// fresh arena slots for the rest. 3·growth×pop covers a sift's
+	// transient worst case — the driver aborts a direction near
+	// growth×pop live plus one swap's worth of new inner nodes.
+	for _, z := range zones {
+		quota := int(3*growth*float64(z.pop)) + 1024
+		take := quota
+		if take > len(m.free) {
+			take = len(m.free)
+		}
+		z.free = append(make([]Ref, 0, quota), m.free[len(m.free)-take:]...)
+		m.free = m.free[:len(m.free)-take]
+		if rest := quota - take; rest > 0 {
+			base := m.nodeCap.Add(int64(rest)) - int64(rest)
+			for i := base; i < base+int64(rest); i += chunkSize {
+				m.ensureChunk(i)
+			}
+			m.ensureChunk(base + int64(rest) - 1)
+			// Descending, so pops hand out ascending slot numbers.
+			for i := int64(rest) - 1; i >= 0; i-- {
+				z.free = append(z.free, Ref(base+i))
+			}
+			maxStore(&m.peakNodes, base+int64(rest))
+		}
+	}
+	m.freeLen.Store(int64(len(m.free)))
+	// One-time extension of the per-slot session arrays to the final
+	// allocation bound: nothing may append to them while zones run (the
+	// slice headers are read by every zone).
+	alloc := int(m.nodeCap.Load())
+	s.ref = append(s.ref, make([]int32, alloc-len(s.ref))...)
+	s.pos = append(s.pos, make([]int32, alloc-len(s.pos))...)
+	for len(s.free)*64 < alloc {
+		s.free = append(s.free, 0)
+		s.tainted = append(s.tainted, 0)
+	}
+	for _, z := range zones {
+		for _, r := range z.free {
+			s.free[r>>6] |= 1 << (uint(r) & 63)
+		}
+	}
+	if len(s.arcStamp) < alloc {
+		s.arcCnt = make([]int32, alloc)
+		s.arcStamp = make([]int32, alloc)
+	}
+	if s.symNeg == nil {
+		s.symNeg = make([]uint64, m.numVars*s.imatW)
+	}
+	// Split the unique index: every triple labeled with a zoned variable
+	// moves to its zone's map. Un-zoned variables keep their entries in
+	// the retired whole-order map, which nothing consults until Close
+	// rebuilds the real table from the arena.
+	for n, r := range w.uniq {
+		if zi := zoneOf[n.varID]; zi >= 0 {
+			zones[zi].uniq[n] = r
+			delete(w.uniq, n)
+		}
+	}
+	// Fold the packing phase's counters and retire the whole-order zone:
+	// session-level mutation primitives panic until CloseZones.
+	s.swaps += w.swaps
+	s.interSkips += w.interSkips
+	s.lbAborts += w.lbAborts
+	s.symPairs += w.symPairs
+	s.whole = nil
+	s.zones = zones
+	m.statSiftZones.Add(uint64(len(zones)))
+	return zones
+}
+
+// CloseZones retires the open zones: leftover private slots return to
+// the global free list in zone order (deterministic at any worker
+// count), counters fold into the session totals, and the group registry
+// is put into a canonical order after concurrent symmetric-pair glues.
+// Only Close and the read accessors may follow.
+func (s *ReorderSession) CloseZones() {
+	m := s.m
+	if s.zones == nil {
+		return
+	}
+	for _, z := range s.zones {
+		m.free = append(m.free, z.free...)
+		s.swaps += z.swaps
+		s.interSkips += z.interSkips
+		s.lbAborts += z.lbAborts
+		s.symPairs += z.symPairs
+		m.statSiftParBlocks.Add(uint64(z.blocksSifted))
+		z.free = nil
+		z.uniq = nil
+	}
+	m.freeLen.Store(int64(len(m.free)))
+	s.zones = nil
+	maxStore(&m.peakLive, int64(m.Size()))
+	m.groupsMu.Lock()
+	sort.Slice(m.groups, func(i, j int) bool { return m.groups[i][0] < m.groups[j][0] })
+	m.groupsMu.Unlock()
+}

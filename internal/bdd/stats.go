@@ -56,6 +56,24 @@ type Statistics struct {
 	Steals     uint64
 	Contention uint64
 
+	// Two-level op cache: probes answered by a context-private L1,
+	// L1→L2 promotion drains (each fork-join or operation boundary), and
+	// entries that actually landed in the shared L2 during those drains.
+	L1Hits       uint64
+	L1Merges     uint64
+	L1Promotions uint64
+
+	// Grain controller: the current adaptive fork-depth cutoff and how
+	// many times the steal-ratio feedback loop has moved it.
+	ForkDepth    int
+	GrainAdjusts uint64
+
+	// Zoned sifting: interaction-closed zones opened across reorder
+	// sessions and blocks sifted inside them (zones sift concurrently
+	// when the manager has workers).
+	SiftZones     uint64
+	SiftParBlocks uint64
+
 	// Dynamic variable reordering: number of sifting runs, total
 	// adjacent-level swaps, cumulative time spent reordering, the node
 	// counts around the most recent run, and the peak live node count
@@ -112,8 +130,9 @@ func (s Statistics) String() string {
 	}
 	if s.Workers > 1 {
 		out += fmt.Sprintf(
-			"\nbdd: parallel: %d workers, %d forks, %d steals, %d contention events",
-			s.Workers, s.Forks, s.Steals, s.Contention)
+			"\nbdd: parallel: %d workers, %d forks, %d steals, %d contention events; l1 %d hits / %d merges / %d promoted; grain depth %d (%d adjusts)",
+			s.Workers, s.Forks, s.Steals, s.Contention,
+			s.L1Hits, s.L1Merges, s.L1Promotions, s.ForkDepth, s.GrainAdjusts)
 	}
 	return out
 }
@@ -160,6 +179,8 @@ func (s Statistics) WriteTable(w io.Writer) {
 		row("workers", "%d", s.Workers)
 		row("forks/steals", "%d / %d", s.Forks, s.Steals)
 		row("contention", "%d", s.Contention)
+		row("l1 cache", "%d hits, %d merges, %d promoted", s.L1Hits, s.L1Merges, s.L1Promotions)
+		row("fork grain", "depth %d, %d adjusts", s.ForkDepth, s.GrainAdjusts)
 	}
 	if s.Reorders > 0 {
 		row("reorders", "%d (%d swaps in %v; last %d -> %d nodes)",
@@ -167,6 +188,9 @@ func (s Statistics) WriteTable(w io.Writer) {
 			s.ReorderNodesBefore, s.ReorderNodesAfter)
 		row("reorder accel", "%d interaction-skips, %d lb-aborts, %d symmetric-pairs",
 			s.ReorderInterSkips, s.ReorderLBAborts, s.ReorderSymPairs)
+		if s.SiftZones > 0 {
+			row("sift zones", "%d zones, %d blocks sifted zoned", s.SiftZones, s.SiftParBlocks)
+		}
 	}
 	for _, h := range s.Latency {
 		if h.Count == 0 {
@@ -215,6 +239,13 @@ func (s Statistics) TelemetryFields() []telemetry.Field {
 		telemetry.I64("forks", int64(s.Forks)),
 		telemetry.I64("steals", int64(s.Steals)),
 		telemetry.I64("contention", int64(s.Contention)),
+		telemetry.I64("l1_hits", int64(s.L1Hits)),
+		telemetry.I64("l1_merges", int64(s.L1Merges)),
+		telemetry.I64("l1_promotions", int64(s.L1Promotions)),
+		telemetry.Int("fork_depth", s.ForkDepth),
+		telemetry.I64("grain_adjusts", int64(s.GrainAdjusts)),
+		telemetry.I64("sift_zones", int64(s.SiftZones)),
+		telemetry.I64("sift_par_blocks", int64(s.SiftParBlocks)),
 	}
 }
 
@@ -278,6 +309,15 @@ func (m *Manager) statsNow() Statistics {
 		Forks:      m.statForks.Load(),
 		Steals:     m.statSteals.Load(),
 		Contention: m.statContention.Load(),
+
+		L1Hits:       m.statL1Hits.Load(),
+		L1Merges:     m.statL1Merges.Load(),
+		L1Promotions: m.statL1Promos.Load(),
+		ForkDepth:    m.forkDepthNow(),
+		GrainAdjusts: m.statGrainAdjusts.Load(),
+
+		SiftZones:     m.statSiftZones.Load(),
+		SiftParBlocks: m.statSiftParBlocks.Load(),
 
 		Reorders:           m.statReorders,
 		ReorderSwaps:       m.statReorderSwaps,

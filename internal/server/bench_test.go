@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -14,9 +15,13 @@ import (
 func BenchmarkServer(b *testing.B) {
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			// Queue capacity scales with the batch so admission never
+			// throttles the measurement: the contest is how fast the pool
+			// drains jobs, not how big the waiting room is.
+			batch := 8 * workers
 			s, err := New(Config{
 				Workers:       workers,
-				QueueCapacity: 64,
+				QueueCapacity: 4 * batch,
 				SpoolDir:      b.TempDir(),
 			})
 			if err != nil {
@@ -32,7 +37,6 @@ func BenchmarkServer(b *testing.B) {
 			}
 			<-warm.Done()
 
-			const batch = 24
 			total := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -56,6 +60,8 @@ func BenchmarkServer(b *testing.B) {
 			b.StopTimer()
 
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ReportMetric(float64(runtime.NumCPU()), "numcpu")
 			tm := s.Metrics().Tenants["default"]
 			b.ReportMetric(tm.QueueWait.P50MS, "queue-wait-p50-ms")
 			b.ReportMetric(tm.QueueWait.P99MS, "queue-wait-p99-ms")

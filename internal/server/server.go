@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,8 +18,9 @@ import (
 
 // Config tunes a Server. Zero fields take the documented defaults.
 type Config struct {
-	// Workers is the job worker pool size (default 2): how many jobs
-	// verify concurrently, each in its own workspace.
+	// Workers is the job worker pool size: how many jobs verify
+	// concurrently, each in its own workspace. Zero auto-sizes from the
+	// CPU count (NumCPU/2, clamped to [2, 8]).
 	Workers int
 	// QueueCapacity bounds the admission queue (default 32); a push
 	// beyond it returns ErrQueueFull (HTTP 429).
@@ -73,7 +75,8 @@ type Server struct {
 	jobExec      *telemetry.HistogramVec // by tenant: execution start → terminal
 	fixpointIter *telemetry.HistogramVec // by engine: one fixpoint frontier extension
 	imageTime    *telemetry.HistogramVec // by engine: one full image computation
-	gcPause      *telemetry.HistogramVec // by engine: one kernel GC
+	gcPause      *telemetry.HistogramVec // by engine: one GC's exclusive window
+	gcMark       *telemetry.HistogramVec // by engine: one GC's concurrent mark
 	reorderTime  *telemetry.HistogramVec // by engine: one reordering session
 	cacheLookup  *telemetry.HistogramVec // by result (hit/miss): artifact lookup
 }
@@ -81,7 +84,18 @@ type Server struct {
 // New builds a server and starts its worker pool. Close shuts it down.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
-		cfg.Workers = 2
+		// Auto-size from the host: one job worker per two CPUs keeps
+		// headroom for each job's own BDD kernel workers, floored at 2
+		// so a small host still overlaps compile and execution, capped
+		// at 8 because beyond that the kernels fight over memory
+		// bandwidth long before the pool runs dry.
+		cfg.Workers = runtime.NumCPU() / 2
+		if cfg.Workers < 2 {
+			cfg.Workers = 2
+		}
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
 	}
 	if cfg.QueueCapacity <= 0 {
 		cfg.QueueCapacity = 32
@@ -360,6 +374,7 @@ func (s *Server) foldJobMetrics(engine string, ms *telemetry.MetricSet) {
 	s.fixpointIter.With(engine).Merge(ms.FixpointIter.Snapshot())
 	s.imageTime.With(engine).Merge(ms.Image.Snapshot())
 	s.gcPause.With(engine).Merge(ms.GCPause.Snapshot())
+	s.gcMark.With(engine).Merge(ms.GCMark.Snapshot())
 	s.reorderTime.With(engine).Merge(ms.Reorder.Snapshot())
 }
 
@@ -509,6 +524,12 @@ func (s *Server) accumulateKernel(ws *core.Workspace) {
 	k.QuantHits += st.QuantHits + st.AndExistsHits
 	k.GCs += int64(st.GCs)
 	k.Reorders += int64(st.Reorders)
+	k.L1Hits += st.L1Hits
+	k.L1Merges += st.L1Merges
+	k.L1Promotions += st.L1Promotions
+	k.GrainAdjusts += st.GrainAdjusts
+	k.SiftZones += st.SiftZones
+	k.SiftParBlocks += st.SiftParBlocks
 	if int64(st.PeakLive) > k.MaxPeakLive {
 		k.MaxPeakLive = int64(st.PeakLive)
 	}

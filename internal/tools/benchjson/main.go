@@ -22,6 +22,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -30,6 +32,8 @@ type result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"numcpu"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -113,6 +117,58 @@ func addReorderMetrics(results []result) {
 	}
 }
 
+// workersSeg matches the "workers-N" / "workers=N" path segment the
+// parallel-scaling and server benchmarks use for their sub-benchmark
+// names.
+var workersSeg = regexp.MustCompile(`workers([-=])(\d+)`)
+
+// addParallelSpeedups derives speedup-vs-workers-1 on every row whose
+// name carries a "workers-N" segment with N > 1 and that has a
+// "workers-1" twin, so BENCH_parallel.json and BENCH_server.json carry
+// the scaling ratio directly. Any "-<procs>" suffix `go test -bench`
+// appends at GOMAXPROCS > 1 is ignored for twin matching.
+func addParallelSpeedups(results []result) {
+	// At GOMAXPROCS=1 the bench name has no "-<procs>" suffix and ends
+	// in the workers segment itself, so only strip a trailing number
+	// when the workers segment survives the cut.
+	stripProcs := func(name string) string {
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil && workersSeg.MatchString(name[:i]) {
+				return name[:i]
+			}
+		}
+		return name
+	}
+	byBase := make(map[string]*result, len(results))
+	for i := range results {
+		byBase[stripProcs(results[i].Name)] = &results[i]
+	}
+	for i := range results {
+		r := &results[i]
+		base := stripProcs(r.Name)
+		m := workersSeg.FindStringSubmatch(base)
+		if m == nil || m[2] == "1" || r.NsPerOp == 0 {
+			continue
+		}
+		one, ok := byBase[workersSeg.ReplaceAllString(base, "workers${1}1")]
+		if !ok || one.NsPerOp == 0 {
+			continue
+		}
+		// Throughput benchmarks (the server) scale their batch with the
+		// worker count, so ns/op rows are not comparable across widths —
+		// the jobs/s metric is the honest ratio there; plain wall-clock
+		// benchmarks fall back to ns/op.
+		speedup := one.NsPerOp / r.NsPerOp
+		if j1, jn := one.Metrics["jobs/s"], r.Metrics["jobs/s"]; j1 > 0 && jn > 0 {
+			speedup = jn / j1
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics["speedup-vs-workers-1"] = speedup
+	}
+}
+
 func main() {
 	var results []result
 	sc := bufio.NewScanner(os.Stdin)
@@ -134,7 +190,12 @@ func main() {
 		if err != nil {
 			continue
 		}
-		r := result{Name: fields[0], Iterations: iters, NsPerOp: ns}
+		// The host parallelism is stamped on every record: scaling rows
+		// are meaningless without knowing how many CPUs backed the run
+		// (benchjson runs in the same `make bench-*` pipeline, on the
+		// same host, as the benchmark itself).
+		r := result{Name: fields[0], Iterations: iters, NsPerOp: ns,
+			GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 		// Remaining fields alternate value/unit: "123 B/op", "4 allocs/op",
 		// "63448 peak-bdd-nodes", ...
 		for i := 4; i+1 < len(fields); i += 2 {
@@ -155,6 +216,7 @@ func main() {
 	}
 	addSpeedups(results)
 	addReorderMetrics(results)
+	addParallelSpeedups(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {

@@ -1,0 +1,59 @@
+package hsis
+
+// The `make parallel-smoke` gate: one short mdlc2 reachability at
+// workers=1 and workers=4 must agree exactly (states, iterations,
+// reached-set size — canonicity makes any divergence a kernel bug), and
+// on a host with real parallelism the workers=4 run must not be slower
+// than 1.05x the sequential run — catching a change that re-introduces
+// the coordination tax this kernel exists to eliminate. Single-CPU
+// runners and -short runs skip the timing clause only: there the
+// workers>=2 path measures scheduling overhead, not speedup.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hsis/internal/core"
+	"hsis/internal/designs"
+	"hsis/internal/reach"
+)
+
+func smokeReach(t *testing.T, workers int) (states float64, iters, nodes int, elapsed time.Duration) {
+	t.Helper()
+	d, err := designs.Get("mdlc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.LoadVerilogString(d.Verilog, "mdlc2.v", d.Top, core.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.Net.Manager()
+	defer m.SetWorkers(1)
+	start := time.Now()
+	res := reach.Forward(w.Net, reach.Options{})
+	elapsed = time.Since(start)
+	if !res.Converged {
+		t.Fatalf("mdlc2 reach diverged at workers=%d", workers)
+	}
+	return w.Net.NumStates(res.Reached), res.Steps, m.NodeCount(res.Reached), elapsed
+}
+
+func TestParallelSmoke(t *testing.T) {
+	seqStates, seqIters, seqNodes, seqTime := smokeReach(t, 1)
+	parStates, parIters, parNodes, parTime := smokeReach(t, 4)
+	if seqStates != parStates || seqIters != parIters || seqNodes != parNodes {
+		t.Fatalf("workers=4 diverged from workers=1: states %v vs %v, iterations %d vs %d, nodes %d vs %d",
+			parStates, seqStates, parIters, seqIters, parNodes, seqNodes)
+	}
+	if testing.Short() || runtime.NumCPU() < 4 {
+		t.Logf("timing clause skipped (short=%v, cpus=%d); workers=1 %v, workers=4 %v",
+			testing.Short(), runtime.NumCPU(), seqTime, parTime)
+		return
+	}
+	if float64(parTime) > 1.05*float64(seqTime) {
+		t.Fatalf("workers=4 regressed >5%% vs workers=1: %v vs %v", parTime, seqTime)
+	}
+	t.Logf("workers=1 %v, workers=4 %v (%.2fx)", seqTime, parTime, float64(seqTime)/float64(parTime))
+}

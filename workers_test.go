@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"hsis/internal/bdd"
 	"hsis/internal/core"
 	"hsis/internal/designs"
 	"hsis/internal/reach"
@@ -28,14 +29,24 @@ type designRun struct {
 }
 
 func runDesign(t *testing.T, name string, workers int) designRun {
+	return runDesignCfg(t, name, core.Options{Workers: workers}, nil)
+}
+
+// runDesignCfg is runDesign with full option control plus a post-load
+// tweak hook (applied to the manager before any checking runs), so the
+// stress variants can force tiny GC thresholds or arm auto-sifting.
+func runDesignCfg(t *testing.T, name string, opts core.Options, tweak func(*bdd.Manager)) designRun {
 	t.Helper()
 	d, err := designs.Get(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := core.LoadVerilogString(d.Verilog, name+".v", d.Top, core.Options{Workers: workers})
+	w, err := core.LoadVerilogString(d.Verilog, name+".v", d.Top, opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if tweak != nil {
+		tweak(w.Net.Manager())
 	}
 	if err := w.AddPIFString(d.PIF, name+".pif"); err != nil {
 		t.Fatal(err)
@@ -44,7 +55,7 @@ func runDesign(t *testing.T, name string, workers int) designRun {
 	defer m.SetWorkers(1) // shut the pool down before the next run
 	res := reach.Forward(w.Net, reach.Options{})
 	if !res.Converged {
-		t.Fatalf("%s: reachability diverged at workers=%d", name, workers)
+		t.Fatalf("%s: reachability diverged at workers=%d", name, opts.Workers)
 	}
 	run := designRun{
 		states:     w.Net.NumStates(res.Reached),
@@ -54,7 +65,7 @@ func runDesign(t *testing.T, name string, workers int) designRun {
 	}
 	for _, r := range w.VerifyAll() {
 		if r.Err != nil {
-			t.Fatalf("%s/%s: workers=%d: %v", name, r.Name, workers, r.Err)
+			t.Fatalf("%s/%s: workers=%d: %v", name, r.Name, opts.Workers, r.Err)
 		}
 		key := string(r.Kind) + "/" + r.Name
 		if _, dup := run.verdicts[key]; dup {
@@ -102,6 +113,56 @@ func TestWorkersDeterminism(t *testing.T) {
 						}
 						if gotPass != want {
 							t.Errorf("property %q: pass=%v at workers=%d, want %v", key, gotPass, wk, want)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestWorkersDeterminismStress re-runs the determinism comparison under
+// the two configurations that exercise the parallel kernel's moving
+// parts hardest: a tiny GC threshold (so the concurrent-mark/exclusive-
+// sweep protocol fires constantly mid-fixpoint) and growth-triggered
+// auto-sifting (so zoned parallel reordering runs inside the checks).
+// Either one changing a state count, verdict, or the reached-set node
+// count at workers=4 would mean GC or zoned sifting is not deterministic.
+func TestWorkersDeterminismStress(t *testing.T) {
+	variants := []struct {
+		name  string
+		opts  core.Options
+		tweak func(*bdd.Manager)
+	}{
+		{name: "gcstress", tweak: func(m *bdd.Manager) { m.SetGCThreshold(4096) }},
+		{name: "autosift", opts: core.Options{Reorder: "auto", ReorderTrigger: 1.3}},
+	}
+	names := []string{"pingpong", "dcnew", "mdlc2"}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for _, name := range names {
+				name := name
+				t.Run(name, func(t *testing.T) {
+					if testing.Short() && name == "mdlc2" {
+						t.Skip("skipping large design in -short mode")
+					}
+					seq, par := v.opts, v.opts
+					seq.Workers, par.Workers = 1, 4
+					base := runDesignCfg(t, name, seq, v.tweak)
+					got := runDesignCfg(t, name, par, v.tweak)
+					if got.states != base.states {
+						t.Errorf("states: got %v, want %v", got.states, base.states)
+					}
+					if got.iterations != base.iterations {
+						t.Errorf("iterations: got %d, want %d", got.iterations, base.iterations)
+					}
+					if got.reachNodes != base.reachNodes {
+						t.Errorf("reached-set nodes: got %d, want %d", got.reachNodes, base.reachNodes)
+					}
+					for key, want := range base.verdicts {
+						if gotPass, ok := got.verdicts[key]; !ok || gotPass != want {
+							t.Errorf("property %q: got (%v, present=%v), want %v", key, gotPass, ok, want)
 						}
 					}
 				})
